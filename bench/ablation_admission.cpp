@@ -1,0 +1,74 @@
+// Ablation: what do LRGP's two distinctive ingredients buy?
+//
+//  1. Joint rate + admission optimization vs the related-work baseline
+//     (rates-only NUM with populations fixed up front, Section 5): on
+//     the base workload, serving everyone (kMaxDemand) is infeasible
+//     even at minimum rates, and the best uniform static cut
+//     (kProportionalFill) leaves most of the utility on the table.
+//  2. Benefit-cost node pricing (Eq. 12, key idea #4) vs a plain
+//     gradient price: the greedy allocator never overfills a node, so a
+//     gradient-only node price decays to zero, stops constraining rates,
+//     and the rate/admission tradeoff degenerates.
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/rates_only.hpp"
+#include "lrgp/optimizer.hpp"
+#include "metrics/table_writer.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+    const auto spec = workload::make_base_workload();
+
+    metrics::TableWriter table({"optimizer", "utility", "feasible", "note"});
+
+    core::LrgpOptimizer lrgp_opt(spec);
+    lrgp_opt.run(250);
+    const double lrgp_utility = lrgp_opt.currentUtility();
+    table.addRow({std::string("LRGP (full)"), lrgp_utility, std::string("yes"),
+                  std::string("joint rates + admission")});
+
+    {
+        core::LrgpOptions options;
+        options.node_price_rule = core::NodePriceRule::kGradientOnly;
+        core::LrgpOptimizer opt(spec, options);
+        opt.run(250);
+        char note[64];
+        std::snprintf(note, sizeof note, "%.1f%% of full LRGP",
+                      100.0 * opt.currentUtility() / lrgp_utility);
+        const bool ok = model::check_feasibility(spec, opt.allocation()).feasible();
+        table.addRow({std::string("LRGP, gradient-only node price"), opt.currentUtility(),
+                      std::string(ok ? "yes" : "NO"), std::string(note)});
+    }
+
+    {
+        baseline::RatesOnlyOptions options;
+        options.policy = baseline::PopulationPolicy::kProportionalFill;
+        const auto result = baseline::rates_only_num(spec, options);
+        char note[64];
+        std::snprintf(note, sizeof note, "fill=%.1f%%, %.1f%% of LRGP",
+                      100.0 * result.population_fill, 100.0 * result.utility / lrgp_utility);
+        table.addRow({std::string("rates-only NUM, proportional fill"), result.utility,
+                      std::string(result.feasible ? "yes" : "NO"), std::string(note)});
+    }
+
+    {
+        baseline::RatesOnlyOptions options;
+        options.policy = baseline::PopulationPolicy::kMaxDemand;
+        const auto result = baseline::rates_only_num(spec, options);
+        table.addRow({std::string("rates-only NUM, serve everyone"), result.utility,
+                      std::string(result.feasible ? "yes" : "NO"),
+                      std::string("demand exceeds capacity at r_min")});
+    }
+
+    std::printf("Ablation: admission control and benefit-cost pricing (base workload)\n\n");
+    table.printTable(std::cout);
+    std::printf(
+        "\nReading: without admission control a rates-only optimizer either\n"
+        "violates the node constraints (serve-everyone) or must pre-cut\n"
+        "populations blindly; without benefit-cost node pricing the rate/\n"
+        "admission tradeoff loses its price signal.  Both ablations land far\n"
+        "below full LRGP, which is the paper's core design argument.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: the convergence-detector window.
+//
+// The paper declares convergence when the amplitude of the utility
+// oscillation drops below 0.1% of the utility, but does not say over how
+// many iterations the amplitude is measured.  Our detector uses a
+// trailing window (default 10).  This harness sweeps the window and the
+// threshold on the base workload to show how the reported
+// "iterations until convergence" — the number Tables 2 and 3 quote —
+// depends on that choice.  A window of ~5 reproduces the paper's 21;
+// wider windows report later convergence for the same trajectory.
+#include <cstdio>
+#include <iostream>
+
+#include "lrgp/optimizer.hpp"
+#include "metrics/table_writer.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+
+    std::printf("Ablation: convergence detector window/threshold (base workload)\n");
+    std::printf("(paper reports 21 iterations for this workload)\n\n");
+
+    metrics::TableWriter table({"window", "threshold", "converged at", "utility at that point"});
+    for (std::size_t window : {3u, 5u, 10u, 20u, 40u}) {
+        for (double threshold : {1e-2, 1e-3, 1e-4}) {
+            core::LrgpOptions options;
+            options.convergence.window = window;
+            options.convergence.relative_amplitude = threshold;
+            core::LrgpOptimizer opt(workload::make_base_workload(), options);
+            opt.run(400);
+            const std::size_t conv = opt.convergence().convergedAt();
+            char thr[16];
+            std::snprintf(thr, sizeof thr, "%.2f%%", 100.0 * threshold);
+            table.addRow({static_cast<long long>(window), std::string(thr),
+                          conv ? std::to_string(conv) : std::string("never"),
+                          conv ? opt.utilityTrace()[conv - 1] : 0.0});
+        }
+    }
+    table.printTable(std::cout);
+    std::printf("\nThe trajectory is identical in every row; only the detector\n"
+                "changes.  Iteration counts in our tables use window=10.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Async vs. sync distributed LRGP (Section 3.5's discussion).
+//
+// The synchronous protocol takes one round trip per iteration: with
+// 5-15 ms message latency, ~27 iterations to converge costs ~0.5 s of
+// wall-clock and a predictable message count.  The asynchronous variant
+// lets every agent act on a local timer with price averaging; it trades
+// extra messages for robustness to stragglers and loss.  This harness
+// measures time-to-95%-of-final-utility and message cost for both modes,
+// plus async under message loss.
+#include <cstdio>
+#include <iostream>
+
+#include "dist/dist_lrgp.hpp"
+#include "lrgp/optimizer.hpp"
+#include "metrics/table_writer.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+    const auto spec = workload::make_base_workload();
+
+    // Reference utility from the centralized optimizer.
+    core::LrgpOptimizer central(spec);
+    central.run(200);
+    const double target = 0.95 * central.currentUtility();
+
+    std::printf("Async vs sync distributed LRGP (base workload, 5-15 ms latency)\n");
+    std::printf("target: 95%% of centralized utility = %.0f\n\n", target);
+
+    metrics::TableWriter table(
+        {"mode", "sim time to target (s)", "messages to target", "final utility", "lost"});
+
+    {
+        dist::DistLrgp sync(spec, dist::DistOptions{});
+        double reached = -1.0;
+        std::size_t messages = 0;
+        while (sync.completedRounds() < 100) {
+            sync.runRounds(1);
+            if (reached < 0.0 && sync.currentUtility() >= target) {
+                reached = sync.now();
+                messages = sync.messagesSent();
+            }
+        }
+        table.addRow({std::string("synchronous"), reached, static_cast<long long>(messages),
+                      sync.currentUtility(), static_cast<long long>(0)});
+    }
+
+    for (double loss : {0.0, 0.10, 0.25}) {
+        dist::DistOptions options;
+        options.synchronous = false;
+        options.message_loss_probability = loss;
+        options.price_window = loss > 0.0 ? 5 : 3;
+        dist::DistLrgp async_run(spec, options);
+        double reached = -1.0;
+        std::size_t messages = 0;
+        // Require the target to hold for 10 consecutive ticks (0.5 s of
+        // sim time) so an early bootstrap transient does not count.
+        int above_streak = 0;
+        double streak_start = 0.0;
+        std::size_t streak_messages = 0;
+        for (int tick = 0; tick < 600 && reached < 0.0; ++tick) {
+            async_run.runFor(0.05);
+            if (async_run.currentUtility() >= target) {
+                if (above_streak == 0) {
+                    streak_start = async_run.now();
+                    streak_messages = async_run.messagesSent();
+                }
+                if (++above_streak >= 10) {
+                    reached = streak_start;
+                    messages = streak_messages;
+                }
+            } else {
+                above_streak = 0;
+            }
+        }
+        async_run.runFor(5.0);
+        char name[48];
+        std::snprintf(name, sizeof name, "asynchronous, %.0f%% loss", 100.0 * loss);
+        table.addRow({std::string(name), reached, static_cast<long long>(messages),
+                      async_run.currentUtility(),
+                      static_cast<long long>(async_run.messagesLost())});
+    }
+
+    table.printTable(std::cout);
+    std::printf(
+        "\nExpected shape: sync needs ~2 messages per (flow,node) pair per round\n"
+        "and converges in ~30 round trips; async converges in comparable sim\n"
+        "time, costs more messages, and degrades gracefully under loss.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 1 — "The effect of damping".
+//
+// Runs synchronous LRGP on the base workload (Table 1, utility
+// rank * log(1+r)) for 250 iterations at three fixed node-price
+// stepsizes, gamma in {1, 0.1, 0.01}, and prints the utility-vs-iteration
+// series plus the oscillation amplitudes the paper discusses:
+//   * gamma = 1    : utility oscillates with large amplitude;
+//   * gamma = 0.1  : large fluctuations stop after <10 iterations;
+//   * gamma = 0.01 : equilibrium takes ~100 iterations.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "lrgp/optimizer.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+    constexpr int kIterations = 250;
+    const double gammas[] = {1.0, 0.1, 0.01};
+
+    std::vector<std::unique_ptr<core::LrgpOptimizer>> runs;
+    std::vector<std::string> names;
+    for (double gamma : gammas) {
+        core::LrgpOptions options;
+        options.gamma = core::FixedGamma{gamma, gamma};
+        runs.push_back(std::make_unique<core::LrgpOptimizer>(
+            workload::make_base_workload(workload::UtilityShape::kLog), options));
+        runs.back()->run(kIterations);
+        char label[32];
+        std::snprintf(label, sizeof label, "gamma=%g", gamma);
+        names.emplace_back(label);
+    }
+
+    std::printf("Figure 1: effect of damping (base workload, rank*log(1+r))\n");
+    std::printf("%-12s %18s %22s %22s\n", "gamma", "final utility", "rel. amplitude",
+                "settle iteration");
+    std::printf("%-12s %18s %22s %22s\n", "", "", "(last 50 iters)", "(<2%% window swing)");
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+        const auto& trace = runs[k]->utilityTrace();
+        const std::size_t settle = bench::settle_iteration(trace, 0.02);
+        std::printf("%-12s %18.0f %21.4f%% %22zu\n", names[k].c_str(),
+                    trace.trailingMean(50), 100.0 * trace.trailingRelativeAmplitude(50),
+                    settle);
+    }
+    std::printf("\nExpected shape (paper): gamma=1 oscillates with large amplitude;\n"
+                "gamma=0.1 settles in <10 iterations; gamma=0.01 needs ~100.\n");
+
+    std::vector<const metrics::TimeSeries*> series;
+    for (const auto& r : runs) series.push_back(&r->utilityTrace());
+    bench::print_series("utility vs iteration (every 5th)", names, series, 5);
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3 — "The effect of adaptive gamma on recovery from system
+// changes".
+//
+// Runs LRGP on the base workload, removes flow 5 (which serves the
+// rank-100 classes, the largest utility contributors) at iteration 150,
+// and shows iterations 100-200 for adaptive and fixed gamma.  The paper's
+// claim: with adaptive gamma the utility recovers much quicker and
+// stabilizes to low fluctuations after the departure.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "lrgp/optimizer.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+    constexpr int kRemoveAt = 150;
+    constexpr int kTotal = 250;
+
+    struct Run {
+        std::string name;
+        core::GammaPolicy policy;
+    };
+    const Run configs[] = {
+        {"adaptive", core::AdaptiveGamma{}},
+        {"fixed=0.01", core::FixedGamma{0.01, 0.01}},
+    };
+
+    std::vector<std::unique_ptr<core::LrgpOptimizer>> runs;
+    std::vector<std::string> names;
+    for (const Run& cfg : configs) {
+        core::LrgpOptions options;
+        options.gamma = cfg.policy;
+        auto opt = std::make_unique<core::LrgpOptimizer>(
+            workload::make_base_workload(workload::UtilityShape::kLog), options);
+        opt->run(kRemoveAt);
+        opt->removeFlow(workload::find_flow(opt->problem(), "f0_5"));
+        opt->run(kTotal - kRemoveAt);
+        runs.push_back(std::move(opt));
+        names.push_back(cfg.name);
+    }
+
+    std::printf("Figure 3: recovery after flow 5 leaves at iteration %d\n", kRemoveAt);
+    std::printf("%-12s %16s %16s %22s\n", "policy", "utility@149", "utility@250",
+                "settle after removal");
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+        const auto& trace = runs[k]->utilityTrace();
+        // First post-removal iteration where a trailing 10-window swings <0.5%.
+        std::size_t settle = 0;
+        for (std::size_t end = kRemoveAt + 10; end <= trace.size(); ++end) {
+            double lo = trace[end - 10], hi = lo, sum = 0.0;
+            for (std::size_t i = end - 10; i < end; ++i) {
+                lo = std::min(lo, trace[i]);
+                hi = std::max(hi, trace[i]);
+                sum += trace[i];
+            }
+            if ((hi - lo) / (sum / 10.0) < 0.005) {
+                settle = end;
+                break;
+            }
+        }
+        std::printf("%-12s %16.0f %16.0f %22zu\n", names[k].c_str(), trace[kRemoveAt - 2],
+                    trace.back(), settle);
+    }
+    std::printf("\nExpected shape (paper): both policies drop when the flow leaves;\n"
+                "adaptive gamma recovers and stabilizes sooner than fixed.\n");
+
+    // The paper's figure shows iterations 100-200; print that window.
+    std::printf("\n# utility, iterations 100-200 (removal marked at %d)\n", kRemoveAt);
+    std::printf("%10s %16s %16s\n", "iteration", names[0].c_str(), names[1].c_str());
+    for (std::size_t i = 99; i < 200; ++i) {
+        std::printf("%10zu %16.1f %16.1f%s\n", i + 1, runs[0]->utilityTrace()[i],
+                    runs[1]->utilityTrace()[i], (i + 1 == kRemoveAt) ? "   <-- flow 5 removed" : "");
+    }
+    return 0;
+}

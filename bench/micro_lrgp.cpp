@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// pieces of the library, including the ablations DESIGN.md calls out:
+//   * closed-form vs numeric rate stationarity solve;
+//   * batched vs consumer-at-a-time greedy admission;
+//   * one full LRGP iteration at several workload scales;
+//   * simulated-annealing step throughput;
+//   * one synchronous distributed round (simulator overhead).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/annealing.hpp"
+#include "dist/dist_lrgp.hpp"
+#include "io/problem_json.hpp"
+#include "multirate/multirate.hpp"
+#include "lrgp/greedy_allocator.hpp"
+#include "lrgp/optimizer.hpp"
+#include "lrgp/rate_allocator.hpp"
+#include "utility/rate_objective.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+std::vector<utility::WeightedUtility> logTerms() {
+    return {{400.0, std::make_shared<utility::LogUtility>(20.0)},
+            {800.0, std::make_shared<utility::LogUtility>(5.0)},
+            {2000.0, std::make_shared<utility::LogUtility>(1.0)}};
+}
+
+void BM_RateSolveClosedForm(benchmark::State& state) {
+    const auto terms = logTerms();
+    utility::RateSolveOptions options;
+    options.allow_closed_form = true;
+    double price = 50.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            utility::solve_rate_objective(terms, price, 10.0, 1000.0, options));
+        price = (price < 1000.0) ? price + 1.0 : 50.0;  // vary input
+    }
+}
+BENCHMARK(BM_RateSolveClosedForm);
+
+void BM_RateSolveNumeric(benchmark::State& state) {
+    const auto terms = logTerms();
+    utility::RateSolveOptions options;
+    options.allow_closed_form = false;  // ablation: force bisection
+    double price = 50.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            utility::solve_rate_objective(terms, price, 10.0, 1000.0, options));
+        price = (price < 1000.0) ? price + 1.0 : 50.0;
+    }
+}
+BENCHMARK(BM_RateSolveNumeric);
+
+void BM_GreedyAllocateBatched(benchmark::State& state) {
+    const auto spec = workload::make_base_workload();
+    core::GreedyConsumerAllocator greedy(spec);
+    const std::vector<double> rates(spec.flowCount(), 25.0);
+    const auto node = workload::find_node(spec, "r0_S0");
+    for (auto _ : state) benchmark::DoNotOptimize(greedy.allocate(node, rates, true));
+}
+BENCHMARK(BM_GreedyAllocateBatched);
+
+void BM_GreedyAllocateStepwise(benchmark::State& state) {
+    const auto spec = workload::make_base_workload();
+    core::GreedyConsumerAllocator greedy(spec);
+    const std::vector<double> rates(spec.flowCount(), 25.0);
+    const auto node = workload::find_node(spec, "r0_S0");
+    for (auto _ : state) benchmark::DoNotOptimize(greedy.allocate(node, rates, false));
+}
+BENCHMARK(BM_GreedyAllocateStepwise);
+
+void BM_LrgpIteration(benchmark::State& state) {
+    workload::WorkloadOptions options;
+    options.flow_replicas = static_cast<int>(state.range(0));
+    options.cnode_replicas = static_cast<int>(state.range(1));
+    core::LrgpOptimizer opt(workload::make_scaled_workload(options));
+    for (auto _ : state) benchmark::DoNotOptimize(opt.step());
+    state.SetLabel(std::to_string(6 * state.range(0)) + " flows, " +
+                   std::to_string(3 * state.range(0) * state.range(1)) + " c-nodes");
+}
+BENCHMARK(BM_LrgpIteration)->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({1, 8});
+
+void BM_AnnealingSteps(benchmark::State& state) {
+    const auto spec = workload::make_base_workload();
+    baseline::AnnealOptions options;
+    options.max_steps = 1000;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(baseline::simulated_annealing(spec, options));
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AnnealingSteps);
+
+void BM_DistSyncRound(benchmark::State& state) {
+    const auto spec = workload::make_base_workload();
+    dist::DistLrgp d(spec, dist::DistOptions{});
+    for (auto _ : state) {
+        d.runRounds(1);
+        benchmark::DoNotOptimize(d.completedRounds());
+    }
+}
+BENCHMARK(BM_DistSyncRound);
+
+void BM_MultirateIteration(benchmark::State& state) {
+    multirate::MultirateOptimizer opt(workload::make_base_workload());
+    for (auto _ : state) {
+        opt.step();
+        benchmark::DoNotOptimize(opt.currentUtility());
+    }
+}
+BENCHMARK(BM_MultirateIteration);
+
+void BM_ProblemJsonRoundTrip(benchmark::State& state) {
+    const auto spec = workload::make_base_workload();
+    const std::string json = io::problem_to_json_string(spec);
+    for (auto _ : state) benchmark::DoNotOptimize(io::problem_from_json_string(json));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * json.size()));
+}
+BENCHMARK(BM_ProblemJsonRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Table 2 — "Quality of results for LRGP and Simulated Annealing as the
+// size of the system grows".
+//
+// Reproduces the six scaled workloads: {6f/3c, 12f/6c, 24f/12c} (new
+// information flows) and {6f/6c, 6f/12c, 6f/24c} (same information, more
+// consumers).  For each, reports LRGP's iterations-until-convergence and
+// converged utility, and the best simulated-annealing outcome over the
+// paper's four start temperatures {5, 10, 50, 100}.
+//
+// The paper ran SA for up to 10^8 steps (23-357 minutes per workload);
+// the default budget here is 10^5 steps per temperature so the whole
+// table regenerates in seconds on one core.  Set LRGP_SA_STEPS to raise
+// it (SA quality only improves with steps).
+//
+// Expected shape: LRGP utility >= SA utility on every row; LRGP converges
+// in a near-constant ~20-30 iterations; LRGP utility grows linearly with
+// the number of consumer nodes (paper: 1,328,821 / 2,657,600 / 5,313,612
+// / 2,656,706 / 5,313,412 / 10,626,824).
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/annealing.hpp"
+#include "bench_util.hpp"
+#include "lrgp/optimizer.hpp"
+#include "metrics/table_writer.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+    const std::uint64_t sa_steps = bench::env_u64("LRGP_SA_STEPS", 100'000);
+
+    struct Row {
+        const char* name;
+        int flow_replicas;
+        int cnode_replicas;
+        double paper_lrgp_utility;
+        int paper_lrgp_iterations;
+    };
+    const Row rows[] = {
+        {"6 flows, 3 c-nodes", 1, 1, 1328821.0, 21},
+        {"12 flows, 6 c-nodes", 2, 1, 2657600.0, 21},
+        {"24 flows, 12 c-nodes", 4, 1, 5313612.0, 24},
+        {"6 flows, 6 c-nodes", 1, 2, 2656706.0, 22},
+        {"6 flows, 12 c-nodes", 1, 4, 5313412.0, 22},
+        {"6 flows, 24 c-nodes", 1, 8, 10626824.0, 22},
+    };
+
+    std::printf("Table 2: LRGP vs simulated annealing as the system grows\n");
+    std::printf("(SA budget: %llu steps per start temperature; LRGP_SA_STEPS overrides)\n\n",
+                static_cast<unsigned long long>(sa_steps));
+
+    metrics::TableWriter table({"workload", "SA utility", "SA minutes", "LRGP iters",
+                                "LRGP utility", "utility increase", "paper LRGP utility"});
+
+    for (const Row& row : rows) {
+        workload::WorkloadOptions options;
+        options.flow_replicas = row.flow_replicas;
+        options.cnode_replicas = row.cnode_replicas;
+        const auto spec = workload::make_scaled_workload(options);
+
+        core::LrgpOptimizer opt(spec);
+        opt.run(250);
+        const std::size_t iters = opt.convergence().convergedAt();
+        const double lrgp_utility = opt.currentUtility();
+
+        const auto sa =
+            baseline::best_of_annealing(spec, {5.0, 10.0, 50.0, 100.0}, sa_steps, 1);
+
+        const double increase = 100.0 * (lrgp_utility - sa.best_utility) / sa.best_utility;
+        char pct[32];
+        std::snprintf(pct, sizeof pct, "%.2f%%", increase);
+        table.addRow({std::string(row.name), sa.best_utility, sa.wall_seconds / 60.0,
+                      static_cast<long long>(iters), lrgp_utility, std::string(pct),
+                      row.paper_lrgp_utility});
+    }
+
+    table.printTable(std::cout);
+    std::printf("\nExpected shape (paper): LRGP >= SA on every row (paper: +6.5%% to +18.8%%\n"
+                "with SA capped at 1e8 steps); LRGP converges in ~constant iterations\n"
+                "(paper: 21-24); LRGP utility scales linearly with consumer nodes.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+// A day in the life of an autonomic event infrastructure: continuous
+// optimization + hysteretic enactment + live traffic + workload change.
+//
+// Components exercised together:
+//   * LrgpOptimizer keeps iterating in the background (Section 3: "LRGP
+//     iterates indefinitely");
+//   * EnactmentController decides when its output becomes live broker
+//     configuration (Section 2.1: decisions are enacted only when
+//     sufficiently different or periodically);
+//   * BrokerOverlay carries the traffic and reports utilization and
+//     reliability (delivery gaps) per epoch;
+//   * mid-day, a capacity degradation at one node and a doubling of one
+//     class's consumer population change the problem under the
+//     optimizer's feet.
+#include <cstdio>
+#include <memory>
+
+#include "broker/overlay.hpp"
+#include "lrgp/enactment.hpp"
+#include "lrgp/optimizer.hpp"
+#include "model/analysis.hpp"
+
+using namespace lrgp;
+
+namespace {
+
+struct Deployment {
+    model::ProblemSpec spec;
+    model::FlowId news;
+    model::FlowId metrics;
+    model::NodeId east;
+    model::NodeId west;
+    model::ClassId news_east;
+    model::ClassId news_west;
+    model::ClassId metrics_west;
+};
+
+Deployment buildDeployment() {
+    model::ProblemBuilder b;
+    const auto hq = b.addNode("hq", 1e9);
+    const auto east = b.addNode("edge-east", 3e5);
+    const auto west = b.addNode("edge-west", 3e5);
+    const auto news = b.addFlow("news", hq, 20.0, 800.0);
+    b.routeThroughNode(news, east, 3.0);
+    b.routeThroughNode(news, west, 3.0);
+    const auto metrics = b.addFlow("metrics", hq, 50.0, 600.0);
+    b.routeThroughNode(metrics, west, 5.0);
+    const auto news_east = b.addClass("news-east", news, east, 900, 12.0,
+                                      std::make_shared<utility::LogUtility>(25.0));
+    const auto news_west = b.addClass("news-west", news, west, 600, 12.0,
+                                      std::make_shared<utility::LogUtility>(25.0));
+    const auto metrics_west = b.addClass("metrics-west", metrics, west, 300, 20.0,
+                                         std::make_shared<utility::LogUtility>(60.0));
+    return Deployment{b.build(), news,      metrics,     east,
+                      west,      news_east, news_west,   metrics_west};
+}
+
+}  // namespace
+
+int main() {
+    Deployment d = buildDeployment();
+
+    core::LrgpOptimizer optimizer(d.spec);
+    broker::BrokerOverlay overlay(d.spec);
+    for (int k = 0; k < 900; ++k) overlay.addConsumer(d.news_east);
+    for (int k = 0; k < 600; ++k) overlay.addConsumer(d.news_west);
+    for (int k = 0; k < 300; ++k) overlay.addConsumer(d.metrics_west);
+
+    core::EnactmentOptions enact_options;
+    enact_options.rate_deadband = 0.10;
+    enact_options.population_deadband = 20;
+    enact_options.min_interval = 120.0;  // at least every two "minutes"
+    core::EnactmentController enactor(
+        enact_options, [&](const model::Allocation& alloc) { overlay.enact(alloc); });
+
+    std::printf("%6s %10s %9s %9s %9s %8s %7s %6s\n", "t(s)", "utility", "news-E", "news-W",
+                "metr-W", "west%", "enacts", "gaps");
+
+    double clock = 0.0;
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        // The optimizer runs continuously between epochs...
+        for (int i = 0; i < 25; ++i) {
+            const auto& rec = optimizer.step();
+            clock += 1.0;
+            enactor.offer(clock, rec.allocation);  // ...but enacts rarely
+        }
+        // ...and the broker carries one 10-second epoch of traffic.
+        const auto report = overlay.runEpoch(10.0);
+        clock += 10.0;
+
+        std::uint64_t gaps = 0;
+        for (const auto& consumer : overlay.consumers()) gaps += consumer.gaps;
+        const auto& alloc = optimizer.allocation();
+        std::printf("%6.0f %10.0f %5d/%d %5d/%d %5d/%d %7.1f%% %7zu %6llu\n", clock,
+                    optimizer.currentUtility(), alloc.populations[d.news_east.index()],
+                    optimizer.problem().consumerClass(d.news_east).max_consumers,
+                    alloc.populations[d.news_west.index()],
+                    optimizer.problem().consumerClass(d.news_west).max_consumers,
+                    alloc.populations[d.metrics_west.index()],
+                    optimizer.problem().consumerClass(d.metrics_west).max_consumers,
+                    100.0 * report.node_stats[d.west.index()].utilization(),
+                    enactor.enactments(), static_cast<unsigned long long>(gaps));
+
+        if (epoch == 4) {
+            std::printf("   >>> edge-west degrades to half capacity <<<\n");
+            optimizer.setNodeCapacity(d.west, 1.5e5);
+            overlay.setNodeCapacity(d.west, 1.5e5);  // the broker suffers the same fault
+        }
+        if (epoch == 8) {
+            std::printf("   >>> 300 extra metrics consumers connect <<<\n");
+            optimizer.setClassMaxConsumers(d.metrics_west, 600);
+            overlay.setClassMaxConsumers(d.metrics_west, 600);
+            for (int k = 0; k < 300; ++k) overlay.addConsumer(d.metrics_west);
+        }
+    }
+
+    const auto summary = model::summarize(optimizer.problem(), optimizer.allocation());
+    std::printf("\nend of day: %d classes fully admitted, %d partial, %d denied; "
+                "fairness %.3f\n",
+                summary.classes_fully_admitted, summary.classes_partially_admitted,
+                summary.classes_denied, summary.jain_fairness);
+    std::printf("the enactment policy pushed %zu configurations for %d optimizer "
+                "iterations.\n",
+                enactor.enactments(), optimizer.iterationsRun());
+    return 0;
+}

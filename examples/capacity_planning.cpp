@@ -1,0 +1,49 @@
+// Capacity planning: how much hardware does the Table 1 workload need?
+//
+// The paper motivates utility optimization with the cost of
+// over-provisioning (Section 1).  This example inverts the question the
+// optimizer usually answers: instead of "what is the best allocation for
+// this capacity," it asks "what is the least capacity that serves X% of
+// consumers," using LRGP as the inner allocation engine and bisection on
+// a provisioning factor.
+#include <cstdio>
+
+#include "planner/capacity_planner.hpp"
+#include "workload/workloads.hpp"
+
+using namespace lrgp;
+
+int main() {
+    const auto spec = workload::make_base_workload();
+
+    std::printf("Provisioning curve for the base workload (capacity scale vs service):\n\n");
+    std::printf("%8s %16s %14s %18s\n", "scale", "admission", "utility", "hottest node");
+    const auto curve =
+        planner::provisioning_curve(spec, {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0});
+    for (const auto& point : curve) {
+        std::printf("%8.2f %15.1f%% %14.0f %17.1f%%\n", point.capacity_scale,
+                    100.0 * point.admission_ratio, point.utility,
+                    100.0 * point.hottest_node_utilization);
+    }
+
+    std::printf("\nMinimum provisioning factor per service-level objective:\n\n");
+    std::printf("%12s %12s %16s\n", "SLO", "min scale", "achieved");
+    for (double target : {0.5, 0.8, 0.9, 0.99}) {
+        planner::PlannerOptions options;
+        options.target_admission_ratio = target;
+        options.lrgp_iterations = 120;
+        // Full admission at near-max rates needs two orders of magnitude
+        // more capacity than the paper's operating point.
+        options.max_scale = 1024.0;
+        const auto point = planner::min_capacity_for_admission(spec, options);
+        std::printf("%11.0f%% %12.2f %15.1f%%\n", 100.0 * target, point.capacity_scale,
+                    100.0 * point.admission_ratio);
+    }
+
+    std::printf(
+        "\nReading: the paper's c_b = 9e5 (scale 1.0) deliberately runs the\n"
+        "workload under-provisioned so admission control has work to do;\n"
+        "full service needs several times that capacity — the cost the\n"
+        "utility-optimizing allocator avoids paying.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// The paper's second motivating scenario (Section 1.1): a "latest price"
+// flow whose messages carry the current IBM stock price.  Consumers
+// register content filters (e.g. price > 80) evaluated per message, per
+// consumer — exactly the per-consumer cost G in the resource model.  The
+// flow is very elastic: its rate can be reduced (update frequency
+// lowered) when resources are scarce.
+//
+// Two flows share one consumer-hosting node: the elastic price flow and a
+// fat, inelastic-ish telemetry flow.  As the telemetry flow's rate floor
+// rises, LRGP responds by lowering the price flow's update rate and/or
+// denying service to some price watchers — "reduce the producer rate or
+// deny service to consumers or both".
+#include <cstdio>
+#include <memory>
+
+#include "broker/filter.hpp"
+#include "broker/overlay.hpp"
+#include "lrgp/optimizer.hpp"
+
+using namespace lrgp;
+
+namespace {
+
+void runContention(double telemetry_min_rate) {
+    model::ProblemBuilder b;
+    const model::NodeId source = b.addNode("source", 1e9);
+    const model::NodeId edge = b.addNode("edge", 1.2e5);
+
+    const model::FlowId prices = b.addFlow("ibm-price", source, 1.0, 200.0);
+    b.routeThroughNode(prices, edge, 1.0);
+    const model::ClassId watchers = b.addClass(
+        "watchers", prices, edge, 800, 6.0, std::make_shared<utility::LogUtility>(8.0));
+
+    // Telemetry cannot drop below its floor (quasi-inelastic): r_min is high.
+    const model::FlowId telemetry = b.addFlow("telemetry", source, telemetry_min_rate, 400.0);
+    b.routeThroughNode(telemetry, edge, 40.0);  // heavyweight per-message processing
+    const model::ClassId collectors = b.addClass(
+        "collectors", telemetry, edge, 5, 10.0, std::make_shared<utility::LogUtility>(100.0));
+
+    const auto spec = b.build();
+    core::LrgpOptimizer optimizer(spec);
+    optimizer.run(200);
+    const auto& alloc = optimizer.allocation();
+
+    // Enact and measure what filtered consumers actually receive.
+    broker::BrokerOverlay overlay(spec);
+    std::vector<broker::ConsumerId> watcher_ids;
+    for (int k = 0; k < 800; ++k) {
+        // Half the watchers only care about price > 80.
+        broker::FilterPtr filter =
+            (k % 2 == 0) ? std::make_shared<broker::NumericCompare>(
+                               "price", broker::NumericCompare::Op::kGreater, 80.0)
+                         : broker::FilterPtr(std::make_shared<broker::AcceptAll>());
+        watcher_ids.push_back(overlay.addConsumer(watchers, std::move(filter)));
+    }
+    for (int k = 0; k < 5; ++k) overlay.addConsumer(collectors);
+    overlay.setMessageFactory(prices, [](model::FlowId, std::uint64_t seq) {
+        broker::Message m;
+        m.fields["symbol"] = std::string("IBM");
+        m.fields["price"] = 78.0 + static_cast<double>(seq % 6);  // 78..83, half > 80
+        return m;
+    });
+    overlay.enact(alloc);
+    const auto report = overlay.runEpoch(10.0);
+
+    std::printf("\n--- telemetry floor %.0f msg/s ---\n", telemetry_min_rate);
+    std::printf("price update rate:   %7.1f msg/s (bounds [1, 200])\n",
+                alloc.rates[prices.index()]);
+    std::printf("telemetry rate:      %7.1f msg/s (bounds [%.0f, 400])\n",
+                alloc.rates[telemetry.index()], telemetry_min_rate);
+    std::printf("watchers admitted:   %7d / 800\n", alloc.populations[watchers.index()]);
+    std::printf("collectors admitted: %7d / 5\n", alloc.populations[collectors.index()]);
+    const auto& filtered = overlay.consumer(watcher_ids[0]);   // price > 80
+    const auto& unfiltered = overlay.consumer(watcher_ids[1]); // accept all
+    if (filtered.admitted && unfiltered.admitted) {
+        std::printf("delivered to 'price>80' watcher: %5.1f msg/s; unfiltered: %5.1f msg/s\n",
+                    filtered.delivered / report.seconds, unfiltered.delivered / report.seconds);
+    }
+    std::printf("edge utilization:    %6.1f%%\n",
+                100.0 * report.node_stats[edge.index()].utilization());
+    std::printf("total utility:       %10.1f\n", optimizer.currentUtility());
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Latest-price scenario: elastic rate control under contention\n");
+    runContention(10.0);   // telemetry mostly elastic: watchers get fast updates
+    runContention(200.0);  // telemetry floor consumes half the edge budget
+    runContention(380.0);  // telemetry floor dominates: price flow throttled hard
+    return 0;
+}

@@ -1,0 +1,264 @@
+#include <sstream>
+// lrgp_cli — command-line front end for the library.
+//
+// Builds a workload (the paper's base workload, a scaled variant, or a
+// seeded random instance), optimizes it with LRGP (optionally two-stage,
+// optionally against a simulated-annealing baseline), and reports the
+// allocation with utilization and fairness summaries.  The full
+// iteration trace can be exported as CSV for plotting.
+//
+// Examples:
+//   lrgp_cli                                     # base workload, adaptive gamma
+//   lrgp_cli --shape p075 --iterations 300
+//   lrgp_cli --flow-replicas 2 --cnode-replicas 4 --sa --sa-steps 200000
+//   lrgp_cli --workload random --seed 7 --two-stage
+//   lrgp_cli --gamma 0.01 --csv trace.csv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "baseline/annealing.hpp"
+#include "io/problem_json.hpp"
+#include "lrgp/optimizer.hpp"
+#include "lrgp/trace_export.hpp"
+#include "lrgp/two_stage.hpp"
+#include "model/analysis.hpp"
+#include "workload/random_workload.hpp"
+#include "workload/workloads.hpp"
+
+using namespace lrgp;
+
+namespace {
+
+struct CliOptions {
+    std::string workload = "base";  // base | random
+    workload::UtilityShape shape = workload::UtilityShape::kLog;
+    int flow_replicas = 1;
+    int cnode_replicas = 1;
+    std::uint32_t seed = 1;
+    std::optional<double> fixed_gamma;  // nullopt = adaptive
+    int iterations = 250;
+    bool two_stage = false;
+    bool run_sa = false;
+    std::uint64_t sa_steps = 100'000;
+    std::string csv_path;
+    std::string save_path;   // write the problem as JSON and continue
+    std::string load_path;   // read the problem from JSON instead of generating
+    bool verbose_classes = false;
+};
+
+void printUsage() {
+    std::puts(
+        "usage: lrgp_cli [options]\n"
+        "  --workload base|random     workload family (default base)\n"
+        "  --shape log|p025|p05|p075  class utility shape (default log)\n"
+        "  --flow-replicas N          scale: replicate the 6-flow set (default 1)\n"
+        "  --cnode-replicas N         scale: replicate consumer nodes (default 1)\n"
+        "  --seed N                   seed for --workload random (default 1)\n"
+        "  --gamma X                  fixed node-price stepsize (default: adaptive)\n"
+        "  --iterations N             LRGP iterations (default 250)\n"
+        "  --two-stage                run the Section 2.4 prune-and-resolve pass\n"
+        "  --sa                       also run the simulated-annealing baseline\n"
+        "  --sa-steps N               SA steps per start temperature (default 1e5)\n"
+        "  --csv FILE                 export the iteration trace as CSV\n"
+        "  --save FILE                write the workload as JSON, then optimize it\n"
+        "  --load FILE                optimize a JSON workload (overrides --workload)\n"
+        "  --classes                  print the per-class service table\n"
+        "  --help                     this message");
+}
+
+std::optional<CliOptions> parseArgs(int argc, char** argv) {
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return std::nullopt;
+        } else if (arg == "--workload") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.workload = v;
+            if (options.workload != "base" && options.workload != "random") {
+                std::fprintf(stderr, "error: unknown workload '%s'\n", v);
+                return std::nullopt;
+            }
+        } else if (arg == "--shape") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            if (std::strcmp(v, "log") == 0) options.shape = workload::UtilityShape::kLog;
+            else if (std::strcmp(v, "p025") == 0) options.shape = workload::UtilityShape::kPow025;
+            else if (std::strcmp(v, "p05") == 0) options.shape = workload::UtilityShape::kPow05;
+            else if (std::strcmp(v, "p075") == 0) options.shape = workload::UtilityShape::kPow075;
+            else {
+                std::fprintf(stderr, "error: unknown shape '%s'\n", v);
+                return std::nullopt;
+            }
+        } else if (arg == "--flow-replicas") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.flow_replicas = std::atoi(v);
+        } else if (arg == "--cnode-replicas") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.cnode_replicas = std::atoi(v);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.seed = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--gamma") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.fixed_gamma = std::atof(v);
+        } else if (arg == "--iterations") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.iterations = std::atoi(v);
+        } else if (arg == "--two-stage") {
+            options.two_stage = true;
+        } else if (arg == "--sa") {
+            options.run_sa = true;
+        } else if (arg == "--sa-steps") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.sa_steps = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--csv") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.csv_path = v;
+        } else if (arg == "--save") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.save_path = v;
+        } else if (arg == "--load") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.load_path = v;
+        } else if (arg == "--classes") {
+            options.verbose_classes = true;
+        } else {
+            std::fprintf(stderr, "error: unknown option '%s' (try --help)\n", arg.c_str());
+            return std::nullopt;
+        }
+    }
+    if (options.iterations <= 0 || options.flow_replicas < 1 || options.cnode_replicas < 1) {
+        std::fprintf(stderr, "error: non-positive numeric option\n");
+        return std::nullopt;
+    }
+    return options;
+}
+
+model::ProblemSpec buildWorkload(const CliOptions& options) {
+    if (options.workload == "random") {
+        workload::RandomWorkloadOptions random_options;
+        random_options.seed = options.seed;
+        random_options.shape = options.shape;
+        return workload::make_random_workload(random_options);
+    }
+    workload::WorkloadOptions scaled;
+    scaled.shape = options.shape;
+    scaled.flow_replicas = options.flow_replicas;
+    scaled.cnode_replicas = options.cnode_replicas;
+    return workload::make_scaled_workload(scaled);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto parsed = parseArgs(argc, argv);
+    if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+    const CliOptions& cli = *parsed;
+
+    model::ProblemSpec spec = [&] {
+        if (cli.load_path.empty()) return buildWorkload(cli);
+        std::ifstream in(cli.load_path);
+        if (!in) throw std::runtime_error("cannot read " + cli.load_path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return io::problem_from_json_string(buffer.str());
+    }();
+    std::printf("workload: %zu flows, %zu classes, %zu nodes, %zu links, shape %s\n",
+                spec.flowCount(), spec.classCount(), spec.nodeCount(), spec.linkCount(),
+                workload::shape_name(cli.shape).c_str());
+
+    if (!cli.save_path.empty()) {
+        std::ofstream out(cli.save_path);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", cli.save_path.c_str());
+            return 1;
+        }
+        out << io::problem_to_json_string(spec);
+        std::printf("workload written to %s\n", cli.save_path.c_str());
+    }
+
+    core::LrgpOptions lrgp_options;
+    if (cli.fixed_gamma) lrgp_options.gamma = core::FixedGamma{*cli.fixed_gamma, *cli.fixed_gamma};
+
+    core::LrgpOptimizer optimizer(spec, lrgp_options);
+    std::vector<core::IterationRecord> records;
+    records.reserve(static_cast<std::size_t>(cli.iterations));
+    for (int i = 0; i < cli.iterations; ++i) records.push_back(optimizer.step());
+
+    const std::size_t converged = optimizer.convergence().convergedAt();
+    std::printf("LRGP: utility %.0f after %d iterations (converged at %zu)\n",
+                optimizer.currentUtility(), cli.iterations, converged);
+
+    if (cli.two_stage) {
+        core::TwoStageOptions ts;
+        ts.lrgp = lrgp_options;
+        ts.max_iterations = cli.iterations;
+        const auto result = core::two_stage_optimize(spec, ts);
+        std::printf(
+            "two-stage: stage1 %.0f -> stage2 %.0f (%d routes pruned, %d classes off)\n",
+            result.stage_one_utility, result.stage_two_utility, result.prune.routes_removed,
+            result.prune.classes_deactivated);
+    }
+
+    if (cli.run_sa) {
+        const auto sa =
+            baseline::best_of_annealing(spec, {5.0, 10.0, 50.0, 100.0}, cli.sa_steps, cli.seed);
+        std::printf("SA (best of 4 temps, %llu steps each): utility %.0f in %.1fs\n",
+                    static_cast<unsigned long long>(cli.sa_steps), sa.best_utility,
+                    sa.wall_seconds);
+        std::printf("LRGP vs SA: %+.2f%%\n",
+                    100.0 * (optimizer.currentUtility() - sa.best_utility) / sa.best_utility);
+    }
+
+    const auto summary = model::summarize(spec, optimizer.allocation());
+    std::printf("classes: %d fully admitted, %d partial, %d denied; Jain fairness %.3f\n",
+                summary.classes_fully_admitted, summary.classes_partially_admitted,
+                summary.classes_denied, summary.jain_fairness);
+    double hottest = 0.0;
+    for (double u : summary.node_utilization) hottest = std::max(hottest, u);
+    std::printf("hottest node at %.1f%% utilization\n", 100.0 * hottest);
+
+    if (cli.verbose_classes) {
+        std::printf("\n%-12s %10s %10s %12s %14s\n", "class", "admitted", "max", "ratio",
+                    "agg. utility");
+        for (const auto& s : summary.classes) {
+            std::printf("%-12s %10d %10d %11.1f%% %14.1f\n",
+                        spec.consumerClass(s.cls).name.c_str(), s.admitted, s.max_consumers,
+                        100.0 * s.admission_ratio, s.aggregate_utility);
+        }
+    }
+
+    if (!cli.csv_path.empty()) {
+        std::ofstream out(cli.csv_path);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
+            return 1;
+        }
+        core::export_trace_csv(out, spec, records);
+        std::printf("trace written to %s (%zu rows)\n", cli.csv_path.c_str(), records.size());
+    }
+    return 0;
+}

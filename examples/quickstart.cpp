@@ -1,0 +1,47 @@
+// Quickstart: build the paper's base workload (Table 1), run LRGP to
+// convergence, and print the resulting rates, admissions and utility.
+//
+// This is the smallest end-to-end use of the library:
+//   workload -> LrgpOptimizer -> converged Allocation.
+#include <cstdio>
+
+#include "lrgp/optimizer.hpp"
+#include "model/allocation.hpp"
+#include "workload/workloads.hpp"
+
+int main() {
+    using namespace lrgp;
+
+    // The Table 1 workload: 6 flows, 3 consumer nodes, 20 classes,
+    // utility rank_j * log(1+r), F=3, G=19, c_b=9e5, r in [10, 1000].
+    model::ProblemSpec spec = workload::make_base_workload(workload::UtilityShape::kLog);
+
+    core::LrgpOptions options;  // adaptive gamma by default
+    core::LrgpOptimizer optimizer(spec, options);
+
+    const auto converged_at = optimizer.runUntilConverged(/*max_iterations=*/250);
+    if (converged_at) {
+        std::printf("converged after %d iterations\n", *converged_at);
+    } else {
+        std::printf("did not converge within 250 iterations\n");
+    }
+
+    const model::Allocation& alloc = optimizer.allocation();
+    std::printf("total utility: %.0f\n", optimizer.currentUtility());
+    std::printf("\n%-8s %10s\n", "flow", "rate");
+    for (const model::FlowSpec& f : optimizer.problem().flows())
+        std::printf("%-8s %10.2f\n", f.name.c_str(), alloc.rates[f.id.index()]);
+
+    std::printf("\n%-10s %-8s %-8s %8s %8s\n", "class", "flow", "node", "admitted", "max");
+    for (const model::ClassSpec& c : optimizer.problem().classes()) {
+        std::printf("%-10s %-8s %-8s %8d %8d\n", c.name.c_str(),
+                    optimizer.problem().flow(c.flow).name.c_str(),
+                    optimizer.problem().node(c.node).name.c_str(),
+                    alloc.populations[c.id.index()], c.max_consumers);
+    }
+
+    const model::FeasibilityReport report =
+        model::check_feasibility(optimizer.problem(), alloc);
+    std::printf("\nfeasible: %s\n", report.feasible() ? "yes" : "no");
+    return report.feasible() ? 0 : 1;
+}

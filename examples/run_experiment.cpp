@@ -1,0 +1,61 @@
+// run_experiment — execute a JSON experiment description (see
+// src/exp/experiment.hpp for the schema) and print the result as JSON.
+//
+//   run_experiment study.json          # full result with trace
+//   run_experiment --no-trace study.json
+//   run_experiment --demo              # runs a built-in recovery study
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "exp/experiment.hpp"
+
+namespace {
+
+constexpr const char* kDemo = R"({
+    "name": "demo: Figure 3 recovery as a scripted experiment",
+    "workload": {"kind": "base", "shape": "log"},
+    "optimizer": {"kind": "lrgp", "gamma": "adaptive", "iterations": 250},
+    "events": [{"at": 150, "action": "remove_flow", "flow": "f0_5"}]
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool include_trace = true;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-trace") == 0) include_trace = false;
+        else if (std::strcmp(argv[i], "--demo") == 0) path = "-";
+        else path = argv[i];
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: run_experiment [--no-trace] <config.json> | --demo\n");
+        return 2;
+    }
+
+    std::string config_text;
+    if (path == "-") {
+        config_text = kDemo;
+    } else {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        config_text = buffer.str();
+    }
+
+    try {
+        const auto result = lrgp::exp::run_experiment_string(config_text);
+        std::cout << lrgp::exp::result_to_json(result, include_trace).dump(true) << '\n';
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "experiment failed: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+#include "baseline/exhaustive.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "model/allocation.hpp"
+
+namespace lrgp::baseline {
+
+SearchResult exhaustive_search(const model::ProblemSpec& spec, const ExhaustiveOptions& options) {
+    if (options.rate_grid < 1) throw std::invalid_argument("exhaustive_search: bad rate grid");
+
+    const auto start_time = std::chrono::steady_clock::now();
+
+    // Dimension tables: the grid of candidate values per variable.
+    std::vector<std::vector<double>> rate_values;       // per flow
+    std::vector<model::FlowId> grid_flows;
+    for (const model::FlowSpec& f : spec.flows()) {
+        if (!f.active) continue;
+        grid_flows.push_back(f.id);
+        std::vector<double> values;
+        if (f.rate_min == f.rate_max || options.rate_grid == 1) {
+            values.push_back(f.rate_min);
+        } else {
+            for (int k = 0; k < options.rate_grid; ++k)
+                values.push_back(f.rate_min + (f.rate_max - f.rate_min) * k /
+                                                  (options.rate_grid - 1));
+        }
+        rate_values.push_back(std::move(values));
+    }
+    std::vector<model::ClassId> grid_classes;
+    for (const model::ClassSpec& c : spec.classes())
+        if (spec.flowActive(c.flow) && c.max_consumers > 0) grid_classes.push_back(c.id);
+
+    // Count combinations with overflow care.
+    std::uint64_t combos = 1;
+    auto multiply = [&](std::uint64_t n) {
+        if (combos > options.max_combinations / std::max<std::uint64_t>(1, n))
+            throw std::invalid_argument("exhaustive_search: search space too large");
+        combos *= n;
+    };
+    for (const auto& values : rate_values) multiply(values.size());
+    for (model::ClassId j : grid_classes)
+        multiply(static_cast<std::uint64_t>(spec.consumerClass(j).max_consumers) + 1);
+
+    SearchResult result;
+    result.best = model::Allocation::minimal(spec);
+    result.best_utility = model::total_utility(spec, result.best);
+
+    // Odometer enumeration over rates x populations.
+    std::vector<std::size_t> rate_idx(rate_values.size(), 0);
+    std::vector<int> pops(grid_classes.size(), 0);
+    model::Allocation candidate = model::Allocation::minimal(spec);
+
+    bool done = false;
+    while (!done) {
+        for (std::size_t k = 0; k < grid_flows.size(); ++k)
+            candidate.rates[grid_flows[k].index()] = rate_values[k][rate_idx[k]];
+        for (std::size_t k = 0; k < grid_classes.size(); ++k)
+            candidate.populations[grid_classes[k].index()] = pops[k];
+
+        ++result.steps_taken;
+        if (model::check_feasibility(spec, candidate).feasible()) {
+            const double u = model::total_utility(spec, candidate);
+            if (u > result.best_utility) {
+                result.best_utility = u;
+                result.best = candidate;
+            }
+        }
+
+        // Advance the odometer: populations first, then rates.
+        done = true;
+        for (std::size_t k = 0; k < grid_classes.size(); ++k) {
+            if (pops[k] < spec.consumerClass(grid_classes[k]).max_consumers) {
+                ++pops[k];
+                done = false;
+                break;
+            }
+            pops[k] = 0;
+        }
+        if (done) {
+            for (std::size_t k = 0; k < rate_idx.size(); ++k) {
+                if (rate_idx[k] + 1 < rate_values[k].size()) {
+                    ++rate_idx[k];
+                    done = false;
+                    break;
+                }
+                rate_idx[k] = 0;
+            }
+        }
+    }
+
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time).count();
+    return result;
+}
+
+}  // namespace lrgp::baseline

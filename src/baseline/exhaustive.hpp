@@ -1,0 +1,28 @@
+// Exhaustive grid search over the joint allocation space.  Only viable
+// for tiny instances; used in tests as the optimality ground truth that
+// the paper could not compute for its workloads ("the size of the
+// solution space does not allow exhaustive search").
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/annealing.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::baseline {
+
+struct ExhaustiveOptions {
+    /// Number of evenly spaced rate samples per flow (>= 2 unless a
+    /// flow's bounds coincide).  Populations are enumerated exactly.
+    int rate_grid = 16;
+    /// Safety valve: throws std::invalid_argument if the grid would
+    /// exceed this many combinations.
+    std::uint64_t max_combinations = 50'000'000;
+};
+
+/// Evaluates every grid point and returns the best feasible allocation.
+/// Throws if the search space exceeds options.max_combinations.
+[[nodiscard]] SearchResult exhaustive_search(const model::ProblemSpec& spec,
+                                             const ExhaustiveOptions& options = {});
+
+}  // namespace lrgp::baseline

@@ -1,0 +1,90 @@
+#include "baseline/rates_only.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lrgp/prices.hpp"
+#include "lrgp/rate_allocator.hpp"
+
+namespace lrgp::baseline {
+
+namespace {
+
+/// Largest uniform fill fraction phi such that, at r = r_min, every node
+/// satisfies sum_i (F + sum_j G * phi * n_max) * r_min <= c_b.
+double proportionalFill(const model::ProblemSpec& spec) {
+    double phi = 1.0;
+    for (const model::NodeSpec& b : spec.nodes()) {
+        double fixed = 0.0;     // F terms at r_min
+        double scalable = 0.0;  // G*n_max terms at r_min
+        for (model::FlowId i : spec.flowsAtNode(b.id)) {
+            if (!spec.flowActive(i)) continue;
+            fixed += spec.flowNodeCost(b.id, i) * spec.flow(i).rate_min;
+        }
+        for (model::ClassId j : spec.classesAtNode(b.id)) {
+            const model::ClassSpec& c = spec.consumerClass(j);
+            if (!spec.flowActive(c.flow)) continue;
+            scalable += c.consumer_cost * c.max_consumers * spec.flow(c.flow).rate_min;
+        }
+        if (scalable <= 0.0) continue;
+        phi = std::min(phi, std::max(0.0, (b.capacity - fixed) / scalable));
+    }
+    return std::clamp(phi, 0.0, 1.0);
+}
+
+}  // namespace
+
+RatesOnlyResult rates_only_num(const model::ProblemSpec& spec, const RatesOnlyOptions& options) {
+    if (options.iterations <= 0)
+        throw std::invalid_argument("rates_only_num: iterations must be positive");
+    if (options.node_gamma < 0.0 || options.link_gamma < 0.0)
+        throw std::invalid_argument("rates_only_num: negative stepsize");
+
+    RatesOnlyResult result;
+    result.allocation.rates.assign(spec.flowCount(), 0.0);
+    result.allocation.populations.assign(spec.classCount(), 0);
+
+    // Fix the populations per policy.
+    result.population_fill =
+        options.policy == PopulationPolicy::kMaxDemand ? 1.0 : proportionalFill(spec);
+    for (const model::ClassSpec& c : spec.classes()) {
+        if (!spec.flowActive(c.flow)) continue;
+        result.allocation.populations[c.id.index()] =
+            options.policy == PopulationPolicy::kMaxDemand
+                ? c.max_consumers
+                : static_cast<int>(std::floor(result.population_fill * c.max_consumers));
+    }
+
+    // Classic dual iteration: priced rate solve + gradient price update.
+    core::RateAllocator allocator(spec);
+    core::PriceVector prices = core::PriceVector::zeros(spec.nodeCount(), spec.linkCount());
+    for (const model::FlowSpec& f : spec.flows())
+        result.allocation.rates[f.id.index()] = f.active ? f.rate_min : 0.0;
+
+    for (int t = 0; t < options.iterations; ++t) {
+        for (const model::FlowSpec& f : spec.flows()) {
+            if (!f.active) continue;
+            result.allocation.rates[f.id.index()] =
+                allocator.computeRate(f.id, result.allocation.populations, prices).rate;
+        }
+        for (const model::NodeSpec& b : spec.nodes()) {
+            const double used = model::node_usage(spec, result.allocation, b.id);
+            prices.node[b.id.index()] = std::max(
+                0.0, prices.node[b.id.index()] +
+                         options.node_gamma * (used - b.capacity) / b.capacity);
+        }
+        for (const model::LinkSpec& l : spec.links()) {
+            const double used = model::link_usage(spec, result.allocation, l.id);
+            prices.link[l.id.index()] =
+                std::max(0.0, prices.link[l.id.index()] + options.link_gamma * (used - l.capacity));
+        }
+        result.utility_trace.append(model::total_utility(spec, result.allocation));
+    }
+
+    result.utility = model::total_utility(spec, result.allocation);
+    result.feasible = model::check_feasibility(spec, result.allocation).feasible();
+    return result;
+}
+
+}  // namespace lrgp::baseline

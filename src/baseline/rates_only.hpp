@@ -1,0 +1,55 @@
+// Rates-only network utility maximization — the related-work baseline
+// (Kelly 1998, Low & Lapsley 1999) the paper contrasts itself against:
+// "network flow optimization is based only on flow rates ... In
+// contrast, we explicitly consider admission control" (Section 5).
+//
+// Populations are *fixed up front* by a policy, then the classic dual
+// algorithm iterates: sources solve the priced rate problem, resources
+// run gradient-projection price updates.  With populations pinned, the
+// node constraint is linear in r (like a link), so this is exactly the
+// convex NUM setting.  Comparing its utility against LRGP quantifies
+// what joint rate + admission optimization buys.
+#pragma once
+
+#include "metrics/time_series.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::baseline {
+
+/// How the fixed populations are chosen.
+enum class PopulationPolicy {
+    /// n_j = n_j^max — serve every consumer, the implicit assumption of
+    /// admission-free flow control.  On consumer-heavy workloads (like
+    /// the paper's) this is infeasible even at minimum rates: the result
+    /// reports feasible = false and the achieved (violating) usage.
+    kMaxDemand,
+    /// n_j = floor(phi * n_j^max) with the largest uniform phi in [0, 1]
+    /// such that every node constraint holds at r = r_min.  A fair,
+    /// admission-blind static cut — the best a rates-only system could
+    /// do with a uniform pre-provisioning rule.
+    kProportionalFill,
+};
+
+struct RatesOnlyOptions {
+    PopulationPolicy policy = PopulationPolicy::kProportionalFill;
+    int iterations = 500;
+    /// Node gradient stepsize, applied to the *relative* excess
+    /// (used - c)/c so one setting works across capacity scales.
+    double node_gamma = 0.05;
+    double link_gamma = 1e-5;
+};
+
+struct RatesOnlyResult {
+    model::Allocation allocation;
+    double utility = 0.0;
+    bool feasible = false;           ///< final allocation satisfies all constraints
+    metrics::TimeSeries utility_trace;
+    double population_fill = 0.0;    ///< phi actually used (1.0 for kMaxDemand)
+};
+
+/// Runs the rates-only dual algorithm on `spec` with fixed populations.
+[[nodiscard]] RatesOnlyResult rates_only_num(const model::ProblemSpec& spec,
+                                             const RatesOnlyOptions& options = {});
+
+}  // namespace lrgp::baseline

@@ -1,0 +1,131 @@
+#include "baseline/search_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrgp::baseline {
+
+SearchState::SearchState(const model::ProblemSpec& spec, model::Allocation initial)
+    : spec_(&spec), allocation_(std::move(initial)) {
+    const model::FeasibilityReport report = model::check_feasibility(spec, allocation_);
+    if (!report.feasible())
+        throw std::invalid_argument("SearchState: initial allocation is infeasible: " +
+                                    report.violations.front().detail);
+    rebuildCaches();
+}
+
+SearchState::SearchState(const model::ProblemSpec& spec)
+    : SearchState(spec, model::Allocation::minimal(spec)) {}
+
+void SearchState::rebuildCaches() {
+    node_usage_.assign(spec_->nodeCount(), 0.0);
+    link_usage_.assign(spec_->linkCount(), 0.0);
+    for (const model::NodeSpec& b : spec_->nodes())
+        node_usage_[b.id.index()] = model::node_usage(*spec_, allocation_, b.id);
+    for (const model::LinkSpec& l : spec_->links())
+        link_usage_[l.id.index()] = model::link_usage(*spec_, allocation_, l.id);
+    utility_ = model::total_utility(*spec_, allocation_);
+}
+
+int SearchState::maxFeasiblePopulation(model::ClassId j) const {
+    const model::ClassSpec& c = spec_->consumerClass(j);
+    if (!spec_->flowActive(c.flow)) return 0;
+    const double rate = allocation_.rates[c.flow.index()];
+    const double unit_cost = c.consumer_cost * rate;
+    if (unit_cost <= 0.0) return c.max_consumers;
+    const double usage_without =
+        node_usage_[c.node.index()] - unit_cost * allocation_.populations[j.index()];
+    const double headroom = spec_->node(c.node).capacity - usage_without;
+    if (headroom <= 0.0) return 0;
+    // Shave a ULP-scale margin so tryPopulationMove's strict check passes.
+    const int fit = static_cast<int>(headroom * (1.0 - 1e-12) / unit_cost);
+    return std::clamp(fit, 0, c.max_consumers);
+}
+
+double SearchState::maxFeasibleRate(model::FlowId i) const {
+    const model::FlowSpec& f = spec_->flow(i);
+    if (!f.active) return 0.0;
+    const double current = allocation_.rates[i.index()];
+    double best = f.rate_max;
+    for (const model::FlowNodeHop& hop : f.nodes) {
+        double per_rate = hop.flow_node_cost;
+        for (model::ClassId j : spec_->classesOfFlow(i)) {
+            const model::ClassSpec& c = spec_->consumerClass(j);
+            if (c.node == hop.node)
+                per_rate += c.consumer_cost * allocation_.populations[j.index()];
+        }
+        if (per_rate <= 0.0) continue;
+        const double usage_without = node_usage_[hop.node.index()] - per_rate * current;
+        best = std::min(best, (spec_->nodes()[hop.node.index()].capacity - usage_without) *
+                                  (1.0 - 1e-12) / per_rate);
+    }
+    for (const model::FlowLinkHop& hop : f.links) {
+        const double usage_without = link_usage_[hop.link.index()] - hop.link_cost * current;
+        best = std::min(best, (spec_->links()[hop.link.index()].capacity - usage_without) *
+                                  (1.0 - 1e-12) / hop.link_cost);
+    }
+    return best;
+}
+
+bool SearchState::tryRateMove(model::FlowId i, double new_rate) {
+    const model::FlowSpec& f = spec_->flow(i);
+    if (!f.active) return false;
+    const double old_rate = allocation_.rates[i.index()];
+    const double dr = new_rate - old_rate;
+    if (dr == 0.0) return true;
+
+    // Per-unit-rate cost of the flow at each node it reaches: F plus the
+    // admitted consumers' G terms.
+    std::vector<std::pair<std::size_t, double>> node_deltas;
+    node_deltas.reserve(f.nodes.size());
+    for (const model::FlowNodeHop& hop : f.nodes) {
+        double per_rate = hop.flow_node_cost;
+        for (model::ClassId j : spec_->classesOfFlow(i)) {
+            const model::ClassSpec& c = spec_->consumerClass(j);
+            if (c.node == hop.node)
+                per_rate += c.consumer_cost * allocation_.populations[j.index()];
+        }
+        const double delta = per_rate * dr;
+        const std::size_t b = hop.node.index();
+        if (node_usage_[b] + delta > spec_->nodes()[b].capacity) return false;
+        node_deltas.emplace_back(b, delta);
+    }
+    std::vector<std::pair<std::size_t, double>> link_deltas;
+    link_deltas.reserve(f.links.size());
+    for (const model::FlowLinkHop& hop : f.links) {
+        const double delta = hop.link_cost * dr;
+        const std::size_t l = hop.link.index();
+        if (link_usage_[l] + delta > spec_->links()[l].capacity) return false;
+        link_deltas.emplace_back(l, delta);
+    }
+
+    for (const auto& [b, delta] : node_deltas) node_usage_[b] += delta;
+    for (const auto& [l, delta] : link_deltas) link_usage_[l] += delta;
+    for (model::ClassId j : spec_->classesOfFlow(i)) {
+        const model::ClassSpec& c = spec_->consumerClass(j);
+        const int n = allocation_.populations[j.index()];
+        if (n > 0) utility_ += n * (c.utility->value(new_rate) - c.utility->value(old_rate));
+    }
+    allocation_.rates[i.index()] = new_rate;
+    return true;
+}
+
+bool SearchState::tryPopulationMove(model::ClassId j, int new_n) {
+    const model::ClassSpec& c = spec_->consumerClass(j);
+    if (!spec_->flowActive(c.flow)) return false;
+    const int old_n = allocation_.populations[j.index()];
+    const int dn = new_n - old_n;
+    if (dn == 0) return true;
+
+    const double rate = allocation_.rates[c.flow.index()];
+    const double delta = c.consumer_cost * dn * rate;
+    const std::size_t b = c.node.index();
+    if (node_usage_[b] + delta > spec_->nodes()[b].capacity) return false;
+
+    node_usage_[b] += delta;
+    utility_ += dn * c.utility->value(rate);
+    allocation_.populations[j.index()] = new_n;
+    return true;
+}
+
+}  // namespace lrgp::baseline

@@ -1,0 +1,66 @@
+// Incrementally-evaluated search state shared by the centralized baseline
+// optimizers (simulated annealing, hill climbing, random search).
+//
+// The optimizers explore the joint (rates, populations) space with
+// single-variable moves.  Recomputing total utility and every constraint
+// from scratch per move is O(|classes| + |nodes|*|flows|); this state
+// keeps per-node and per-link usage plus the utility as running values
+// so a move costs only the entities the changed variable touches.
+#pragma once
+
+#include <vector>
+
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::baseline {
+
+/// A feasible allocation with cached usage and utility, supporting O(1)
+/// amortized single-variable moves with feasibility rejection.
+class SearchState {
+public:
+    /// Starts from the given allocation, which must be feasible; throws
+    /// std::invalid_argument otherwise.
+    SearchState(const model::ProblemSpec& spec, model::Allocation initial);
+
+    /// Starts from the minimal allocation (rates at r_min, no consumers).
+    explicit SearchState(const model::ProblemSpec& spec);
+
+    /// Attempts to set flow `i`'s rate to `new_rate` (must be within the
+    /// flow's bounds; callers clamp).  Applies and returns true iff every
+    /// affected node/link stays within capacity.
+    bool tryRateMove(model::FlowId i, double new_rate);
+
+    /// Attempts to set class `j`'s population to `new_n` (within
+    /// [0, n^max]; callers clamp).  Applies and returns true iff the
+    /// class's node stays within capacity.
+    bool tryPopulationMove(model::ClassId j, int new_n);
+
+    /// Largest population of class `j` that fits its node's remaining
+    /// capacity at the current rates (counting the class's own current
+    /// usage as available).  Clamped to [0, n^max].
+    [[nodiscard]] int maxFeasiblePopulation(model::ClassId j) const;
+
+    /// Largest rate of flow `i` that keeps every node/link it touches
+    /// within capacity at the current populations.  May be below the
+    /// flow's rate_min (callers decide how to handle that).
+    [[nodiscard]] double maxFeasibleRate(model::FlowId i) const;
+
+    [[nodiscard]] double utility() const noexcept { return utility_; }
+    [[nodiscard]] const model::Allocation& allocation() const noexcept { return allocation_; }
+    [[nodiscard]] double nodeUsage(model::NodeId b) const { return node_usage_.at(b.index()); }
+    [[nodiscard]] double linkUsage(model::LinkId l) const { return link_usage_.at(l.index()); }
+
+    /// Recomputes everything from scratch; used by tests to confirm the
+    /// incremental bookkeeping matches the ground-truth evaluators.
+    void rebuildCaches();
+
+private:
+    const model::ProblemSpec* spec_;
+    model::Allocation allocation_;
+    std::vector<double> node_usage_;
+    std::vector<double> link_usage_;
+    double utility_ = 0.0;
+};
+
+}  // namespace lrgp::baseline

@@ -1,0 +1,42 @@
+#include "broker/estimator.hpp"
+
+#include <cmath>
+
+namespace lrgp::broker {
+
+void CostEstimator::addObservation(CostObservation observation) {
+    observations_.push_back(observation);
+}
+
+std::optional<CostEstimate> CostEstimator::estimate() const {
+    if (observations_.size() < 2) return std::nullopt;
+
+    // Model: y = F*x1 + G*x2 with x1 = r, x2 = n*r.  Normal equations:
+    //   [Sx1x1 Sx1x2] [F]   [Sx1y]
+    //   [Sx1x2 Sx2x2] [G] = [Sx2y]
+    double s11 = 0.0, s12 = 0.0, s22 = 0.0, s1y = 0.0, s2y = 0.0;
+    for (const CostObservation& o : observations_) {
+        const double x1 = o.rate;
+        const double x2 = o.consumers * o.rate;
+        s11 += x1 * x1;
+        s12 += x1 * x2;
+        s22 += x2 * x2;
+        s1y += x1 * o.usage_per_second;
+        s2y += x2 * o.usage_per_second;
+    }
+    const double det = s11 * s22 - s12 * s12;
+    const double scale = s11 * s22;
+    if (scale == 0.0 || std::abs(det) < 1e-9 * scale) return std::nullopt;  // singular fit
+
+    CostEstimate est;
+    est.flow_node_cost = (s1y * s22 - s2y * s12) / det;
+    est.consumer_cost = (s2y * s11 - s1y * s12) / det;
+    for (const CostObservation& o : observations_) {
+        const double predicted =
+            est.flow_node_cost * o.rate + est.consumer_cost * o.consumers * o.rate;
+        est.max_residual = std::max(est.max_residual, std::abs(predicted - o.usage_per_second));
+    }
+    return est;
+}
+
+}  // namespace lrgp::broker

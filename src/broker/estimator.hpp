@@ -1,0 +1,57 @@
+// Empirical resource-model calibration (the substitution for the paper's
+// measurements on the Gryphon system, ref. [3] "Utility-aware resource
+// allocation in an event processing system").
+//
+// The optimizer needs the cost coefficients F_{b,i} (per message at a
+// node) and G_{b,j} (per message per admitted consumer).  In a real
+// deployment these are *measured*, not configured: run traffic epochs at
+// different (rate, population) operating points, record each node's
+// resource usage, and fit the linear model
+//
+//     used_b / seconds  =  F * r  +  G * n * r
+//
+// by least squares.  CostEstimator accumulates observations and solves
+// the 2x2 normal equations per (node, flow, class) grouping.  Tests
+// verify the estimates recover the configured constants from
+// BrokerOverlay epochs, closing the loop: measure -> build ProblemSpec ->
+// optimize -> enact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lrgp::broker {
+
+/// One traffic observation: a node's resource consumption over an epoch
+/// at a known operating point.
+struct CostObservation {
+    double rate = 0.0;       ///< r, messages per second
+    double consumers = 0.0;  ///< n, admitted consumers at the node
+    double usage_per_second = 0.0;  ///< measured used / seconds
+};
+
+/// Fitted coefficients with a fit-quality indicator.
+struct CostEstimate {
+    double flow_node_cost = 0.0;  ///< F
+    double consumer_cost = 0.0;   ///< G
+    double max_residual = 0.0;    ///< worst absolute residual of the fit
+};
+
+/// Least-squares fit of usage = F*r + G*n*r over the observations.
+class CostEstimator {
+public:
+    void addObservation(CostObservation observation);
+    [[nodiscard]] std::size_t observationCount() const noexcept { return observations_.size(); }
+    void clear() { observations_.clear(); }
+
+    /// Solves the normal equations.  Requires at least two observations
+    /// with distinct (r, n*r) directions; returns nullopt if the system
+    /// is singular (e.g. all observations share the same n).
+    [[nodiscard]] std::optional<CostEstimate> estimate() const;
+
+private:
+    std::vector<CostObservation> observations_;
+};
+
+}  // namespace lrgp::broker

@@ -1,0 +1,94 @@
+#include "broker/filter.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lrgp::broker {
+
+NumericCompare::NumericCompare(std::string field, Op op, double constant)
+    : field_(std::move(field)), op_(op), constant_(constant) {
+    if (field_.empty()) throw std::invalid_argument("NumericCompare: empty field name");
+}
+
+bool NumericCompare::matches(const Message& message) const {
+    const double* value = message.numericField(field_);
+    if (value == nullptr) return false;
+    switch (op_) {
+        case Op::kLess: return *value < constant_;
+        case Op::kLessEq: return *value <= constant_;
+        case Op::kGreater: return *value > constant_;
+        case Op::kGreaterEq: return *value >= constant_;
+        case Op::kEqual: return *value == constant_;
+        case Op::kNotEqual: return *value != constant_;
+    }
+    return false;
+}
+
+std::string NumericCompare::describe() const {
+    static constexpr const char* kOps[] = {"<", "<=", ">", ">=", "==", "!="};
+    std::ostringstream os;
+    os << field_ << ' ' << kOps[static_cast<int>(op_)] << ' ' << constant_;
+    return os.str();
+}
+
+TextEquals::TextEquals(std::string field, std::string value)
+    : field_(std::move(field)), value_(std::move(value)) {
+    if (field_.empty()) throw std::invalid_argument("TextEquals: empty field name");
+}
+
+bool TextEquals::matches(const Message& message) const {
+    const std::string* value = message.textField(field_);
+    return value != nullptr && *value == value_;
+}
+
+std::string TextEquals::describe() const { return field_ + " == \"" + value_ + "\""; }
+
+AndFilter::AndFilter(std::vector<FilterPtr> children) : children_(std::move(children)) {
+    for (const FilterPtr& c : children_)
+        if (!c) throw std::invalid_argument("AndFilter: null child");
+}
+
+bool AndFilter::matches(const Message& message) const {
+    for (const FilterPtr& c : children_)
+        if (!c->matches(message)) return false;
+    return true;
+}
+
+std::string AndFilter::describe() const {
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t i = 0; i < children_.size(); ++i)
+        os << (i ? " && " : "") << children_[i]->describe();
+    os << ')';
+    return os.str();
+}
+
+OrFilter::OrFilter(std::vector<FilterPtr> children) : children_(std::move(children)) {
+    for (const FilterPtr& c : children_)
+        if (!c) throw std::invalid_argument("OrFilter: null child");
+}
+
+bool OrFilter::matches(const Message& message) const {
+    for (const FilterPtr& c : children_)
+        if (c->matches(message)) return true;
+    return false;
+}
+
+std::string OrFilter::describe() const {
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t i = 0; i < children_.size(); ++i)
+        os << (i ? " || " : "") << children_[i]->describe();
+    os << ')';
+    return os.str();
+}
+
+NotFilter::NotFilter(FilterPtr child) : child_(std::move(child)) {
+    if (!child_) throw std::invalid_argument("NotFilter: null child");
+}
+
+bool NotFilter::matches(const Message& message) const { return !child_->matches(message); }
+
+std::string NotFilter::describe() const { return "!" + child_->describe(); }
+
+}  // namespace lrgp::broker

@@ -1,0 +1,95 @@
+// Content-based filters: per-consumer predicates evaluated against each
+// message (the "price > 80" example from the paper's introduction).
+// Filter evaluation is the per-message, per-consumer work that the
+// consumer-node cost G_{b,j} models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/message.hpp"
+
+namespace lrgp::broker {
+
+/// A predicate over messages.  Implementations must be pure.
+class Filter {
+public:
+    virtual ~Filter() = default;
+    [[nodiscard]] virtual bool matches(const Message& message) const = 0;
+    [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using FilterPtr = std::shared_ptr<const Filter>;
+
+/// Matches every message (consumers without content filtering).
+class AcceptAll final : public Filter {
+public:
+    [[nodiscard]] bool matches(const Message&) const override { return true; }
+    [[nodiscard]] std::string describe() const override { return "true"; }
+};
+
+/// Numeric comparison: field <op> constant.  A missing or textual field
+/// never matches.
+class NumericCompare final : public Filter {
+public:
+    enum class Op { kLess, kLessEq, kGreater, kGreaterEq, kEqual, kNotEqual };
+
+    NumericCompare(std::string field, Op op, double constant);
+
+    [[nodiscard]] bool matches(const Message& message) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::string field_;
+    Op op_;
+    double constant_;
+};
+
+/// Exact string match on a textual field.
+class TextEquals final : public Filter {
+public:
+    TextEquals(std::string field, std::string value);
+
+    [[nodiscard]] bool matches(const Message& message) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::string field_;
+    std::string value_;
+};
+
+/// Conjunction of sub-filters; an empty conjunction matches everything.
+class AndFilter final : public Filter {
+public:
+    explicit AndFilter(std::vector<FilterPtr> children);
+    [[nodiscard]] bool matches(const Message& message) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::vector<FilterPtr> children_;
+};
+
+/// Disjunction of sub-filters; an empty disjunction matches nothing.
+class OrFilter final : public Filter {
+public:
+    explicit OrFilter(std::vector<FilterPtr> children);
+    [[nodiscard]] bool matches(const Message& message) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::vector<FilterPtr> children_;
+};
+
+/// Negation.
+class NotFilter final : public Filter {
+public:
+    explicit NotFilter(FilterPtr child);
+    [[nodiscard]] bool matches(const Message& message) const override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    FilterPtr child_;
+};
+
+}  // namespace lrgp::broker

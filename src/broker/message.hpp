@@ -1,0 +1,41 @@
+// Messages of the event-driven infrastructure: typed field maps published
+// by producers on a flow, possibly transformed in-flight, and delivered
+// to admitted consumers whose filters match (Section 1.1's scenarios).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+
+#include "model/ids.hpp"
+
+namespace lrgp::broker {
+
+/// A message field is numeric or textual (e.g. price=80.5, symbol="IBM").
+using FieldValue = std::variant<double, std::string>;
+
+/// One event published on a flow.
+struct Message {
+    model::FlowId flow;
+    std::uint64_t sequence = 0;
+    std::map<std::string, FieldValue> fields;
+
+    [[nodiscard]] bool hasField(const std::string& name) const {
+        return fields.find(name) != fields.end();
+    }
+    /// Returns the numeric value of `name`, or nullptr if absent or textual.
+    [[nodiscard]] const double* numericField(const std::string& name) const {
+        auto it = fields.find(name);
+        if (it == fields.end()) return nullptr;
+        return std::get_if<double>(&it->second);
+    }
+    /// Returns the textual value of `name`, or nullptr if absent or numeric.
+    [[nodiscard]] const std::string* textField(const std::string& name) const {
+        auto it = fields.find(name);
+        if (it == fields.end()) return nullptr;
+        return std::get_if<std::string>(&it->second);
+    }
+};
+
+}  // namespace lrgp::broker

@@ -1,0 +1,202 @@
+#include "broker/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace lrgp::broker {
+
+BrokerOverlay::BrokerOverlay(model::ProblemSpec spec) : spec_(std::move(spec)) {
+    consumers_by_class_.assign(spec_.classCount(), {});
+    rates_.assign(spec_.flowCount(), 0.0);
+    for (const model::FlowSpec& f : spec_.flows()) rates_[f.id.index()] = f.rate_min;
+    factories_.resize(spec_.flowCount());
+}
+
+ConsumerId BrokerOverlay::addConsumer(model::ClassId cls, FilterPtr filter) {
+    if (cls.index() >= spec_.classCount())
+        throw std::invalid_argument("BrokerOverlay::addConsumer: unknown class");
+    const ConsumerId id = static_cast<ConsumerId>(consumers_.size());
+    Consumer c;
+    c.id = id;
+    c.cls = cls;
+    c.filter = filter ? std::move(filter) : std::make_shared<AcceptAll>();
+    consumers_.push_back(std::move(c));
+    consumers_by_class_[cls.index()].push_back(id);
+    return id;
+}
+
+void BrokerOverlay::setMessageFactory(model::FlowId flow, MessageFactory factory) {
+    factories_.at(flow.index()) = std::move(factory);
+}
+
+void BrokerOverlay::setTransformation(model::FlowId flow, model::NodeId node,
+                                      TransformationPtr transform) {
+    for (TransformSlot& slot : transforms_) {
+        if (slot.flow == flow && slot.node == node) {
+            slot.transform = std::move(transform);
+            return;
+        }
+    }
+    transforms_.push_back(TransformSlot{flow, node, std::move(transform)});
+}
+
+void BrokerOverlay::enact(const model::Allocation& allocation) {
+    if (allocation.rates.size() != spec_.flowCount() ||
+        allocation.populations.size() != spec_.classCount())
+        throw std::invalid_argument("BrokerOverlay::enact: allocation sized for another problem");
+    rates_ = allocation.rates;
+    for (const model::ClassSpec& c : spec_.classes()) {
+        const int target = allocation.populations[c.id.index()];
+        const std::vector<ConsumerId>& members = consumers_by_class_[c.id.index()];
+        for (std::size_t k = 0; k < members.size(); ++k)
+            consumers_[members[k]].admitted = static_cast<int>(k) < target;
+    }
+}
+
+std::vector<ConsumerId> BrokerOverlay::consumersOfClass(model::ClassId cls) const {
+    return consumers_by_class_.at(cls.index());
+}
+
+EpochReport BrokerOverlay::runEpoch(double seconds) {
+    if (!(seconds > 0.0)) throw std::invalid_argument("BrokerOverlay::runEpoch: bad duration");
+
+    EpochReport report;
+    report.seconds = seconds;
+    report.node_stats.resize(spec_.nodeCount());
+    report.link_stats.resize(spec_.linkCount());
+    report.published.assign(spec_.flowCount(), 0);
+    for (const model::NodeSpec& b : spec_.nodes())
+        report.node_stats[b.id.index()].budget = b.capacity * seconds;
+    for (const model::LinkSpec& l : spec_.links())
+        report.link_stats[l.id.index()].budget = l.capacity * seconds;
+
+    // Fair interleaving: a calendar of (publish time, flow) entries with
+    // evenly spaced messages per flow.
+    struct Entry {
+        double time;
+        std::uint32_t flow;
+        std::uint64_t seq;
+        double spacing;
+        std::uint64_t remaining;
+    };
+    auto later = [](const Entry& a, const Entry& b) { return a.time > b.time; };
+    std::priority_queue<Entry, std::vector<Entry>, decltype(later)> calendar(later);
+    for (const model::FlowSpec& f : spec_.flows()) {
+        if (!f.active) continue;
+        const double rate = rates_[f.id.index()];
+        const auto count = static_cast<std::uint64_t>(std::floor(rate * seconds));
+        if (count == 0) continue;
+        calendar.push(Entry{0.0, f.id.value, 0, seconds / static_cast<double>(count), count});
+    }
+
+    // Per-(flow,node) transformation lookup; Aggregator instances are
+    // stateful, so each slot is consulted in publish order.
+    auto findTransform = [&](model::FlowId flow, model::NodeId node) -> Transformation* {
+        for (const TransformSlot& slot : transforms_)
+            if (slot.flow == flow && slot.node == node) return slot.transform.get();
+        return nullptr;
+    };
+
+    while (!calendar.empty()) {
+        Entry entry = calendar.top();
+        calendar.pop();
+        const model::FlowId flow{entry.flow};
+        const model::FlowSpec& f = spec_.flow(flow);
+
+        Message msg;
+        if (factories_[flow.index()]) {
+            msg = factories_[flow.index()](flow, entry.seq);
+        } else {
+            msg.fields["value"] = static_cast<double>(entry.seq);
+        }
+        msg.flow = flow;
+        msg.sequence = entry.seq;
+        ++report.published[flow.index()];
+
+        // Capacity is enforced as a leaky bucket: by publish time t a
+        // resource may have spent at most capacity * t plus a small burst
+        // allowance (5% of the epoch budget).  This models a CPU/NIC that
+        // cannot borrow from the future, so overload drops are spread
+        // through the epoch instead of piling up at its end.
+        const double kBurstFraction = 0.05;
+        auto allowance = [&](double budget) {
+            return std::min(budget, budget * (entry.time / seconds + kBurstFraction));
+        };
+
+        // Links first: the flow's path crosses its links before fanning
+        // out to consumer nodes; a message that any link cannot afford is
+        // lost for the whole downstream path (Eq. 4 accounting).
+        bool dropped_on_link = false;
+        for (const model::FlowLinkHop& hop : f.links) {
+            LinkEpochStats& stats = report.link_stats[hop.link.index()];
+            if (stats.used + hop.link_cost > allowance(stats.budget)) {
+                ++stats.dropped;
+                dropped_on_link = true;
+                break;
+            }
+            stats.used += hop.link_cost;
+            ++stats.carried;
+        }
+        if (dropped_on_link) {
+            if (--entry.remaining > 0) {
+                entry.time += entry.spacing;
+                ++entry.seq;
+                calendar.push(entry);
+            }
+            continue;
+        }
+
+        // Process at every node the flow reaches.  The cost of a message
+        // at node b is F_{b,i} plus G_{b,j} per admitted consumer whose
+        // class attaches there — exactly the integrand of Eq. 5.
+        for (const model::FlowNodeHop& hop : f.nodes) {
+            NodeEpochStats& stats = report.node_stats[hop.node.index()];
+            double message_cost = hop.flow_node_cost;
+            for (model::ClassId j : spec_.classesOfFlow(flow)) {
+                if (spec_.consumerClass(j).node != hop.node) continue;
+                for (ConsumerId cid : consumers_by_class_[j.index()])
+                    if (consumers_[cid].admitted)
+                        message_cost += spec_.consumerClass(j).consumer_cost;
+            }
+            if (stats.used + message_cost > allowance(stats.budget)) {
+                ++stats.dropped;
+                continue;
+            }
+            stats.used += message_cost;
+            ++stats.processed;
+
+            std::optional<Message> transformed = msg;
+            if (Transformation* t = findTransform(flow, hop.node)) transformed = t->apply(msg);
+            if (!transformed) continue;  // absorbed (e.g. aggregation window)
+
+            for (model::ClassId j : spec_.classesOfFlow(flow)) {
+                if (spec_.consumerClass(j).node != hop.node) continue;
+                for (ConsumerId cid : consumers_by_class_[j.index()]) {
+                    Consumer& consumer = consumers_[cid];
+                    if (!consumer.admitted) continue;
+                    // Reliability accounting: count sequence jumps —
+                    // messages the consumer should have seen (it was
+                    // admitted) but that were dropped upstream.
+                    if (consumer.seen_any && msg.sequence > consumer.last_sequence + 1)
+                        consumer.gaps += msg.sequence - consumer.last_sequence - 1;
+                    consumer.last_sequence = msg.sequence;
+                    consumer.seen_any = true;
+                    if (consumer.filter->matches(*transformed)) ++consumer.delivered;
+                    else ++consumer.filtered_out;
+                }
+            }
+        }
+
+        if (--entry.remaining > 0) {
+            entry.time += entry.spacing;
+            ++entry.seq;
+            calendar.push(entry);
+        }
+    }
+
+    return report;
+}
+
+}  // namespace lrgp::broker

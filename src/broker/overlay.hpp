@@ -1,0 +1,145 @@
+// A miniature content-based pub/sub broker overlay that *enacts* LRGP
+// allocations and grounds the paper's resource model (Eqs. 4-5).
+//
+// The overlay is constructed from a ProblemSpec: every flow is routed to
+// the nodes the spec says it reaches, a message at node b costs the
+// spec's F_{b,i} units, and each delivery attempt to an admitted consumer
+// of class j costs G_{b,j} units (filter evaluation + reliable-delivery
+// work).  Traffic is simulated in epochs: producers publish at their
+// enacted rates, nodes burn their capacity budgets, and overloaded nodes
+// drop messages.  Tests verify that the measured per-node resource usage
+// matches the constraint equation (5) the optimizer reasons about, which
+// is the substitution for the paper's measurements on the closed-source
+// Gryphon broker.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "broker/filter.hpp"
+#include "broker/message.hpp"
+#include "broker/transform.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::broker {
+
+using ConsumerId = std::uint32_t;
+
+/// A connected consumer: belongs to a class, optionally filters content,
+/// and accumulates delivery statistics.  Unadmitted consumers stay
+/// connected but receive nothing (Section 2.1).
+///
+/// Reliability accounting (the paper's gold consumers "expect reliable
+/// and fast delivery"): each consumer tracks the flow sequence numbers
+/// it observes; gaps while admitted indicate messages lost to node
+/// overload or link drops upstream.
+struct Consumer {
+    ConsumerId id = 0;
+    model::ClassId cls;
+    FilterPtr filter;          ///< never null
+    bool admitted = false;
+    std::uint64_t delivered = 0;     ///< messages that matched and were delivered
+    std::uint64_t filtered_out = 0;  ///< messages inspected but not matched
+    std::uint64_t gaps = 0;          ///< missed messages detected via sequence jumps
+    std::uint64_t last_sequence = 0; ///< last observed flow sequence (valid if seen_any)
+    bool seen_any = false;
+};
+
+/// Per-node statistics for one epoch.
+struct NodeEpochStats {
+    double used = 0.0;        ///< resource units consumed
+    double budget = 0.0;      ///< capacity * epoch seconds
+    std::uint64_t processed = 0;  ///< messages fully processed
+    std::uint64_t dropped = 0;    ///< messages dropped for lack of budget
+    [[nodiscard]] double utilization() const { return budget > 0.0 ? used / budget : 0.0; }
+};
+
+/// Per-link statistics for one epoch (bandwidth accounting, Eq. 4).
+struct LinkEpochStats {
+    double used = 0.0;            ///< bandwidth units consumed
+    double budget = 0.0;          ///< capacity * epoch seconds
+    std::uint64_t carried = 0;    ///< messages forwarded
+    std::uint64_t dropped = 0;    ///< messages dropped for lack of budget
+    [[nodiscard]] double utilization() const { return budget > 0.0 ? used / budget : 0.0; }
+};
+
+/// The outcome of one traffic epoch.
+struct EpochReport {
+    double seconds = 0.0;
+    std::vector<NodeEpochStats> node_stats;   ///< indexed by NodeId
+    std::vector<LinkEpochStats> link_stats;   ///< indexed by LinkId
+    std::vector<std::uint64_t> published;     ///< messages published, per flow
+};
+
+/// The broker overlay.  Owns a copy of the problem spec it was built
+/// from; consumer admission and flow rates are driven by enact().
+class BrokerOverlay {
+public:
+    using MessageFactory = std::function<Message(model::FlowId, std::uint64_t seq)>;
+
+    explicit BrokerOverlay(model::ProblemSpec spec);
+
+    /// Registers a consumer of class `cls`.  Consumers are admitted in
+    /// registration order when enact() applies a population.  A null
+    /// filter means accept-all.
+    ConsumerId addConsumer(model::ClassId cls, FilterPtr filter = nullptr);
+
+    /// Installs the message generator for a flow (default: a single
+    /// numeric "value" field equal to the sequence number).
+    void setMessageFactory(model::FlowId flow, MessageFactory factory);
+
+    /// Installs a transformation applied at `node` to `flow`'s messages
+    /// before per-consumer processing (e.g. RemoveFields at the public
+    /// edge).  Pass nullptr to clear.
+    void setTransformation(model::FlowId flow, model::NodeId node, TransformationPtr transform);
+
+    /// Applies an optimizer allocation: sets each flow's publish rate and
+    /// admits the first n_j registered consumers of each class (the rest
+    /// are unadmitted).  Throws std::invalid_argument on size mismatch.
+    void enact(const model::Allocation& allocation);
+
+    /// Runs `seconds` of traffic: each active flow publishes
+    /// floor(rate * seconds) messages, evenly spaced and fairly
+    /// interleaved across flows; nodes spend budget per Eqs. 4-5 and drop
+    /// what they cannot afford.  Consumer statistics accumulate across
+    /// epochs.
+    EpochReport runEpoch(double seconds);
+
+    [[nodiscard]] const Consumer& consumer(ConsumerId id) const { return consumers_.at(id); }
+    [[nodiscard]] const std::vector<Consumer>& consumers() const noexcept { return consumers_; }
+    [[nodiscard]] double flowRate(model::FlowId flow) const { return rates_.at(flow.index()); }
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
+
+    /// Consumers registered for one class, in registration order.
+    [[nodiscard]] std::vector<ConsumerId> consumersOfClass(model::ClassId cls) const;
+
+    /// Mirrors a capacity change into the overlay (fault injection /
+    /// hardware change); affects subsequent epochs' budgets.
+    void setNodeCapacity(model::NodeId node, double capacity) {
+        spec_.setNodeCapacity(node, capacity);
+    }
+
+    /// Mirrors a consumer-population ceiling change (the optimizer side
+    /// uses LrgpOptimizer::setClassMaxConsumers).
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers) {
+        spec_.setClassMaxConsumers(cls, max_consumers);
+    }
+
+private:
+    struct TransformSlot {
+        model::FlowId flow;
+        model::NodeId node;
+        TransformationPtr transform;
+    };
+
+    model::ProblemSpec spec_;
+    std::vector<Consumer> consumers_;
+    std::vector<std::vector<ConsumerId>> consumers_by_class_;  // per class
+    std::vector<double> rates_;                                // per flow
+    std::vector<MessageFactory> factories_;                    // per flow
+    std::vector<TransformSlot> transforms_;
+};
+
+}  // namespace lrgp::broker

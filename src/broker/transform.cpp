@@ -1,0 +1,91 @@
+#include "broker/transform.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lrgp::broker {
+
+RemoveFields::RemoveFields(std::vector<std::string> fields) : fields_(std::move(fields)) {
+    if (fields_.empty()) throw std::invalid_argument("RemoveFields: no fields");
+}
+
+std::optional<Message> RemoveFields::apply(const Message& message) {
+    Message out = message;
+    for (const std::string& f : fields_) out.fields.erase(f);
+    return out;
+}
+
+std::string RemoveFields::describe() const {
+    std::ostringstream os;
+    os << "remove(";
+    for (std::size_t i = 0; i < fields_.size(); ++i) os << (i ? "," : "") << fields_[i];
+    os << ')';
+    return os.str();
+}
+
+ScaleField::ScaleField(std::string field, double factor)
+    : field_(std::move(field)), factor_(factor) {
+    if (field_.empty()) throw std::invalid_argument("ScaleField: empty field name");
+}
+
+std::optional<Message> ScaleField::apply(const Message& message) {
+    Message out = message;
+    auto it = out.fields.find(field_);
+    if (it != out.fields.end())
+        if (double* v = std::get_if<double>(&it->second)) *v *= factor_;
+    return out;
+}
+
+std::string ScaleField::describe() const {
+    std::ostringstream os;
+    os << field_ << " *= " << factor_;
+    return os.str();
+}
+
+Aggregator::Aggregator(int window) : window_(window) {
+    if (window < 1) throw std::invalid_argument("Aggregator: window must be >= 1");
+}
+
+std::optional<Message> Aggregator::apply(const Message& message) {
+    ++count_;
+    for (const auto& [name, value] : message.fields)
+        if (const double* v = std::get_if<double>(&value)) numeric_sums_[name] += *v;
+    last_ = message;
+    if (count_ < window_) return std::nullopt;
+
+    Message out = last_;
+    for (auto& [name, sum] : numeric_sums_)
+        out.fields[name] = sum / static_cast<double>(count_);
+    count_ = 0;
+    numeric_sums_.clear();
+    return out;
+}
+
+std::string Aggregator::describe() const {
+    std::ostringstream os;
+    os << "aggregate(" << window_ << ')';
+    return os.str();
+}
+
+Pipeline::Pipeline(std::vector<TransformationPtr> stages) : stages_(std::move(stages)) {
+    for (const TransformationPtr& s : stages_)
+        if (!s) throw std::invalid_argument("Pipeline: null stage");
+}
+
+std::optional<Message> Pipeline::apply(const Message& message) {
+    std::optional<Message> current = message;
+    for (const TransformationPtr& s : stages_) {
+        current = s->apply(*current);
+        if (!current) return std::nullopt;
+    }
+    return current;
+}
+
+std::string Pipeline::describe() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < stages_.size(); ++i)
+        os << (i ? " | " : "") << stages_[i]->describe();
+    return os.str();
+}
+
+}  // namespace lrgp::broker

@@ -1,0 +1,80 @@
+// In-flight message transformations (Section 1): field removal (the gold
+// vs. public trade-data scenario), format/scale changes for integration,
+// and aggregation of several messages into a more concise stream.
+// Transformations are the per-message work that the flow-node cost
+// F_{b,i} models.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/message.hpp"
+
+namespace lrgp::broker {
+
+/// A (possibly stateful) message transformation.  Returning nullopt drops
+/// the message (e.g. an aggregator absorbing its inputs).
+class Transformation {
+public:
+    virtual ~Transformation() = default;
+    [[nodiscard]] virtual std::optional<Message> apply(const Message& message) = 0;
+    [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using TransformationPtr = std::shared_ptr<Transformation>;
+
+/// Removes the named fields (e.g. strip gold-only fields before public
+/// delivery).  Stateless.
+class RemoveFields final : public Transformation {
+public:
+    explicit RemoveFields(std::vector<std::string> fields);
+    [[nodiscard]] std::optional<Message> apply(const Message& message) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::vector<std::string> fields_;
+};
+
+/// Multiplies a numeric field by a constant (unit/format conversion).
+/// Messages without the field pass through unchanged.  Stateless.
+class ScaleField final : public Transformation {
+public:
+    ScaleField(std::string field, double factor);
+    [[nodiscard]] std::optional<Message> apply(const Message& message) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::string field_;
+    double factor_;
+};
+
+/// Aggregates every `window` consecutive messages into one: numeric
+/// fields are averaged, other fields are taken from the last message.
+/// Stateful: emits only on every window-th input.
+class Aggregator final : public Transformation {
+public:
+    explicit Aggregator(int window);
+    [[nodiscard]] std::optional<Message> apply(const Message& message) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    int window_;
+    int count_ = 0;
+    std::map<std::string, double> numeric_sums_;
+    Message last_;
+};
+
+/// A chain of transformations applied in order; any stage may drop.
+class Pipeline final : public Transformation {
+public:
+    explicit Pipeline(std::vector<TransformationPtr> stages);
+    [[nodiscard]] std::optional<Message> apply(const Message& message) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::vector<TransformationPtr> stages_;
+};
+
+}  // namespace lrgp::broker

@@ -1,0 +1,433 @@
+#include "dist/dist_lrgp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrgp::dist {
+
+// ----------------------------------------------------------------- agents
+
+/// One per flow: runs Algorithm 1 (rate allocation) at the flow source.
+struct DistLrgp::SourceAgent {
+    DistLrgp* driver = nullptr;
+    model::FlowId flow;
+    bool active = true;
+
+    // Latest known populations for this flow's classes (full-size vector,
+    // only this flow's class entries are ever non-zero).
+    std::vector<int> populations;
+    // Latest/windowed prices per resource; full-size PriceVector rebuilt
+    // from these before each rate computation.
+    std::unordered_map<std::uint32_t, std::deque<double>> node_price_window;
+    std::unordered_map<std::uint32_t, std::deque<double>> link_price_window;
+
+    double latest_rate = 0.0;
+
+    // Sync bookkeeping: reports received per round.
+    std::unordered_map<int, std::size_t> reports_for_round;
+    std::size_t expected_reports = 0;
+
+    void recordPrice(std::unordered_map<std::uint32_t, std::deque<double>>& window,
+                     std::uint32_t key, double price) {
+        // Averaging over stale prices is an asynchronous-mode tolerance
+        // mechanism (Section 3.5); the synchronous protocol must use
+        // exactly the latest price to match the centralized iteration.
+        const std::size_t effective_window =
+            driver->options_.synchronous ? 1 : driver->options_.price_window;
+        auto& dq = window[key];
+        dq.push_back(price);
+        while (dq.size() > effective_window) dq.pop_front();
+    }
+
+    [[nodiscard]] core::PriceVector assemblePrices() const {
+        core::PriceVector prices = core::PriceVector::zeros(driver->spec_.nodeCount(),
+                                                            driver->spec_.linkCount());
+        for (const auto& [key, dq] : node_price_window) {
+            double sum = 0.0;
+            for (double p : dq) sum += p;
+            prices.node[key] = dq.empty() ? 0.0 : sum / static_cast<double>(dq.size());
+        }
+        for (const auto& [key, dq] : link_price_window) {
+            double sum = 0.0;
+            for (double p : dq) sum += p;
+            prices.link[key] = dq.empty() ? 0.0 : sum / static_cast<double>(dq.size());
+        }
+        return prices;
+    }
+
+    void computeAndSend(int round);
+    void onNodeReport(model::NodeId node, double price,
+                      const std::vector<std::pair<model::ClassId, int>>& pops, int round);
+    void onLinkReport(model::LinkId link, double price, int round);
+    void onTick();
+};
+
+/// One per node: runs Algorithm 2 (greedy consumer allocation + pricing).
+struct DistLrgp::NodeAgent {
+    DistLrgp* driver = nullptr;
+    model::NodeId node;
+    std::unique_ptr<core::NodePriceController> price_controller;
+
+    std::vector<double> rates;  // latest rate per flow (full-size)
+    std::vector<std::pair<model::ClassId, int>> latest_populations;
+
+    std::unordered_map<int, std::size_t> rates_for_round;
+
+    [[nodiscard]] std::size_t expectedFlows() const {
+        std::size_t n = 0;
+        for (model::FlowId i : driver->spec_.flowsAtNode(node))
+            if (driver->spec_.flowActive(i)) ++n;
+        return n;
+    }
+
+    void allocateAndReport(int round);
+    void onRate(model::FlowId flow, double rate, int round);
+    void onFlowRemoved(model::FlowId flow);
+    void onTick();
+};
+
+/// One per link: runs Algorithm 3 (gradient-projection link pricing).
+struct DistLrgp::LinkAgent {
+    DistLrgp* driver = nullptr;
+    model::LinkId link;
+    std::unique_ptr<core::LinkPriceController> price_controller;
+
+    std::vector<double> rates;
+    std::unordered_map<int, std::size_t> rates_for_round;
+
+    [[nodiscard]] std::size_t expectedFlows() const {
+        std::size_t n = 0;
+        for (model::FlowId i : driver->spec_.flowsOnLink(link))
+            if (driver->spec_.flowActive(i)) ++n;
+        return n;
+    }
+
+    void priceAndReport(int round);
+    void onRate(model::FlowId flow, double rate, int round);
+    void onTick();
+};
+
+// ---------------------------------------------------------- agent methods
+
+void DistLrgp::SourceAgent::computeAndSend(int round) {
+    if (!active) return;
+    const core::PriceVector prices = assemblePrices();
+    latest_rate = driver->rate_allocator_.computeRate(flow, populations, prices).rate;
+
+    const model::FlowSpec& f = driver->spec_.flow(flow);
+    for (const model::FlowNodeHop& hop : f.nodes) {
+        NodeAgent* target = driver->node_agents_[hop.node.index()].get();
+        const model::FlowId flow_copy = flow;
+        const double rate_copy = latest_rate;
+        driver->deliver([target, flow_copy, rate_copy, round] {
+            target->onRate(flow_copy, rate_copy, round);
+        });
+    }
+    for (const model::FlowLinkHop& hop : f.links) {
+        LinkAgent* target = driver->link_agents_[hop.link.index()].get();
+        const model::FlowId flow_copy = flow;
+        const double rate_copy = latest_rate;
+        driver->deliver([target, flow_copy, rate_copy, round] {
+            target->onRate(flow_copy, rate_copy, round);
+        });
+    }
+}
+
+void DistLrgp::SourceAgent::onNodeReport(
+    model::NodeId node, double price, const std::vector<std::pair<model::ClassId, int>>& pops,
+    int round) {
+    if (!active) return;
+    recordPrice(node_price_window, node.value, price);
+    for (const auto& [cls, n] : pops) populations[cls.index()] = n;
+    if (driver->options_.synchronous) {
+        if (++reports_for_round[round] == expected_reports) {
+            reports_for_round.erase(round);
+            computeAndSend(round + 1);
+        }
+    }
+}
+
+void DistLrgp::SourceAgent::onLinkReport(model::LinkId link, double price, int round) {
+    if (!active) return;
+    recordPrice(link_price_window, link.value, price);
+    if (driver->options_.synchronous) {
+        if (++reports_for_round[round] == expected_reports) {
+            reports_for_round.erase(round);
+            computeAndSend(round + 1);
+        }
+    }
+}
+
+void DistLrgp::SourceAgent::onTick() {
+    if (!active) return;
+    computeAndSend(/*round=*/-1);
+    driver->simulator_.schedule(driver->options_.agent_period, [this] { onTick(); });
+}
+
+void DistLrgp::NodeAgent::allocateAndReport(int round) {
+    const core::NodeAllocationResult result = driver->greedy_allocator_.allocate(node, rates);
+    latest_populations = result.populations;
+    const double capacity = driver->spec_.node(node).capacity;
+    const double price = price_controller->update(result.best_unmet_bc, result.used, capacity);
+
+    // Group this node's class populations by flow and report to sources.
+    for (model::FlowId i : driver->spec_.flowsAtNode(node)) {
+        if (!driver->spec_.flowActive(i)) continue;
+        std::vector<std::pair<model::ClassId, int>> pops;
+        for (const auto& [cls, n] : result.populations)
+            if (driver->spec_.consumerClass(cls).flow == i) pops.emplace_back(cls, n);
+        SourceAgent* target = driver->sources_[i.index()].get();
+        const model::NodeId node_copy = node;
+        driver->deliver([target, node_copy, price, pops = std::move(pops), round] {
+            target->onNodeReport(node_copy, price, pops, round);
+        });
+    }
+    if (driver->options_.synchronous && round > 0) driver->onRoundCompletedAtNode(round, *this);
+}
+
+void DistLrgp::NodeAgent::onRate(model::FlowId flow, double rate, int round) {
+    if (!driver->spec_.flowActive(flow)) return;
+    rates[flow.index()] = rate;
+    if (driver->options_.synchronous) {
+        if (++rates_for_round[round] == expectedFlows()) {
+            rates_for_round.erase(round);
+            allocateAndReport(round);
+        }
+    }
+}
+
+void DistLrgp::NodeAgent::onFlowRemoved(model::FlowId flow) { rates[flow.index()] = 0.0; }
+
+void DistLrgp::NodeAgent::onTick() {
+    if (expectedFlows() > 0) allocateAndReport(/*round=*/-1);
+    driver->simulator_.schedule(driver->options_.agent_period, [this] { onTick(); });
+}
+
+void DistLrgp::LinkAgent::priceAndReport(int round) {
+    double usage = 0.0;
+    for (model::FlowId i : driver->spec_.flowsOnLink(link)) {
+        if (!driver->spec_.flowActive(i)) continue;
+        usage += driver->spec_.linkCost(link, i) * rates[i.index()];
+    }
+    const double price = price_controller->update(usage, driver->spec_.link(link).capacity);
+    for (model::FlowId i : driver->spec_.flowsOnLink(link)) {
+        if (!driver->spec_.flowActive(i)) continue;
+        SourceAgent* target = driver->sources_[i.index()].get();
+        const model::LinkId link_copy = link;
+        driver->deliver(
+            [target, link_copy, price, round] { target->onLinkReport(link_copy, price, round); });
+    }
+}
+
+void DistLrgp::LinkAgent::onRate(model::FlowId flow, double rate, int round) {
+    if (!driver->spec_.flowActive(flow)) return;
+    rates[flow.index()] = rate;
+    if (driver->options_.synchronous) {
+        if (++rates_for_round[round] == expectedFlows()) {
+            rates_for_round.erase(round);
+            priceAndReport(round);
+        }
+    }
+}
+
+void DistLrgp::LinkAgent::onTick() {
+    if (expectedFlows() > 0) priceAndReport(/*round=*/-1);
+    driver->simulator_.schedule(driver->options_.agent_period, [this] { onTick(); });
+}
+
+// ------------------------------------------------------------------ driver
+
+DistLrgp::DistLrgp(model::ProblemSpec spec, DistOptions options)
+    : spec_(std::move(spec)),
+      options_(options),
+      latency_(options.latency_min, options.latency_max, options.seed),
+      rate_allocator_(spec_, options.rate_solve),
+      greedy_allocator_(spec_) {
+    if (options_.price_window == 0)
+        throw std::invalid_argument("DistLrgp: price_window must be >= 1");
+    // In synchronous mode the per-round utility must be read before any
+    // upstream report lands; a strictly positive latency guarantees it.
+    if (options_.synchronous && !(options_.latency_min > 0.0))
+        throw std::invalid_argument("DistLrgp: synchronous mode needs latency_min > 0");
+    if (options_.message_loss_probability < 0.0 || options_.message_loss_probability >= 1.0)
+        throw std::invalid_argument("DistLrgp: message loss probability must be in [0, 1)");
+    // Synchronous rounds count messages; losing one deadlocks the round.
+    if (options_.synchronous && options_.message_loss_probability > 0.0)
+        throw std::invalid_argument(
+            "DistLrgp: message loss is only meaningful in asynchronous mode");
+    loss_rng_state_ = 0x853C49E6748FEA9Bull ^ options_.seed;
+
+    for (const model::FlowSpec& f : spec_.flows()) {
+        auto src = std::make_unique<SourceAgent>();
+        src->driver = this;
+        src->flow = f.id;
+        src->active = f.active;
+        src->populations.assign(spec_.classCount(), 0);
+        src->expected_reports = f.nodes.size() + f.links.size();
+        sources_.push_back(std::move(src));
+    }
+    for (const model::NodeSpec& b : spec_.nodes()) {
+        auto agent = std::make_unique<NodeAgent>();
+        agent->driver = this;
+        agent->node = b.id;
+        agent->price_controller = std::make_unique<core::NodePriceController>(options_.gamma);
+        agent->rates.assign(spec_.flowCount(), 0.0);
+        for (const model::FlowSpec& f : spec_.flows())
+            agent->rates[f.id.index()] = f.rate_min;
+        node_agents_.push_back(std::move(agent));
+    }
+    for (const model::LinkSpec& l : spec_.links()) {
+        auto agent = std::make_unique<LinkAgent>();
+        agent->driver = this;
+        agent->link = l.id;
+        agent->price_controller =
+            std::make_unique<core::LinkPriceController>(options_.link_gamma);
+        agent->rates.assign(spec_.flowCount(), 0.0);
+        for (const model::FlowSpec& f : spec_.flows())
+            agent->rates[f.id.index()] = f.rate_min;
+        link_agents_.push_back(std::move(agent));
+    }
+
+    if (options_.synchronous) {
+        startSyncRound();
+    } else {
+        scheduleAsyncTimers();
+        scheduleSampler();
+    }
+}
+
+DistLrgp::~DistLrgp() = default;
+
+void DistLrgp::deliver(std::function<void()> handler) {
+    ++messages_sent_;
+    if (options_.message_loss_probability > 0.0) {
+        // xorshift64: deterministic loss pattern per seed.
+        loss_rng_state_ ^= loss_rng_state_ << 13;
+        loss_rng_state_ ^= loss_rng_state_ >> 7;
+        loss_rng_state_ ^= loss_rng_state_ << 17;
+        const double unit = static_cast<double>(loss_rng_state_ >> 11) * 0x1.0p-53;
+        if (unit < options_.message_loss_probability) {
+            ++messages_lost_;
+            return;  // dropped in transit
+        }
+    }
+    simulator_.schedule(latency_.sample(), std::move(handler));
+}
+
+void DistLrgp::startSyncRound() {
+    for (auto& src : sources_)
+        if (src->active) src->computeAndSend(1);
+}
+
+void DistLrgp::scheduleAsyncTimers() {
+    // Stagger agent timers so they do not act in lockstep.
+    const std::size_t agent_count =
+        sources_.size() + node_agents_.size() + link_agents_.size();
+    std::size_t k = 0;
+    auto phase = [&] {
+        return options_.agent_period * static_cast<double>(++k) /
+               static_cast<double>(agent_count + 1);
+    };
+    for (auto& src : sources_) {
+        SourceAgent* agent = src.get();
+        simulator_.schedule(phase(), [agent] { agent->onTick(); });
+    }
+    for (auto& na : node_agents_) {
+        NodeAgent* agent = na.get();
+        simulator_.schedule(phase(), [agent] { agent->onTick(); });
+    }
+    for (auto& la : link_agents_) {
+        LinkAgent* agent = la.get();
+        simulator_.schedule(phase(), [agent] { agent->onTick(); });
+    }
+}
+
+void DistLrgp::scheduleSampler() {
+    simulator_.schedule(options_.sample_period, [this] {
+        trace_.append(currentUtility());
+        scheduleSampler();
+    });
+}
+
+void DistLrgp::onRoundCompletedAtNode(int round, const NodeAgent& agent) {
+    RoundState& state = round_states_[round];
+    if (state.rates.empty()) {
+        state.rates.assign(spec_.flowCount(), 0.0);
+        state.populations.assign(spec_.classCount(), 0);
+    }
+    // Contribute the rates this node used (identical values arrive from
+    // every node a flow reaches) and the populations it just allocated.
+    for (model::FlowId i : spec_.flowsAtNode(agent.node))
+        if (spec_.flowActive(i)) state.rates[i.index()] = agent.rates[i.index()];
+    for (const auto& [cls, n] : agent.latest_populations)
+        state.populations[cls.index()] = n;
+
+    std::size_t participating = 0;
+    for (const auto& node_agent : node_agents_)
+        if (node_agent->expectedFlows() > 0) ++participating;
+    if (++state.completions == participating) {
+        model::Allocation allocation{std::move(state.rates), std::move(state.populations)};
+        round_states_.erase(round);
+        completed_rounds_ = std::max(completed_rounds_, round);
+        trace_.append(model::total_utility(spec_, allocation));
+    }
+}
+
+void DistLrgp::runRounds(int rounds) {
+    if (!options_.synchronous)
+        throw std::logic_error("DistLrgp::runRounds: only available in synchronous mode");
+    if (rounds <= 0) throw std::invalid_argument("DistLrgp::runRounds: rounds must be > 0");
+    target_rounds_ = completed_rounds_ + rounds;
+    // Process events until the target round completes (each round needs a
+    // bounded number of events, so runOne cannot spin forever unless the
+    // protocol deadlocks; the cap turns a deadlock into an exception).
+    std::size_t guard = 0;
+    const std::size_t max_events =
+        static_cast<std::size_t>(target_rounds_ + 2) *
+        (spec_.flowCount() + 2) * (spec_.nodeCount() + spec_.linkCount() + 2) * 8;
+    while (completed_rounds_ < target_rounds_) {
+        if (!simulator_.runOne())
+            throw std::logic_error("DistLrgp::runRounds: protocol deadlocked (no events)");
+        if (++guard > max_events)
+            throw std::logic_error("DistLrgp::runRounds: event budget exceeded");
+    }
+}
+
+void DistLrgp::runFor(sim::SimTime seconds) {
+    if (seconds < 0.0) throw std::invalid_argument("DistLrgp::runFor: negative duration");
+    simulator_.runUntil(simulator_.now() + seconds);
+}
+
+void DistLrgp::removeFlowAt(model::FlowId flow, sim::SimTime when) {
+    if (options_.synchronous)
+        throw std::logic_error(
+            "DistLrgp::removeFlowAt: only supported in asynchronous mode; use the "
+            "centralized LrgpOptimizer for synchronous recovery experiments");
+    simulator_.scheduleAt(when, [this, flow] {
+        if (!spec_.flowActive(flow)) return;
+        spec_.setFlowActive(flow, false);
+        sources_[flow.index()]->active = false;
+        sources_[flow.index()]->latest_rate = 0.0;
+        const model::FlowSpec& f = spec_.flow(flow);
+        for (const model::FlowNodeHop& hop : f.nodes)
+            node_agents_[hop.node.index()]->onFlowRemoved(flow);
+    });
+}
+
+model::Allocation DistLrgp::snapshot() const {
+    model::Allocation alloc;
+    alloc.rates.assign(spec_.flowCount(), 0.0);
+    alloc.populations.assign(spec_.classCount(), 0);
+    for (const auto& src : sources_)
+        alloc.rates[src->flow.index()] = src->active ? src->latest_rate : 0.0;
+    for (const auto& agent : node_agents_)
+        for (const auto& [cls, n] : agent->latest_populations)
+            alloc.populations[cls.index()] = spec_.flowActive(spec_.consumerClass(cls).flow)
+                                                 ? n
+                                                 : 0;
+    return alloc;
+}
+
+double DistLrgp::currentUtility() const { return model::total_utility(spec_, snapshot()); }
+
+}  // namespace lrgp::dist

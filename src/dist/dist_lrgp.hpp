@@ -1,0 +1,130 @@
+// LRGP as a message-passing distributed protocol (Section 3, Algorithms
+// 1-3), running on the discrete-event simulator.
+//
+// One agent runs per flow source, per consumer-hosting node, and per
+// link.  Messages carry rates downstream and (price, population) reports
+// upstream, each with a network latency drawn from a LatencyModel.
+//
+// Two execution modes:
+//  * synchronous (the paper's formulation): agents act once per round,
+//    after hearing from all their peers for that round.  The resulting
+//    per-round utility trace is bit-identical to the centralized
+//    LrgpOptimizer — the protocol only distributes the arithmetic.
+//  * asynchronous (Section 3.5): every agent acts on a local timer using
+//    the freshest values it has, and sources average the last few prices
+//    from each resource to tolerate missing or stale reports.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lrgp/greedy_allocator.hpp"
+#include "lrgp/optimizer.hpp"
+#include "lrgp/price_controllers.hpp"
+#include "lrgp/rate_allocator.hpp"
+#include "metrics/time_series.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+#include "sim/simulator.hpp"
+
+namespace lrgp::dist {
+
+struct DistOptions {
+    core::GammaPolicy gamma = core::AdaptiveGamma{};
+    double link_gamma = 1e-5;
+    utility::RateSolveOptions rate_solve;
+
+    bool synchronous = true;
+    sim::SimTime latency_min = 0.005;   ///< seconds, per message
+    sim::SimTime latency_max = 0.015;
+    std::uint32_t seed = 1;
+
+    // Asynchronous mode only:
+    sim::SimTime agent_period = 0.05;   ///< local timer period per agent
+    std::size_t price_window = 3;       ///< prices averaged per resource
+    sim::SimTime sample_period = 0.05;  ///< utility sampling period
+    /// Probability that any single protocol message is lost in transit.
+    /// The price/rate averaging of Section 3.5 is exactly what tolerates
+    /// such loss; only valid in asynchronous mode (sync counts messages).
+    double message_loss_probability = 0.0;
+};
+
+/// Drives the distributed protocol and records the utility trace.
+class DistLrgp {
+public:
+    DistLrgp(model::ProblemSpec spec, DistOptions options = {});
+    ~DistLrgp();
+
+    DistLrgp(const DistLrgp&) = delete;
+    DistLrgp& operator=(const DistLrgp&) = delete;
+
+    /// Synchronous mode: runs until `rounds` rounds have completed at
+    /// every node.  Throws std::logic_error in asynchronous mode.
+    void runRounds(int rounds);
+
+    /// Runs the simulation clock forward `seconds` (either mode).
+    void runFor(sim::SimTime seconds);
+
+    /// Schedules a flow source's departure at absolute sim time `when`.
+    void removeFlowAt(model::FlowId flow, sim::SimTime when);
+
+    /// Best-known global allocation (latest rates and populations).
+    [[nodiscard]] model::Allocation snapshot() const;
+    [[nodiscard]] double currentUtility() const;
+
+    /// Sync mode: utility after each completed round (matches the
+    /// centralized optimizer's trace).  Async mode: utility sampled every
+    /// sample_period seconds.
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
+
+    [[nodiscard]] int completedRounds() const noexcept { return completed_rounds_; }
+    [[nodiscard]] sim::SimTime now() const noexcept { return simulator_.now(); }
+    [[nodiscard]] std::size_t messagesSent() const noexcept { return messages_sent_; }
+    [[nodiscard]] std::size_t messagesLost() const noexcept { return messages_lost_; }
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
+
+private:
+    struct SourceAgent;
+    struct NodeAgent;
+    struct LinkAgent;
+
+    void deliver(std::function<void()> handler);
+    void onRoundCompletedAtNode(int round, const NodeAgent& agent);
+    void startSyncRound();
+    void scheduleAsyncTimers();
+    void scheduleSampler();
+
+    model::ProblemSpec spec_;
+    DistOptions options_;
+    sim::Simulator simulator_;
+    sim::LatencyModel latency_;
+    core::RateAllocator rate_allocator_;
+    core::GreedyConsumerAllocator greedy_allocator_;
+
+    std::vector<std::unique_ptr<SourceAgent>> sources_;  // per flow
+    std::vector<std::unique_ptr<NodeAgent>> node_agents_;  // per node
+    std::vector<std::unique_ptr<LinkAgent>> link_agents_;  // per link
+
+    metrics::TimeSeries trace_;
+    // Synchronous mode: the per-round utility must be computed from the
+    // state every node actually used in that round.  Sources on fast
+    // subgraphs may already have advanced to round t+1 while slower
+    // subgraphs are still finishing round t, so each completing node
+    // contributes its round-t rates and populations here.
+    struct RoundState {
+        std::vector<double> rates;
+        std::vector<int> populations;
+        std::size_t completions = 0;
+    };
+    std::unordered_map<int, RoundState> round_states_;
+    int completed_rounds_ = 0;
+    int target_rounds_ = 0;
+    std::size_t messages_sent_ = 0;
+    std::size_t messages_lost_ = 0;
+    std::uint64_t loss_rng_state_ = 0;
+};
+
+}  // namespace lrgp::dist

@@ -1,0 +1,47 @@
+// JSON persistence for problem specifications and allocations, so
+// workloads can be versioned, shared, and fed to the CLI without
+// recompiling.  The schema mirrors the builder API:
+//
+// {
+//   "nodes":  [{"name": "S0", "capacity": 9e5}, ...],
+//   "links":  [{"name": "l0", "from": "P", "to": "S0", "capacity": 100}, ...],
+//   "flows":  [{"name": "f0", "source": "P", "rate_min": 10, "rate_max": 1000,
+//               "active": true,
+//               "nodes": [{"node": "S0", "cost": 3}, ...],
+//               "links": [{"link": "l0", "cost": 1}, ...]}, ...],
+//   "classes":[{"name": "c0", "flow": "f0", "node": "S0", "max_consumers": 400,
+//               "consumer_cost": 19,
+//               "utility": {"type": "log", "weight": 20}}, ...]
+// }
+//
+// Utility schema: {"type": "log", "weight": w} |
+//                 {"type": "power", "weight": w, "exponent": k} |
+//                 {"type": "scaled", "factor": f, "base": {...}}
+#pragma once
+
+#include <string>
+
+#include "io/json.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::io {
+
+/// Serializes a problem (entity names are the cross-reference keys).
+[[nodiscard]] JsonValue problem_to_json(const model::ProblemSpec& spec);
+[[nodiscard]] std::string problem_to_json_string(const model::ProblemSpec& spec,
+                                                 bool pretty = true);
+
+/// Rebuilds a problem through ProblemBuilder (so every builder invariant
+/// is revalidated).  Throws std::runtime_error on schema violations and
+/// std::invalid_argument on semantic ones (unknown names, bad bounds).
+[[nodiscard]] model::ProblemSpec problem_from_json(const JsonValue& json);
+[[nodiscard]] model::ProblemSpec problem_from_json_string(const std::string& text);
+
+/// Allocation schema: {"rates": {"f0": 10.0, ...}, "populations": {"c0": 400, ...}}.
+[[nodiscard]] JsonValue allocation_to_json(const model::ProblemSpec& spec,
+                                           const model::Allocation& alloc);
+[[nodiscard]] model::Allocation allocation_from_json(const model::ProblemSpec& spec,
+                                                     const JsonValue& json);
+
+}  // namespace lrgp::io

@@ -1,0 +1,42 @@
+#include "lrgp/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrgp::core {
+
+ConvergenceDetector::ConvergenceDetector(ConvergenceOptions options) : options_(options) {
+    if (options_.window < 2)
+        throw std::invalid_argument("ConvergenceDetector: window must be >= 2");
+    if (!(options_.relative_amplitude > 0.0))
+        throw std::invalid_argument("ConvergenceDetector: threshold must be positive");
+}
+
+bool ConvergenceDetector::addSample(double utility) {
+    ++samples_seen_;
+    window_.push_back(utility);
+    if (window_.size() > options_.window) window_.pop_front();
+
+    if (!converged_ && window_.size() == options_.window) {
+        const auto [lo, hi] = std::minmax_element(window_.begin(), window_.end());
+        double mean = 0.0;
+        for (double s : window_) mean += s;
+        mean /= static_cast<double>(window_.size());
+        const double amplitude = *hi - *lo;
+        if (mean != 0.0 && amplitude / std::abs(mean) < options_.relative_amplitude) {
+            converged_ = true;
+            converged_at_ = samples_seen_;
+        }
+    }
+    return converged_;
+}
+
+void ConvergenceDetector::reset() {
+    window_.clear();
+    samples_seen_ = 0;
+    converged_ = false;
+    converged_at_ = 0;
+}
+
+}  // namespace lrgp::core

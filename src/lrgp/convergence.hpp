@@ -1,0 +1,42 @@
+// Convergence detection per Section 4.3: "convergence has occurred when
+// the amplitude of the oscillations in utility becomes less than 0.1% of
+// the value of the utility."  We measure the peak-to-peak amplitude of a
+// trailing window of utility samples relative to the window mean.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace lrgp::core {
+
+struct ConvergenceOptions {
+    std::size_t window = 10;            ///< trailing samples examined
+    double relative_amplitude = 1e-3;   ///< 0.1% of the utility value
+};
+
+/// Feed one utility sample per iteration; `converged()` becomes true when
+/// the trailing window's relative amplitude drops below the threshold.
+class ConvergenceDetector {
+public:
+    explicit ConvergenceDetector(ConvergenceOptions options = {});
+
+    /// Records a sample; returns converged().
+    bool addSample(double utility);
+
+    [[nodiscard]] bool converged() const noexcept { return converged_; }
+
+    /// Iteration (1-based sample count) at which convergence was first
+    /// observed; 0 if not yet converged.
+    [[nodiscard]] std::size_t convergedAt() const noexcept { return converged_at_; }
+
+    void reset();
+
+private:
+    ConvergenceOptions options_;
+    std::deque<double> window_;
+    std::size_t samples_seen_ = 0;
+    bool converged_ = false;
+    std::size_t converged_at_ = 0;
+};
+
+}  // namespace lrgp::core

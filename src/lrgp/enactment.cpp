@@ -1,0 +1,47 @@
+#include "lrgp/enactment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lrgp::core {
+
+EnactmentController::EnactmentController(EnactmentOptions options, EnactFn enact)
+    : options_(options), enact_(std::move(enact)) {
+    if (!enact_) throw std::invalid_argument("EnactmentController: null enact callback");
+    if (options_.rate_deadband < 0.0 || options_.population_deadband < 0 ||
+        options_.min_interval < 0.0)
+        throw std::invalid_argument("EnactmentController: negative option");
+}
+
+bool EnactmentController::significantlyDifferent(const model::Allocation& allocation) const {
+    if (!last_) return true;
+    const model::Allocation& prev = *last_;
+    if (prev.rates.size() != allocation.rates.size() ||
+        prev.populations.size() != allocation.populations.size())
+        return true;  // different problem shape: always re-enact
+    for (std::size_t i = 0; i < allocation.rates.size(); ++i) {
+        const double old_rate = prev.rates[i];
+        const double base = std::max(std::abs(old_rate), 1e-12);
+        if (std::abs(allocation.rates[i] - old_rate) / base > options_.rate_deadband)
+            return true;
+    }
+    for (std::size_t j = 0; j < allocation.populations.size(); ++j) {
+        if (std::abs(allocation.populations[j] - prev.populations[j]) >
+            options_.population_deadband)
+            return true;
+    }
+    return false;
+}
+
+bool EnactmentController::offer(double now, const model::Allocation& allocation) {
+    const bool periodic = last_ && (now - last_time_ >= options_.min_interval);
+    if (last_ && !periodic && !significantlyDifferent(allocation)) return false;
+    enact_(allocation);
+    last_ = allocation;
+    last_time_ = now;
+    ++enactments_;
+    return true;
+}
+
+}  // namespace lrgp::core

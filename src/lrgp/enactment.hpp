@@ -1,0 +1,59 @@
+// Enactment policy (Sections 2.1 and 3): LRGP iterates continuously, but
+// "making very frequent admission control decisions may be disruptive to
+// consumers using the system, so the decisions may not be enacted until
+// their values are sufficiently different from the previous enacted
+// values, or may be enacted periodically (say once every few minutes)".
+//
+// EnactmentController implements both triggers with hysteresis: a new
+// allocation is pushed when (a) at least `min_interval` has elapsed since
+// the last enactment, or (b) the allocation differs enough — any flow's
+// rate moved by more than `rate_deadband` (relative) or any class's
+// population by more than `population_deadband` consumers.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::core {
+
+struct EnactmentOptions {
+    double rate_deadband = 0.05;     ///< relative rate change that forces enactment
+    int population_deadband = 10;    ///< absolute per-class admission change
+    double min_interval = 60.0;      ///< periodic enactment (seconds of system time)
+};
+
+/// Decides when optimizer outputs become live system configuration.
+/// Feed it (time, allocation) pairs; it invokes the enact callback (e.g.
+/// BrokerOverlay::enact) only when the policy fires.
+class EnactmentController {
+public:
+    using EnactFn = std::function<void(const model::Allocation&)>;
+
+    /// `enact` must not be null; options are validated.
+    EnactmentController(EnactmentOptions options, EnactFn enact);
+
+    /// Offers a fresh allocation at time `now` (seconds, monotone).
+    /// Returns true if it was enacted.  The first offer always enacts.
+    bool offer(double now, const model::Allocation& allocation);
+
+    [[nodiscard]] std::size_t enactments() const noexcept { return enactments_; }
+    [[nodiscard]] const std::optional<model::Allocation>& lastEnacted() const noexcept {
+        return last_;
+    }
+
+    /// Whether `allocation` differs enough from the last enacted one to
+    /// trigger on its own (ignoring the periodic timer).
+    [[nodiscard]] bool significantlyDifferent(const model::Allocation& allocation) const;
+
+private:
+    EnactmentOptions options_;
+    EnactFn enact_;
+    std::optional<model::Allocation> last_;
+    double last_time_ = 0.0;
+    std::size_t enactments_ = 0;
+};
+
+}  // namespace lrgp::core

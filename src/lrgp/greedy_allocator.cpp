@@ -1,0 +1,71 @@
+#include "lrgp/greedy_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lrgp::core {
+
+std::vector<BenefitCost> GreedyConsumerAllocator::benefitCosts(
+    model::NodeId node, const std::vector<double>& rates) const {
+    std::vector<BenefitCost> out;
+    for (model::ClassId j : spec_->classesAtNode(node)) {
+        const model::ClassSpec& c = spec_->consumerClass(j);
+        if (!spec_->flowActive(c.flow) || c.max_consumers == 0) continue;
+        const double rate = rates.at(c.flow.index());
+        const double unit_cost = c.consumer_cost * rate;
+        out.push_back(BenefitCost{j, c.utility->value(rate) / unit_cost, unit_cost});
+    }
+    std::sort(out.begin(), out.end(), [](const BenefitCost& a, const BenefitCost& b) {
+        if (a.ratio != b.ratio) return a.ratio > b.ratio;
+        return a.cls < b.cls;
+    });
+    return out;
+}
+
+NodeAllocationResult GreedyConsumerAllocator::allocate(model::NodeId node,
+                                                       const std::vector<double>& rates,
+                                                       bool batched) const {
+    NodeAllocationResult result;
+
+    // Resource consumed by the flows themselves (F_{b,i} * r_i terms);
+    // consumers compete for what remains.
+    double base_usage = 0.0;
+    for (model::FlowId i : spec_->flowsAtNode(node)) {
+        if (!spec_->flowActive(i)) continue;
+        base_usage += spec_->flowNodeCost(node, i) * rates.at(i.index());
+    }
+    const double capacity = spec_->node(node).capacity;
+    double remaining = capacity - base_usage;
+
+    // Start every class at zero; admitted counts fill in below.
+    for (model::ClassId j : spec_->classesAtNode(node)) result.populations.emplace_back(j, 0);
+
+    const std::vector<BenefitCost> ranked = benefitCosts(node, rates);
+    for (const BenefitCost& bc : ranked) {
+        const model::ClassSpec& c = spec_->consumerClass(bc.cls);
+        int admitted = 0;
+        if (remaining > 0.0) {
+            if (batched) {
+                // Clamp in double before narrowing: the quotient can exceed
+                // int range when unit costs are tiny.
+                admitted = static_cast<int>(std::min(std::floor(remaining / bc.unit_cost),
+                                                     static_cast<double>(c.max_consumers)));
+            } else {
+                while (admitted < c.max_consumers &&
+                       remaining - (admitted + 1) * bc.unit_cost >= 0.0)
+                    ++admitted;
+            }
+        }
+        remaining -= admitted * bc.unit_cost;
+        for (auto& [cls, n] : result.populations)
+            if (cls == bc.cls) n = admitted;
+        // BC(b,t): first (highest) ratio whose class is not fully admitted.
+        if (admitted < c.max_consumers && result.best_unmet_bc == 0.0)
+            result.best_unmet_bc = bc.ratio;
+    }
+
+    result.used = capacity - remaining;
+    return result;
+}
+
+}  // namespace lrgp::core

@@ -1,0 +1,59 @@
+// LRGP greedy consumer allocation (Section 3.2) and the node
+// benefit-cost ratio BC(b,t) (Eq. 11) it yields for node pricing.
+//
+// With rates fixed, each consumer-hosting node admits consumers in
+// decreasing order of benefit-cost ratio BC_j = U_j(r_i) / (G_{b,j} r_i)
+// (Eq. 10): the utility gained per unit of node resource spent when n_j
+// grows by one.  Admission stops at the node capacity.  If the flow-node
+// costs F alone exceed the capacity, no consumer is admitted.
+#pragma once
+
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace lrgp::core {
+
+/// A class's benefit-cost ratio at the current rates.
+struct BenefitCost {
+    model::ClassId cls;
+    double ratio = 0.0;      ///< BC_j (Eq. 10)
+    double unit_cost = 0.0;  ///< G_{b,j} * r_i, resource per admitted consumer
+};
+
+/// Result of one node's consumer allocation.
+struct NodeAllocationResult {
+    /// (class, n_j) for every class attached at the node, admitted or not.
+    std::vector<std::pair<model::ClassId, int>> populations;
+    /// used_b(t): node resource consumed after allocation (F terms + admitted consumers).
+    double used = 0.0;
+    /// BC(b,t): the best benefit-cost ratio among classes still below
+    /// n^max (Eq. 11); 0 when every class is fully admitted.
+    double best_unmet_bc = 0.0;
+};
+
+/// Stateless greedy allocator; holds a reference to the problem.
+class GreedyConsumerAllocator {
+public:
+    explicit GreedyConsumerAllocator(const model::ProblemSpec& spec) : spec_(&spec) {}
+
+    /// Benefit-cost ratios of the allocatable classes at `node`, sorted
+    /// descending (ties broken by class id for determinism).  Classes of
+    /// inactive flows and classes with n^max = 0 are omitted.
+    [[nodiscard]] std::vector<BenefitCost> benefitCosts(model::NodeId node,
+                                                        const std::vector<double>& rates) const;
+
+    /// Runs the greedy allocation at `node` for the given flow rates.
+    /// `batched` admits whole blocks floor(remaining/unit_cost) at once;
+    /// the unbatched variant admits one consumer at a time (identical
+    /// result; kept for the ablation micro-benchmark and as an oracle in
+    /// tests).
+    [[nodiscard]] NodeAllocationResult allocate(model::NodeId node,
+                                                const std::vector<double>& rates,
+                                                bool batched = true) const;
+
+private:
+    const model::ProblemSpec* spec_;
+};
+
+}  // namespace lrgp::core

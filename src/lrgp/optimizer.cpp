@@ -1,0 +1,134 @@
+#include "lrgp/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrgp::core {
+
+LrgpOptimizer::LrgpOptimizer(model::ProblemSpec spec, LrgpOptions options)
+    : spec_(std::move(spec)),
+      options_(options),
+      rate_allocator_(spec_, options.rate_solve),
+      greedy_allocator_(spec_),
+      allocation_(model::Allocation::minimal(spec_)),
+      prices_(PriceVector::zeros(spec_.nodeCount(), spec_.linkCount())),
+      detector_(options.convergence) {
+    node_prices_.reserve(spec_.nodeCount());
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        node_prices_.emplace_back(options_.gamma, options_.initial_node_price,
+                                  options_.node_price_rule);
+    link_prices_.reserve(spec_.linkCount());
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        link_prices_.emplace_back(options_.link_gamma, options_.initial_link_price);
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        prices_.node[b] = options_.initial_node_price;
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        prices_.link[l] = options_.initial_link_price;
+}
+
+const IterationRecord& LrgpOptimizer::step() {
+    // 1. Rate allocation at each active flow source (Algorithm 1): uses
+    //    the previous iteration's populations and prices.
+    for (const model::FlowSpec& f : spec_.flows()) {
+        if (!f.active) continue;
+        allocation_.rates[f.id.index()] =
+            rate_allocator_.computeRate(f.id, allocation_.populations, prices_).rate;
+    }
+
+    // 2. Greedy consumer allocation at each node (Algorithm 2), and
+    // 3. node price update (Eq. 12).
+    for (const model::NodeSpec& b : spec_.nodes()) {
+        const NodeAllocationResult result = greedy_allocator_.allocate(b.id, allocation_.rates);
+        for (const auto& [cls, n] : result.populations) allocation_.populations[cls.index()] = n;
+        prices_.node[b.id.index()] =
+            node_prices_[b.id.index()].update(result.best_unmet_bc, result.used, b.capacity);
+    }
+
+    // 4. Link price update (Eq. 13) with the fresh rates.
+    for (const model::LinkSpec& l : spec_.links()) {
+        const double usage = model::link_usage(spec_, allocation_, l.id);
+        prices_.link[l.id.index()] = link_prices_[l.id.index()].update(usage, l.capacity);
+    }
+
+    ++iteration_;
+    last_record_.iteration = iteration_;
+    last_record_.utility = model::total_utility(spec_, allocation_);
+    last_record_.allocation = allocation_;
+    last_record_.prices = prices_;
+    trace_.append(last_record_.utility);
+    detector_.addSample(last_record_.utility);
+    return last_record_;
+}
+
+const IterationRecord& LrgpOptimizer::run(int iterations) {
+    if (iterations <= 0) throw std::invalid_argument("LrgpOptimizer::run: iterations must be > 0");
+    for (int i = 0; i < iterations; ++i) step();
+    return last_record_;
+}
+
+std::optional<int> LrgpOptimizer::runUntilConverged(int max_iterations) {
+    if (max_iterations <= 0)
+        throw std::invalid_argument("LrgpOptimizer::runUntilConverged: bad max_iterations");
+    for (int i = 0; i < max_iterations; ++i) {
+        step();
+        if (detector_.converged()) return static_cast<int>(detector_.convergedAt());
+    }
+    return std::nullopt;
+}
+
+void LrgpOptimizer::removeFlow(model::FlowId flow) {
+    if (!spec_.flowActive(flow)) throw std::logic_error("removeFlow: flow already inactive");
+    spec_.setFlowActive(flow, false);
+    allocation_.rates[flow.index()] = 0.0;
+    for (model::ClassId j : spec_.classesOfFlow(flow)) allocation_.populations[j.index()] = 0;
+    // Convergence restarts: the utility level shifts discontinuously.
+    detector_.reset();
+}
+
+void LrgpOptimizer::restoreFlow(model::FlowId flow) {
+    if (spec_.flowActive(flow)) throw std::logic_error("restoreFlow: flow already active");
+    spec_.setFlowActive(flow, true);
+    allocation_.rates[flow.index()] = spec_.flow(flow).rate_min;
+    detector_.reset();
+}
+
+void LrgpOptimizer::setNodeCapacity(model::NodeId node, double capacity) {
+    spec_.setNodeCapacity(node, capacity);
+    detector_.reset();
+}
+
+void LrgpOptimizer::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
+    spec_.setClassMaxConsumers(cls, max_consumers);
+    // A shrunk ceiling must evict immediately so the allocation stays
+    // within bounds even before the next greedy pass.
+    auto& n = allocation_.populations.at(cls.index());
+    n = std::min(n, max_consumers);
+    detector_.reset();
+}
+
+void LrgpOptimizer::warmStart(const PriceVector& prices,
+                              const std::vector<int>* populations) {
+    if (prices.node.size() != spec_.nodeCount() || prices.link.size() != spec_.linkCount())
+        throw std::invalid_argument("warmStart: price vector sized for another problem");
+    prices_ = prices;
+    for (std::size_t b = 0; b < node_prices_.size(); ++b)
+        node_prices_[b].reset(prices.node[b]);
+    for (std::size_t l = 0; l < link_prices_.size(); ++l)
+        link_prices_[l].reset(prices.link[l]);
+    if (populations != nullptr) {
+        if (populations->size() != spec_.classCount())
+            throw std::invalid_argument("warmStart: populations sized for another problem");
+        for (const model::ClassSpec& c : spec_.classes())
+            allocation_.populations[c.id.index()] =
+                std::min((*populations)[c.id.index()], c.max_consumers);
+    }
+    detector_.reset();
+}
+
+double LrgpOptimizer::currentUtility() const { return model::total_utility(spec_, allocation_); }
+
+double LrgpOptimizer::nodeGamma(model::NodeId node) const {
+    return node_prices_.at(node.index()).currentGamma();
+}
+
+}  // namespace lrgp::core

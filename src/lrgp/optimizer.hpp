@@ -1,0 +1,117 @@
+// The synchronous LRGP iteration driver (Section 3).
+//
+// One iteration performs, in order:
+//   1. rate allocation at every active flow source (Algorithm 1), using
+//      the populations and prices published by the previous iteration;
+//   2. greedy consumer allocation at every consumer-hosting node
+//      (Algorithm 2, steps 1-2) with the fresh rates;
+//   3. node price update (Algorithm 2, step 3 / Eq. 12);
+//   4. link price update (Algorithm 3 / Eq. 13).
+// The per-iteration utility trace drives the convergence criterion and
+// the paper's figures.  Dynamic workload changes (a flow source leaving,
+// Figure 3) are supported between iterations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lrgp/convergence.hpp"
+#include "lrgp/greedy_allocator.hpp"
+#include "lrgp/price_controllers.hpp"
+#include "lrgp/prices.hpp"
+#include "lrgp/rate_allocator.hpp"
+#include "metrics/time_series.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::core {
+
+struct LrgpOptions {
+    GammaPolicy gamma = AdaptiveGamma{};        ///< node price stepsize policy
+    NodePriceRule node_price_rule = NodePriceRule::kBenefitCost;  ///< Eq. 12 vs ablation
+    double link_gamma = 1e-5;                   ///< Eq. 13 stepsize
+    utility::RateSolveOptions rate_solve;       ///< closed-form / numeric control
+    double initial_node_price = 0.0;
+    double initial_link_price = 0.0;
+    ConvergenceOptions convergence;
+};
+
+/// A snapshot of the optimizer state after one iteration.
+struct IterationRecord {
+    int iteration = 0;              ///< 1-based iteration count
+    double utility = 0.0;           ///< Eq. 1 evaluated on the new allocation
+    model::Allocation allocation;   ///< rates and populations after the iteration
+    PriceVector prices;             ///< prices after the iteration
+};
+
+/// Drives LRGP on a ProblemSpec.  Owns a copy of the problem so dynamic
+/// changes (removeFlow, setNodeCapacity) stay local to this optimizer.
+class LrgpOptimizer {
+public:
+    explicit LrgpOptimizer(model::ProblemSpec spec, LrgpOptions options = {});
+
+    // Non-copyable/movable: the allocators hold pointers into spec_.
+    LrgpOptimizer(const LrgpOptimizer&) = delete;
+    LrgpOptimizer& operator=(const LrgpOptimizer&) = delete;
+
+    /// Runs one LRGP iteration and returns its record.
+    const IterationRecord& step();
+
+    /// Runs exactly `iterations` iterations; returns the final record.
+    const IterationRecord& run(int iterations);
+
+    /// Runs until the convergence criterion fires or `max_iterations` is
+    /// reached.  Returns the 1-based iteration of convergence, or nullopt.
+    std::optional<int> runUntilConverged(int max_iterations);
+
+    // -- dynamic workload changes (applied before the next iteration) ----
+
+    /// Models the flow's source leaving the system: the flow stops
+    /// consuming resources and its classes are evicted.
+    void removeFlow(model::FlowId flow);
+
+    /// Brings a removed flow back (resumes at r_min, zero consumers).
+    void restoreFlow(model::FlowId flow);
+
+    void setNodeCapacity(model::NodeId node, double capacity);
+
+    /// Consumers arriving at / leaving a class (changes n^max).  Takes
+    /// effect on the next iteration; the convergence detector restarts.
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers);
+
+    /// Warm start: seeds prices (and optionally populations) from a
+    /// previous run so re-optimization after a small workload change
+    /// starts near the old equilibrium instead of from scratch.  Sizes
+    /// must match this problem; throws std::invalid_argument otherwise.
+    void warmStart(const PriceVector& prices,
+                   const std::vector<int>* populations = nullptr);
+
+    // -- observers --------------------------------------------------------
+
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
+    [[nodiscard]] const model::Allocation& allocation() const noexcept { return allocation_; }
+    [[nodiscard]] const PriceVector& prices() const noexcept { return prices_; }
+    [[nodiscard]] double currentUtility() const;
+    [[nodiscard]] int iterationsRun() const noexcept { return iteration_; }
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
+    [[nodiscard]] const ConvergenceDetector& convergence() const noexcept { return detector_; }
+    /// Current adaptive/fixed gamma at `node` (for the Figure 2 ablation).
+    [[nodiscard]] double nodeGamma(model::NodeId node) const;
+
+private:
+    model::ProblemSpec spec_;
+    LrgpOptions options_;
+    RateAllocator rate_allocator_;
+    GreedyConsumerAllocator greedy_allocator_;
+    std::vector<NodePriceController> node_prices_;
+    std::vector<LinkPriceController> link_prices_;
+
+    model::Allocation allocation_;
+    PriceVector prices_;
+    int iteration_ = 0;
+    IterationRecord last_record_;
+    metrics::TimeSeries trace_;
+    ConvergenceDetector detector_;
+};
+
+}  // namespace lrgp::core

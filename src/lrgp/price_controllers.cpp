@@ -1,0 +1,95 @@
+#include "lrgp/price_controllers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrgp::core {
+
+namespace {
+
+void validateAdaptive(const AdaptiveGamma& g) {
+    if (!(g.min > 0.0) || !(g.min <= g.max))
+        throw std::invalid_argument("AdaptiveGamma: need 0 < min <= max");
+    if (!(g.shrink > 0.0 && g.shrink < 1.0))
+        throw std::invalid_argument("AdaptiveGamma: shrink must be in (0, 1)");
+    if (g.increment < 0.0) throw std::invalid_argument("AdaptiveGamma: negative increment");
+}
+
+}  // namespace
+
+NodePriceController::NodePriceController(GammaPolicy policy, double initial_price,
+                                         NodePriceRule rule)
+    : policy_(policy), price_(initial_price), rule_(rule), adaptive_gamma_(0.0) {
+    if (initial_price < 0.0)
+        throw std::invalid_argument("NodePriceController: negative initial price");
+    if (const auto* adaptive = std::get_if<AdaptiveGamma>(&policy_)) {
+        validateAdaptive(*adaptive);
+        adaptive_gamma_ = std::clamp(adaptive->initial, adaptive->min, adaptive->max);
+    } else {
+        const auto& fixed = std::get<FixedGamma>(policy_);
+        if (fixed.gamma1 < 0.0 || fixed.gamma2 < 0.0)
+            throw std::invalid_argument("FixedGamma: negative stepsize");
+    }
+}
+
+double NodePriceController::currentGamma() const noexcept {
+    if (std::holds_alternative<AdaptiveGamma>(policy_)) return adaptive_gamma_;
+    return std::get<FixedGamma>(policy_).gamma1;
+}
+
+double NodePriceController::update(double best_unmet_bc, double used, double capacity) {
+    double gamma1, gamma2;
+    if (const auto* adaptive = std::get_if<AdaptiveGamma>(&policy_)) {
+        gamma1 = gamma2 = adaptive_gamma_;
+        (void)adaptive;
+    } else {
+        const auto& fixed = std::get<FixedGamma>(policy_);
+        gamma1 = fixed.gamma1;
+        gamma2 = fixed.gamma2;
+    }
+
+    // Eq. 12: approach the best unmet benefit-cost ratio while feasible;
+    // climb proportionally to the excess when the node is overloaded.
+    // The gradient-only ablation ignores the benefit-cost signal and runs
+    // a pure Eq. 13-style update instead.
+    const double delta = (rule_ == NodePriceRule::kGradientOnly)
+                             ? gamma2 * (used - capacity)
+                             : ((used <= capacity) ? gamma1 * (best_unmet_bc - price_)
+                                                   : gamma2 * (used - capacity));
+    price_ = std::max(0.0, price_ + delta);
+
+    // Adaptive heuristic (Section 4.2): a sign flip in the price movement
+    // counts as a fluctuation and halves gamma; otherwise gamma creeps up.
+    if (auto* adaptive = std::get_if<AdaptiveGamma>(&policy_)) {
+        const bool fluctuating = has_last_delta_ && last_delta_ * delta < 0.0;
+        if (fluctuating) adaptive_gamma_ *= adaptive->shrink;
+        else adaptive_gamma_ += adaptive->increment;
+        adaptive_gamma_ = std::clamp(adaptive_gamma_, adaptive->min, adaptive->max);
+        last_delta_ = delta;
+        has_last_delta_ = true;
+    }
+    return price_;
+}
+
+void NodePriceController::reset(double price) {
+    if (price < 0.0) throw std::invalid_argument("NodePriceController: negative price");
+    price_ = price;
+    has_last_delta_ = false;
+    last_delta_ = 0.0;
+    if (const auto* adaptive = std::get_if<AdaptiveGamma>(&policy_))
+        adaptive_gamma_ = std::clamp(adaptive->initial, adaptive->min, adaptive->max);
+}
+
+LinkPriceController::LinkPriceController(double gamma, double initial_price)
+    : gamma_(gamma), price_(initial_price) {
+    if (gamma < 0.0) throw std::invalid_argument("LinkPriceController: negative gamma");
+    if (initial_price < 0.0)
+        throw std::invalid_argument("LinkPriceController: negative initial price");
+}
+
+double LinkPriceController::update(double usage, double capacity) {
+    price_ = std::max(0.0, price_ + gamma_ * (usage - capacity));
+    return price_;
+}
+
+}  // namespace lrgp::core

@@ -1,0 +1,23 @@
+// Price state shared between LRGP's subproblems: one Lagrange-multiplier
+// price per node and per link (Section 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lrgp::core {
+
+/// Node and link prices, indexed by NodeId / LinkId.
+struct PriceVector {
+    std::vector<double> node;
+    std::vector<double> link;
+
+    static PriceVector zeros(std::size_t node_count, std::size_t link_count) {
+        PriceVector p;
+        p.node.assign(node_count, 0.0);
+        p.link.assign(link_count, 0.0);
+        return p;
+    }
+};
+
+}  // namespace lrgp::core

@@ -1,0 +1,86 @@
+#include "lrgp/pruning.hpp"
+
+#include <stdexcept>
+
+namespace lrgp::core {
+
+model::ProblemSpec prune_problem(const model::ProblemSpec& spec,
+                                 const model::Allocation& allocation, PruneReport* report) {
+    if (allocation.rates.size() != spec.flowCount() ||
+        allocation.populations.size() != spec.classCount())
+        throw std::invalid_argument("prune_problem: allocation sized for a different problem");
+
+    PruneReport local;
+    model::ProblemBuilder builder;
+
+    for (const model::NodeSpec& n : spec.nodes()) {
+        const model::NodeId id = builder.addNode(n.name, n.capacity);
+        (void)id;  // ids are dense and preserved by construction
+    }
+    for (const model::LinkSpec& l : spec.links())
+        (void)builder.addLink(l.name, l.from, l.to, l.capacity);
+
+    // A (flow, node) route survives when any class of the flow there got
+    // at least one consumer.  Surviving-but-empty routes keep the hop
+    // with its coefficient zeroed — the paper's formulation ("setting
+    // certain coefficients F to 0") — so classes stay on the route and
+    // the problem remains well-formed.
+    std::vector<bool> flow_has_consumers(spec.flowCount(), false);
+    // survived[(flow, node)] — whether the hop keeps its coefficient.
+    std::vector<std::vector<bool>> survived(spec.flowCount());
+
+    for (const model::FlowSpec& f : spec.flows()) {
+        const model::FlowId id = builder.addFlow(f.name, f.source, f.rate_min, f.rate_max);
+        survived[f.id.index()].resize(f.nodes.size());
+        for (std::size_t h = 0; h < f.nodes.size(); ++h) {
+            const model::FlowNodeHop& hop = f.nodes[h];
+            bool consumed = false;
+            for (model::ClassId j : spec.classesOfFlow(f.id)) {
+                const model::ClassSpec& c = spec.consumerClass(j);
+                if (c.node == hop.node && allocation.populations[j.index()] > 0) consumed = true;
+            }
+            survived[f.id.index()][h] = consumed;
+            if (consumed) {
+                builder.routeThroughNode(id, hop.node, hop.flow_node_cost);
+                flow_has_consumers[f.id.index()] = true;
+            } else {
+                builder.routeThroughNode(id, hop.node, 0.0);
+                ++local.routes_removed;
+            }
+        }
+    }
+    // Link hops: without full path topology we can only attribute a
+    // flow's links in bulk — a flow that no longer delivers to any node
+    // stops consuming its links entirely.
+    for (const model::FlowSpec& f : spec.flows()) {
+        for (const model::FlowLinkHop& hop : f.links) {
+            if (flow_has_consumers[f.id.index()]) {
+                builder.routeOverLink(f.id, hop.link, hop.link_cost);
+            } else {
+                ++local.links_removed;
+            }
+        }
+    }
+
+    // Classes stay admissible iff their (flow, node) hop survived: the
+    // stage-two re-solve may re-admit a class that happened to get zero
+    // consumers in stage one, as long as the flow still reaches its node.
+    for (const model::ClassSpec& c : spec.classes()) {
+        const model::FlowSpec& f = spec.flow(c.flow);
+        bool hop_survived = false;
+        for (std::size_t h = 0; h < f.nodes.size(); ++h)
+            if (f.nodes[h].node == c.node && survived[c.flow.index()][h]) hop_survived = true;
+        if (!hop_survived && c.max_consumers > 0) ++local.classes_deactivated;
+        builder.addClass(c.name, c.flow, c.node, hop_survived ? c.max_consumers : 0,
+                         c.consumer_cost, c.utility);
+    }
+
+    model::ProblemSpec pruned = builder.build();
+    for (const model::FlowSpec& f : spec.flows())
+        if (!f.active) pruned.setFlowActive(f.id, false);
+
+    if (report != nullptr) *report = local;
+    return pruned;
+}
+
+}  // namespace lrgp::core

@@ -1,0 +1,37 @@
+// Stage two of the paper's two-stage approximation (Section 2.4).
+//
+// Stage one (everything else in this library) assumes each flow is
+// routed to *every* node hosting one of its classes with n^max > 0, even
+// if the optimizer then admits zero consumers there — so the flow keeps
+// paying F_{b,i}·r_i at nodes that deliver nothing.  Stage two prunes:
+// given a stage-one allocation, drop the (flow, node) routes whose
+// classes all received zero consumers (conceptually setting those F and
+// L coefficients to zero), and re-solve on the pruned problem.  Utility
+// can only improve: the freed capacity re-admits consumers elsewhere.
+#pragma once
+
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::core {
+
+/// Statistics about what a pruning pass removed.
+struct PruneReport {
+    int routes_removed = 0;       ///< (flow, node) hops dropped
+    int links_removed = 0;        ///< (flow, link) hops dropped
+    int classes_deactivated = 0;  ///< classes whose n^max was zeroed by pruning
+};
+
+/// Returns a copy of `spec` in which every flow is un-routed from the
+/// nodes where all of its classes have zero admitted consumers in
+/// `allocation` (and from the links that only led there, when link usage
+/// can be attributed — links whose flows no longer reach any consumer
+/// node are dropped).  Classes at pruned (flow, node) pairs get
+/// n^max = 0 so the pruned problem stays consistent.
+///
+/// Throws std::invalid_argument if `allocation` is not sized for `spec`.
+[[nodiscard]] model::ProblemSpec prune_problem(const model::ProblemSpec& spec,
+                                               const model::Allocation& allocation,
+                                               PruneReport* report = nullptr);
+
+}  // namespace lrgp::core

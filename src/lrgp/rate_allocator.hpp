@@ -1,0 +1,41 @@
+// LRGP rate allocation (Algorithm 1, Section 3.1).
+//
+// For each flow i, given the current consumer populations n_j and the
+// node/link prices, the source node maximizes the Lagrangian subproblem
+// (Eq. 7):   sum_{j in C_i} n_j U_j(r) - r (PL_i + PB_i),
+// where PL_i = sum_l L_{l,i} p_l  (Eq. 8) and
+//       PB_i = sum_b (F_{b,i} + sum_j G_{b,j} n_j) p_b  (Eq. 9).
+#pragma once
+
+#include <vector>
+
+#include "lrgp/prices.hpp"
+#include "model/problem.hpp"
+#include "utility/rate_objective.hpp"
+
+namespace lrgp::core {
+
+/// Stateless per-flow rate computation.  Holds only a reference to the
+/// problem; safe to share across flows.
+class RateAllocator {
+public:
+    explicit RateAllocator(const model::ProblemSpec& spec,
+                           utility::RateSolveOptions solve_options = {})
+        : spec_(&spec), solve_options_(solve_options) {}
+
+    /// PL_i + PB_i: the total per-unit-rate price flow i pays (Eqs. 8, 9).
+    [[nodiscard]] double totalPrice(model::FlowId flow, const std::vector<int>& populations,
+                                    const PriceVector& prices) const;
+
+    /// The new rate r_i in [r_min, r_max] maximizing Eq. 7, plus which
+    /// solve path produced it.
+    [[nodiscard]] utility::RateSolveResult computeRate(model::FlowId flow,
+                                                       const std::vector<int>& populations,
+                                                       const PriceVector& prices) const;
+
+private:
+    const model::ProblemSpec* spec_;
+    utility::RateSolveOptions solve_options_;
+};
+
+}  // namespace lrgp::core

@@ -1,0 +1,33 @@
+#include "lrgp/trace_export.hpp"
+
+#include <ostream>
+
+namespace lrgp::core {
+
+void export_trace_csv(std::ostream& os, const model::ProblemSpec& spec,
+                      const std::vector<core::IterationRecord>& records) {
+    os << "iteration,utility";
+    for (const model::FlowSpec& f : spec.flows()) os << ",rate:" << f.name;
+    for (const model::ClassSpec& c : spec.classes()) os << ",n:" << c.name;
+    for (const model::NodeSpec& b : spec.nodes()) os << ",price:" << b.name;
+    os << '\n';
+    for (const core::IterationRecord& rec : records) {
+        os << rec.iteration << ',' << rec.utility;
+        for (double r : rec.allocation.rates) os << ',' << r;
+        for (int n : rec.allocation.populations) os << ',' << n;
+        for (double p : rec.prices.node) os << ',' << p;
+        os << '\n';
+    }
+}
+
+std::vector<core::IterationRecord> run_and_export(std::ostream& os,
+                                                  core::LrgpOptimizer& optimizer,
+                                                  int iterations) {
+    std::vector<core::IterationRecord> records;
+    records.reserve(static_cast<std::size_t>(iterations));
+    for (int i = 0; i < iterations; ++i) records.push_back(optimizer.step());
+    export_trace_csv(os, optimizer.problem(), records);
+    return records;
+}
+
+}  // namespace lrgp::core

@@ -1,0 +1,26 @@
+// CSV export of optimizer iteration traces — utility, per-flow rates,
+// per-class populations, per-node prices — for external plotting of the
+// paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "lrgp/optimizer.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::core {
+
+/// Writes one CSV row per iteration record with the columns
+///   iteration, utility, rate:<flow>..., n:<class>..., price:<node>...
+/// Column names use the entity names from `spec`.
+void export_trace_csv(std::ostream& os, const model::ProblemSpec& spec,
+                      const std::vector<core::IterationRecord>& records);
+
+/// Convenience: steps `optimizer` for `iterations`, collecting records,
+/// then exports them.  Returns the collected records.
+std::vector<core::IterationRecord> run_and_export(std::ostream& os,
+                                                  core::LrgpOptimizer& optimizer,
+                                                  int iterations);
+
+}  // namespace lrgp::core

@@ -1,0 +1,25 @@
+#include "lrgp/two_stage.hpp"
+
+namespace lrgp::core {
+
+TwoStageResult two_stage_optimize(const model::ProblemSpec& spec,
+                                  const TwoStageOptions& options) {
+    TwoStageResult result;
+
+    LrgpOptimizer stage_one(spec, options.lrgp);
+    const auto one_converged = stage_one.runUntilConverged(options.max_iterations);
+    result.stage_one_iterations = one_converged.value_or(options.max_iterations);
+    result.stage_one_utility = stage_one.currentUtility();
+
+    const model::ProblemSpec pruned =
+        prune_problem(spec, stage_one.allocation(), &result.prune);
+
+    LrgpOptimizer stage_two(pruned, options.lrgp);
+    const auto two_converged = stage_two.runUntilConverged(options.max_iterations);
+    result.stage_two_iterations = two_converged.value_or(options.max_iterations);
+    result.stage_two_utility = stage_two.currentUtility();
+    result.allocation = stage_two.allocation();
+    return result;
+}
+
+}  // namespace lrgp::core

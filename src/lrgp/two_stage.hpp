@@ -1,0 +1,35 @@
+// The complete two-stage optimization of Section 2.4: run LRGP on the
+// fully-routed problem (stage one), prune the routes that delivered
+// nothing, and run LRGP again on the pruned problem (stage two).  The
+// pruned problem charges no F cost at consumer-less hops, so the freed
+// capacity can raise rates or admit more consumers: stage-two utility is
+// never worse than stage one's on workloads where pruning removes
+// anything.
+#pragma once
+
+#include "lrgp/optimizer.hpp"
+#include "lrgp/pruning.hpp"
+
+namespace lrgp::core {
+
+struct TwoStageResult {
+    double stage_one_utility = 0.0;
+    double stage_two_utility = 0.0;
+    int stage_one_iterations = 0;
+    int stage_two_iterations = 0;
+    PruneReport prune;
+    model::Allocation allocation;  ///< the stage-two allocation
+};
+
+struct TwoStageOptions {
+    LrgpOptions lrgp;           ///< shared by both stages
+    int max_iterations = 250;   ///< per stage
+};
+
+/// Runs stage one on `spec`, prunes, runs stage two, and returns both
+/// utilities plus the final allocation (valid against the *pruned*
+/// problem, which has the same entity ids as `spec`).
+[[nodiscard]] TwoStageResult two_stage_optimize(const model::ProblemSpec& spec,
+                                                const TwoStageOptions& options = {});
+
+}  // namespace lrgp::core

@@ -1,0 +1,109 @@
+#include "metrics/table_writer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lrgp::metrics {
+
+TableWriter::TableWriter(std::vector<std::string> columns, int float_precision)
+    : columns_(std::move(columns)), float_precision_(float_precision) {
+    if (columns_.empty()) throw std::invalid_argument("TableWriter: no columns");
+}
+
+void TableWriter::addRow(std::vector<Cell> row) {
+    if (row.size() != columns_.size())
+        throw std::invalid_argument("TableWriter: row size does not match column count");
+    rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::formatCell(const Cell& cell) const {
+    std::ostringstream os;
+    std::visit(
+        [&](const auto& v) {
+            using T = std::decay_t<decltype(v)>;
+            if constexpr (std::is_same_v<T, double>) {
+                os << std::fixed << std::setprecision(float_precision_) << v;
+            } else {
+                os << v;
+            }
+        },
+        cell);
+    return os.str();
+}
+
+void TableWriter::printTable(std::ostream& os) const {
+    std::vector<std::size_t> widths(columns_.size());
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+        std::vector<std::string> r;
+        r.reserve(row.size());
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            r.push_back(formatCell(row[c]));
+            widths[c] = std::max(widths[c], r.back().size());
+        }
+        rendered.push_back(std::move(r));
+    }
+
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+
+    rule();
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << columns_[c] << " |";
+    os << '\n';
+    rule();
+    for (const auto& r : rendered) {
+        os << '|';
+        for (std::size_t c = 0; c < r.size(); ++c)
+            os << ' ' << std::right << std::setw(static_cast<int>(widths[c])) << r[c] << " |";
+        os << '\n';
+    }
+    rule();
+}
+
+namespace {
+std::string csvEscape(const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"') out += "\"\"";
+        else out += ch;
+    }
+    out += '"';
+    return out;
+}
+}  // namespace
+
+void TableWriter::printCsv(std::ostream& os) const {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << (c ? "," : "") << csvEscape(columns_[c]);
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csvEscape(formatCell(row[c]));
+        os << '\n';
+    }
+}
+
+std::string TableWriter::toTableString() const {
+    std::ostringstream os;
+    printTable(os);
+    return os.str();
+}
+
+std::string TableWriter::toCsvString() const {
+    std::ostringstream os;
+    printCsv(os);
+    return os.str();
+}
+
+}  // namespace lrgp::metrics

@@ -1,0 +1,43 @@
+// Fixed-width ASCII table and CSV writers used by the benchmark harnesses
+// to print the rows of the paper's tables and the series of its figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lrgp::metrics {
+
+/// A cell is either text, an integer, or a floating-point value.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Accumulates rows and renders them either as an aligned ASCII table
+/// (for terminal output) or as CSV (for plotting).
+class TableWriter {
+public:
+    explicit TableWriter(std::vector<std::string> columns, int float_precision = 2);
+
+    /// Appends a row. Throws std::invalid_argument on column-count mismatch.
+    void addRow(std::vector<Cell> row);
+
+    [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+    /// Renders an aligned, boxed ASCII table.
+    void printTable(std::ostream& os) const;
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    void printCsv(std::ostream& os) const;
+
+    [[nodiscard]] std::string toTableString() const;
+    [[nodiscard]] std::string toCsvString() const;
+
+private:
+    [[nodiscard]] std::string formatCell(const Cell& cell) const;
+
+    std::vector<std::string> columns_;
+    std::vector<std::vector<Cell>> rows_;
+    int float_precision_;
+};
+
+}  // namespace lrgp::metrics

@@ -1,0 +1,58 @@
+#include "metrics/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace lrgp::metrics {
+
+double TimeSeries::min() const {
+    requireNonEmpty();
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double TimeSeries::max() const {
+    requireNonEmpty();
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double TimeSeries::mean() const {
+    requireNonEmpty();
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+double TimeSeries::stddev() const {
+    requireNonEmpty();
+    const double m = mean();
+    double acc = 0.0;
+    for (double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double TimeSeries::trailingAmplitude(std::size_t window) const {
+    if (window == 0 || window > samples_.size())
+        throw std::invalid_argument("TimeSeries: bad trailing window");
+    auto first = samples_.end() - static_cast<std::ptrdiff_t>(window);
+    auto [lo, hi] = std::minmax_element(first, samples_.end());
+    return *hi - *lo;
+}
+
+double TimeSeries::trailingMean(std::size_t window) const {
+    if (window == 0 || window > samples_.size())
+        throw std::invalid_argument("TimeSeries: bad trailing window");
+    auto first = samples_.end() - static_cast<std::ptrdiff_t>(window);
+    return std::accumulate(first, samples_.end(), 0.0) / static_cast<double>(window);
+}
+
+double TimeSeries::trailingRelativeAmplitude(std::size_t window) const {
+    const double amp = trailingAmplitude(window);
+    const double m = std::abs(trailingMean(window));
+    if (m == 0.0) {
+        return amp == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    return amp / m;
+}
+
+}  // namespace lrgp::metrics

@@ -1,0 +1,50 @@
+// Time-series container with summary statistics, used to record the
+// per-iteration utility/price/rate traces produced by the optimizers.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace lrgp::metrics {
+
+/// An append-only sequence of samples with O(1) append and on-demand
+/// statistics over the whole series or a trailing window.
+class TimeSeries {
+public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+    void append(double value) { samples_.push_back(value); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+    [[nodiscard]] double operator[](std::size_t i) const { return samples_.at(i); }
+    [[nodiscard]] double back() const { return samples_.at(samples_.size() - 1); }
+    [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double stddev() const;
+
+    /// Peak-to-peak amplitude (max - min) of the trailing `window` samples.
+    /// Throws std::invalid_argument if fewer than `window` samples exist.
+    [[nodiscard]] double trailingAmplitude(std::size_t window) const;
+
+    /// Mean of the trailing `window` samples.
+    [[nodiscard]] double trailingMean(std::size_t window) const;
+
+    /// Relative amplitude of the trailing window: (max-min)/|mean|.
+    /// Returns +inf when the trailing mean is zero and amplitude is not.
+    [[nodiscard]] double trailingRelativeAmplitude(std::size_t window) const;
+
+private:
+    void requireNonEmpty() const {
+        if (samples_.empty()) throw std::logic_error("TimeSeries: empty series");
+    }
+
+    std::vector<double> samples_;
+};
+
+}  // namespace lrgp::metrics

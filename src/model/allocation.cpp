@@ -1,0 +1,127 @@
+#include "model/allocation.hpp"
+
+#include <sstream>
+
+namespace lrgp::model {
+
+Allocation Allocation::minimal(const ProblemSpec& spec) {
+    Allocation a;
+    a.rates.reserve(spec.flowCount());
+    for (const FlowSpec& f : spec.flows()) a.rates.push_back(f.active ? f.rate_min : 0.0);
+    a.populations.assign(spec.classCount(), 0);
+    return a;
+}
+
+double total_utility(const ProblemSpec& spec, const Allocation& alloc) {
+    double total = 0.0;
+    for (const ClassSpec& c : spec.classes()) {
+        const FlowSpec& f = spec.flow(c.flow);
+        if (!f.active) continue;
+        const int n = alloc.populations.at(c.id.index());
+        if (n <= 0) continue;
+        total += n * c.utility->value(alloc.rates.at(f.id.index()));
+    }
+    return total;
+}
+
+double link_usage(const ProblemSpec& spec, const Allocation& alloc, LinkId l) {
+    double usage = 0.0;
+    for (FlowId i : spec.flowsOnLink(l)) {
+        if (!spec.flowActive(i)) continue;
+        usage += spec.linkCost(l, i) * alloc.rates.at(i.index());
+    }
+    return usage;
+}
+
+double node_usage(const ProblemSpec& spec, const Allocation& alloc, NodeId b) {
+    double usage = 0.0;
+    for (FlowId i : spec.flowsAtNode(b)) {
+        if (!spec.flowActive(i)) continue;
+        usage += spec.flowNodeCost(b, i) * alloc.rates.at(i.index());
+    }
+    for (ClassId j : spec.classesAtNode(b)) {
+        const ClassSpec& c = spec.consumerClass(j);
+        if (!spec.flowActive(c.flow)) continue;
+        usage += c.consumer_cost * alloc.populations.at(j.index()) *
+                 alloc.rates.at(c.flow.index());
+    }
+    return usage;
+}
+
+namespace {
+
+template <class... Args>
+std::string describe(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+}  // namespace
+
+FeasibilityReport check_feasibility(const ProblemSpec& spec, const Allocation& alloc,
+                                    double tolerance) {
+    FeasibilityReport report;
+    if (alloc.rates.size() != spec.flowCount() || alloc.populations.size() != spec.classCount()) {
+        report.violations.push_back(
+            {Violation::Kind::kRateBelowMin, "allocation sized for a different problem"});
+        return report;
+    }
+
+    for (const FlowSpec& f : spec.flows()) {
+        const double r = alloc.rates[f.id.index()];
+        if (!f.active) {
+            if (r != 0.0)
+                report.violations.push_back({Violation::Kind::kInactiveFlowNonzero,
+                                             describe("inactive flow '", f.name,
+                                                      "' has nonzero rate ", r)});
+            continue;
+        }
+        if (r < f.rate_min * (1.0 - tolerance))
+            report.violations.push_back({Violation::Kind::kRateBelowMin,
+                                         describe("flow '", f.name, "' rate ", r, " < min ",
+                                                  f.rate_min)});
+        if (r > f.rate_max * (1.0 + tolerance))
+            report.violations.push_back({Violation::Kind::kRateAboveMax,
+                                         describe("flow '", f.name, "' rate ", r, " > max ",
+                                                  f.rate_max)});
+    }
+
+    for (const ClassSpec& c : spec.classes()) {
+        const int n = alloc.populations[c.id.index()];
+        if (!spec.flowActive(c.flow)) {
+            if (n != 0)
+                report.violations.push_back({Violation::Kind::kInactiveFlowNonzero,
+                                             describe("class '", c.name,
+                                                      "' of inactive flow has population ", n)});
+            continue;
+        }
+        if (n < 0)
+            report.violations.push_back({Violation::Kind::kPopulationNegative,
+                                         describe("class '", c.name, "' population ", n, " < 0")});
+        if (n > c.max_consumers)
+            report.violations.push_back({Violation::Kind::kPopulationAboveMax,
+                                         describe("class '", c.name, "' population ", n, " > max ",
+                                                  c.max_consumers)});
+    }
+
+    for (const LinkSpec& l : spec.links()) {
+        const double usage = link_usage(spec, alloc, l.id);
+        if (usage > l.capacity * (1.0 + tolerance))
+            report.violations.push_back({Violation::Kind::kLinkOverCapacity,
+                                         describe("link '", l.name, "' usage ", usage,
+                                                  " > capacity ", l.capacity)});
+    }
+
+    for (const NodeSpec& b : spec.nodes()) {
+        const double usage = node_usage(spec, alloc, b.id);
+        if (usage > b.capacity * (1.0 + tolerance))
+            report.violations.push_back({Violation::Kind::kNodeOverCapacity,
+                                         describe("node '", b.name, "' usage ", usage,
+                                                  " > capacity ", b.capacity)});
+    }
+
+    return report;
+}
+
+}  // namespace lrgp::model

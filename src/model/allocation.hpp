@@ -1,0 +1,65 @@
+// Resource allocations (the optimizer's decision variables) and their
+// evaluation against a ProblemSpec: total utility (Eq. 1), link usage
+// (Eq. 4), node usage (Eq. 5), and feasibility checking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace lrgp::model {
+
+/// A complete assignment of decision variables: one rate per flow
+/// (indexed by FlowId) and one admitted-consumer count per class
+/// (indexed by ClassId).
+struct Allocation {
+    std::vector<double> rates;    ///< r_i, indexed by flow
+    std::vector<int> populations; ///< n_j, indexed by class
+
+    /// An allocation sized for `spec` with every rate at r_min and every
+    /// population at zero (trivially feasible when the F costs fit).
+    static Allocation minimal(const ProblemSpec& spec);
+};
+
+/// Total system utility (Eq. 1): sum over flows i, classes j in C_i of
+/// n_j * U_j(r_i).  Inactive flows contribute nothing.
+[[nodiscard]] double total_utility(const ProblemSpec& spec, const Allocation& alloc);
+
+/// Link usage (left side of Eq. 4): sum of L_{l,i} * r_i over flows on l.
+[[nodiscard]] double link_usage(const ProblemSpec& spec, const Allocation& alloc, LinkId l);
+
+/// Node usage (left side of Eq. 5):
+/// sum over flows i reaching b of (F_{b,i} r_i + sum_j G_{b,j} n_j r_i).
+[[nodiscard]] double node_usage(const ProblemSpec& spec, const Allocation& alloc, NodeId b);
+
+/// One constraint violation discovered by check_feasibility.
+struct Violation {
+    enum class Kind {
+        kRateBelowMin,
+        kRateAboveMax,
+        kPopulationNegative,
+        kPopulationAboveMax,
+        kLinkOverCapacity,
+        kNodeOverCapacity,
+        kInactiveFlowNonzero,
+    };
+    Kind kind;
+    std::string detail;  ///< human-readable description with entity names
+};
+
+/// The outcome of a feasibility check.
+struct FeasibilityReport {
+    std::vector<Violation> violations;
+    [[nodiscard]] bool feasible() const noexcept { return violations.empty(); }
+};
+
+/// Checks all constraints (Eqs. 2-5) with a relative slack `tolerance`
+/// on the capacity constraints (an allocation using c*(1+tol) still
+/// passes, guarding against floating-point noise).  For inactive flows
+/// the rate-bound checks are replaced by rate == 0 / populations == 0.
+[[nodiscard]] FeasibilityReport check_feasibility(const ProblemSpec& spec,
+                                                  const Allocation& alloc,
+                                                  double tolerance = 1e-9);
+
+}  // namespace lrgp::model

@@ -1,0 +1,44 @@
+// Allocation analysis: summary statistics an operator would watch when
+// LRGP manages a live system — per-class service levels, fairness of the
+// utility distribution, and how hot each resource runs.
+#pragma once
+
+#include <vector>
+
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::model {
+
+/// Service summary for one consumer class.
+struct ClassService {
+    ClassId cls;
+    int admitted = 0;
+    int max_consumers = 0;
+    double admission_ratio = 0.0;   ///< admitted / max (0 when max is 0)
+    double per_consumer_utility = 0.0;  ///< U_j(r_i)
+    double aggregate_utility = 0.0;     ///< n_j * U_j(r_i)
+};
+
+/// System-wide allocation summary.
+struct AllocationSummary {
+    double total_utility = 0.0;
+    std::vector<ClassService> classes;       ///< indexed by class
+    std::vector<double> node_utilization;    ///< usage / capacity, per node
+    std::vector<double> link_utilization;    ///< usage / capacity, per link
+    double jain_fairness = 0.0;              ///< over per-class aggregate utilities
+    int classes_fully_admitted = 0;
+    int classes_partially_admitted = 0;
+    int classes_denied = 0;  ///< n == 0 although n^max > 0
+};
+
+/// Jain's fairness index over the positive entries of `values`:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means perfectly even.
+/// Returns 0 for an empty or all-zero input.
+[[nodiscard]] double jain_index(const std::vector<double>& values);
+
+/// Computes the full summary of `alloc` against `spec`.  Classes of
+/// inactive flows are reported as denied with zero utility.
+[[nodiscard]] AllocationSummary summarize(const ProblemSpec& spec, const Allocation& alloc);
+
+}  // namespace lrgp::model

@@ -1,0 +1,48 @@
+// Strong identifier types for the entities of the system model
+// (Section 2.1): flows, consumer classes, nodes, and links.  Using
+// distinct types prevents accidentally indexing one entity's table with
+// another entity's id.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace lrgp::model {
+
+/// A dense, zero-based identifier.  Ids double as indices into the
+/// per-entity vectors of ProblemSpec (the builder assigns them densely).
+template <class Tag>
+struct Id {
+    static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+
+    std::uint32_t value = kInvalid;
+
+    constexpr Id() = default;
+    explicit constexpr Id(std::uint32_t v) : value(v) {}
+
+    [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+    [[nodiscard]] constexpr std::size_t index() const noexcept { return value; }
+
+    friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct FlowTag {};
+struct ClassTag {};
+struct NodeTag {};
+struct LinkTag {};
+
+using FlowId = Id<FlowTag>;
+using ClassId = Id<ClassTag>;
+using NodeId = Id<NodeTag>;
+using LinkId = Id<LinkTag>;
+
+}  // namespace lrgp::model
+
+template <class Tag>
+struct std::hash<lrgp::model::Id<Tag>> {
+    std::size_t operator()(lrgp::model::Id<Tag> id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};

@@ -1,0 +1,153 @@
+#include "model/problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace lrgp::model {
+
+double ProblemSpec::flowNodeCost(NodeId b, FlowId i) const {
+    const FlowSpec& f = flow(i);
+    for (const FlowNodeHop& hop : f.nodes)
+        if (hop.node == b) return hop.flow_node_cost;
+    return 0.0;
+}
+
+double ProblemSpec::linkCost(LinkId l, FlowId i) const {
+    const FlowSpec& f = flow(i);
+    for (const FlowLinkHop& hop : f.links)
+        if (hop.link == l) return hop.link_cost;
+    return 0.0;
+}
+
+void ProblemSpec::setNodeCapacity(NodeId id, double capacity) {
+    if (!(capacity > 0.0))
+        throw std::invalid_argument("ProblemSpec: node capacity must be positive");
+    nodes_.at(id.index()).capacity = capacity;
+}
+
+void ProblemSpec::setClassMaxConsumers(ClassId id, int max_consumers) {
+    if (max_consumers < 0)
+        throw std::invalid_argument("ProblemSpec: max_consumers must be non-negative");
+    classes_.at(id.index()).max_consumers = max_consumers;
+}
+
+// ------------------------------------------------------------------ builder
+
+void ProblemBuilder::requireNode(NodeId id, const char* what) const {
+    if (!id.valid() || id.index() >= spec_.nodes_.size())
+        throw std::invalid_argument(std::string("ProblemBuilder: unknown node in ") + what);
+}
+
+void ProblemBuilder::requireFlow(FlowId id, const char* what) const {
+    if (!id.valid() || id.index() >= spec_.flows_.size())
+        throw std::invalid_argument(std::string("ProblemBuilder: unknown flow in ") + what);
+}
+
+void ProblemBuilder::requireLink(LinkId id, const char* what) const {
+    if (!id.valid() || id.index() >= spec_.links_.size())
+        throw std::invalid_argument(std::string("ProblemBuilder: unknown link in ") + what);
+}
+
+NodeId ProblemBuilder::addNode(std::string name, double capacity) {
+    if (!(capacity > 0.0))
+        throw std::invalid_argument("ProblemBuilder: node capacity must be positive");
+    NodeId id{static_cast<std::uint32_t>(spec_.nodes_.size())};
+    spec_.nodes_.push_back(NodeSpec{id, std::move(name), capacity});
+    return id;
+}
+
+LinkId ProblemBuilder::addLink(std::string name, NodeId from, NodeId to, double capacity) {
+    requireNode(from, "addLink(from)");
+    requireNode(to, "addLink(to)");
+    if (from == to) throw std::invalid_argument("ProblemBuilder: link endpoints must differ");
+    if (!(capacity > 0.0))
+        throw std::invalid_argument("ProblemBuilder: link capacity must be positive");
+    LinkId id{static_cast<std::uint32_t>(spec_.links_.size())};
+    spec_.links_.push_back(LinkSpec{id, std::move(name), from, to, capacity});
+    return id;
+}
+
+FlowId ProblemBuilder::addFlow(std::string name, NodeId source, double rate_min,
+                               double rate_max) {
+    requireNode(source, "addFlow(source)");
+    if (!(rate_min > 0.0) || !(rate_min <= rate_max))
+        throw std::invalid_argument("ProblemBuilder: need 0 < rate_min <= rate_max");
+    FlowId id{static_cast<std::uint32_t>(spec_.flows_.size())};
+    spec_.flows_.push_back(FlowSpec{id, std::move(name), source, rate_min, rate_max, {}, {}, true});
+    return id;
+}
+
+void ProblemBuilder::routeThroughNode(FlowId flow, NodeId node, double flow_node_cost) {
+    requireFlow(flow, "routeThroughNode");
+    requireNode(node, "routeThroughNode");
+    if (flow_node_cost < 0.0)
+        throw std::invalid_argument("ProblemBuilder: flow-node cost must be non-negative");
+    FlowSpec& f = spec_.flows_[flow.index()];
+    for (const FlowNodeHop& hop : f.nodes)
+        if (hop.node == node)
+            throw std::invalid_argument("ProblemBuilder: flow already routed through node");
+    f.nodes.push_back(FlowNodeHop{node, flow_node_cost});
+}
+
+void ProblemBuilder::routeOverLink(FlowId flow, LinkId link, double link_cost) {
+    requireFlow(flow, "routeOverLink");
+    requireLink(link, "routeOverLink");
+    if (!(link_cost > 0.0))
+        throw std::invalid_argument("ProblemBuilder: link cost must be positive");
+    FlowSpec& f = spec_.flows_[flow.index()];
+    for (const FlowLinkHop& hop : f.links)
+        if (hop.link == link)
+            throw std::invalid_argument("ProblemBuilder: flow already routed over link");
+    f.links.push_back(FlowLinkHop{link, link_cost});
+}
+
+ClassId ProblemBuilder::addClass(std::string name, FlowId flow, NodeId node, int max_consumers,
+                                 double consumer_cost,
+                                 std::shared_ptr<const utility::UtilityFunction> utility) {
+    requireFlow(flow, "addClass");
+    requireNode(node, "addClass");
+    if (max_consumers < 0)
+        throw std::invalid_argument("ProblemBuilder: max_consumers must be non-negative");
+    if (!(consumer_cost > 0.0))
+        throw std::invalid_argument("ProblemBuilder: consumer cost G must be positive");
+    if (!utility) throw std::invalid_argument("ProblemBuilder: class utility must not be null");
+    ClassId id{static_cast<std::uint32_t>(spec_.classes_.size())};
+    spec_.classes_.push_back(
+        ClassSpec{id, std::move(name), flow, node, max_consumers, consumer_cost,
+                  std::move(utility)});
+    return id;
+}
+
+ProblemSpec ProblemBuilder::build() const {
+    ProblemSpec out = spec_;
+
+    // Cross-reference check: every class must attach at a node its flow
+    // reaches (two-stage approximation, Section 2.4: stage one routes the
+    // flow to every node hosting one of its classes).
+    for (const ClassSpec& c : out.classes_) {
+        const FlowSpec& f = out.flows_[c.flow.index()];
+        const bool routed = std::any_of(f.nodes.begin(), f.nodes.end(),
+                                        [&](const FlowNodeHop& h) { return h.node == c.node; });
+        if (!routed)
+            throw std::invalid_argument("ProblemBuilder: class '" + c.name +
+                                        "' attaches at a node its flow does not reach");
+    }
+
+    // Build reverse indexes.
+    out.classes_of_flow_.assign(out.flows_.size(), {});
+    out.classes_at_node_.assign(out.nodes_.size(), {});
+    out.flows_at_node_.assign(out.nodes_.size(), {});
+    out.flows_on_link_.assign(out.links_.size(), {});
+    for (const ClassSpec& c : out.classes_) {
+        out.classes_of_flow_[c.flow.index()].push_back(c.id);
+        out.classes_at_node_[c.node.index()].push_back(c.id);
+    }
+    for (const FlowSpec& f : out.flows_) {
+        for (const FlowNodeHop& hop : f.nodes) out.flows_at_node_[hop.node.index()].push_back(f.id);
+        for (const FlowLinkHop& hop : f.links) out.flows_on_link_[hop.link.index()].push_back(f.id);
+    }
+    return out;
+}
+
+}  // namespace lrgp::model

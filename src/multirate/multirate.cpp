@@ -1,0 +1,240 @@
+#include "multirate/multirate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "utility/rate_objective.hpp"
+
+namespace lrgp::multirate {
+
+double total_utility(const model::ProblemSpec& spec, const MultirateAllocation& alloc) {
+    double total = 0.0;
+    for (const model::ClassSpec& c : spec.classes()) {
+        if (!spec.flowActive(c.flow)) continue;
+        const int n = alloc.populations.at(c.id.index());
+        if (n <= 0) continue;
+        total += n * c.utility->value(alloc.class_rates.at(c.id.index()));
+    }
+    return total;
+}
+
+double node_usage(const model::ProblemSpec& spec, const MultirateAllocation& alloc,
+                  model::NodeId node) {
+    double usage = 0.0;
+    for (model::FlowId i : spec.flowsAtNode(node)) {
+        if (!spec.flowActive(i)) continue;
+        usage += spec.flowNodeCost(node, i) * alloc.flow_rates.at(i.index());
+    }
+    for (model::ClassId j : spec.classesAtNode(node)) {
+        const model::ClassSpec& c = spec.consumerClass(j);
+        if (!spec.flowActive(c.flow)) continue;
+        usage += c.consumer_cost * alloc.populations.at(j.index()) *
+                 alloc.class_rates.at(j.index());
+    }
+    return usage;
+}
+
+double link_usage(const model::ProblemSpec& spec, const MultirateAllocation& alloc,
+                  model::LinkId link) {
+    double usage = 0.0;
+    for (model::FlowId i : spec.flowsOnLink(link)) {
+        if (!spec.flowActive(i)) continue;
+        usage += spec.linkCost(link, i) * alloc.flow_rates.at(i.index());
+    }
+    return usage;
+}
+
+bool is_feasible(const model::ProblemSpec& spec, const MultirateAllocation& alloc,
+                 double tolerance) {
+    if (alloc.class_rates.size() != spec.classCount() ||
+        alloc.populations.size() != spec.classCount() ||
+        alloc.flow_rates.size() != spec.flowCount())
+        return false;
+    for (const model::ClassSpec& c : spec.classes()) {
+        if (!spec.flowActive(c.flow)) continue;
+        const model::FlowSpec& f = spec.flow(c.flow);
+        const int n = alloc.populations[c.id.index()];
+        if (n < 0 || n > c.max_consumers) return false;
+        const double r = alloc.class_rates[c.id.index()];
+        if (n > 0) {
+            if (r < f.rate_min * (1.0 - tolerance) || r > f.rate_max * (1.0 + tolerance))
+                return false;
+            // Delivery cannot outpace the source stream.
+            if (r > alloc.flow_rates[c.flow.index()] * (1.0 + tolerance)) return false;
+        }
+    }
+    for (const model::FlowSpec& f : spec.flows()) {
+        if (!f.active) continue;
+        const double r = alloc.flow_rates[f.id.index()];
+        if (r < f.rate_min * (1.0 - tolerance) || r > f.rate_max * (1.0 + tolerance))
+            return false;
+    }
+    for (const model::NodeSpec& b : spec.nodes())
+        if (node_usage(spec, alloc, b.id) > b.capacity * (1.0 + tolerance)) return false;
+    for (const model::LinkSpec& l : spec.links())
+        if (link_usage(spec, alloc, l.id) > l.capacity * (1.0 + tolerance)) return false;
+    return true;
+}
+
+MultirateOptimizer::MultirateOptimizer(model::ProblemSpec spec, MultirateOptions options)
+    : spec_(std::move(spec)), options_(options), detector_(options.convergence) {
+    node_prices_.reserve(spec_.nodeCount());
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        node_prices_.emplace_back(options_.gamma);
+    link_prices_.reserve(spec_.linkCount());
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        link_prices_.emplace_back(options_.link_gamma);
+    node_price_values_.assign(spec_.nodeCount(), 0.0);
+    link_price_values_.assign(spec_.linkCount(), 0.0);
+
+    allocation_.class_rates.assign(spec_.classCount(), 0.0);
+    allocation_.populations.assign(spec_.classCount(), 0);
+    allocation_.flow_rates.assign(spec_.flowCount(), 0.0);
+    for (const model::FlowSpec& f : spec_.flows())
+        allocation_.flow_rates[f.id.index()] = f.active ? f.rate_min : 0.0;
+    for (const model::ClassSpec& c : spec_.classes())
+        allocation_.class_rates[c.id.index()] =
+            spec_.flowActive(c.flow) ? spec_.flow(c.flow).rate_min : 0.0;
+}
+
+void MultirateOptimizer::step() {
+    // 1. Class-rate allocation.  Each class solves its priced problem at
+    //    its hosting node; the flow-level price (links + F terms) is
+    //    spread across the flow's admitted classes.
+    for (const model::FlowSpec& f : spec_.flows()) {
+        if (!f.active) continue;
+
+        double flow_price = 0.0;
+        for (const model::FlowLinkHop& hop : f.links)
+            flow_price += hop.link_cost * link_price_values_[hop.link.index()];
+        for (const model::FlowNodeHop& hop : f.nodes)
+            flow_price += hop.flow_node_cost * node_price_values_[hop.node.index()];
+
+        int admitted_classes = 0;
+        for (model::ClassId j : spec_.classesOfFlow(f.id))
+            if (allocation_.populations[j.index()] > 0) ++admitted_classes;
+        const double share = flow_price / std::max(1, admitted_classes);
+
+        for (model::ClassId j : spec_.classesOfFlow(f.id)) {
+            const model::ClassSpec& c = spec_.consumerClass(j);
+            const double node_price = node_price_values_[c.node.index()];
+            const int n = allocation_.populations[j.index()];
+            // Admitted classes internalize their share of the flow price;
+            // unadmitted classes get a prospective single-consumer rate so
+            // the greedy step can evaluate their benefit-cost ratio.
+            const double population = std::max(1, n);
+            const double price =
+                population * c.consumer_cost * node_price + (n > 0 ? share : 0.0);
+            std::vector<utility::WeightedUtility> term{{population, c.utility}};
+            allocation_.class_rates[j.index()] =
+                utility::solve_rate_objective(term, price, f.rate_min, f.rate_max).rate;
+        }
+
+        // 2. The source streams fast enough for its fastest admitted class.
+        double flow_rate = f.rate_min;
+        for (model::ClassId j : spec_.classesOfFlow(f.id))
+            if (allocation_.populations[j.index()] > 0)
+                flow_rate = std::max(flow_rate, allocation_.class_rates[j.index()]);
+        allocation_.flow_rates[f.id.index()] = flow_rate;
+    }
+
+    // Pessimistic per-flow rate bound for admission budgeting: greedy may
+    // admit a class faster than the currently fastest admitted one, which
+    // would raise the source rate (and the F costs) after the fact.
+    // Budgeting F at the max rate any admissible class might demand keeps
+    // every admission decision capacity-safe.
+    std::vector<double> flow_rate_bounds(spec_.flowCount(), 0.0);
+    for (const model::FlowSpec& f : spec_.flows()) {
+        if (!f.active) continue;
+        double bound = f.rate_min;
+        for (model::ClassId j : spec_.classesOfFlow(f.id))
+            if (spec_.consumerClass(j).max_consumers > 0)
+                bound = std::max(bound, allocation_.class_rates[j.index()]);
+        flow_rate_bounds[f.id.index()] = bound;
+    }
+
+    // 3. Greedy admission per node at each class's own rate, and
+    // 4. node price update (Eq. 12 with per-class-rate benefit-costs).
+    for (const model::NodeSpec& b : spec_.nodes()) {
+        double base_usage = 0.0;
+        for (model::FlowId i : spec_.flowsAtNode(b.id)) {
+            if (!spec_.flowActive(i)) continue;
+            base_usage += spec_.flowNodeCost(b.id, i) * flow_rate_bounds[i.index()];
+        }
+        double remaining = b.capacity - base_usage;
+
+        struct Candidate {
+            model::ClassId cls;
+            double ratio;
+            double unit_cost;
+        };
+        std::vector<Candidate> ranked;
+        for (model::ClassId j : spec_.classesAtNode(b.id)) {
+            const model::ClassSpec& c = spec_.consumerClass(j);
+            if (!spec_.flowActive(c.flow) || c.max_consumers == 0) continue;
+            const double r = allocation_.class_rates[j.index()];
+            const double unit_cost = c.consumer_cost * r;
+            ranked.push_back({j, c.utility->value(r) / unit_cost, unit_cost});
+        }
+        std::sort(ranked.begin(), ranked.end(), [](const Candidate& a, const Candidate& b2) {
+            if (a.ratio != b2.ratio) return a.ratio > b2.ratio;
+            return a.cls < b2.cls;
+        });
+
+        double best_unmet_bc = 0.0;
+        for (const Candidate& cand : ranked) {
+            const model::ClassSpec& c = spec_.consumerClass(cand.cls);
+            int admitted = 0;
+            if (remaining > 0.0)
+                admitted = static_cast<int>(std::min(std::floor(remaining / cand.unit_cost),
+                                                     static_cast<double>(c.max_consumers)));
+            remaining -= admitted * cand.unit_cost;
+            allocation_.populations[cand.cls.index()] = admitted;
+            if (admitted < c.max_consumers && best_unmet_bc == 0.0)
+                best_unmet_bc = cand.ratio;
+        }
+
+        const double used = b.capacity - remaining;
+        node_price_values_[b.id.index()] =
+            node_prices_[b.id.index()].update(best_unmet_bc, used, b.capacity);
+    }
+
+    // Flow rates may have been keyed to classes that just lost admission;
+    // recompute the max so the recorded allocation is self-consistent.
+    for (const model::FlowSpec& f : spec_.flows()) {
+        if (!f.active) continue;
+        double flow_rate = f.rate_min;
+        for (model::ClassId j : spec_.classesOfFlow(f.id))
+            if (allocation_.populations[j.index()] > 0)
+                flow_rate = std::max(flow_rate, allocation_.class_rates[j.index()]);
+        allocation_.flow_rates[f.id.index()] = flow_rate;
+    }
+
+    // 5. Link prices on the full source streams.
+    for (const model::LinkSpec& l : spec_.links()) {
+        const double usage = link_usage(spec_, allocation_, l.id);
+        link_price_values_[l.id.index()] = link_prices_[l.id.index()].update(usage, l.capacity);
+    }
+
+    const double utility = total_utility(spec_, allocation_);
+    trace_.append(utility);
+    detector_.addSample(utility);
+}
+
+void MultirateOptimizer::run(int iterations) {
+    if (iterations <= 0) throw std::invalid_argument("MultirateOptimizer::run: bad iterations");
+    for (int i = 0; i < iterations; ++i) step();
+}
+
+std::optional<int> MultirateOptimizer::runUntilConverged(int max_iterations) {
+    if (max_iterations <= 0)
+        throw std::invalid_argument("MultirateOptimizer::runUntilConverged: bad max");
+    for (int i = 0; i < max_iterations; ++i) {
+        step();
+        if (detector_.converged()) return static_cast<int>(detector_.convergedAt());
+    }
+    return std::nullopt;
+}
+
+}  // namespace lrgp::multirate

@@ -1,0 +1,95 @@
+#include "planner/capacity_planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/analysis.hpp"
+
+namespace lrgp::planner {
+
+namespace {
+
+model::ProblemSpec scaledSpec(const model::ProblemSpec& spec, double scale) {
+    model::ProblemSpec scaled = spec;
+    for (const model::NodeSpec& node : spec.nodes())
+        scaled.setNodeCapacity(node.id, node.capacity * scale);
+    return scaled;
+}
+
+}  // namespace
+
+ProvisioningPoint evaluate_at_scale(const model::ProblemSpec& spec, double scale,
+                                    const PlannerOptions& options) {
+    if (!(scale > 0.0)) throw std::invalid_argument("evaluate_at_scale: scale must be positive");
+
+    core::LrgpOptimizer optimizer(scaledSpec(spec, scale), options.lrgp);
+    optimizer.run(options.lrgp_iterations);
+
+    ProvisioningPoint point;
+    point.capacity_scale = scale;
+    point.utility = optimizer.currentUtility();
+
+    long long admitted = 0, wanted = 0;
+    for (const model::ClassSpec& c : spec.classes()) {
+        if (!spec.flowActive(c.flow)) continue;
+        admitted += optimizer.allocation().populations[c.id.index()];
+        wanted += c.max_consumers;
+    }
+    point.admission_ratio =
+        wanted > 0 ? static_cast<double>(admitted) / static_cast<double>(wanted) : 1.0;
+
+    const auto summary = model::summarize(optimizer.problem(), optimizer.allocation());
+    for (double u : summary.node_utilization)
+        point.hottest_node_utilization = std::max(point.hottest_node_utilization, u);
+    return point;
+}
+
+ProvisioningPoint min_capacity_for_admission(const model::ProblemSpec& spec,
+                                             const PlannerOptions& options) {
+    if (!(options.target_admission_ratio > 0.0 && options.target_admission_ratio <= 1.0))
+        throw std::invalid_argument("min_capacity_for_admission: target must be in (0, 1]");
+
+    // Grow until the target is met to establish the bisection bracket.
+    double hi = 1.0;
+    ProvisioningPoint at_hi = evaluate_at_scale(spec, hi, options);
+    while (at_hi.admission_ratio < options.target_admission_ratio) {
+        hi *= 2.0;
+        if (hi > options.max_scale)
+            throw std::runtime_error(
+                "min_capacity_for_admission: target unreachable within max_scale");
+        at_hi = evaluate_at_scale(spec, hi, options);
+    }
+    double lo = hi / 2.0;
+    // Shrink lo below the target (or hit a floor where the target is met
+    // even at tiny capacity).
+    while (lo > 1e-6) {
+        const ProvisioningPoint at_lo = evaluate_at_scale(spec, lo, options);
+        if (at_lo.admission_ratio < options.target_admission_ratio) break;
+        at_hi = at_lo;
+        hi = lo;
+        lo /= 2.0;
+    }
+
+    while (hi - lo > options.scale_tolerance * hi) {
+        const double mid = 0.5 * (lo + hi);
+        const ProvisioningPoint at_mid = evaluate_at_scale(spec, mid, options);
+        if (at_mid.admission_ratio >= options.target_admission_ratio) {
+            hi = mid;
+            at_hi = at_mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return at_hi;
+}
+
+std::vector<ProvisioningPoint> provisioning_curve(const model::ProblemSpec& spec,
+                                                  const std::vector<double>& scales,
+                                                  const PlannerOptions& options) {
+    std::vector<ProvisioningPoint> curve;
+    curve.reserve(scales.size());
+    for (double s : scales) curve.push_back(evaluate_at_scale(spec, s, options));
+    return curve;
+}
+
+}  // namespace lrgp::planner

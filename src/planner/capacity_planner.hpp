@@ -1,0 +1,52 @@
+// Capacity planning on top of LRGP.
+//
+// The paper's motivation (Section 1): over-provisioning for peak load is
+// expensive, so operators want to know how much capacity a workload
+// actually needs.  With LRGP as the allocation engine, that question
+// becomes searchable: scale every node capacity by a factor s, optimize,
+// and observe the achieved admission ratio.  Admission is monotone in s
+// (more capacity never forces consumers out), so bisection finds the
+// minimum provisioning factor that meets a target service level.
+#pragma once
+
+#include <vector>
+
+#include "lrgp/optimizer.hpp"
+#include "model/problem.hpp"
+
+namespace lrgp::planner {
+
+/// One evaluated provisioning level.
+struct ProvisioningPoint {
+    double capacity_scale = 1.0;   ///< multiplier applied to every node capacity
+    double admission_ratio = 0.0;  ///< admitted consumers / wanted consumers
+    double utility = 0.0;
+    double hottest_node_utilization = 0.0;
+};
+
+struct PlannerOptions {
+    double target_admission_ratio = 0.95;  ///< service-level objective
+    int lrgp_iterations = 150;             ///< optimization budget per probe
+    double scale_tolerance = 0.02;         ///< relative bisection tolerance
+    double max_scale = 64.0;               ///< search ceiling (throws beyond)
+    core::LrgpOptions lrgp;                ///< passed to every probe
+};
+
+/// Evaluates the workload at one provisioning level.
+[[nodiscard]] ProvisioningPoint evaluate_at_scale(const model::ProblemSpec& spec, double scale,
+                                                  const PlannerOptions& options = {});
+
+/// Finds the smallest capacity scale whose LRGP allocation admits at
+/// least `target_admission_ratio` of all wanted consumers.  Throws
+/// std::runtime_error if even `max_scale` cannot meet the target (e.g. a
+/// target of 1.0 with rate floors that starve admission).
+[[nodiscard]] ProvisioningPoint min_capacity_for_admission(const model::ProblemSpec& spec,
+                                                           const PlannerOptions& options = {});
+
+/// Evaluates a sweep of provisioning levels (for plotting the
+/// capacity/service curve).
+[[nodiscard]] std::vector<ProvisioningPoint> provisioning_curve(
+    const model::ProblemSpec& spec, const std::vector<double>& scales,
+    const PlannerOptions& options = {});
+
+}  // namespace lrgp::planner

@@ -1,0 +1,59 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace lrgp::sim {
+
+void Simulator::schedule(SimTime delay, Handler fn) {
+    if (delay < 0.0) throw std::invalid_argument("Simulator::schedule: negative delay");
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::scheduleAt(SimTime time, Handler fn) {
+    if (time < now_) throw std::invalid_argument("Simulator::scheduleAt: time in the past");
+    if (!fn) throw std::invalid_argument("Simulator::scheduleAt: empty handler");
+    queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::runOne() {
+    if (queue_.empty()) return false;
+    // Copy out before popping: the handler may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    return true;
+}
+
+std::size_t Simulator::runUntil(SimTime until) {
+    std::size_t processed = 0;
+    while (!queue_.empty() && queue_.top().time <= until) {
+        runOne();
+        ++processed;
+    }
+    if (now_ < until) now_ = until;
+    return processed;
+}
+
+std::size_t Simulator::runAll(std::size_t max_events) {
+    std::size_t processed = 0;
+    while (processed < max_events && runOne()) ++processed;
+    return processed;
+}
+
+LatencyModel::LatencyModel(SimTime min_latency, SimTime max_latency, std::uint32_t seed)
+    : min_(min_latency), max_(max_latency), state_(seed == 0 ? 0x9E3779B97F4A7C15ull : seed) {
+    if (!(min_latency >= 0.0) || !(min_latency <= max_latency))
+        throw std::invalid_argument("LatencyModel: need 0 <= min <= max");
+}
+
+SimTime LatencyModel::sample() {
+    // xorshift64: fast, deterministic, adequate for latency jitter.
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    const double unit = static_cast<double>(state_ >> 11) * 0x1.0p-53;  // [0,1)
+    return min_ + unit * (max_ - min_);
+}
+
+}  // namespace lrgp::sim

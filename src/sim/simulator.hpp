@@ -1,0 +1,82 @@
+// A minimal discrete-event simulation engine.
+//
+// The distributed LRGP protocol (src/dist) runs on top of this engine:
+// agent messages become scheduled events with configurable network
+// latency, which lets us measure convergence in round-trip times and run
+// the asynchronous variant discussed in Section 3.5 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace lrgp::sim {
+
+using SimTime = double;  ///< seconds of simulated time
+
+/// A single-threaded event calendar.  Events scheduled for the same time
+/// fire in scheduling order (a monotonic sequence number breaks ties), so
+/// runs are fully deterministic.
+class Simulator {
+public:
+    using Handler = std::function<void()>;
+
+    /// Schedules `fn` to run `delay` seconds after the current time.
+    /// Throws std::invalid_argument for negative delays.
+    void schedule(SimTime delay, Handler fn);
+
+    /// Schedules `fn` at absolute time `time` (>= now()).
+    void scheduleAt(SimTime time, Handler fn);
+
+    /// Runs the earliest pending event; returns false when idle.
+    bool runOne();
+
+    /// Runs every event with time <= until; returns events processed.
+    std::size_t runUntil(SimTime until);
+
+    /// Runs until the calendar drains or `max_events` have been
+    /// processed; returns events processed.
+    std::size_t runAll(std::size_t max_events = 10'000'000);
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+    [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+    [[nodiscard]] std::size_t pendingEvents() const noexcept { return queue_.size(); }
+
+private:
+    struct Event {
+        SimTime time;
+        std::uint64_t seq;
+        Handler fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+};
+
+/// Latency model for agent-to-agent messages: a fixed base plus
+/// deterministic pseudo-random jitter.
+class LatencyModel {
+public:
+    /// Latencies are drawn uniformly from [min_latency, max_latency].
+    LatencyModel(SimTime min_latency, SimTime max_latency, std::uint32_t seed);
+
+    [[nodiscard]] SimTime sample();
+
+    [[nodiscard]] SimTime min() const noexcept { return min_; }
+    [[nodiscard]] SimTime max() const noexcept { return max_; }
+
+private:
+    SimTime min_;
+    SimTime max_;
+    std::uint64_t state_;  // xorshift64 state; avoids <random> in the hot path
+};
+
+}  // namespace lrgp::sim

@@ -1,0 +1,96 @@
+#include "solver/root_finding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lrgp::solver {
+
+namespace {
+
+void checkBracket(double flo, double fhi, double lo, double hi) {
+    if (!(lo < hi)) throw std::invalid_argument("root finding: empty bracket");
+    if (flo < 0.0 || fhi > 0.0)
+        throw std::invalid_argument("root finding: f is not decreasing across the bracket");
+}
+
+}  // namespace
+
+RootResult bisect_decreasing(const std::function<double(double)>& f, double lo, double hi,
+                             const RootOptions& opts) {
+    double flo = f(lo);
+    double fhi = f(hi);
+    checkBracket(flo, fhi, lo, hi);
+    if (flo == 0.0) return {lo, 0};
+    if (fhi == 0.0) return {hi, 0};
+
+    int iters = 0;
+    while (hi - lo > opts.tolerance) {
+        if (++iters > opts.max_iterations)
+            throw std::runtime_error("bisect_decreasing: iteration limit exceeded");
+        const double mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        if (fmid == 0.0) return {mid, iters};
+        if (fmid > 0.0) lo = mid;
+        else hi = mid;
+    }
+    return {0.5 * (lo + hi), iters};
+}
+
+RootResult newton_bisect_decreasing(const std::function<double(double)>& f,
+                                    const std::function<double(double)>& df, double lo, double hi,
+                                    const RootOptions& opts) {
+    double flo = f(lo);
+    double fhi = f(hi);
+    checkBracket(flo, fhi, lo, hi);
+    if (flo == 0.0) return {lo, 0};
+    if (fhi == 0.0) return {hi, 0};
+
+    double x = 0.5 * (lo + hi);
+    int iters = 0;
+    while (hi - lo > opts.tolerance) {
+        if (++iters > opts.max_iterations)
+            throw std::runtime_error("newton_bisect_decreasing: iteration limit exceeded");
+        const double fx = f(x);
+        if (fx == 0.0) return {x, iters};
+        if (fx > 0.0) lo = x;
+        else hi = x;
+
+        const double d = df(x);
+        double next = (d != 0.0) ? x - fx / d : 0.5 * (lo + hi);
+        // Fall back to bisection when Newton leaves the bracket.
+        if (!(next > lo && next < hi) || !std::isfinite(next)) next = 0.5 * (lo + hi);
+        x = next;
+    }
+    return {0.5 * (lo + hi), iters};
+}
+
+RootResult golden_section_maximize(const std::function<double(double)>& f, double lo, double hi,
+                                   const RootOptions& opts) {
+    if (!(lo <= hi)) throw std::invalid_argument("golden_section_maximize: empty interval");
+    constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+    double a = lo, b = hi;
+    double x1 = b - kInvPhi * (b - a);
+    double x2 = a + kInvPhi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    int iters = 0;
+    while (b - a > opts.tolerance) {
+        if (++iters > opts.max_iterations) break;  // interval is already tiny; return midpoint
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + kInvPhi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - kInvPhi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    return {0.5 * (a + b), iters};
+}
+
+}  // namespace lrgp::solver

@@ -1,0 +1,48 @@
+// Bracketed scalar root finding for monotone functions.
+//
+// The LRGP rate-allocation step (Algorithm 1) sets the derivative of the
+// per-flow Lagrangian to zero:  sum_j n_j U_j'(r) - P = 0.  Because each
+// U_j is strictly concave, the left-hand side is strictly decreasing in r,
+// so the stationary point is the unique root of a monotone function.  When
+// a closed form is unavailable (mixed utility families on one flow), the
+// rate allocator falls back to the safeguarded solvers in this header.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace lrgp::solver {
+
+/// Options shared by the bracketed solvers.
+struct RootOptions {
+    double tolerance = 1e-10;  ///< absolute tolerance on the bracket width
+    int max_iterations = 200;  ///< hard stop; solvers throw if exceeded
+};
+
+/// Result of a root search.
+struct RootResult {
+    double root = 0.0;
+    int iterations = 0;
+};
+
+/// Finds the root of a strictly decreasing function `f` on [lo, hi] by
+/// bisection.  Preconditions: lo < hi, f(lo) >= 0 >= f(hi); violations
+/// throw std::invalid_argument.
+RootResult bisect_decreasing(const std::function<double(double)>& f, double lo, double hi,
+                             const RootOptions& opts = {});
+
+/// Newton's method safeguarded by a shrinking bisection bracket: a Newton
+/// step that leaves the bracket, or makes insufficient progress, falls
+/// back to bisection.  `df` is the derivative of `f`.  Same preconditions
+/// as bisect_decreasing.
+RootResult newton_bisect_decreasing(const std::function<double(double)>& f,
+                                    const std::function<double(double)>& df, double lo, double hi,
+                                    const RootOptions& opts = {});
+
+/// Maximizes a strictly concave function on [lo, hi] by golden-section
+/// search; returns the argmax.  Used as a derivative-free cross-check in
+/// tests and as the last-resort path for utilities without derivatives.
+RootResult golden_section_maximize(const std::function<double(double)>& f, double lo, double hi,
+                                   const RootOptions& opts = {});
+
+}  // namespace lrgp::solver

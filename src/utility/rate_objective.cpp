@@ -1,0 +1,140 @@
+#include "utility/rate_objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "solver/root_finding.hpp"
+
+namespace lrgp::utility {
+
+namespace {
+
+/// Unwraps nested ScaledUtility layers, accumulating the product of
+/// factors, and returns the innermost function.
+const UtilityFunction* unwrap(const UtilityFunction* fn, double& factor) {
+    while (const auto* scaled = dynamic_cast<const ScaledUtility*>(fn)) {
+        factor *= scaled->factor();
+        fn = &scaled->base();
+    }
+    return fn;
+}
+
+struct CombinedForm {
+    enum class Family { kNone, kLog, kPower, kShiftedLog } family = Family::kNone;
+    double weight = 0.0;    ///< combined w = sum_j n_j * factor_j * w_j
+    double exponent = 0.0;  ///< common power exponent (Family::kPower only)
+    double scale = 0.0;     ///< common log scale (Family::kShiftedLog only)
+};
+
+/// Attempts to combine all active terms into a single closed-form family.
+CombinedForm tryCombine(const std::vector<WeightedUtility>& terms) {
+    CombinedForm out;
+    for (const auto& t : terms) {
+        if (t.population <= 0.0) continue;
+        double factor = t.population;
+        const UtilityFunction* base = unwrap(t.utility.get(), factor);
+        if (const auto* lg = dynamic_cast<const LogUtility*>(base)) {
+            if (out.family != CombinedForm::Family::kNone &&
+                out.family != CombinedForm::Family::kLog)
+                return {};
+            out.family = CombinedForm::Family::kLog;
+            out.weight += factor * lg->weight();
+        } else if (const auto* pw = dynamic_cast<const PowerUtility*>(base)) {
+            if (out.family != CombinedForm::Family::kNone &&
+                (out.family != CombinedForm::Family::kPower || out.exponent != pw->exponent()))
+                return {};
+            out.family = CombinedForm::Family::kPower;
+            out.exponent = pw->exponent();
+            out.weight += factor * pw->weight();
+        } else if (const auto* sl = dynamic_cast<const ShiftedLogUtility*>(base)) {
+            if (out.family != CombinedForm::Family::kNone &&
+                (out.family != CombinedForm::Family::kShiftedLog || out.scale != sl->scale()))
+                return {};
+            out.family = CombinedForm::Family::kShiftedLog;
+            out.scale = sl->scale();
+            out.weight += factor * sl->weight();
+        } else {
+            return {};
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+double rate_objective_value(const std::vector<WeightedUtility>& terms, double price,
+                            double rate) {
+    double v = -rate * price;
+    for (const auto& t : terms) {
+        if (t.population <= 0.0) continue;
+        v += t.population * t.utility->value(rate);
+    }
+    return v;
+}
+
+double rate_objective_derivative(const std::vector<WeightedUtility>& terms, double price,
+                                 double rate) {
+    double d = -price;
+    for (const auto& t : terms) {
+        if (t.population <= 0.0) continue;
+        d += t.population * t.utility->derivative(rate);
+    }
+    return d;
+}
+
+RateSolveResult solve_rate_objective(const std::vector<WeightedUtility>& terms, double price,
+                                     double lo, double hi, const RateSolveOptions& opts) {
+    if (!(lo <= hi)) throw std::invalid_argument("solve_rate_objective: lo > hi");
+    if (price < 0.0) throw std::invalid_argument("solve_rate_objective: negative price");
+    for (const auto& t : terms)
+        if (!t.utility) throw std::invalid_argument("solve_rate_objective: null utility");
+
+    bool any_population = false;
+    for (const auto& t : terms)
+        if (t.population > 0.0) any_population = true;
+
+    // With no admitted consumers the objective is -r*price: decreasing when
+    // priced, flat when free.  Take lo when priced; hi when free (utility is
+    // increasing in general, so an unpriced flow runs at full rate).
+    if (!any_population) {
+        return price > 0.0 ? RateSolveResult{lo, RateSolveMethod::kBoundLow}
+                           : RateSolveResult{hi, RateSolveMethod::kBoundHigh};
+    }
+
+    // Strictly concave objective: check the derivative at the bounds first.
+    const double d_hi = rate_objective_derivative(terms, price, hi);
+    if (d_hi >= 0.0) return {hi, RateSolveMethod::kBoundHigh};
+    const double d_lo = rate_objective_derivative(terms, price, lo);
+    if (d_lo <= 0.0) return {lo, RateSolveMethod::kBoundLow};
+
+    if (opts.allow_closed_form) {
+        const CombinedForm combined = tryCombine(terms);
+        if (combined.family == CombinedForm::Family::kLog) {
+            // W/(1+r) = price
+            const double r = combined.weight / price - 1.0;
+            return {std::clamp(r, lo, hi), RateSolveMethod::kClosedForm};
+        }
+        if (combined.family == CombinedForm::Family::kPower) {
+            // W*k*r^(k-1) = price
+            const double k = combined.exponent;
+            const double r = std::pow(price / (combined.weight * k), 1.0 / (k - 1.0));
+            return {std::clamp(r, lo, hi), RateSolveMethod::kClosedForm};
+        }
+        if (combined.family == CombinedForm::Family::kShiftedLog) {
+            // W/(s+r) = price
+            const double r = combined.weight / price - combined.scale;
+            return {std::clamp(r, lo, hi), RateSolveMethod::kClosedForm};
+        }
+    }
+
+    // Numeric fallback: the derivative is strictly decreasing with a sign
+    // change across [lo, hi] (checked above).
+    solver::RootOptions ropts;
+    ropts.tolerance = opts.tolerance;
+    const auto result = solver::bisect_decreasing(
+        [&](double r) { return rate_objective_derivative(terms, price, r); }, lo, hi, ropts);
+    return {result.root, RateSolveMethod::kNumeric};
+}
+
+}  // namespace lrgp::utility

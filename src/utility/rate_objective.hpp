@@ -1,0 +1,65 @@
+// The per-flow rate objective of LRGP's Lagrangian subproblem (Eq. 7):
+//
+//     maximize_r   sum_j n_j U_j(r)  -  r * price        on [lo, hi]
+//
+// where `price` = PL_i + PB_i is the total per-unit-rate price the flow
+// pays across the links and nodes it traverses.  Each U_j is strictly
+// concave, so the objective is strictly concave and the maximizer is
+// unique: either a bound, or the unique root of the derivative.
+//
+// The solver prefers closed forms (all-log or all-power-with-equal-
+// exponent populations combine into a single weighted inverse) and falls
+// back to safeguarded Newton/bisection otherwise.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "utility/utility_function.hpp"
+
+namespace lrgp::utility {
+
+/// One consumer class's contribution to a flow's rate objective.
+struct WeightedUtility {
+    double population = 0.0;  ///< n_j, number of admitted consumers
+    std::shared_ptr<const UtilityFunction> utility;  ///< U_j, never null
+};
+
+/// How the maximizer was obtained; exposed for tests and the ablation
+/// micro-benchmarks comparing the closed-form and numeric paths.
+enum class RateSolveMethod {
+    kBoundLow,     ///< derivative <= 0 at lo: objective decreasing, clamp low
+    kBoundHigh,    ///< derivative >= 0 at hi: objective increasing, clamp high
+    kClosedForm,   ///< single combined inverse-derivative evaluation
+    kNumeric,      ///< safeguarded Newton/bisection on the derivative
+};
+
+struct RateSolveResult {
+    double rate = 0.0;
+    RateSolveMethod method = RateSolveMethod::kBoundLow;
+};
+
+/// Options controlling the stationarity solve.
+struct RateSolveOptions {
+    bool allow_closed_form = true;  ///< set false to force the numeric path
+    double tolerance = 1e-9;        ///< bracket tolerance for the numeric path
+};
+
+/// Computes argmax_{r in [lo, hi]} sum_j n_j U_j(r) - r * price.
+///
+/// Terms with zero population are ignored.  If every term has zero
+/// population the objective reduces to -r*price: the result is lo when
+/// price > 0 and hi when price == 0 (utility is increasing, rate is free).
+/// Preconditions: lo <= hi, price >= 0, all utilities non-null; violations
+/// throw std::invalid_argument.
+RateSolveResult solve_rate_objective(const std::vector<WeightedUtility>& terms, double price,
+                                     double lo, double hi, const RateSolveOptions& opts = {});
+
+/// Evaluates the objective sum_j n_j U_j(r) - r * price at `rate`.
+double rate_objective_value(const std::vector<WeightedUtility>& terms, double price, double rate);
+
+/// Evaluates the objective derivative sum_j n_j U_j'(r) - price at `rate`.
+double rate_objective_derivative(const std::vector<WeightedUtility>& terms, double price,
+                                 double rate);
+
+}  // namespace lrgp::utility

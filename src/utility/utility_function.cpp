@@ -1,0 +1,121 @@
+#include "utility/utility_function.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace lrgp::utility {
+
+// ---------------------------------------------------------------- LogUtility
+
+LogUtility::LogUtility(double weight) : weight_(weight) {
+    if (!(weight > 0.0)) throw std::invalid_argument("LogUtility: weight must be positive");
+}
+
+double LogUtility::value(double rate) const { return weight_ * std::log1p(rate); }
+
+double LogUtility::derivative(double rate) const { return weight_ / (1.0 + rate); }
+
+std::optional<double> LogUtility::inverseDerivative(double marginal) const {
+    // weight / (1 + r) = m  =>  r = weight/m - 1
+    return weight_ / marginal - 1.0;
+}
+
+std::string LogUtility::describe() const {
+    std::ostringstream os;
+    os << weight_ << " * log(1+r)";
+    return os.str();
+}
+
+std::unique_ptr<UtilityFunction> LogUtility::clone() const {
+    return std::make_unique<LogUtility>(*this);
+}
+
+// -------------------------------------------------------------- PowerUtility
+
+PowerUtility::PowerUtility(double weight, double exponent)
+    : weight_(weight), exponent_(exponent) {
+    if (!(weight > 0.0)) throw std::invalid_argument("PowerUtility: weight must be positive");
+    if (!(exponent > 0.0 && exponent < 1.0))
+        throw std::invalid_argument("PowerUtility: exponent must be in (0, 1)");
+}
+
+double PowerUtility::value(double rate) const { return weight_ * std::pow(rate, exponent_); }
+
+double PowerUtility::derivative(double rate) const {
+    return weight_ * exponent_ * std::pow(rate, exponent_ - 1.0);
+}
+
+std::optional<double> PowerUtility::inverseDerivative(double marginal) const {
+    // w*k*r^(k-1) = m  =>  r = (m / (w*k))^(1/(k-1))
+    return std::pow(marginal / (weight_ * exponent_), 1.0 / (exponent_ - 1.0));
+}
+
+std::string PowerUtility::describe() const {
+    std::ostringstream os;
+    os << weight_ << " * r^" << exponent_;
+    return os.str();
+}
+
+std::unique_ptr<UtilityFunction> PowerUtility::clone() const {
+    return std::make_unique<PowerUtility>(*this);
+}
+
+// ------------------------------------------------------- ShiftedLogUtility
+
+ShiftedLogUtility::ShiftedLogUtility(double weight, double scale)
+    : weight_(weight), scale_(scale) {
+    if (!(weight > 0.0))
+        throw std::invalid_argument("ShiftedLogUtility: weight must be positive");
+    if (!(scale > 0.0)) throw std::invalid_argument("ShiftedLogUtility: scale must be positive");
+}
+
+double ShiftedLogUtility::value(double rate) const {
+    return weight_ * std::log1p(rate / scale_);
+}
+
+double ShiftedLogUtility::derivative(double rate) const { return weight_ / (scale_ + rate); }
+
+std::optional<double> ShiftedLogUtility::inverseDerivative(double marginal) const {
+    // weight / (scale + r) = m  =>  r = weight/m - scale
+    return weight_ / marginal - scale_;
+}
+
+std::string ShiftedLogUtility::describe() const {
+    std::ostringstream os;
+    os << weight_ << " * log(1+r/" << scale_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<UtilityFunction> ShiftedLogUtility::clone() const {
+    return std::make_unique<ShiftedLogUtility>(*this);
+}
+
+// ------------------------------------------------------------- ScaledUtility
+
+ScaledUtility::ScaledUtility(double factor, std::shared_ptr<const UtilityFunction> base)
+    : factor_(factor), base_(std::move(base)) {
+    if (!(factor > 0.0)) throw std::invalid_argument("ScaledUtility: factor must be positive");
+    if (!base_) throw std::invalid_argument("ScaledUtility: base must not be null");
+}
+
+double ScaledUtility::value(double rate) const { return factor_ * base_->value(rate); }
+
+double ScaledUtility::derivative(double rate) const { return factor_ * base_->derivative(rate); }
+
+std::optional<double> ScaledUtility::inverseDerivative(double marginal) const {
+    // factor * base'(r) = m  <=>  base'(r) = m / factor
+    return base_->inverseDerivative(marginal / factor_);
+}
+
+std::string ScaledUtility::describe() const {
+    std::ostringstream os;
+    os << factor_ << " * (" << base_->describe() << ")";
+    return os.str();
+}
+
+std::unique_ptr<UtilityFunction> ScaledUtility::clone() const {
+    return std::make_unique<ScaledUtility>(factor_, base_);
+}
+
+}  // namespace lrgp::utility

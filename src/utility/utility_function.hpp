@@ -1,0 +1,130 @@
+// Consumer-class utility functions (Section 2.2 of the paper).
+//
+// A utility function U_j maps the rate r_i of the flow a class consumes to
+// the per-consumer benefit.  The paper requires U_j to be increasing,
+// strictly concave, and continuously differentiable on [r_min, r_max].
+// The evaluation uses two families:
+//   * LogUtility:   U(r) = w * log(1 + r)        ("rank * log(1+r)")
+//   * PowerUtility: U(r) = w * r^k, 0 < k < 1     ("rank * r^k")
+// Both provide closed-form derivative inverses, which lets the rate
+// allocator solve the stationarity condition analytically.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace lrgp::utility {
+
+/// Interface for a per-consumer utility function of flow rate.
+///
+/// Implementations must be increasing and strictly concave on (0, inf),
+/// i.e. derivative(r) > 0 and strictly decreasing.
+class UtilityFunction {
+public:
+    virtual ~UtilityFunction() = default;
+
+    /// U(r). Precondition: r >= 0.
+    [[nodiscard]] virtual double value(double rate) const = 0;
+
+    /// U'(r). Precondition: r >= 0 (some families require r > 0).
+    [[nodiscard]] virtual double derivative(double rate) const = 0;
+
+    /// Solves U'(r) = marginal for r, when a closed form exists.
+    /// Returns nullopt when the family has no closed-form inverse.
+    /// Precondition: marginal > 0.
+    [[nodiscard]] virtual std::optional<double> inverseDerivative(double marginal) const {
+        (void)marginal;
+        return std::nullopt;
+    }
+
+    /// Human-readable description, e.g. "20 * log(1+r)".
+    [[nodiscard]] virtual std::string describe() const = 0;
+
+    [[nodiscard]] virtual std::unique_ptr<UtilityFunction> clone() const = 0;
+};
+
+/// U(r) = weight * log(1 + r).  U'(r) = weight / (1 + r).
+class LogUtility final : public UtilityFunction {
+public:
+    /// Throws std::invalid_argument unless weight > 0.
+    explicit LogUtility(double weight);
+
+    [[nodiscard]] double value(double rate) const override;
+    [[nodiscard]] double derivative(double rate) const override;
+    [[nodiscard]] std::optional<double> inverseDerivative(double marginal) const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
+
+    [[nodiscard]] double weight() const noexcept { return weight_; }
+
+private:
+    double weight_;
+};
+
+/// U(r) = weight * r^exponent with 0 < exponent < 1.
+/// U'(r) = weight * exponent * r^(exponent-1).
+class PowerUtility final : public UtilityFunction {
+public:
+    /// Throws std::invalid_argument unless weight > 0 and 0 < exponent < 1.
+    PowerUtility(double weight, double exponent);
+
+    [[nodiscard]] double value(double rate) const override;
+    [[nodiscard]] double derivative(double rate) const override;
+    [[nodiscard]] std::optional<double> inverseDerivative(double marginal) const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
+
+    [[nodiscard]] double weight() const noexcept { return weight_; }
+    [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+private:
+    double weight_;
+    double exponent_;
+};
+
+/// U(r) = weight * log(1 + r / scale).  The scale parameter sets where
+/// the utility saturates: a telemetry dashboard refreshing once a minute
+/// (scale small) flattens out at far lower rates than a tick-by-tick
+/// trading feed (scale large).  U'(r) = weight / (scale + r).
+class ShiftedLogUtility final : public UtilityFunction {
+public:
+    /// Throws std::invalid_argument unless weight > 0 and scale > 0.
+    ShiftedLogUtility(double weight, double scale);
+
+    [[nodiscard]] double value(double rate) const override;
+    [[nodiscard]] double derivative(double rate) const override;
+    [[nodiscard]] std::optional<double> inverseDerivative(double marginal) const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
+
+    [[nodiscard]] double weight() const noexcept { return weight_; }
+    [[nodiscard]] double scale() const noexcept { return scale_; }
+
+private:
+    double weight_;
+    double scale_;
+};
+
+/// Wraps another utility with a positive multiplicative factor:
+/// U(r) = factor * base(r).  Used to express rank * f(r) for arbitrary f.
+class ScaledUtility final : public UtilityFunction {
+public:
+    /// Throws std::invalid_argument unless factor > 0 and base != nullptr.
+    ScaledUtility(double factor, std::shared_ptr<const UtilityFunction> base);
+
+    [[nodiscard]] double value(double rate) const override;
+    [[nodiscard]] double derivative(double rate) const override;
+    [[nodiscard]] std::optional<double> inverseDerivative(double marginal) const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
+
+    [[nodiscard]] double factor() const noexcept { return factor_; }
+    [[nodiscard]] const UtilityFunction& base() const noexcept { return *base_; }
+
+private:
+    double factor_;
+    std::shared_ptr<const UtilityFunction> base_;
+};
+
+}  // namespace lrgp::utility

@@ -1,0 +1,82 @@
+#include "workload/random_workload.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace lrgp::workload {
+
+model::ProblemSpec make_random_workload(const RandomWorkloadOptions& options) {
+    if (options.min_flows < 1 || options.max_flows < options.min_flows ||
+        options.min_cnodes < 1 || options.max_cnodes < options.min_cnodes ||
+        options.min_classes_per_flow < 1 ||
+        options.max_classes_per_flow < options.min_classes_per_flow)
+        throw std::invalid_argument("make_random_workload: inconsistent ranges");
+
+    std::mt19937 rng(options.seed);
+    auto uniform_int = [&](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+    auto uniform_real = [&](double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(rng);
+    };
+
+    model::ProblemBuilder builder;
+    const model::NodeId producer = builder.addNode("P", 1e12);
+
+    const int cnode_count = uniform_int(options.min_cnodes, options.max_cnodes);
+    std::vector<model::NodeId> cnodes;
+    cnodes.reserve(cnode_count);
+    for (int s = 0; s < cnode_count; ++s) {
+        std::ostringstream name;
+        name << "S" << s;
+        cnodes.push_back(builder.addNode(
+            name.str(), uniform_real(options.min_capacity, options.max_capacity)));
+    }
+
+    // Optional shared bottleneck from the producer into the overlay.
+    std::optional<model::LinkId> bottleneck;
+    if (uniform_real(0.0, 1.0) < options.link_bottleneck_probability) {
+        // Size the link so it binds: roughly enough for all flows at a
+        // fraction of max rate.
+        const int flows_guess = (options.min_flows + options.max_flows) / 2;
+        bottleneck = builder.addLink("bottleneck", producer, cnodes[0],
+                                     flows_guess * options.rate_max * 0.3);
+    }
+
+    const int flow_count = uniform_int(options.min_flows, options.max_flows);
+    for (int fidx = 0; fidx < flow_count; ++fidx) {
+        std::ostringstream fname;
+        fname << "f" << fidx;
+        const model::FlowId flow =
+            builder.addFlow(fname.str(), producer, options.rate_min, options.rate_max);
+        if (bottleneck) builder.routeOverLink(flow, *bottleneck, uniform_real(0.5, 2.0));
+
+        // Pick a distinct subset of c-nodes for this flow's classes.
+        const int class_count =
+            uniform_int(options.min_classes_per_flow, options.max_classes_per_flow);
+        std::vector<int> node_pool(cnodes.size());
+        for (std::size_t k = 0; k < node_pool.size(); ++k) node_pool[k] = static_cast<int>(k);
+        std::shuffle(node_pool.begin(), node_pool.end(), rng);
+        const int nodes_used = std::min<int>(class_count, static_cast<int>(cnodes.size()));
+        for (int h = 0; h < nodes_used; ++h)
+            builder.routeThroughNode(flow, cnodes[node_pool[h]],
+                                     uniform_real(options.min_flow_cost, options.max_flow_cost));
+
+        for (int c = 0; c < class_count; ++c) {
+            std::ostringstream cname;
+            cname << "f" << fidx << "_c" << c;
+            const model::NodeId node = cnodes[node_pool[c % nodes_used]];
+            builder.addClass(
+                cname.str(), flow, node, uniform_int(options.min_population, options.max_population),
+                uniform_real(options.min_consumer_cost, options.max_consumer_cost),
+                make_class_utility(options.shape, uniform_real(options.min_rank, options.max_rank)));
+        }
+    }
+
+    return builder.build();
+}
+
+}  // namespace lrgp::workload

@@ -1,0 +1,37 @@
+// Seeded random workload generation for property-based testing and
+// robustness experiments.  Instances stay in the same family as the
+// paper's workloads (consumer-node-constrained, optionally with shared
+// link bottlenecks) but vary topology, class counts, ranks, populations,
+// costs and capacities.
+#pragma once
+
+#include <cstdint>
+
+#include "model/problem.hpp"
+#include "workload/workloads.hpp"
+
+namespace lrgp::workload {
+
+struct RandomWorkloadOptions {
+    std::uint32_t seed = 1;
+    int min_flows = 2, max_flows = 8;
+    int min_cnodes = 2, max_cnodes = 6;
+    int min_classes_per_flow = 1, max_classes_per_flow = 4;
+    double min_rank = 1.0, max_rank = 100.0;
+    int min_population = 10, max_population = 2000;
+    double min_flow_cost = 1.0, max_flow_cost = 10.0;      ///< F range
+    double min_consumer_cost = 5.0, max_consumer_cost = 40.0;  ///< G range
+    double min_capacity = 1e5, max_capacity = 2e6;         ///< c_b range
+    double rate_min = 10.0, rate_max = 1000.0;
+    UtilityShape shape = UtilityShape::kLog;
+    /// Probability that the workload gets a shared bottleneck link
+    /// carrying every flow (exercises link pricing).
+    double link_bottleneck_probability = 0.0;
+};
+
+/// Builds a random-but-valid problem.  Deterministic for a given seed.
+/// Every flow has at least one class; every class's node is on its
+/// flow's route; all invariants of ProblemBuilder hold by construction.
+[[nodiscard]] model::ProblemSpec make_random_workload(const RandomWorkloadOptions& options);
+
+}  // namespace lrgp::workload

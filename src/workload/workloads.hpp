@@ -1,0 +1,69 @@
+// Test workloads from Section 4.1 of the paper.
+//
+// The base workload (Table 1) has six flows, three consumer-hosting nodes
+// (S0, S1, S2) and twenty consumer classes arranged in pairs: both
+// classes of a pair share flow, n^max and rank, and differ only in the
+// node they attach to.  Class utility is rank * f(r) with a configurable
+// shape f.  The resource model is uniform: F = 3, G = 19, c_b = 9e5
+// (constants measured on the Gryphon pub/sub system), r in [10, 1000],
+// and there are no link bottlenecks.
+//
+// Scaling (Section 4.3) replicates the workload two ways:
+//   * flow_replicas:  adds whole copies (6 flows + their 3 c-nodes each),
+//     modelling new information flows entering the system;
+//   * cnode_replicas: replicates each c-node within a copy, re-attaching
+//     a duplicate of every class, modelling the same information
+//     propagating to more consumers.
+// Table 2's rows are {1,1}, {2,1}, {4,1}, {1,2}, {1,4}, {1,8}.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+#include "utility/utility_function.hpp"
+
+namespace lrgp::workload {
+
+/// The four class-utility shapes evaluated in the paper (Section 4.5).
+enum class UtilityShape {
+    kLog,      ///< rank * log(1+r)
+    kPow025,   ///< rank * r^0.25
+    kPow05,    ///< rank * r^0.5
+    kPow075,   ///< rank * r^0.75
+};
+
+/// Short human-readable name, e.g. "log(1+r)" or "r^0.25".
+[[nodiscard]] std::string shape_name(UtilityShape shape);
+
+/// Builds rank * f(r) for the given shape.
+[[nodiscard]] std::shared_ptr<const utility::UtilityFunction> make_class_utility(
+    UtilityShape shape, double rank);
+
+/// Knobs for workload construction; defaults reproduce Table 1.
+struct WorkloadOptions {
+    UtilityShape shape = UtilityShape::kLog;
+    int flow_replicas = 1;
+    int cnode_replicas = 1;
+    double flow_node_cost = 3.0;    ///< F_{b,i}
+    double consumer_cost = 19.0;    ///< G_{b,j}
+    double node_capacity = 9.0e5;   ///< c_b
+    double rate_min = 10.0;
+    double rate_max = 1000.0;
+};
+
+/// The Table 1 base workload with the requested utility shape.
+[[nodiscard]] model::ProblemSpec make_base_workload(UtilityShape shape = UtilityShape::kLog);
+
+/// A scaled workload per WorkloadOptions (Table 2 rows).
+[[nodiscard]] model::ProblemSpec make_scaled_workload(const WorkloadOptions& options);
+
+/// Finds a flow by name; throws std::invalid_argument if absent.
+/// Base-workload flows are named "f0_0" ... "f0_5" (replica 0).
+[[nodiscard]] model::FlowId find_flow(const model::ProblemSpec& spec, const std::string& name);
+
+/// Finds a node by name ("r0_S0" etc.); throws if absent.
+[[nodiscard]] model::NodeId find_node(const model::ProblemSpec& spec, const std::string& name);
+
+}  // namespace lrgp::workload

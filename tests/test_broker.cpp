@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "broker/filter.hpp"
+#include "broker/overlay.hpp"
+#include "broker/transform.hpp"
+#include "lrgp/optimizer.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrgp;
+using namespace lrgp::broker;
+using lrgp::test::make_tiny_problem;
+
+Message makeMsg(double price, const std::string& symbol) {
+    Message m;
+    m.fields["price"] = price;
+    m.fields["symbol"] = symbol;
+    return m;
+}
+
+// ------------------------------------------------------------------ filters
+
+TEST(Filters, AcceptAllMatchesEverything) {
+    AcceptAll f;
+    EXPECT_TRUE(f.matches(makeMsg(1.0, "IBM")));
+    EXPECT_TRUE(f.matches(Message{}));
+}
+
+TEST(Filters, NumericCompareAllOps) {
+    const Message m = makeMsg(80.0, "IBM");
+    using Op = NumericCompare::Op;
+    EXPECT_TRUE(NumericCompare("price", Op::kLess, 81.0).matches(m));
+    EXPECT_TRUE(NumericCompare("price", Op::kLessEq, 80.0).matches(m));
+    EXPECT_TRUE(NumericCompare("price", Op::kGreater, 79.0).matches(m));
+    EXPECT_TRUE(NumericCompare("price", Op::kGreaterEq, 80.0).matches(m));
+    EXPECT_TRUE(NumericCompare("price", Op::kEqual, 80.0).matches(m));
+    EXPECT_TRUE(NumericCompare("price", Op::kNotEqual, 81.0).matches(m));
+    EXPECT_FALSE(NumericCompare("price", Op::kGreater, 80.0).matches(m));
+}
+
+TEST(Filters, NumericCompareMissingOrTextualFieldNeverMatches) {
+    const Message m = makeMsg(80.0, "IBM");
+    using Op = NumericCompare::Op;
+    EXPECT_FALSE(NumericCompare("volume", Op::kGreater, 0.0).matches(m));
+    EXPECT_FALSE(NumericCompare("symbol", Op::kEqual, 0.0).matches(m));
+    EXPECT_THROW(NumericCompare("", Op::kEqual, 0.0), std::invalid_argument);
+}
+
+TEST(Filters, TextEquals) {
+    const Message m = makeMsg(80.0, "IBM");
+    EXPECT_TRUE(TextEquals("symbol", "IBM").matches(m));
+    EXPECT_FALSE(TextEquals("symbol", "AAPL").matches(m));
+    EXPECT_FALSE(TextEquals("price", "80").matches(m));  // numeric field
+}
+
+TEST(Filters, BooleanCombinators) {
+    const Message m = makeMsg(80.0, "IBM");
+    auto gt = std::make_shared<NumericCompare>("price", NumericCompare::Op::kGreater, 50.0);
+    auto is_ibm = std::make_shared<TextEquals>("symbol", "IBM");
+    auto is_aapl = std::make_shared<TextEquals>("symbol", "AAPL");
+    EXPECT_TRUE(AndFilter({gt, is_ibm}).matches(m));
+    EXPECT_FALSE(AndFilter({gt, is_aapl}).matches(m));
+    EXPECT_TRUE(OrFilter({is_aapl, is_ibm}).matches(m));
+    EXPECT_FALSE(OrFilter({}).matches(m));
+    EXPECT_TRUE(AndFilter({}).matches(m));
+    EXPECT_TRUE(NotFilter(is_aapl).matches(m));
+    EXPECT_THROW(AndFilter({nullptr}), std::invalid_argument);
+    EXPECT_THROW(NotFilter(nullptr), std::invalid_argument);
+}
+
+TEST(Filters, DescribeIsHumanReadable) {
+    NumericCompare f("price", NumericCompare::Op::kGreater, 80.0);
+    EXPECT_EQ(f.describe(), "price > 80");
+}
+
+// ------------------------------------------------------------- transforms
+
+TEST(Transforms, RemoveFieldsStripsGoldOnlyContent) {
+    RemoveFields t({"insider_flag"});
+    Message m = makeMsg(80.0, "IBM");
+    m.fields["insider_flag"] = 1.0;
+    const auto out = t.apply(m);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_FALSE(out->hasField("insider_flag"));
+    EXPECT_TRUE(out->hasField("price"));
+    EXPECT_THROW(RemoveFields({}), std::invalid_argument);
+}
+
+TEST(Transforms, ScaleFieldConvertsUnits) {
+    ScaleField t("price", 100.0);  // dollars -> cents
+    const auto out = t.apply(makeMsg(80.0, "IBM"));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(*out->numericField("price"), 8000.0);
+    // Messages without the field pass through unchanged.
+    Message no_price;
+    no_price.fields["x"] = 1.0;
+    EXPECT_TRUE(t.apply(no_price).has_value());
+}
+
+TEST(Transforms, AggregatorEmitsEveryWindowWithAverages) {
+    Aggregator t(3);
+    EXPECT_FALSE(t.apply(makeMsg(10.0, "IBM")).has_value());
+    EXPECT_FALSE(t.apply(makeMsg(20.0, "IBM")).has_value());
+    const auto out = t.apply(makeMsg(60.0, "IBM"));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(*out->numericField("price"), 30.0);
+    // Window resets after emission.
+    EXPECT_FALSE(t.apply(makeMsg(1.0, "IBM")).has_value());
+    EXPECT_THROW(Aggregator(0), std::invalid_argument);
+}
+
+TEST(Transforms, PipelineChainsAndDrops) {
+    auto scale = std::make_shared<ScaleField>("price", 2.0);
+    auto agg = std::make_shared<Aggregator>(2);
+    Pipeline p({scale, agg});
+    EXPECT_FALSE(p.apply(makeMsg(10.0, "IBM")).has_value());
+    const auto out = p.apply(makeMsg(20.0, "IBM"));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_DOUBLE_EQ(*out->numericField("price"), 30.0);  // avg(20, 40)
+    EXPECT_THROW(Pipeline({nullptr}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- overlay
+
+TEST(Overlay, EnactAdmitsInRegistrationOrder) {
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    std::vector<ConsumerId> gold_ids;
+    for (int k = 0; k < 8; ++k) gold_ids.push_back(overlay.addConsumer(t.gold));
+
+    auto alloc = model::Allocation::minimal(t.spec);
+    alloc.populations[t.gold.index()] = 3;
+    overlay.enact(alloc);
+    for (int k = 0; k < 8; ++k)
+        EXPECT_EQ(overlay.consumer(gold_ids[k]).admitted, k < 3) << "consumer " << k;
+}
+
+TEST(Overlay, EpochDeliversAtEnactedRate) {
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    const auto cid = overlay.addConsumer(t.gold);
+    auto alloc = model::Allocation::minimal(t.spec);
+    alloc.rates[t.flow.index()] = 10.0;
+    alloc.populations[t.gold.index()] = 1;
+    overlay.enact(alloc);
+
+    const auto report = overlay.runEpoch(10.0);
+    EXPECT_EQ(report.published[t.flow.index()], 100u);
+    EXPECT_EQ(overlay.consumer(cid).delivered, 100u);
+}
+
+TEST(Overlay, MeasuredUsageMatchesEquationFive) {
+    // The broker's measured cost must equal the constraint function the
+    // optimizer reasons about: (F + sum_j G n_j) * r * seconds.
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    for (int k = 0; k < 8; ++k) overlay.addConsumer(t.gold);
+    for (int k = 0; k < 20; ++k) overlay.addConsumer(t.pub);
+
+    auto alloc = model::Allocation::minimal(t.spec);
+    alloc.rates[t.flow.index()] = 7.0;
+    alloc.populations[t.gold.index()] = 4;
+    alloc.populations[t.pub.index()] = 9;
+    ASSERT_TRUE(model::check_feasibility(t.spec, alloc).feasible());
+    overlay.enact(alloc);
+
+    const double seconds = 10.0;
+    const auto report = overlay.runEpoch(seconds);
+    const double predicted = model::node_usage(t.spec, alloc, t.cnode) * seconds;
+    const double measured = report.node_stats[t.cnode.index()].used;
+    EXPECT_NEAR(measured, predicted, 0.01 * predicted);
+    EXPECT_EQ(report.node_stats[t.cnode.index()].dropped, 0u);
+}
+
+TEST(Overlay, OverloadedNodeDropsMessages) {
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    for (int k = 0; k < 20; ++k) overlay.addConsumer(t.pub);
+
+    // Deliberately infeasible enactment: 20 public consumers at max rate
+    // cost 10*20*50 = 10000/s against capacity 1000/s.
+    model::Allocation alloc = model::Allocation::minimal(t.spec);
+    alloc.rates[t.flow.index()] = 50.0;
+    alloc.populations[t.pub.index()] = 20;
+    overlay.enact(alloc);
+
+    const auto report = overlay.runEpoch(2.0);
+    const auto& stats = report.node_stats[t.cnode.index()];
+    EXPECT_GT(stats.dropped, 0u);
+    EXPECT_LE(stats.used, stats.budget + 1e-9);
+    // Roughly capacity/cost messages make it through, the rest drop.
+    EXPECT_LT(stats.processed, report.published[t.flow.index()]);
+}
+
+TEST(Overlay, FiltersSelectContent) {
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    const auto cheap = overlay.addConsumer(
+        t.gold, std::make_shared<NumericCompare>("price", NumericCompare::Op::kLess, 50.0));
+    const auto expensive = overlay.addConsumer(
+        t.gold, std::make_shared<NumericCompare>("price", NumericCompare::Op::kGreaterEq, 50.0));
+
+    overlay.setMessageFactory(t.flow, [](model::FlowId, std::uint64_t seq) {
+        Message m;
+        m.fields["price"] = static_cast<double>(seq);  // 0..99
+        return m;
+    });
+
+    auto alloc = model::Allocation::minimal(t.spec);
+    alloc.rates[t.flow.index()] = 10.0;
+    alloc.populations[t.gold.index()] = 2;
+    overlay.enact(alloc);
+    overlay.runEpoch(10.0);  // 100 messages, prices 0..99
+
+    EXPECT_EQ(overlay.consumer(cheap).delivered, 50u);
+    EXPECT_EQ(overlay.consumer(cheap).filtered_out, 50u);
+    EXPECT_EQ(overlay.consumer(expensive).delivered, 50u);
+}
+
+TEST(Overlay, TransformationAppliedBeforeConsumers) {
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    // Consumer filters on a field the transformation removes: nothing
+    // may be delivered.
+    const auto cid = overlay.addConsumer(
+        t.gold, std::make_shared<NumericCompare>("secret", NumericCompare::Op::kGreaterEq, 0.0));
+    overlay.setMessageFactory(t.flow, [](model::FlowId, std::uint64_t seq) {
+        Message m;
+        m.fields["secret"] = static_cast<double>(seq);
+        return m;
+    });
+    overlay.setTransformation(t.flow, t.cnode,
+                              std::make_shared<RemoveFields>(std::vector<std::string>{"secret"}));
+
+    auto alloc = model::Allocation::minimal(t.spec);
+    alloc.rates[t.flow.index()] = 10.0;
+    alloc.populations[t.gold.index()] = 1;
+    overlay.enact(alloc);
+    overlay.runEpoch(5.0);
+    EXPECT_EQ(overlay.consumer(cid).delivered, 0u);
+    EXPECT_GT(overlay.consumer(cid).filtered_out, 0u);
+}
+
+TEST(Overlay, Validation) {
+    const auto t = make_tiny_problem();
+    BrokerOverlay overlay(t.spec);
+    EXPECT_THROW(overlay.addConsumer(model::ClassId{99}), std::invalid_argument);
+    EXPECT_THROW(overlay.enact(model::Allocation{}), std::invalid_argument);
+    EXPECT_THROW(overlay.runEpoch(0.0), std::invalid_argument);
+}
+
+TEST(Overlay, EndToEndWithOptimizer) {
+    // The full loop: optimize with LRGP, enact on the broker, run
+    // traffic, and confirm no node drops anything (the allocation is
+    // feasible by construction).
+    const auto t = make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    opt.run(100);
+
+    BrokerOverlay overlay(t.spec);
+    for (int k = 0; k < 8; ++k) overlay.addConsumer(t.gold);
+    for (int k = 0; k < 20; ++k) overlay.addConsumer(t.pub);
+    overlay.enact(opt.allocation());
+
+    const auto report = overlay.runEpoch(20.0);
+    for (const auto& stats : report.node_stats) {
+        EXPECT_EQ(stats.dropped, 0u);
+        EXPECT_LE(stats.used, stats.budget + 1e-9);
+    }
+    // Admitted gold consumers actually received the flow.
+    int admitted_gold = opt.allocation().populations[t.gold.index()];
+    ASSERT_GT(admitted_gold, 0);
+    const auto gold_ids = overlay.consumersOfClass(t.gold);
+    EXPECT_GT(overlay.consumer(gold_ids[0]).delivered, 0u);
+}
+
+}  // namespace

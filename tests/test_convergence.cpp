@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lrgp/convergence.hpp"
+
+namespace {
+
+using lrgp::core::ConvergenceDetector;
+using lrgp::core::ConvergenceOptions;
+
+TEST(Convergence, NotConvergedBeforeWindowFills) {
+    ConvergenceDetector d(ConvergenceOptions{5, 1e-3});
+    for (int i = 0; i < 4; ++i) EXPECT_FALSE(d.addSample(100.0));
+    EXPECT_TRUE(d.addSample(100.0));  // 5th identical sample -> converged
+    EXPECT_EQ(d.convergedAt(), 5u);
+}
+
+TEST(Convergence, OscillationBlocksConvergence) {
+    ConvergenceDetector d(ConvergenceOptions{5, 1e-3});
+    for (int i = 0; i < 50; ++i) d.addSample(100.0 + (i % 2 ? 1.0 : -1.0));  // 2% swing
+    EXPECT_FALSE(d.converged());
+}
+
+TEST(Convergence, SmallRelativeAmplitudePasses) {
+    ConvergenceDetector d(ConvergenceOptions{5, 1e-3});
+    for (int i = 0; i < 10; ++i) d.addSample(1e6 + (i % 2 ? 400.0 : -400.0));  // 0.08% swing
+    EXPECT_TRUE(d.converged());
+}
+
+TEST(Convergence, ConvergedAtRecordsFirstFiring) {
+    ConvergenceDetector d(ConvergenceOptions{3, 1e-3});
+    d.addSample(1.0);
+    d.addSample(100.0);
+    d.addSample(100.0);   // window {1,100,100}: huge amplitude
+    d.addSample(100.0);   // window {100,100,100}: converged at sample 4
+    EXPECT_TRUE(d.converged());
+    EXPECT_EQ(d.convergedAt(), 4u);
+    // Further samples do not change the recorded iteration.
+    d.addSample(100.0);
+    EXPECT_EQ(d.convergedAt(), 4u);
+}
+
+TEST(Convergence, DecayingOscillationEventuallyConverges) {
+    ConvergenceDetector d(ConvergenceOptions{10, 1e-3});
+    std::size_t fired_at = 0;
+    for (int i = 0; i < 300; ++i) {
+        const double wobble = 1000.0 * std::exp(-0.05 * i) * (i % 2 ? 1.0 : -1.0);
+        if (d.addSample(1e5 + wobble) && fired_at == 0) fired_at = d.convergedAt();
+    }
+    EXPECT_TRUE(d.converged());
+    EXPECT_GT(fired_at, 10u);
+    EXPECT_LT(fired_at, 300u);
+}
+
+TEST(Convergence, ResetClearsState) {
+    ConvergenceDetector d(ConvergenceOptions{3, 1e-3});
+    for (int i = 0; i < 5; ++i) d.addSample(7.0);
+    ASSERT_TRUE(d.converged());
+    d.reset();
+    EXPECT_FALSE(d.converged());
+    EXPECT_EQ(d.convergedAt(), 0u);
+}
+
+TEST(Convergence, ZeroMeanNeverConverges) {
+    ConvergenceDetector d(ConvergenceOptions{4, 1e-3});
+    for (int i = 0; i < 20; ++i) d.addSample(0.0);
+    // Mean zero: relative amplitude undefined; detector stays quiet.
+    EXPECT_FALSE(d.converged());
+}
+
+TEST(Convergence, Validation) {
+    EXPECT_THROW(ConvergenceDetector(ConvergenceOptions{1, 1e-3}), std::invalid_argument);
+    EXPECT_THROW(ConvergenceDetector(ConvergenceOptions{5, 0.0}), std::invalid_argument);
+}
+
+}  // namespace

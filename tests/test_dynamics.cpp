@@ -1,0 +1,136 @@
+// Dynamic-workload behaviour of the optimizer: consumers arriving and
+// leaving (n^max changes), warm-started re-optimization, and the
+// asynchronous protocol under message loss (Section 3.5's tolerance
+// claim).
+#include <gtest/gtest.h>
+
+#include "dist/dist_lrgp.hpp"
+#include "lrgp/optimizer.hpp"
+#include "test_helpers.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+TEST(Dynamics, GrowingPopulationCeilingRaisesUtility) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    opt.run(100);
+    const double before = opt.currentUtility();
+    // 20 more gold consumers arrive.
+    opt.setClassMaxConsumers(t.gold, 28);
+    opt.run(100);
+    EXPECT_GT(opt.currentUtility(), before * 1.05);
+    EXPECT_TRUE(model::check_feasibility(opt.problem(), opt.allocation()).feasible());
+}
+
+TEST(Dynamics, ShrinkingCeilingEvictsImmediately) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    opt.run(100);
+    ASSERT_GE(opt.allocation().populations[t.gold.index()], 7);
+    opt.setClassMaxConsumers(t.gold, 2);
+    // Even before the next iteration the allocation is within bounds.
+    EXPECT_LE(opt.allocation().populations[t.gold.index()], 2);
+    opt.run(50);
+    EXPECT_LE(opt.allocation().populations[t.gold.index()], 2);
+    EXPECT_TRUE(model::check_feasibility(opt.problem(), opt.allocation()).feasible());
+}
+
+TEST(Dynamics, CeilingValidation) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    EXPECT_THROW(opt.setClassMaxConsumers(t.gold, -1), std::invalid_argument);
+}
+
+TEST(Dynamics, WarmStartReconvergesFasterAfterSmallChange) {
+    // Converge, perturb one node's capacity by 10%, and compare cold vs
+    // warm re-optimization on the perturbed problem.
+    core::LrgpOptimizer first(workload::make_base_workload());
+    first.run(150);
+    const auto learned_prices = first.prices();
+    const auto learned_populations = first.allocation().populations;
+
+    auto perturbed = workload::make_base_workload();
+    const auto s0 = workload::find_node(perturbed, "r0_S0");
+    perturbed.setNodeCapacity(s0, perturbed.node(s0).capacity * 0.9);
+
+    core::LrgpOptimizer cold(perturbed);
+    const auto cold_conv = cold.runUntilConverged(400);
+
+    core::LrgpOptimizer warm(perturbed);
+    warm.warmStart(learned_prices, &learned_populations);
+    const auto warm_conv = warm.runUntilConverged(400);
+
+    ASSERT_TRUE(warm_conv.has_value());
+    ASSERT_TRUE(cold_conv.has_value());
+    EXPECT_LE(*warm_conv, *cold_conv);
+    // Both land at essentially the same utility.
+    EXPECT_NEAR(warm.currentUtility(), cold.currentUtility(),
+                0.01 * cold.currentUtility());
+}
+
+TEST(Dynamics, WarmStartValidatesSizes) {
+    core::LrgpOptimizer opt(workload::make_base_workload());
+    core::PriceVector wrong = core::PriceVector::zeros(1, 0);
+    EXPECT_THROW(opt.warmStart(wrong), std::invalid_argument);
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer tiny(t.spec);
+    std::vector<int> wrong_pops(99, 0);
+    EXPECT_THROW(
+        tiny.warmStart(core::PriceVector::zeros(t.spec.nodeCount(), 0), &wrong_pops),
+        std::invalid_argument);
+}
+
+TEST(Dynamics, WarmStartClampsPopulationsToCeilings) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    std::vector<int> oversized(t.spec.classCount(), 1000);  // above every n^max
+    opt.warmStart(core::PriceVector::zeros(t.spec.nodeCount(), 0), &oversized);
+    EXPECT_LE(opt.allocation().populations[t.gold.index()], 8);
+    EXPECT_LE(opt.allocation().populations[t.pub.index()], 20);
+}
+
+TEST(MessageLoss, AsyncToleratesTenPercentLoss) {
+    const auto spec = workload::make_base_workload();
+    core::LrgpOptimizer central(spec);
+    central.run(150);
+
+    dist::DistOptions options;
+    options.synchronous = false;
+    options.message_loss_probability = 0.10;
+    options.price_window = 5;  // averaging smooths over the gaps
+    dist::DistLrgp d(spec, options);
+    d.runFor(15.0);
+
+    EXPECT_GT(d.messagesLost(), 0u);
+    EXPECT_NEAR(d.currentUtility(), central.currentUtility(),
+                0.10 * central.currentUtility());
+    EXPECT_TRUE(model::check_feasibility(spec, d.snapshot()).feasible());
+}
+
+TEST(MessageLoss, LossRateMatchesConfiguration) {
+    const auto spec = workload::make_base_workload();
+    dist::DistOptions options;
+    options.synchronous = false;
+    options.message_loss_probability = 0.25;
+    dist::DistLrgp d(spec, options);
+    d.runFor(10.0);
+    const double observed =
+        static_cast<double>(d.messagesLost()) / static_cast<double>(d.messagesSent());
+    EXPECT_NEAR(observed, 0.25, 0.05);
+}
+
+TEST(MessageLoss, RejectedInSyncMode) {
+    const auto spec = workload::make_base_workload();
+    dist::DistOptions options;
+    options.message_loss_probability = 0.1;  // synchronous default
+    EXPECT_THROW((dist::DistLrgp{spec, options}), std::invalid_argument);
+    dist::DistOptions bad;
+    bad.synchronous = false;
+    bad.message_loss_probability = 1.0;
+    EXPECT_THROW((dist::DistLrgp{spec, bad}), std::invalid_argument);
+}
+
+}  // namespace

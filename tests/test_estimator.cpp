@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "broker/estimator.hpp"
+#include "broker/overlay.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrgp;
+using broker::CostEstimator;
+using broker::CostObservation;
+
+TEST(CostEstimator, RecoversExactLinearModel) {
+    // usage = 3r + 19nr, the paper's constants.
+    CostEstimator estimator;
+    for (double r : {10.0, 50.0, 200.0})
+        for (double n : {0.0, 5.0, 40.0})
+            estimator.addObservation({r, n, 3.0 * r + 19.0 * n * r});
+    const auto est = estimator.estimate();
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(est->flow_node_cost, 3.0, 1e-9);
+    EXPECT_NEAR(est->consumer_cost, 19.0, 1e-9);
+    EXPECT_NEAR(est->max_residual, 0.0, 1e-9);
+}
+
+TEST(CostEstimator, ToleratesNoise) {
+    CostEstimator estimator;
+    // +-1% multiplicative noise, deterministic pattern.  The G term
+    // dominates the regressors, so G is recovered tightly while F (a
+    // small additive component) absorbs most of the noise.
+    int k = 0;
+    for (double r : {20.0, 80.0, 300.0, 700.0})
+        for (double n : {0.0, 10.0, 100.0}) {
+            const double noise = 1.0 + ((k++ % 2 == 0) ? 0.01 : -0.01);
+            estimator.addObservation({r, n, (3.0 * r + 19.0 * n * r) * noise});
+        }
+    const auto est = estimator.estimate();
+    ASSERT_TRUE(est.has_value());
+    EXPECT_NEAR(est->flow_node_cost, 3.0, 1.5);
+    EXPECT_NEAR(est->consumer_cost, 19.0, 0.5);
+}
+
+TEST(CostEstimator, SingularWithoutVariation) {
+    CostEstimator estimator;
+    // All observations share n = 4: F and G are not separable.
+    for (double r : {10.0, 20.0, 30.0}) estimator.addObservation({r, 4.0, 2.0 * r + 5.0 * 4 * r});
+    EXPECT_FALSE(estimator.estimate().has_value());
+}
+
+TEST(CostEstimator, NeedsTwoObservations) {
+    CostEstimator estimator;
+    EXPECT_FALSE(estimator.estimate().has_value());
+    estimator.addObservation({10.0, 2.0, 100.0});
+    EXPECT_FALSE(estimator.estimate().has_value());
+    EXPECT_EQ(estimator.observationCount(), 1u);
+    estimator.clear();
+    EXPECT_EQ(estimator.observationCount(), 0u);
+}
+
+TEST(CostEstimator, CalibratesFromBrokerEpochs) {
+    // The full autonomic-calibration loop: run traffic epochs at several
+    // operating points on the broker, measure node usage, and recover
+    // the configured F=2, G=5 of the tiny problem's gold class.
+    const auto t = lrgp::test::make_tiny_problem();
+    CostEstimator estimator;
+
+    // Operating points chosen to stay within the node budget (capacity
+    // 1000/s): max usage/s = 2*20 + 5*6*20 = 640.  Overloaded epochs
+    // would cap the measured usage and bias the fit.
+    for (double rate : {5.0, 10.0, 20.0}) {
+        for (int n : {0, 2, 6}) {
+            broker::BrokerOverlay overlay(t.spec);
+            for (int k = 0; k < 8; ++k) overlay.addConsumer(t.gold);
+            auto alloc = model::Allocation::minimal(t.spec);
+            alloc.rates[t.flow.index()] = rate;
+            alloc.populations[t.gold.index()] = n;
+            overlay.enact(alloc);
+            const auto report = overlay.runEpoch(10.0);
+            estimator.addObservation(
+                {rate, static_cast<double>(n),
+                 report.node_stats[t.cnode.index()].used / report.seconds});
+        }
+    }
+
+    const auto est = estimator.estimate();
+    ASSERT_TRUE(est.has_value());
+    // The epoch publishes floor(rate*seconds) messages, so the effective
+    // rate is quantized; allow a few percent.
+    EXPECT_NEAR(est->flow_node_cost, 2.0, 0.1);
+    EXPECT_NEAR(est->consumer_cost, 5.0, 0.1);
+}
+
+}  // namespace

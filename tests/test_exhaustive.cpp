@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/annealing.hpp"
+#include "baseline/exhaustive.hpp"
+#include "lrgp/optimizer.hpp"
+#include "utility/utility_function.hpp"
+
+namespace {
+
+using namespace lrgp;
+using baseline::ExhaustiveOptions;
+using baseline::exhaustive_search;
+
+/// A micro problem small enough for dense enumeration: one flow, two
+/// classes with conflicting benefit-cost profiles.
+model::ProblemSpec microProblem() {
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 200.0);
+    const auto flow = b.addFlow("f", src, 1.0, 20.0);
+    b.routeThroughNode(flow, node, 1.0);
+    b.addClass("hi", flow, node, 4, 3.0, std::make_shared<utility::LogUtility>(12.0));
+    b.addClass("lo", flow, node, 6, 1.0, std::make_shared<utility::LogUtility>(2.0));
+    return b.build();
+}
+
+TEST(Exhaustive, FindsFeasibleOptimum) {
+    const auto spec = microProblem();
+    const auto result = exhaustive_search(spec, ExhaustiveOptions{32, 10'000'000});
+    EXPECT_GT(result.best_utility, 0.0);
+    EXPECT_TRUE(model::check_feasibility(spec, result.best).feasible());
+    EXPECT_GT(result.steps_taken, 0u);
+}
+
+TEST(Exhaustive, ThrowsWhenSpaceTooLarge) {
+    const auto spec = microProblem();
+    EXPECT_THROW((void)exhaustive_search(spec, ExhaustiveOptions{32, 100}),
+                 std::invalid_argument);
+}
+
+TEST(Exhaustive, FinerGridNeverWorse) {
+    const auto spec = microProblem();
+    const auto coarse = exhaustive_search(spec, ExhaustiveOptions{4, 10'000'000});
+    const auto fine = exhaustive_search(spec, ExhaustiveOptions{24, 10'000'000});
+    EXPECT_GE(fine.best_utility, coarse.best_utility - 1e-9);
+}
+
+TEST(Exhaustive, LrgpWithinTenPercentOfOptimum) {
+    // The paper could not compute ground truth for its workloads; on a
+    // micro instance we can.  LRGP is a heuristic without an optimality
+    // proof, but it should land close to the dense-grid optimum.
+    const auto spec = microProblem();
+    const auto optimum = exhaustive_search(spec, ExhaustiveOptions{64, 40'000'000});
+
+    core::LrgpOptimizer opt(spec);
+    opt.run(200);
+    // The grid optimum is itself approximate (rates are quantized), so a
+    // continuous-rate solution may slightly beat it.
+    EXPECT_LE(opt.currentUtility(), 1.02 * optimum.best_utility);
+    EXPECT_GE(opt.currentUtility(), 0.90 * optimum.best_utility);
+}
+
+TEST(Exhaustive, AnnealingApproachesOptimumOnMicroProblem) {
+    const auto spec = microProblem();
+    const auto optimum = exhaustive_search(spec, ExhaustiveOptions{32, 10'000'000});
+    baseline::AnnealOptions options;
+    options.max_steps = 200'000;
+    options.rate_step_fraction = 0.25;
+    options.population_step_fraction = 0.5;
+    const auto sa = baseline::simulated_annealing(spec, options);
+    EXPECT_GE(sa.best_utility, 0.9 * optimum.best_utility);
+    // SA's rates are continuous, so it may edge past the quantized grid.
+    EXPECT_LE(sa.best_utility, 1.05 * optimum.best_utility);
+}
+
+}  // namespace

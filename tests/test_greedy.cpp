@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "lrgp/greedy_allocator.hpp"
+#include "model/allocation.hpp"
+#include "test_helpers.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using core::GreedyConsumerAllocator;
+using lrgp::test::make_tiny_problem;
+
+TEST(Greedy, BenefitCostsSortedDescending) {
+    const auto t = make_tiny_problem();
+    GreedyConsumerAllocator greedy(t.spec);
+    std::vector<double> rates{10.0};
+    const auto bcs = greedy.benefitCosts(t.cnode, rates);
+    ASSERT_EQ(bcs.size(), 2u);
+    EXPECT_GE(bcs[0].ratio, bcs[1].ratio);
+    // gold: 30*log(11)/(5*10) = 1.438...; public: 4*log(11)/(10*10) = 0.0959
+    EXPECT_EQ(bcs[0].cls, t.gold);
+    EXPECT_NEAR(bcs[0].ratio, 30.0 * std::log(11.0) / 50.0, 1e-9);
+    EXPECT_NEAR(bcs[1].ratio, 4.0 * std::log(11.0) / 100.0, 1e-9);
+}
+
+TEST(Greedy, AdmitsBestClassFirst) {
+    const auto t = make_tiny_problem();
+    GreedyConsumerAllocator greedy(t.spec);
+    // At rate 10: base usage = 20, remaining = 980.  Gold unit cost 50:
+    // all 8 admitted (400).  Then public unit cost 100: remaining 580 -> 5.
+    const auto result = greedy.allocate(t.cnode, {10.0});
+    int gold_n = -1, pub_n = -1;
+    for (const auto& [cls, n] : result.populations) {
+        if (cls == t.gold) gold_n = n;
+        if (cls == t.pub) pub_n = n;
+    }
+    EXPECT_EQ(gold_n, 8);
+    EXPECT_EQ(pub_n, 5);
+    EXPECT_DOUBLE_EQ(result.used, 20.0 + 8 * 50.0 + 5 * 100.0);
+}
+
+TEST(Greedy, NeverExceedsCapacity) {
+    const auto t = make_tiny_problem();
+    GreedyConsumerAllocator greedy(t.spec);
+    for (double rate = 1.0; rate <= 50.0; rate += 1.0) {
+        const auto result = greedy.allocate(t.cnode, {rate});
+        EXPECT_LE(result.used, t.spec.node(t.cnode).capacity + 1e-9) << "rate=" << rate;
+    }
+}
+
+TEST(Greedy, BestUnmetBcReflectsFirstUnsatisfiedClass) {
+    const auto t = make_tiny_problem();
+    GreedyConsumerAllocator greedy(t.spec);
+    // At rate 10, gold is fully admitted but public is not: BC(b,t) is
+    // public's ratio.
+    const auto result = greedy.allocate(t.cnode, {10.0});
+    EXPECT_NEAR(result.best_unmet_bc, 4.0 * std::log(11.0) / 100.0, 1e-9);
+}
+
+TEST(Greedy, BestUnmetBcZeroWhenAllAdmitted) {
+    // Huge capacity: everything fits.
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 1e9);
+    const auto flow = b.addFlow("f", src, 1.0, 50.0);
+    b.routeThroughNode(flow, node, 1.0);
+    b.addClass("c", flow, node, 5, 1.0, std::make_shared<utility::LogUtility>(2.0));
+    const auto spec = b.build();
+    GreedyConsumerAllocator greedy(spec);
+    const auto result = greedy.allocate(model::NodeId{1}, {10.0});
+    EXPECT_EQ(result.populations[0].second, 5);
+    EXPECT_DOUBLE_EQ(result.best_unmet_bc, 0.0);
+}
+
+TEST(Greedy, FlowCostsAloneCanExhaustNode) {
+    // Tiny capacity: F*r alone exceeds it; no consumer admitted, and the
+    // used value reports the overshoot (paper: "all n_j remain at 0").
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 5.0);
+    const auto flow = b.addFlow("f", src, 1.0, 50.0);
+    b.routeThroughNode(flow, node, 1.0);
+    b.addClass("c", flow, node, 5, 1.0, std::make_shared<utility::LogUtility>(2.0));
+    const auto spec = b.build();
+    GreedyConsumerAllocator greedy(spec);
+    const auto result = greedy.allocate(model::NodeId{1}, {50.0});
+    EXPECT_EQ(result.populations[0].second, 0);
+    EXPECT_DOUBLE_EQ(result.used, 50.0);  // > capacity 5
+}
+
+TEST(Greedy, InactiveFlowsConsumeNothing) {
+    auto t = make_tiny_problem();
+    t.spec.setFlowActive(t.flow, false);
+    GreedyConsumerAllocator greedy(t.spec);
+    const auto result = greedy.allocate(t.cnode, {10.0});
+    for (const auto& [cls, n] : result.populations) EXPECT_EQ(n, 0);
+    EXPECT_DOUBLE_EQ(result.used, 0.0);
+    EXPECT_DOUBLE_EQ(result.best_unmet_bc, 0.0);
+}
+
+TEST(Greedy, ZeroMaxConsumerClassesIgnored) {
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 1000.0);
+    const auto flow = b.addFlow("f", src, 1.0, 50.0);
+    b.routeThroughNode(flow, node, 1.0);
+    b.addClass("empty", flow, node, 0, 1.0, std::make_shared<utility::LogUtility>(99.0));
+    b.addClass("real", flow, node, 3, 1.0, std::make_shared<utility::LogUtility>(1.0));
+    const auto spec = b.build();
+    GreedyConsumerAllocator greedy(spec);
+    const auto bcs = greedy.benefitCosts(model::NodeId{1}, {10.0});
+    ASSERT_EQ(bcs.size(), 1u);  // the n_max=0 class is not allocatable
+    const auto result = greedy.allocate(model::NodeId{1}, {10.0});
+    EXPECT_EQ(result.populations[0].second, 0);
+    EXPECT_EQ(result.populations[1].second, 3);
+}
+
+TEST(Greedy, BatchedAndUnbatchedAgree) {
+    const auto spec = workload::make_base_workload();
+    GreedyConsumerAllocator greedy(spec);
+    std::vector<double> rates(spec.flowCount());
+    for (const auto& f : spec.flows()) rates[f.id.index()] = 10.0 + 37.0 * f.id.value;
+    for (const model::NodeSpec& node : spec.nodes()) {
+        const auto batched = greedy.allocate(node.id, rates, /*batched=*/true);
+        const auto stepwise = greedy.allocate(node.id, rates, /*batched=*/false);
+        ASSERT_EQ(batched.populations.size(), stepwise.populations.size());
+        for (std::size_t k = 0; k < batched.populations.size(); ++k) {
+            EXPECT_EQ(batched.populations[k].first, stepwise.populations[k].first);
+            EXPECT_EQ(batched.populations[k].second, stepwise.populations[k].second)
+                << "node " << node.name;
+        }
+        EXPECT_NEAR(batched.used, stepwise.used, 1e-6);
+    }
+}
+
+// Property sweep over the base workload: greedy allocations are always
+// within capacity and within population bounds, at any rate level.
+class GreedySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GreedySweep, RespectsAllNodeConstraints) {
+    const double rate = GetParam();
+    const auto spec = workload::make_base_workload();
+    GreedyConsumerAllocator greedy(spec);
+    std::vector<double> rates(spec.flowCount(), rate);
+    for (const model::NodeSpec& node : spec.nodes()) {
+        const auto result = greedy.allocate(node.id, rates);
+        double used_check = 0.0;
+        for (model::FlowId i : spec.flowsAtNode(node.id))
+            used_check += spec.flowNodeCost(node.id, i) * rate;
+        for (const auto& [cls, n] : result.populations) {
+            const auto& c = spec.consumerClass(cls);
+            EXPECT_GE(n, 0);
+            EXPECT_LE(n, c.max_consumers);
+            used_check += c.consumer_cost * n * rate;
+        }
+        EXPECT_NEAR(result.used, used_check, 1e-6);
+        if (used_check <= spec.node(node.id).capacity) {
+            EXPECT_LE(result.used, spec.node(node.id).capacity + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, GreedySweep,
+                         ::testing::Values(10.0, 25.0, 60.0, 125.0, 333.0, 500.0, 1000.0));
+
+}  // namespace

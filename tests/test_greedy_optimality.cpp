@@ -1,0 +1,106 @@
+// The node-local consumer allocation is an integer packing problem; the
+// paper solves it greedily by benefit-cost order.  Greedy is optimal for
+// the fractional relaxation and near-optimal for the integer problem
+// when unit costs are small relative to capacity (the regime of all the
+// paper's workloads).  These tests quantify that against brute force.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <random>
+
+#include "lrgp/greedy_allocator.hpp"
+#include "model/problem.hpp"
+#include "utility/utility_function.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+struct NodeInstance {
+    model::ProblemSpec spec;
+    model::NodeId node;
+    std::vector<model::ClassId> classes;
+    double rate;
+};
+
+/// Builds a single-node instance with `k` classes of one flow, random
+/// small n_max and costs.
+NodeInstance randomNodeInstance(std::uint32_t seed, int k, double capacity) {
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> weight(1.0, 60.0);
+    std::uniform_real_distribution<double> cost(1.0, 8.0);
+    std::uniform_int_distribution<int> nmax(1, 6);
+
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", capacity);
+    const auto flow = b.addFlow("f", src, 1.0, 100.0);
+    b.routeThroughNode(flow, node, 1.0);
+    std::vector<model::ClassId> classes;
+    for (int i = 0; i < k; ++i) {
+        classes.push_back(b.addClass("c" + std::to_string(i), flow, node, nmax(rng), cost(rng),
+                                     std::make_shared<utility::LogUtility>(weight(rng))));
+    }
+    return NodeInstance{b.build(), node, classes, 10.0};
+}
+
+/// Brute-force best node-local utility subject to the capacity left
+/// after the F term, enumerating all population combinations.
+double bruteForceNodeOptimum(const NodeInstance& inst) {
+    const double budget =
+        inst.spec.node(inst.node).capacity -
+        inst.spec.flowNodeCost(inst.node, model::FlowId{0}) * inst.rate;
+
+    double best = 0.0;
+    std::vector<int> pops(inst.classes.size(), 0);
+    std::function<void(std::size_t, double, double)> recurse = [&](std::size_t idx, double used,
+                                                                   double utility) {
+        if (used > budget) return;
+        best = std::max(best, utility);
+        if (idx == inst.classes.size()) return;
+        const auto& c = inst.spec.consumerClass(inst.classes[idx]);
+        const double unit_cost = c.consumer_cost * inst.rate;
+        const double unit_utility = c.utility->value(inst.rate);
+        for (int n = 0; n <= c.max_consumers; ++n) {
+            const double next_used = used + n * unit_cost;
+            if (next_used > budget) break;
+            recurse(idx + 1, next_used, utility + n * unit_utility);
+        }
+    };
+    recurse(0, 0.0, 0.0);
+    return best;
+}
+
+double greedyNodeUtility(const NodeInstance& inst) {
+    core::GreedyConsumerAllocator greedy(inst.spec);
+    std::vector<double> rates{inst.rate};
+    const auto result = greedy.allocate(inst.node, rates);
+    double utility = 0.0;
+    for (const auto& [cls, n] : result.populations)
+        utility += n * inst.spec.consumerClass(cls).utility->value(inst.rate);
+    return utility;
+}
+
+class GreedyOptimality : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GreedyOptimality, TightCapacityNearOptimal) {
+    // Capacity sized so only part of the demand fits: the interesting
+    // packing regime.  Greedy must land within 10% of brute force.
+    const auto inst = randomNodeInstance(GetParam(), 5, /*capacity=*/200.0);
+    const double greedy = greedyNodeUtility(inst);
+    const double optimum = bruteForceNodeOptimum(inst);
+    EXPECT_LE(greedy, optimum + 1e-9);
+    EXPECT_GE(greedy, 0.90 * optimum) << "seed " << GetParam();
+}
+
+TEST_P(GreedyOptimality, AmpleCapacityExactlyOptimal) {
+    // Everything fits: greedy trivially matches brute force.
+    const auto inst = randomNodeInstance(GetParam(), 5, /*capacity=*/1e6);
+    EXPECT_NEAR(greedyNodeUtility(inst), bruteForceNodeOptimum(inst), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyOptimality,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace

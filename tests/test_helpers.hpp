@@ -1,0 +1,74 @@
+// Shared fixtures: small hand-built problems used across test suites.
+#pragma once
+
+#include <memory>
+
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+#include "utility/utility_function.hpp"
+
+namespace lrgp::test {
+
+/// One producer node, one consumer node, one flow, two classes competing
+/// for the consumer node's capacity.  Small enough for exhaustive search.
+///
+///   node capacity 1000, F=2, G=5/10, rates in [1, 50]
+///   class "gold"  : n_max = 8,  utility 30*log(1+r)
+///   class "public": n_max = 20, utility  4*log(1+r)
+struct TinyProblem {
+    model::ProblemSpec spec;
+    model::FlowId flow;
+    model::NodeId cnode;
+    model::ClassId gold;
+    model::ClassId pub;
+};
+
+inline TinyProblem make_tiny_problem() {
+    model::ProblemBuilder b;
+    const model::NodeId source = b.addNode("P", 1e9);
+    const model::NodeId cnode = b.addNode("S", 1000.0);
+    const model::FlowId flow = b.addFlow("trades", source, 1.0, 50.0);
+    b.routeThroughNode(flow, cnode, 2.0);
+    const model::ClassId gold =
+        b.addClass("gold", flow, cnode, 8, 5.0, std::make_shared<utility::LogUtility>(30.0));
+    const model::ClassId pub =
+        b.addClass("public", flow, cnode, 20, 10.0, std::make_shared<utility::LogUtility>(4.0));
+    TinyProblem t{b.build(), flow, cnode, gold, pub};
+    return t;
+}
+
+/// Two flows sharing one congested link, each with a consumer class at
+/// its own node; exercises link pricing.
+struct LinkedProblem {
+    model::ProblemSpec spec;
+    model::FlowId flow_a;
+    model::FlowId flow_b;
+    model::LinkId shared_link;
+    model::NodeId node_a;
+    model::NodeId node_b;
+    model::ClassId class_a;
+    model::ClassId class_b;
+};
+
+inline LinkedProblem make_linked_problem() {
+    model::ProblemBuilder b;
+    const model::NodeId source = b.addNode("P", 1e9);
+    const model::NodeId hub = b.addNode("H", 1e9);
+    const model::NodeId node_a = b.addNode("A", 1e6);
+    const model::NodeId node_b = b.addNode("B", 1e6);
+    // Shared bottleneck: capacity 100 resource units, cost 1 per msg each flow.
+    const model::LinkId shared = b.addLink("P->H", source, hub, 100.0);
+    const model::FlowId fa = b.addFlow("fa", source, 1.0, 200.0);
+    const model::FlowId fb = b.addFlow("fb", source, 1.0, 200.0);
+    b.routeOverLink(fa, shared, 1.0);
+    b.routeOverLink(fb, shared, 1.0);
+    b.routeThroughNode(fa, node_a, 1.0);
+    b.routeThroughNode(fb, node_b, 1.0);
+    const model::ClassId ca =
+        b.addClass("ca", fa, node_a, 10, 2.0, std::make_shared<utility::LogUtility>(10.0));
+    const model::ClassId cb =
+        b.addClass("cb", fb, node_b, 10, 2.0, std::make_shared<utility::LogUtility>(30.0));
+    return LinkedProblem{b.build(), fa, fb, shared, node_a, node_b, ca, cb};
+}
+
+}  // namespace lrgp::test

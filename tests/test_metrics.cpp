@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "metrics/table_writer.hpp"
+#include "metrics/time_series.hpp"
+
+namespace {
+
+using lrgp::metrics::Cell;
+using lrgp::metrics::TableWriter;
+using lrgp::metrics::TimeSeries;
+
+TEST(TimeSeries, StartsEmpty) {
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.size(), 0u);
+}
+
+TEST(TimeSeries, AppendAndIndex) {
+    TimeSeries ts;
+    ts.append(1.0);
+    ts.append(2.0);
+    ts.append(3.0);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts[0], 1.0);
+    EXPECT_DOUBLE_EQ(ts[2], 3.0);
+    EXPECT_DOUBLE_EQ(ts.back(), 3.0);
+}
+
+TEST(TimeSeries, StatsOnKnownData) {
+    TimeSeries ts({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(ts.min(), 2.0);
+    EXPECT_DOUBLE_EQ(ts.max(), 9.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(ts.stddev(), 2.0);
+}
+
+TEST(TimeSeries, StatsThrowOnEmpty) {
+    TimeSeries ts;
+    EXPECT_THROW((void)ts.min(), std::logic_error);
+    EXPECT_THROW((void)ts.max(), std::logic_error);
+    EXPECT_THROW((void)ts.mean(), std::logic_error);
+    EXPECT_THROW((void)ts.stddev(), std::logic_error);
+}
+
+TEST(TimeSeries, TrailingAmplitudeUsesOnlyWindow) {
+    TimeSeries ts({100.0, 0.0, 5.0, 6.0, 7.0});
+    // Window of 3 ignores the 100 and 0 at the front.
+    EXPECT_DOUBLE_EQ(ts.trailingAmplitude(3), 2.0);
+    EXPECT_DOUBLE_EQ(ts.trailingMean(3), 6.0);
+    EXPECT_NEAR(ts.trailingRelativeAmplitude(3), 2.0 / 6.0, 1e-12);
+}
+
+TEST(TimeSeries, TrailingWindowValidation) {
+    TimeSeries ts({1.0, 2.0});
+    EXPECT_THROW((void)ts.trailingAmplitude(0), std::invalid_argument);
+    EXPECT_THROW((void)ts.trailingAmplitude(3), std::invalid_argument);
+}
+
+TEST(TimeSeries, RelativeAmplitudeZeroMean) {
+    TimeSeries flat({0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(flat.trailingRelativeAmplitude(3), 0.0);
+    TimeSeries mixed({-1.0, 1.0});
+    EXPECT_TRUE(std::isinf(mixed.trailingRelativeAmplitude(2)));
+}
+
+TEST(TableWriter, RejectsEmptyColumns) {
+    EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriter, RejectsRowSizeMismatch) {
+    TableWriter t({"a", "b"});
+    EXPECT_THROW(t.addRow({Cell{std::string{"x"}}}), std::invalid_argument);
+}
+
+TEST(TableWriter, RendersAlignedTable) {
+    TableWriter t({"name", "value"});
+    t.addRow({Cell{std::string{"alpha"}}, Cell{1.5}});
+    t.addRow({Cell{std::string{"b"}}, Cell{static_cast<long long>(42)}});
+    const std::string s = t.toTableString();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscapesSpecials) {
+    TableWriter t({"x"});
+    t.addRow({Cell{std::string{"a,b"}}});
+    t.addRow({Cell{std::string{"q\"u"}}});
+    const std::string s = t.toCsvString();
+    EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(s.find("\"q\"\"u\""), std::string::npos);
+}
+
+TEST(TableWriter, FloatPrecisionHonored) {
+    TableWriter t({"v"}, 4);
+    t.addRow({Cell{3.14159265}});
+    EXPECT_NE(t.toCsvString().find("3.1416"), std::string::npos);
+}
+
+TEST(TableWriter, RowCount) {
+    TableWriter t({"v"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({Cell{1.0}});
+    EXPECT_EQ(t.rowCount(), 1u);
+}
+
+}  // namespace

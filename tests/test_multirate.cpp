@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "lrgp/optimizer.hpp"
+#include "multirate/multirate.hpp"
+#include "test_helpers.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using multirate::MultirateOptimizer;
+
+TEST(Multirate, EvaluatorsMatchHandComputation) {
+    const auto t = lrgp::test::make_tiny_problem();
+    multirate::MultirateAllocation alloc;
+    alloc.class_rates = {20.0, 5.0};  // gold at 20, public thinned to 5
+    alloc.populations = {4, 10};
+    alloc.flow_rates = {20.0};
+    // utility: 4*30*log(21) + 10*4*log(6)
+    EXPECT_NEAR(multirate::total_utility(t.spec, alloc),
+                120.0 * std::log(21.0) + 40.0 * std::log(6.0), 1e-9);
+    // node: F*r_flow + G_g*n_g*r_g + G_p*n_p*r_p = 2*20 + 5*4*20 + 10*10*5
+    EXPECT_DOUBLE_EQ(multirate::node_usage(t.spec, alloc, t.cnode), 40.0 + 400.0 + 500.0);
+    EXPECT_TRUE(multirate::is_feasible(t.spec, alloc));
+}
+
+TEST(Multirate, InfeasibilityDetected) {
+    const auto t = lrgp::test::make_tiny_problem();
+    multirate::MultirateAllocation alloc;
+    alloc.class_rates = {20.0, 5.0};
+    alloc.populations = {4, 10};
+    alloc.flow_rates = {10.0};  // class rate 20 exceeds the source stream
+    EXPECT_FALSE(multirate::is_feasible(t.spec, alloc));
+
+    alloc.flow_rates = {20.0};
+    alloc.populations = {9, 0};  // above gold's n_max of 8
+    EXPECT_FALSE(multirate::is_feasible(t.spec, alloc));
+}
+
+TEST(Multirate, StaysFeasibleEveryIteration) {
+    MultirateOptimizer opt(workload::make_base_workload());
+    for (int i = 0; i < 150; ++i) {
+        opt.step();
+        ASSERT_TRUE(multirate::is_feasible(opt.problem(), opt.allocation()))
+            << "iteration " << i;
+    }
+}
+
+TEST(Multirate, ConvergesOnBaseWorkload) {
+    MultirateOptimizer opt(workload::make_base_workload());
+    opt.run(300);
+    EXPECT_LT(opt.utilityTrace().trailingRelativeAmplitude(50), 0.02);
+    EXPECT_GT(opt.currentUtility(), 0.0);
+}
+
+TEST(Multirate, DominatesSingleRateLrgp) {
+    // Extra degrees of freedom: each class runs at its own point on its
+    // utility curve, so the multirate optimum can only be better.  On the
+    // base workload (classes of one flow differ strongly in rank) the
+    // gain should be clearly visible.
+    const auto spec = workload::make_base_workload();
+    core::LrgpOptimizer single(spec);
+    single.run(250);
+    MultirateOptimizer multi(spec);
+    multi.run(250);
+    EXPECT_GT(multi.currentUtility(), single.currentUtility());
+}
+
+TEST(Multirate, ClassRatesDivergeByRank) {
+    // Flow 0 hosts rank-20 and rank-1 classes at S0: the valuable class
+    // should receive a faster stream than the cheap one.
+    const auto spec = workload::make_base_workload();
+    MultirateOptimizer opt(spec);
+    opt.run(250);
+    const auto& alloc = opt.allocation();
+    // Classes 0 (rank 20) and 4 (rank 1) both consume flow 0 at S0.
+    if (alloc.populations[0] > 0 && alloc.populations[4] > 0) {
+        EXPECT_GE(alloc.class_rates[0], alloc.class_rates[4]);
+    }
+    // And the source streams at the maximum admitted class rate.
+    double max_rate = 0.0;
+    for (model::ClassId j : spec.classesOfFlow(model::FlowId{0}))
+        if (alloc.populations[j.index()] > 0)
+            max_rate = std::max(max_rate, alloc.class_rates[j.index()]);
+    if (max_rate > 0.0) {
+        EXPECT_NEAR(alloc.flow_rates[0], max_rate, 1e-9);
+    }
+}
+
+TEST(Multirate, BigGainWhenClassesWantDifferentRates) {
+    // The canonical multirate win: a handful of premium consumers want
+    // the full-rate stream, while a large cheap population is only
+    // affordable when thinned.  A single rate must either starve the
+    // premium class or lock out the masses; multirate serves both.
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 1e5);
+    const auto flow = b.addFlow("feed", src, 10.0, 1000.0);
+    b.routeThroughNode(flow, node, 1.0);
+    b.addClass("premium", flow, node, 5, 10.0, std::make_shared<utility::LogUtility>(100.0));
+    b.addClass("masses", flow, node, 2000, 19.0, std::make_shared<utility::LogUtility>(1.0));
+    const auto spec = b.build();
+
+    core::LrgpOptimizer single(spec);
+    single.run(400);
+    MultirateOptimizer multi(spec);
+    multi.run(400);
+    EXPECT_GT(multi.currentUtility(), 1.05 * single.currentUtility());
+    // The premium class streams faster than the thinned masses.
+    const auto& alloc = multi.allocation();
+    if (alloc.populations[0] > 0 && alloc.populations[1] > 0) {
+        EXPECT_GT(alloc.class_rates[0], alloc.class_rates[1]);
+    }
+}
+
+TEST(Multirate, Validation) {
+    MultirateOptimizer opt(workload::make_base_workload());
+    EXPECT_THROW(opt.run(0), std::invalid_argument);
+    EXPECT_THROW((void)opt.runUntilConverged(0), std::invalid_argument);
+}
+
+}  // namespace

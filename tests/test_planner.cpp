@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "planner/capacity_planner.hpp"
+#include "test_helpers.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using planner::evaluate_at_scale;
+using planner::min_capacity_for_admission;
+using planner::PlannerOptions;
+using planner::provisioning_curve;
+
+TEST(Planner, AdmissionMonotoneInScale) {
+    const auto spec = workload::make_base_workload();
+    double prev_ratio = -1.0;
+    for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        const auto point = evaluate_at_scale(spec, scale);
+        EXPECT_GE(point.admission_ratio, prev_ratio - 0.02)
+            << "admission dropped at scale " << scale;
+        prev_ratio = point.admission_ratio;
+    }
+}
+
+TEST(Planner, BaseWorkloadIsUnderProvisionedForFullAdmission) {
+    // At scale 1 the base workload denies plenty of consumers (that is
+    // the point of the paper's admission control).
+    const auto point = evaluate_at_scale(workload::make_base_workload(), 1.0);
+    EXPECT_LT(point.admission_ratio, 0.9);
+    EXPECT_GT(point.admission_ratio, 0.1);
+    EXPECT_GT(point.hottest_node_utilization, 0.95);
+}
+
+TEST(Planner, FindsMinimalScaleForTarget) {
+    const auto spec = workload::make_base_workload();
+    PlannerOptions options;
+    options.target_admission_ratio = 0.9;
+    options.lrgp_iterations = 100;
+    const auto point = min_capacity_for_admission(spec, options);
+    EXPECT_GE(point.admission_ratio, 0.9);
+    EXPECT_GT(point.capacity_scale, 1.0);  // needs more than the paper's 9e5
+    // Minimality: a noticeably smaller scale must miss the target.
+    const auto below = evaluate_at_scale(spec, point.capacity_scale * 0.8, options);
+    EXPECT_LT(below.admission_ratio, 0.9);
+}
+
+TEST(Planner, TrivialTargetNeedsNoExtraCapacity) {
+    const auto spec = workload::make_base_workload();
+    PlannerOptions options;
+    options.target_admission_ratio = 0.05;
+    options.lrgp_iterations = 80;
+    const auto point = min_capacity_for_admission(spec, options);
+    EXPECT_LE(point.capacity_scale, 1.0);
+}
+
+TEST(Planner, UnreachableTargetThrows) {
+    // Tiny problem with a huge population and a low search ceiling.
+    const auto t = lrgp::test::make_tiny_problem();
+    PlannerOptions options;
+    options.target_admission_ratio = 1.0;
+    options.max_scale = 1.5;
+    options.lrgp_iterations = 60;
+    EXPECT_THROW((void)min_capacity_for_admission(t.spec, options), std::runtime_error);
+}
+
+TEST(Planner, CurveIsOrderedAndConsistent) {
+    const auto spec = workload::make_base_workload();
+    const auto curve = provisioning_curve(spec, {0.5, 1.0, 2.0});
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_DOUBLE_EQ(curve[0].capacity_scale, 0.5);
+    EXPECT_DOUBLE_EQ(curve[2].capacity_scale, 2.0);
+    EXPECT_LE(curve[0].utility, curve[2].utility);
+    EXPECT_LE(curve[0].admission_ratio, curve[2].admission_ratio + 0.02);
+}
+
+TEST(Planner, Validation) {
+    const auto spec = workload::make_base_workload();
+    EXPECT_THROW((void)evaluate_at_scale(spec, 0.0), std::invalid_argument);
+    PlannerOptions bad;
+    bad.target_admission_ratio = 0.0;
+    EXPECT_THROW((void)min_capacity_for_admission(spec, bad), std::invalid_argument);
+}
+
+}  // namespace

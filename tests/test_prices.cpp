@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lrgp/price_controllers.hpp"
+
+namespace {
+
+using namespace lrgp::core;
+
+TEST(NodePrice, FixedGammaApproachesBcWhenFeasible) {
+    NodePriceController ctrl(FixedGamma{0.5, 0.5});
+    // used < capacity: p moves halfway toward BC each step.
+    ctrl.update(/*bc=*/1.0, /*used=*/10.0, /*capacity=*/100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.5);
+    ctrl.update(1.0, 10.0, 100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.75);
+}
+
+TEST(NodePrice, FixedGammaOneJumpsToBc) {
+    NodePriceController ctrl(FixedGamma{1.0, 1.0});
+    ctrl.update(0.42, 0.0, 100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.42);
+}
+
+TEST(NodePrice, OverCapacityRaisesPriceProportionally) {
+    NodePriceController ctrl(FixedGamma{0.1, 0.1}, /*initial_price=*/1.0);
+    ctrl.update(/*bc=*/0.0, /*used=*/150.0, /*capacity=*/100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 1.0 + 0.1 * 50.0);
+}
+
+TEST(NodePrice, PriceNeverNegative) {
+    NodePriceController ctrl(FixedGamma{1.0, 1.0}, 0.5);
+    // BC of 0 with gamma 1 drives price exactly to zero, never below.
+    ctrl.update(0.0, 0.0, 100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.0);
+    ctrl.update(0.0, 0.0, 100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.0);
+}
+
+TEST(NodePrice, ValidationRejectsBadParameters) {
+    EXPECT_THROW(NodePriceController(FixedGamma{-0.1, 0.1}), std::invalid_argument);
+    EXPECT_THROW(NodePriceController(FixedGamma{0.1, 0.1}, -1.0), std::invalid_argument);
+    AdaptiveGamma bad;
+    bad.min = 0.0;
+    EXPECT_THROW((NodePriceController{bad}), std::invalid_argument);
+    AdaptiveGamma bad2;
+    bad2.shrink = 1.0;
+    EXPECT_THROW((NodePriceController{bad2}), std::invalid_argument);
+}
+
+TEST(NodePrice, AdaptiveGammaGrowsWhileQuiet) {
+    AdaptiveGamma policy;
+    policy.initial = 0.05;
+    NodePriceController ctrl(policy);
+    // Monotone approach toward a constant BC: deltas keep the same sign,
+    // so gamma keeps growing by the increment.
+    const double g0 = ctrl.currentGamma();
+    ctrl.update(10.0, 0.0, 100.0);
+    ctrl.update(10.0, 0.0, 100.0);
+    ctrl.update(10.0, 0.0, 100.0);
+    EXPECT_NEAR(ctrl.currentGamma(), g0 + 3 * policy.increment, 1e-12);
+}
+
+TEST(NodePrice, AdaptiveGammaShrinksOnOscillation) {
+    AdaptiveGamma policy;
+    policy.initial = 0.08;
+    NodePriceController ctrl(policy);
+    // Alternate BC far above and far below the price: deltas flip sign.
+    ctrl.update(10.0, 0.0, 100.0);   // up
+    ctrl.update(0.0, 0.0, 100.0);    // down -> fluctuation detected
+    EXPECT_LT(ctrl.currentGamma(), 0.08);
+}
+
+TEST(NodePrice, AdaptiveGammaClampedToInterval) {
+    AdaptiveGamma policy;  // clamp [0.001, 0.1]
+    policy.initial = 0.1;
+    NodePriceController ctrl(policy);
+    for (int i = 0; i < 50; ++i) ctrl.update(10.0, 0.0, 100.0);
+    EXPECT_LE(ctrl.currentGamma(), policy.max);
+    // Force repeated oscillation: gamma must not go below the floor.
+    for (int i = 0; i < 50; ++i) ctrl.update(i % 2 ? 100.0 : 0.0, 0.0, 100.0);
+    EXPECT_GE(ctrl.currentGamma(), policy.min);
+}
+
+TEST(NodePrice, AdaptiveInitialClamped) {
+    AdaptiveGamma policy;
+    policy.initial = 5.0;  // above max -> clamped to 0.1
+    NodePriceController ctrl(policy);
+    EXPECT_DOUBLE_EQ(ctrl.currentGamma(), policy.max);
+}
+
+TEST(NodePrice, ResetRestoresInitialState) {
+    AdaptiveGamma policy;
+    NodePriceController ctrl(policy);
+    ctrl.update(10.0, 0.0, 100.0);
+    ctrl.update(0.0, 0.0, 100.0);
+    ctrl.reset();
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.0);
+    EXPECT_DOUBLE_EQ(ctrl.currentGamma(),
+                     std::clamp(policy.initial, policy.min, policy.max));
+    EXPECT_THROW(ctrl.reset(-1.0), std::invalid_argument);
+}
+
+TEST(LinkPrice, GradientProjectionUpdate) {
+    LinkPriceController ctrl(0.01);
+    // Over capacity: price rises by gamma * excess.
+    ctrl.update(/*usage=*/150.0, /*capacity=*/100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.5);
+    // Under capacity: price falls, projected at zero.
+    ctrl.update(0.0, 100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 0.0);
+}
+
+TEST(LinkPrice, EquilibriumAtCapacity) {
+    LinkPriceController ctrl(0.01, 2.0);
+    ctrl.update(100.0, 100.0);
+    EXPECT_DOUBLE_EQ(ctrl.price(), 2.0);
+}
+
+TEST(LinkPrice, Validation) {
+    EXPECT_THROW(LinkPriceController(-0.1), std::invalid_argument);
+    EXPECT_THROW(LinkPriceController(0.1, -1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lrgp/optimizer.hpp"
+#include "lrgp/pruning.hpp"
+#include "lrgp/two_stage.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+/// A workload where stage one provably wastes resources: flow "wide" is
+/// routed to two nodes but its class at the second node always loses the
+/// benefit-cost contest there, so the F cost it pays at that node buys
+/// nothing and stage two should reclaim it.
+model::ProblemSpec wastefulProblem() {
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto n1 = b.addNode("N1", 5e4);
+    const auto n2 = b.addNode("N2", 5e4);
+    const auto wide = b.addFlow("wide", src, 10.0, 1000.0);
+    b.routeThroughNode(wide, n1, 3.0);
+    b.routeThroughNode(wide, n2, 30.0);  // expensive hop
+    b.addClass("w1", wide, n1, 200, 19.0, std::make_shared<utility::LogUtility>(50.0));
+    // At n2 the class is worthless compared to the local flow's class.
+    b.addClass("w2", wide, n2, 200, 19.0, std::make_shared<utility::LogUtility>(0.001));
+    const auto local = b.addFlow("local", src, 10.0, 1000.0);
+    b.routeThroughNode(local, n2, 3.0);
+    b.addClass("l2", local, n2, 500, 19.0, std::make_shared<utility::LogUtility>(80.0));
+    return b.build();
+}
+
+TEST(Pruning, RemovesConsumerlessRoutes) {
+    const auto spec = wastefulProblem();
+    core::LrgpOptimizer opt(spec);
+    opt.run(200);
+    // The wide flow's class at N2 must lose to the local class.
+    const auto& alloc = opt.allocation();
+    ASSERT_EQ(alloc.populations[1], 0) << "test premise: w2 gets nothing";
+    ASSERT_GT(alloc.populations[0], 0);
+
+    core::PruneReport report;
+    const auto pruned = core::prune_problem(spec, alloc, &report);
+    EXPECT_GE(report.routes_removed, 1);
+    EXPECT_EQ(report.classes_deactivated, 1);  // w2
+    // The pruned hop keeps the node in the route but with zero cost.
+    EXPECT_DOUBLE_EQ(pruned.flowNodeCost(model::NodeId{2}, model::FlowId{0}), 0.0);
+    // Surviving hops keep their coefficients.
+    EXPECT_DOUBLE_EQ(pruned.flowNodeCost(model::NodeId{1}, model::FlowId{0}), 3.0);
+}
+
+TEST(Pruning, StageTwoNeverLosesUtility) {
+    const auto result = core::two_stage_optimize(wastefulProblem());
+    EXPECT_GE(result.stage_two_utility, result.stage_one_utility * (1.0 - 1e-6));
+}
+
+TEST(Pruning, StageTwoGainsWhenRoutesWereWasteful) {
+    const auto result = core::two_stage_optimize(wastefulProblem());
+    ASSERT_GE(result.prune.routes_removed, 1);
+    // N2 no longer pays 30 units/msg for the wide flow; the local class
+    // gets that capacity back.
+    EXPECT_GT(result.stage_two_utility, result.stage_one_utility * 1.001);
+}
+
+TEST(Pruning, BaseWorkloadIsAlreadyTight) {
+    // Table 1 routes flows only where their classes live and every class
+    // pair wins some admission, so pruning should find nothing (or at
+    // most classes with zero admissions at one of their two nodes).
+    const auto spec = workload::make_base_workload();
+    core::LrgpOptimizer opt(spec);
+    opt.run(150);
+    core::PruneReport report;
+    (void)core::prune_problem(spec, opt.allocation(), &report);
+    // Flows always keep at least one consuming route.
+    const auto result = core::two_stage_optimize(spec);
+    EXPECT_GE(result.stage_two_utility, result.stage_one_utility * 0.999);
+}
+
+TEST(Pruning, SizesValidated) {
+    const auto spec = workload::make_base_workload();
+    EXPECT_THROW((void)core::prune_problem(spec, model::Allocation{}), std::invalid_argument);
+}
+
+TEST(Pruning, PreservesEntityIdentity) {
+    const auto spec = wastefulProblem();
+    core::LrgpOptimizer opt(spec);
+    opt.run(100);
+    const auto pruned = core::prune_problem(spec, opt.allocation());
+    ASSERT_EQ(pruned.flowCount(), spec.flowCount());
+    ASSERT_EQ(pruned.classCount(), spec.classCount());
+    ASSERT_EQ(pruned.nodeCount(), spec.nodeCount());
+    for (std::size_t i = 0; i < spec.flowCount(); ++i)
+        EXPECT_EQ(pruned.flows()[i].name, spec.flows()[i].name);
+    for (std::size_t j = 0; j < spec.classCount(); ++j)
+        EXPECT_EQ(pruned.classes()[j].name, spec.classes()[j].name);
+}
+
+TEST(Pruning, InactiveFlowsStayInactive) {
+    auto spec = wastefulProblem();
+    spec.setFlowActive(model::FlowId{1}, false);
+    auto alloc = model::Allocation::minimal(spec);
+    const auto pruned = core::prune_problem(spec, alloc);
+    EXPECT_FALSE(pruned.flowActive(model::FlowId{1}));
+}
+
+TEST(Pruning, DeadFlowLosesItsLinks) {
+    // A flow whose classes all got zero consumers stops consuming links.
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto n1 = b.addNode("N1", 1e5);
+    const auto link = b.addLink("uplink", src, n1, 1e4);
+    const auto f = b.addFlow("f", src, 10.0, 100.0);
+    b.routeOverLink(f, link, 1.0);
+    b.routeThroughNode(f, n1, 1.0);
+    b.addClass("c", f, n1, 10, 5.0, std::make_shared<utility::LogUtility>(1.0));
+    const auto spec = b.build();
+
+    auto alloc = model::Allocation::minimal(spec);  // zero consumers
+    core::PruneReport report;
+    const auto pruned = core::prune_problem(spec, alloc, &report);
+    EXPECT_EQ(report.links_removed, 1);
+    EXPECT_TRUE(pruned.flowsOnLink(link).empty());
+}
+
+}  // namespace

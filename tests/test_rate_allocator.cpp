@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lrgp/rate_allocator.hpp"
+#include "test_helpers.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using core::PriceVector;
+using core::RateAllocator;
+using lrgp::test::make_linked_problem;
+using lrgp::test::make_tiny_problem;
+
+TEST(RateAllocator, TotalPriceCombinesNodeTerms) {
+    const auto t = make_tiny_problem();
+    RateAllocator ra(t.spec);
+    PriceVector prices = PriceVector::zeros(t.spec.nodeCount(), 0);
+    prices.node[t.cnode.index()] = 2.0;
+    std::vector<int> pops(t.spec.classCount(), 0);
+    pops[t.gold.index()] = 3;  // G=5 -> 15 per unit rate
+    pops[t.pub.index()] = 2;   // G=10 -> 20 per unit rate
+    // PB = (F + G_g n_g + G_p n_p) * p_b = (2 + 15 + 20) * 2 = 74
+    EXPECT_DOUBLE_EQ(ra.totalPrice(t.flow, pops, prices), 74.0);
+}
+
+TEST(RateAllocator, TotalPriceIncludesLinkTerms) {
+    const auto p = make_linked_problem();
+    RateAllocator ra(p.spec);
+    PriceVector prices = PriceVector::zeros(p.spec.nodeCount(), p.spec.linkCount());
+    prices.link[p.shared_link.index()] = 3.0;
+    std::vector<int> pops(p.spec.classCount(), 0);
+    // flow_a: PL = L * p_l = 1 * 3; PB = 0 (node prices zero)
+    EXPECT_DOUBLE_EQ(ra.totalPrice(p.flow_a, pops, prices), 3.0);
+}
+
+TEST(RateAllocator, ZeroPriceGivesMaxRate) {
+    const auto t = make_tiny_problem();
+    RateAllocator ra(t.spec);
+    const PriceVector prices = PriceVector::zeros(t.spec.nodeCount(), 0);
+    std::vector<int> pops(t.spec.classCount(), 0);
+    pops[t.gold.index()] = 5;
+    const auto result = ra.computeRate(t.flow, pops, prices);
+    EXPECT_DOUBLE_EQ(result.rate, t.spec.flow(t.flow).rate_max);
+}
+
+TEST(RateAllocator, StationarityHoldsInInterior) {
+    const auto t = make_tiny_problem();
+    RateAllocator ra(t.spec);
+    PriceVector prices = PriceVector::zeros(t.spec.nodeCount(), 0);
+    prices.node[t.cnode.index()] = 0.1;
+    std::vector<int> pops(t.spec.classCount(), 0);
+    pops[t.gold.index()] = 4;
+    pops[t.pub.index()] = 10;
+
+    const auto result = ra.computeRate(t.flow, pops, prices);
+    const double rate = result.rate;
+    ASSERT_GT(rate, t.spec.flow(t.flow).rate_min);
+    ASSERT_LT(rate, t.spec.flow(t.flow).rate_max);
+
+    // d/dr [ sum n_j U_j(r) - r * P ] = 0 at the solution.
+    const double total_price = ra.totalPrice(t.flow, pops, prices);
+    const double marginal = 4 * 30.0 / (1.0 + rate) + 10 * 4.0 / (1.0 + rate);
+    EXPECT_NEAR(marginal, total_price, 1e-6 * total_price);
+}
+
+TEST(RateAllocator, MorePopulationRaisesPricePressure) {
+    // With the same node price, more admitted consumers increase PB (each
+    // consumer adds per-rate cost) but also increase marginal utility;
+    // for the log family the interior solution is W/P - 1.
+    const auto t = make_tiny_problem();
+    RateAllocator ra(t.spec);
+    PriceVector prices = PriceVector::zeros(t.spec.nodeCount(), 0);
+    prices.node[t.cnode.index()] = 0.5;
+    std::vector<int> few(t.spec.classCount(), 0);
+    few[t.gold.index()] = 1;
+    std::vector<int> many(t.spec.classCount(), 0);
+    many[t.gold.index()] = 8;
+    const double r_few = ra.computeRate(t.flow, few, prices).rate;
+    const double r_many = ra.computeRate(t.flow, many, prices).rate;
+    // few: W=30, P=(2+5)*0.5=3.5 -> 30/3.5-1 = 7.57
+    EXPECT_NEAR(r_few, 30.0 / 3.5 - 1.0, 1e-9);
+    // many: W=240, P=(2+40)*0.5=21 -> 240/21-1 = 10.43
+    EXPECT_NEAR(r_many, 240.0 / 21.0 - 1.0, 1e-9);
+}
+
+TEST(RateAllocator, InactiveFlowThrows) {
+    auto t = make_tiny_problem();
+    t.spec.setFlowActive(t.flow, false);
+    RateAllocator ra(t.spec);
+    const PriceVector prices = PriceVector::zeros(t.spec.nodeCount(), 0);
+    const std::vector<int> pops(t.spec.classCount(), 0);
+    EXPECT_THROW((void)ra.computeRate(t.flow, pops, prices), std::logic_error);
+}
+
+TEST(RateAllocator, BaseWorkloadRatesAlwaysWithinBounds) {
+    const auto spec = workload::make_base_workload();
+    RateAllocator ra(spec);
+    std::vector<int> pops(spec.classCount(), 0);
+    for (std::size_t j = 0; j < pops.size(); ++j) pops[j] = static_cast<int>(j * 37 % 500);
+    for (double price_level : {0.0, 0.001, 0.01, 0.1, 1.0, 100.0}) {
+        PriceVector prices = PriceVector::zeros(spec.nodeCount(), 0);
+        for (double& p : prices.node) p = price_level;
+        for (const model::FlowSpec& f : spec.flows()) {
+            const double r = ra.computeRate(f.id, pops, prices).rate;
+            EXPECT_GE(r, f.rate_min);
+            EXPECT_LE(r, f.rate_max);
+        }
+    }
+}
+
+}  // namespace

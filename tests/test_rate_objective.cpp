@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "utility/rate_objective.hpp"
+
+namespace {
+
+using lrgp::utility::LogUtility;
+using lrgp::utility::PowerUtility;
+using lrgp::utility::RateSolveMethod;
+using lrgp::utility::RateSolveOptions;
+using lrgp::utility::ScaledUtility;
+using lrgp::utility::solve_rate_objective;
+using lrgp::utility::WeightedUtility;
+
+std::vector<WeightedUtility> logTerms() {
+    // Mirrors one flow of the base workload: 400 consumers of rank 20,
+    // 800 of rank 5, 2000 of rank 1.
+    return {{400.0, std::make_shared<LogUtility>(20.0)},
+            {800.0, std::make_shared<LogUtility>(5.0)},
+            {2000.0, std::make_shared<LogUtility>(1.0)}};
+}
+
+TEST(RateObjective, NoConsumersPricedTakesLowBound) {
+    std::vector<WeightedUtility> terms{{0.0, std::make_shared<LogUtility>(5.0)}};
+    const auto r = solve_rate_objective(terms, 1.0, 10.0, 1000.0);
+    EXPECT_DOUBLE_EQ(r.rate, 10.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kBoundLow);
+}
+
+TEST(RateObjective, NoConsumersFreeTakesHighBound) {
+    std::vector<WeightedUtility> terms{{0.0, std::make_shared<LogUtility>(5.0)}};
+    const auto r = solve_rate_objective(terms, 0.0, 10.0, 1000.0);
+    EXPECT_DOUBLE_EQ(r.rate, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kBoundHigh);
+}
+
+TEST(RateObjective, ZeroPriceTakesHighBound) {
+    const auto r = solve_rate_objective(logTerms(), 0.0, 10.0, 1000.0);
+    EXPECT_DOUBLE_EQ(r.rate, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kBoundHigh);
+}
+
+TEST(RateObjective, HugePriceTakesLowBound) {
+    const auto r = solve_rate_objective(logTerms(), 1e12, 10.0, 1000.0);
+    EXPECT_DOUBLE_EQ(r.rate, 10.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kBoundLow);
+}
+
+TEST(RateObjective, LogClosedFormMatchesAnalytic) {
+    // Combined weight W = 400*20 + 800*5 + 2000*1 = 14000; r = W/p - 1.
+    const double price = 100.0;
+    const auto r = solve_rate_objective(logTerms(), price, 10.0, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kClosedForm);
+    EXPECT_NEAR(r.rate, 14000.0 / price - 1.0, 1e-9);
+}
+
+TEST(RateObjective, PowerClosedFormMatchesAnalytic) {
+    std::vector<WeightedUtility> terms{{100.0, std::make_shared<PowerUtility>(3.0, 0.5)},
+                                       {50.0, std::make_shared<PowerUtility>(7.0, 0.5)}};
+    // W = 100*3 + 50*7 = 650; W*0.5*r^-0.5 = p => r = (p/(0.5 W))^-2
+    const double price = 20.0;
+    const auto r = solve_rate_objective(terms, price, 1.0, 10000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kClosedForm);
+    EXPECT_NEAR(r.rate, std::pow(price / (0.5 * 650.0), -2.0), 1e-6);
+}
+
+TEST(RateObjective, ScaledUtilitiesCombineIntoClosedForm) {
+    std::vector<WeightedUtility> terms{
+        {10.0, std::make_shared<ScaledUtility>(2.0, std::make_shared<LogUtility>(3.0))},
+        {5.0, std::make_shared<LogUtility>(4.0)}};
+    // W = 10*2*3 + 5*4 = 80
+    const auto r = solve_rate_objective(terms, 2.0, 1.0, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kClosedForm);
+    EXPECT_NEAR(r.rate, 80.0 / 2.0 - 1.0, 1e-9);
+}
+
+TEST(RateObjective, MixedFamiliesFallBackToNumeric) {
+    std::vector<WeightedUtility> terms{{10.0, std::make_shared<LogUtility>(5.0)},
+                                       {10.0, std::make_shared<PowerUtility>(5.0, 0.5)}};
+    const auto r = solve_rate_objective(terms, 3.0, 1.0, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kNumeric);
+    // Stationarity must hold at the solution.
+    EXPECT_NEAR(lrgp::utility::rate_objective_derivative(terms, 3.0, r.rate), 0.0, 1e-5);
+}
+
+TEST(RateObjective, MixedPowerExponentsFallBackToNumeric) {
+    std::vector<WeightedUtility> terms{{10.0, std::make_shared<PowerUtility>(5.0, 0.25)},
+                                       {10.0, std::make_shared<PowerUtility>(5.0, 0.75)}};
+    const auto r = solve_rate_objective(terms, 30.0, 1.0, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kNumeric);
+    EXPECT_NEAR(lrgp::utility::rate_objective_derivative(terms, 30.0, r.rate), 0.0, 1e-5);
+}
+
+TEST(RateObjective, NumericPathMatchesClosedForm) {
+    RateSolveOptions numeric;
+    numeric.allow_closed_form = false;
+    for (double price : {10.0, 50.0, 200.0, 1000.0}) {
+        const auto closed = solve_rate_objective(logTerms(), price, 10.0, 1000.0);
+        const auto iter = solve_rate_objective(logTerms(), price, 10.0, 1000.0, numeric);
+        EXPECT_NEAR(closed.rate, iter.rate, 1e-5 * (1.0 + closed.rate)) << "price=" << price;
+    }
+}
+
+TEST(RateObjective, ZeroPopulationTermsIgnored) {
+    std::vector<WeightedUtility> terms{{0.0, std::make_shared<PowerUtility>(9.0, 0.9)},
+                                       {100.0, std::make_shared<LogUtility>(10.0)}};
+    // The zero-population power term must not block the log closed form.
+    const auto r = solve_rate_objective(terms, 10.0, 1.0, 1000.0);
+    EXPECT_EQ(r.method, RateSolveMethod::kClosedForm);
+    EXPECT_NEAR(r.rate, 1000.0 / 10.0 - 1.0, 1e-9);
+}
+
+TEST(RateObjective, Validation) {
+    EXPECT_THROW(solve_rate_objective(logTerms(), 1.0, 10.0, 5.0), std::invalid_argument);
+    EXPECT_THROW(solve_rate_objective(logTerms(), -1.0, 10.0, 20.0), std::invalid_argument);
+    std::vector<WeightedUtility> bad{{1.0, nullptr}};
+    EXPECT_THROW(solve_rate_objective(bad, 1.0, 10.0, 20.0), std::invalid_argument);
+}
+
+TEST(RateObjective, ValueAndDerivativeHelpers) {
+    const auto terms = logTerms();
+    const double v = lrgp::utility::rate_objective_value(terms, 2.0, 10.0);
+    double expected = -2.0 * 10.0;
+    for (const auto& t : terms) expected += t.population * t.utility->value(10.0);
+    EXPECT_NEAR(v, expected, 1e-9);
+}
+
+// Property sweep: the solution maximizes the objective — nudging the rate
+// either way may not improve it.
+class RateObjectiveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateObjectiveSweep, SolutionIsAMaximizer) {
+    const double price = GetParam();
+    const auto terms = logTerms();
+    const auto r = solve_rate_objective(terms, price, 10.0, 1000.0);
+    const double at = lrgp::utility::rate_objective_value(terms, price, r.rate);
+    for (double nudge : {-1.0, -0.1, 0.1, 1.0}) {
+        const double other = r.rate + nudge;
+        if (other < 10.0 || other > 1000.0) continue;
+        EXPECT_GE(at + 1e-9, lrgp::utility::rate_objective_value(terms, price, other))
+            << "price=" << price << " nudge=" << nudge;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prices, RateObjectiveSweep,
+                         ::testing::Values(0.0, 1.0, 13.9, 50.0, 140.0, 700.0, 1272.7, 5000.0));
+
+}  // namespace

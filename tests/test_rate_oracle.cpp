@@ -1,0 +1,69 @@
+// Oracle property test: the rate-objective solver (closed form or
+// bisection on the derivative) must agree with an independent
+// derivative-free maximizer (golden-section search) across randomly
+// generated instances of the per-flow subproblem.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "solver/root_finding.hpp"
+#include "utility/rate_objective.hpp"
+
+namespace {
+
+using namespace lrgp;
+using utility::WeightedUtility;
+
+std::vector<WeightedUtility> randomTerms(std::mt19937& rng) {
+    std::uniform_int_distribution<int> count(1, 5);
+    std::uniform_int_distribution<int> family(0, 2);
+    std::uniform_real_distribution<double> weight(0.5, 200.0);
+    std::uniform_real_distribution<double> exponent(0.1, 0.9);
+    std::uniform_real_distribution<double> scale(1.0, 300.0);
+    std::uniform_int_distribution<int> population(0, 2000);
+
+    std::vector<WeightedUtility> terms;
+    const int n = count(rng);
+    for (int k = 0; k < n; ++k) {
+        std::shared_ptr<const utility::UtilityFunction> u;
+        switch (family(rng)) {
+            case 0: u = std::make_shared<utility::LogUtility>(weight(rng)); break;
+            case 1: u = std::make_shared<utility::PowerUtility>(weight(rng), exponent(rng)); break;
+            default:
+                u = std::make_shared<utility::ShiftedLogUtility>(weight(rng), scale(rng));
+        }
+        terms.push_back({static_cast<double>(population(rng)), std::move(u)});
+    }
+    return terms;
+}
+
+class RateOracleSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RateOracleSweep, SolverMatchesGoldenSectionOracle) {
+    std::mt19937 rng(GetParam());
+    std::uniform_real_distribution<double> price_dist(0.0, 500.0);
+    constexpr double kLo = 10.0, kHi = 1000.0;
+
+    for (int instance = 0; instance < 40; ++instance) {
+        const auto terms = randomTerms(rng);
+        const double price = price_dist(rng);
+
+        const auto solved = utility::solve_rate_objective(terms, price, kLo, kHi);
+        const auto oracle = solver::golden_section_maximize(
+            [&](double r) { return utility::rate_objective_value(terms, price, r); }, kLo, kHi,
+            solver::RootOptions{1e-7, 400});
+
+        const double solved_value = utility::rate_objective_value(terms, price, solved.rate);
+        const double oracle_value = utility::rate_objective_value(terms, price, oracle.root);
+        // The solver must be at least as good as the oracle (up to the
+        // oracle's own tolerance).
+        EXPECT_GE(solved_value, oracle_value - 1e-6 * (1.0 + std::abs(oracle_value)))
+            << "seed " << GetParam() << " instance " << instance << " price " << price;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateOracleSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace

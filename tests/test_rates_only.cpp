@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "baseline/rates_only.hpp"
+#include "lrgp/optimizer.hpp"
+#include "test_helpers.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using baseline::PopulationPolicy;
+using baseline::rates_only_num;
+using baseline::RatesOnlyOptions;
+
+TEST(RatesOnly, ProportionalFillIsFeasible) {
+    RatesOnlyOptions options;
+    options.policy = PopulationPolicy::kProportionalFill;
+    const auto result = rates_only_num(workload::make_base_workload(), options);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_GT(result.utility, 0.0);
+    EXPECT_GT(result.population_fill, 0.0);
+    EXPECT_LT(result.population_fill, 1.0);  // the base workload oversubscribes
+}
+
+TEST(RatesOnly, MaxDemandIsInfeasibleOnBaseWorkload) {
+    // The whole point of admission control: at S0 the wanted consumers
+    // cost 19 * 8400 * 10 = 1.6M per second against capacity 0.9M even
+    // at minimum rates.
+    RatesOnlyOptions options;
+    options.policy = PopulationPolicy::kMaxDemand;
+    const auto result = rates_only_num(workload::make_base_workload(), options);
+    EXPECT_FALSE(result.feasible);
+}
+
+TEST(RatesOnly, LrgpBeatsRatesOnlySubstantially) {
+    const auto spec = workload::make_base_workload();
+    core::LrgpOptimizer lrgp_opt(spec);
+    lrgp_opt.run(200);
+
+    RatesOnlyOptions options;
+    options.policy = PopulationPolicy::kProportionalFill;
+    const auto rates_only = rates_only_num(spec, options);
+
+    ASSERT_TRUE(rates_only.feasible);
+    // Joint optimization admits the valuable consumers instead of a
+    // uniform cut; expect a large margin.
+    EXPECT_GT(lrgp_opt.currentUtility(), 1.5 * rates_only.utility);
+}
+
+TEST(RatesOnly, MaxDemandFeasibleWhenCapacityIsAmple) {
+    // Same structure, tiny populations: serving everyone fits, and the
+    // rates-only optimizer then matches LRGP (admission control is moot).
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 1e6);
+    const auto flow = b.addFlow("f", src, 10.0, 1000.0);
+    b.routeThroughNode(flow, node, 3.0);
+    b.addClass("c", flow, node, 20, 19.0, std::make_shared<utility::LogUtility>(10.0));
+    const auto spec = b.build();
+
+    RatesOnlyOptions options;
+    options.policy = PopulationPolicy::kMaxDemand;
+    const auto result = rates_only_num(spec, options);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.allocation.populations[0], 20);
+
+    core::LrgpOptimizer lrgp_opt(spec);
+    lrgp_opt.run(300);
+    EXPECT_NEAR(result.utility, lrgp_opt.currentUtility(), 0.05 * lrgp_opt.currentUtility());
+}
+
+TEST(RatesOnly, PricesKeepRatesWithinNodeCapacity) {
+    RatesOnlyOptions options;
+    options.policy = PopulationPolicy::kProportionalFill;
+    options.iterations = 800;
+    const auto spec = workload::make_base_workload();
+    const auto result = rates_only_num(spec, options);
+    for (const model::NodeSpec& b : spec.nodes())
+        EXPECT_LE(model::node_usage(spec, result.allocation, b.id), b.capacity * 1.01)
+            << b.name;
+}
+
+TEST(RatesOnly, TraceConverges) {
+    RatesOnlyOptions options;
+    options.iterations = 600;
+    const auto result = rates_only_num(workload::make_base_workload(), options);
+    ASSERT_EQ(result.utility_trace.size(), 600u);
+    EXPECT_LT(result.utility_trace.trailingRelativeAmplitude(50), 0.02);
+}
+
+TEST(RatesOnly, Validation) {
+    const auto spec = workload::make_base_workload();
+    RatesOnlyOptions bad;
+    bad.iterations = 0;
+    EXPECT_THROW((void)rates_only_num(spec, bad), std::invalid_argument);
+    RatesOnlyOptions bad2;
+    bad2.node_gamma = -1.0;
+    EXPECT_THROW((void)rates_only_num(spec, bad2), std::invalid_argument);
+}
+
+TEST(GradientOnlyNodePrice, LosesToBenefitCostPricing) {
+    // Key idea #4 ablation: without the benefit-cost signal, the node
+    // price cannot mediate the rate/admission tradeoff.
+    const auto spec = workload::make_base_workload();
+    core::LrgpOptimizer full(spec);
+    full.run(250);
+
+    core::LrgpOptions ablated_options;
+    ablated_options.node_price_rule = core::NodePriceRule::kGradientOnly;
+    core::LrgpOptimizer ablated(spec, ablated_options);
+    ablated.run(250);
+
+    EXPECT_LT(ablated.currentUtility(), 0.9 * full.currentUtility());
+    // The ablated variant still never violates constraints (greedy
+    // admission is capacity-safe by construction).
+    EXPECT_TRUE(model::check_feasibility(spec, ablated.allocation()).feasible());
+}
+
+TEST(GradientOnlyNodePrice, PriceDecaysToZeroUnderGreedyAllocation) {
+    const auto spec = workload::make_base_workload();
+    core::LrgpOptions options;
+    options.node_price_rule = core::NodePriceRule::kGradientOnly;
+    options.initial_node_price = 0.05;
+    core::LrgpOptimizer opt(spec, options);
+    opt.run(300);
+    // Greedy never overfills, so used <= c always and the gradient-only
+    // price can only fall.
+    for (double p : opt.prices().node) EXPECT_LE(p, 0.05 + 1e-12);
+}
+
+}  // namespace

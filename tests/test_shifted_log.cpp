@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "io/problem_json.hpp"
+#include "lrgp/optimizer.hpp"
+#include "utility/rate_objective.hpp"
+#include "utility/utility_function.hpp"
+
+namespace {
+
+using namespace lrgp;
+using utility::LogUtility;
+using utility::RateSolveMethod;
+using utility::ShiftedLogUtility;
+using utility::WeightedUtility;
+
+TEST(ShiftedLog, ValueDerivativeInverse) {
+    ShiftedLogUtility u(30.0, 50.0);
+    EXPECT_NEAR(u.value(50.0), 30.0 * std::log(2.0), 1e-12);
+    EXPECT_NEAR(u.derivative(50.0), 0.3, 1e-12);
+    const auto r = u.inverseDerivative(u.derivative(77.0));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_NEAR(*r, 77.0, 1e-9);
+}
+
+TEST(ShiftedLog, ScaleOneMatchesLogUtility) {
+    ShiftedLogUtility shifted(7.0, 1.0);
+    LogUtility plain(7.0);
+    for (double r : {0.0, 1.0, 10.0, 500.0}) {
+        EXPECT_NEAR(shifted.value(r), plain.value(r), 1e-12);
+        EXPECT_NEAR(shifted.derivative(r), plain.derivative(r), 1e-12);
+    }
+}
+
+TEST(ShiftedLog, SaturationOrdering) {
+    // Small scale saturates early: it reaches most of its value at low
+    // rates, and the *fraction* of additional value per extra rate unit
+    // shrinks much faster than for a large-scale class.
+    ShiftedLogUtility dashboard(10.0, 5.0);
+    ShiftedLogUtility ticker(10.0, 500.0);
+    EXPECT_GT(dashboard.value(50.0), ticker.value(50.0));
+    const double dashboard_relative = dashboard.derivative(500.0) / dashboard.value(500.0);
+    const double ticker_relative = ticker.derivative(500.0) / ticker.value(500.0);
+    EXPECT_LT(dashboard_relative, ticker_relative);
+}
+
+TEST(ShiftedLog, Validation) {
+    EXPECT_THROW(ShiftedLogUtility(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ShiftedLogUtility(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ShiftedLog, SameScaleCombinesClosedForm) {
+    std::vector<WeightedUtility> terms{{10.0, std::make_shared<ShiftedLogUtility>(4.0, 25.0)},
+                                       {5.0, std::make_shared<ShiftedLogUtility>(8.0, 25.0)}};
+    // W = 10*4 + 5*8 = 80; W/(25+r) = p -> r = 80/p - 25
+    const auto result = utility::solve_rate_objective(terms, 1.0, 1.0, 1000.0);
+    EXPECT_EQ(result.method, RateSolveMethod::kClosedForm);
+    EXPECT_NEAR(result.rate, 55.0, 1e-9);
+}
+
+TEST(ShiftedLog, DifferentScalesFallBackToNumeric) {
+    std::vector<WeightedUtility> terms{{10.0, std::make_shared<ShiftedLogUtility>(4.0, 25.0)},
+                                       {5.0, std::make_shared<ShiftedLogUtility>(8.0, 100.0)}};
+    const auto result = utility::solve_rate_objective(terms, 0.5, 1.0, 1000.0);
+    EXPECT_EQ(result.method, RateSolveMethod::kNumeric);
+    EXPECT_NEAR(utility::rate_objective_derivative(terms, 0.5, result.rate), 0.0, 1e-5);
+}
+
+TEST(ShiftedLog, MixWithPlainLogFallsBackToNumeric) {
+    std::vector<WeightedUtility> terms{{10.0, std::make_shared<ShiftedLogUtility>(4.0, 25.0)},
+                                       {5.0, std::make_shared<LogUtility>(8.0)}};
+    const auto result = utility::solve_rate_objective(terms, 0.5, 1.0, 1000.0);
+    EXPECT_EQ(result.method, RateSolveMethod::kNumeric);
+}
+
+TEST(ShiftedLog, JsonRoundTrip) {
+    model::ProblemBuilder b;
+    const auto n = b.addNode("N", 1e5);
+    const auto f = b.addFlow("f", n, 1.0, 100.0);
+    b.routeThroughNode(f, n, 1.0);
+    b.addClass("c", f, n, 10, 2.0, std::make_shared<ShiftedLogUtility>(12.0, 40.0));
+    const auto spec = b.build();
+    const auto restored = io::problem_from_json_string(io::problem_to_json_string(spec));
+    EXPECT_NEAR(restored.classes()[0].utility->value(40.0), 12.0 * std::log(2.0), 1e-9);
+}
+
+TEST(ShiftedLog, OptimizerHandlesMixedSaturationScales) {
+    // Two classes on one flow with very different saturation scales: the
+    // optimizer must run entirely on the numeric stationarity path and
+    // still converge to a feasible allocation.
+    model::ProblemBuilder b;
+    const auto src = b.addNode("P", 1e9);
+    const auto node = b.addNode("S", 2e5);
+    const auto flow = b.addFlow("mixed", src, 10.0, 1000.0);
+    b.routeThroughNode(flow, node, 3.0);
+    b.addClass("dashboards", flow, node, 500, 19.0,
+               std::make_shared<ShiftedLogUtility>(20.0, 5.0));
+    b.addClass("tickers", flow, node, 200, 19.0,
+               std::make_shared<ShiftedLogUtility>(20.0, 500.0));
+    const auto spec = b.build();
+
+    core::LrgpOptimizer opt(spec);
+    opt.run(400);
+    // The sharply different saturation scales leave a residual wobble
+    // above the strict 0.1% criterion, but the trajectory stabilizes to
+    // within 1% and stays feasible throughout.
+    EXPECT_LT(opt.utilityTrace().trailingRelativeAmplitude(50), 0.01);
+    EXPECT_GT(opt.currentUtility(), 0.0);
+    EXPECT_TRUE(model::check_feasibility(spec, opt.allocation()).feasible());
+}
+
+}  // namespace

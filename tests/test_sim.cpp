@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using lrgp::sim::LatencyModel;
+using lrgp::sim::Simulator;
+
+TEST(Simulator, StartsIdleAtTimeZero) {
+    Simulator sim;
+    EXPECT_TRUE(sim.idle());
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_FALSE(sim.runOne());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(3.0, [&] { order.push_back(3); });
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(2.0, [&] { order.push_back(2); });
+    sim.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(1.0, [&] { order.push_back(1); });
+    sim.schedule(1.0, [&] { order.push_back(2); });
+    sim.schedule(1.0, [&] { order.push_back(3); });
+    sim.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents) {
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5) sim.schedule(1.0, chain);
+    };
+    sim.schedule(1.0, chain);
+    sim.runAll();
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(2.0, [&] { ++fired; });
+    sim.schedule(5.0, [&] { ++fired; });
+    const std::size_t processed = sim.runUntil(3.0);
+    EXPECT_EQ(processed, 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // clock advances even with no event at 3.0
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, RunAllRespectsEventCap) {
+    Simulator sim;
+    std::function<void()> forever = [&] { sim.schedule(1.0, forever); };
+    sim.schedule(1.0, forever);
+    const std::size_t processed = sim.runAll(100);
+    EXPECT_EQ(processed, 100u);
+}
+
+TEST(Simulator, Validation) {
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.scheduleAt(-0.5, [] {}), std::invalid_argument);
+    EXPECT_THROW(sim.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(LatencyModel, SamplesWithinBounds) {
+    LatencyModel latency(0.005, 0.015, 1);
+    for (int i = 0; i < 1000; ++i) {
+        const double s = latency.sample();
+        EXPECT_GE(s, 0.005);
+        EXPECT_LE(s, 0.015);
+    }
+}
+
+TEST(LatencyModel, DeterministicForSeed) {
+    LatencyModel a(0.0, 1.0, 99);
+    LatencyModel b(0.0, 1.0, 99);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.sample(), b.sample());
+}
+
+TEST(LatencyModel, DifferentSeedsDiffer) {
+    LatencyModel a(0.0, 1.0, 1);
+    LatencyModel b(0.0, 1.0, 2);
+    bool any_different = false;
+    for (int i = 0; i < 10; ++i)
+        if (a.sample() != b.sample()) any_different = true;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(LatencyModel, FixedLatencyWhenBoundsEqual) {
+    LatencyModel fixed(0.01, 0.01, 5);
+    for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(fixed.sample(), 0.01);
+}
+
+TEST(LatencyModel, Validation) {
+    EXPECT_THROW(LatencyModel(-0.1, 0.1, 1), std::invalid_argument);
+    EXPECT_THROW(LatencyModel(0.2, 0.1, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/root_finding.hpp"
+
+namespace {
+
+using lrgp::solver::bisect_decreasing;
+using lrgp::solver::golden_section_maximize;
+using lrgp::solver::newton_bisect_decreasing;
+using lrgp::solver::RootOptions;
+
+TEST(Bisect, FindsLinearRoot) {
+    const auto r = bisect_decreasing([](double x) { return 5.0 - x; }, 0.0, 10.0);
+    EXPECT_NEAR(r.root, 5.0, 1e-8);
+}
+
+TEST(Bisect, FindsNonlinearRoot) {
+    // 100/(1+x) - 2 = 0  =>  x = 49
+    const auto r = bisect_decreasing([](double x) { return 100.0 / (1.0 + x) - 2.0; }, 0.0, 1000.0);
+    EXPECT_NEAR(r.root, 49.0, 1e-6);
+}
+
+TEST(Bisect, ExactRootAtBound) {
+    const auto lo = bisect_decreasing([](double x) { return -x; }, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(lo.root, 0.0);
+    const auto hi = bisect_decreasing([](double x) { return 1.0 - x; }, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(hi.root, 1.0);
+}
+
+TEST(Bisect, RejectsEmptyBracket) {
+    EXPECT_THROW(bisect_decreasing([](double) { return 0.0; }, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Bisect, RejectsNonBracketingFunction) {
+    // f > 0 on the whole interval: no root inside.
+    EXPECT_THROW(bisect_decreasing([](double) { return 1.0; }, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(NewtonBisect, MatchesBisectionOnSmoothFunction) {
+    auto f = [](double x) { return 50.0 / (1.0 + x) - 0.7; };
+    auto df = [](double x) { return -50.0 / ((1.0 + x) * (1.0 + x)); };
+    const auto nb = newton_bisect_decreasing(f, df, 0.0, 1000.0);
+    const auto bi = bisect_decreasing(f, 0.0, 1000.0);
+    EXPECT_NEAR(nb.root, bi.root, 1e-6);
+    // Newton should not need more iterations than plain bisection.
+    EXPECT_LE(nb.iterations, bi.iterations + 1);
+}
+
+TEST(NewtonBisect, SurvivesZeroDerivativeRegions) {
+    // Piecewise: flat then dropping; derivative zero in the flat part.
+    auto f = [](double x) { return x < 5.0 ? 1.0 : 6.0 - x; };
+    auto df = [](double x) { return x < 5.0 ? 0.0 : -1.0; };
+    const auto r = newton_bisect_decreasing(f, df, 0.0, 10.0);
+    EXPECT_NEAR(r.root, 6.0, 1e-6);
+}
+
+TEST(GoldenSection, MaximizesConcaveFunction) {
+    // max of -(x-3)^2 at x = 3
+    const auto r = golden_section_maximize([](double x) { return -(x - 3.0) * (x - 3.0); },
+                                           -10.0, 10.0);
+    EXPECT_NEAR(r.root, 3.0, 1e-6);
+}
+
+TEST(GoldenSection, MaximizesLogObjective) {
+    // max 100*log(1+x) - 2x at x = 49
+    const auto r = golden_section_maximize(
+        [](double x) { return 100.0 * std::log1p(x) - 2.0 * x; }, 0.0, 1000.0,
+        RootOptions{1e-9, 400});
+    EXPECT_NEAR(r.root, 49.0, 1e-4);
+}
+
+TEST(GoldenSection, BoundaryMaximum) {
+    // Increasing function: max at the right bound.
+    const auto r = golden_section_maximize([](double x) { return x; }, 0.0, 7.0);
+    EXPECT_NEAR(r.root, 7.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsInvertedInterval) {
+    EXPECT_THROW(golden_section_maximize([](double x) { return x; }, 1.0, 0.0),
+                 std::invalid_argument);
+}
+
+// Property sweep: for a family of decreasing functions w/(1+x) - p, the
+// solvers must agree with the closed form x = w/p - 1.
+struct RootCase {
+    double w;
+    double p;
+};
+
+class RootSweep : public ::testing::TestWithParam<RootCase> {};
+
+TEST_P(RootSweep, SolversAgreeWithClosedForm) {
+    const auto [w, p] = GetParam();
+    auto f = [w2 = w, p2 = p](double x) { return w2 / (1.0 + x) - p2; };
+    auto df = [w2 = w](double x) { return -w2 / ((1.0 + x) * (1.0 + x)); };
+    const double expected = w / p - 1.0;
+    ASSERT_GT(expected, 0.0);
+    const double hi = expected * 10.0 + 10.0;
+    EXPECT_NEAR(bisect_decreasing(f, 0.0, hi).root, expected, 1e-6 * (1.0 + expected));
+    EXPECT_NEAR(newton_bisect_decreasing(f, df, 0.0, hi).root, expected,
+                1e-6 * (1.0 + expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, RootSweep,
+                         ::testing::Values(RootCase{10.0, 1.0}, RootCase{100.0, 2.0},
+                                           RootCase{1000.0, 0.5}, RootCase{42.0, 0.042},
+                                           RootCase{7.0, 3.0}, RootCase{1e6, 10.0}));
+
+}  // namespace

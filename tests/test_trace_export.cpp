@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lrgp/trace_export.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+TEST(TraceExport, HeaderNamesEntities) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    std::ostringstream os;
+    core::run_and_export(os, opt, 3);
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("iteration,utility"), std::string::npos);
+    EXPECT_NE(csv.find("rate:trades"), std::string::npos);
+    EXPECT_NE(csv.find("n:gold"), std::string::npos);
+    EXPECT_NE(csv.find("n:public"), std::string::npos);
+    EXPECT_NE(csv.find("price:S"), std::string::npos);
+}
+
+TEST(TraceExport, OneRowPerIteration) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    std::ostringstream os;
+    const auto records = core::run_and_export(os, opt, 7);
+    EXPECT_EQ(records.size(), 7u);
+    // header + 7 rows
+    std::size_t lines = 0;
+    for (char ch : os.str())
+        if (ch == '\n') ++lines;
+    EXPECT_EQ(lines, 8u);
+}
+
+TEST(TraceExport, ValuesMatchRecords) {
+    const auto t = lrgp::test::make_tiny_problem();
+    core::LrgpOptimizer opt(t.spec);
+    std::vector<core::IterationRecord> records;
+    for (int i = 0; i < 4; ++i) records.push_back(opt.step());
+    std::ostringstream os;
+    core::export_trace_csv(os, opt.problem(), records);
+    std::istringstream in(os.str());
+    std::string line;
+    std::getline(in, line);  // header
+    std::getline(in, line);  // first record
+    std::istringstream row(line);
+    std::string cell;
+    std::getline(row, cell, ',');
+    EXPECT_EQ(cell, "1");
+    std::getline(row, cell, ',');
+    EXPECT_NEAR(std::stod(cell), records[0].utility, 1e-6 * (1.0 + records[0].utility));
+}
+
+TEST(TraceExport, EmptyRecordListGivesHeaderOnly) {
+    const auto t = lrgp::test::make_tiny_problem();
+    std::ostringstream os;
+    core::export_trace_csv(os, t.spec, {});
+    std::size_t lines = 0;
+    for (char ch : os.str())
+        if (ch == '\n') ++lines;
+    EXPECT_EQ(lines, 1u);
+}
+
+}  // namespace

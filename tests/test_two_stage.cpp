@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "lrgp/two_stage.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+class TwoStageShapeSweep : public ::testing::TestWithParam<workload::UtilityShape> {};
+
+TEST_P(TwoStageShapeSweep, BothStagesConvergeAndStayClose) {
+    core::TwoStageOptions options;
+    options.max_iterations = 300;
+    const auto result = core::two_stage_optimize(workload::make_base_workload(GetParam()), options);
+    EXPECT_GT(result.stage_one_utility, 0.0);
+    EXPECT_GT(result.stage_two_utility, 0.0);
+    // The base workload routes tightly, so the two stages agree closely.
+    EXPECT_NEAR(result.stage_two_utility, result.stage_one_utility,
+                0.05 * result.stage_one_utility);
+    EXPECT_GT(result.stage_one_iterations, 0);
+    EXPECT_GT(result.stage_two_iterations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, TwoStageShapeSweep,
+                         ::testing::Values(workload::UtilityShape::kLog,
+                                           workload::UtilityShape::kPow025,
+                                           workload::UtilityShape::kPow05,
+                                           workload::UtilityShape::kPow075));
+
+TEST(TwoStage, AllocationSizedForOriginalProblem) {
+    const auto spec = workload::make_base_workload();
+    const auto result = core::two_stage_optimize(spec);
+    EXPECT_EQ(result.allocation.rates.size(), spec.flowCount());
+    EXPECT_EQ(result.allocation.populations.size(), spec.classCount());
+}
+
+TEST(TwoStage, RespectsCustomLrgpOptions) {
+    core::TwoStageOptions options;
+    options.lrgp.gamma = core::FixedGamma{0.1, 0.1};
+    options.max_iterations = 150;
+    const auto result = core::two_stage_optimize(workload::make_base_workload(), options);
+    EXPECT_GT(result.stage_one_utility, 1.2e6);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using workload::UtilityShape;
+
+TEST(BaseWorkload, MatchesTableOneShape) {
+    const auto spec = workload::make_base_workload();
+    EXPECT_EQ(spec.flowCount(), 6u);
+    EXPECT_EQ(spec.classCount(), 20u);
+    // 3 c-nodes + 1 producer node.
+    EXPECT_EQ(spec.nodeCount(), 4u);
+    EXPECT_EQ(spec.linkCount(), 0u);  // no link bottlenecks in the paper's workload
+}
+
+TEST(BaseWorkload, ResourceConstants) {
+    const auto spec = workload::make_base_workload();
+    for (const model::ClassSpec& c : spec.classes()) EXPECT_DOUBLE_EQ(c.consumer_cost, 19.0);
+    for (const model::FlowSpec& f : spec.flows()) {
+        EXPECT_DOUBLE_EQ(f.rate_min, 10.0);
+        EXPECT_DOUBLE_EQ(f.rate_max, 1000.0);
+        for (const model::FlowNodeHop& hop : f.nodes) EXPECT_DOUBLE_EQ(hop.flow_node_cost, 3.0);
+    }
+    const auto s0 = workload::find_node(spec, "r0_S0");
+    EXPECT_DOUBLE_EQ(spec.node(s0).capacity, 9.0e5);
+}
+
+TEST(BaseWorkload, ClassPairsShareFlowMaxAndRank) {
+    const auto spec = workload::make_base_workload();
+    // Classes come in pairs (2k, 2k+1) differing only in node.
+    for (std::size_t k = 0; k + 1 < spec.classCount(); k += 2) {
+        const auto& a = spec.classes()[k];
+        const auto& b = spec.classes()[k + 1];
+        EXPECT_EQ(a.flow, b.flow);
+        EXPECT_EQ(a.max_consumers, b.max_consumers);
+        EXPECT_NE(a.node, b.node);
+        EXPECT_DOUBLE_EQ(a.utility->value(10.0), b.utility->value(10.0));
+    }
+}
+
+TEST(BaseWorkload, TableOnePopulationsAndRanks) {
+    const auto spec = workload::make_base_workload();
+    // Spot-check Table 1 rows: class 0 (flow 0, n_max 400, rank 20);
+    // class 18 (flow 5, n_max 1500, rank 100).
+    const auto& c0 = spec.classes()[0];
+    EXPECT_EQ(c0.flow, workload::find_flow(spec, "f0_0"));
+    EXPECT_EQ(c0.max_consumers, 400);
+    EXPECT_NEAR(c0.utility->value(std::exp(1.0) - 1.0), 20.0, 1e-9);  // rank*log(e)=rank
+    const auto& c18 = spec.classes()[18];
+    EXPECT_EQ(c18.flow, workload::find_flow(spec, "f0_5"));
+    EXPECT_EQ(c18.max_consumers, 1500);
+    EXPECT_NEAR(c18.utility->value(std::exp(1.0) - 1.0), 100.0, 1e-9);
+}
+
+TEST(BaseWorkload, FlowsRoutedOnlyToTheirClassNodes) {
+    const auto spec = workload::make_base_workload();
+    for (const model::FlowSpec& f : spec.flows()) {
+        // Flow 0 and 3 reach S0+S2; flow 1 and 4 reach S0+S1; 2 and 5 S1+S2.
+        EXPECT_EQ(f.nodes.size(), 2u) << f.name;
+        for (const model::FlowNodeHop& hop : f.nodes) {
+            bool has_class = false;
+            for (model::ClassId j : spec.classesOfFlow(f.id))
+                if (spec.consumerClass(j).node == hop.node) has_class = true;
+            EXPECT_TRUE(has_class) << f.name << " routed to a node without its classes";
+        }
+    }
+}
+
+TEST(BaseWorkload, ShapesProduceExpectedUtilities) {
+    const auto log_spec = workload::make_base_workload(UtilityShape::kLog);
+    const auto pow_spec = workload::make_base_workload(UtilityShape::kPow05);
+    const auto& u_log = *log_spec.classes()[0].utility;
+    const auto& u_pow = *pow_spec.classes()[0].utility;
+    EXPECT_NEAR(u_log.value(9.0), 20.0 * std::log(10.0), 1e-9);
+    EXPECT_NEAR(u_pow.value(9.0), 20.0 * 3.0, 1e-9);
+}
+
+TEST(ScaledWorkload, FlowReplicasScaleEverything) {
+    workload::WorkloadOptions options;
+    options.flow_replicas = 2;
+    const auto spec = workload::make_scaled_workload(options);
+    EXPECT_EQ(spec.flowCount(), 12u);
+    EXPECT_EQ(spec.classCount(), 40u);
+    EXPECT_EQ(spec.nodeCount(), 8u);  // 2 * (3 c-nodes + producer)
+}
+
+TEST(ScaledWorkload, CNodeReplicasScaleClassesNotFlows) {
+    workload::WorkloadOptions options;
+    options.cnode_replicas = 2;
+    const auto spec = workload::make_scaled_workload(options);
+    EXPECT_EQ(spec.flowCount(), 6u);
+    EXPECT_EQ(spec.classCount(), 40u);
+    EXPECT_EQ(spec.nodeCount(), 7u);  // 6 c-nodes + producer
+    // Every flow now reaches twice as many nodes.
+    for (const model::FlowSpec& f : spec.flows()) EXPECT_EQ(f.nodes.size(), 4u);
+}
+
+TEST(ScaledWorkload, RejectsBadReplicaCounts) {
+    workload::WorkloadOptions options;
+    options.flow_replicas = 0;
+    EXPECT_THROW(workload::make_scaled_workload(options), std::invalid_argument);
+}
+
+TEST(ScaledWorkload, Table2Shapes) {
+    // The six Table 2 rows: (flows, c-nodes) pairs.
+    const std::pair<int, int> rows[] = {{1, 1}, {2, 1}, {4, 1}, {1, 2}, {1, 4}, {1, 8}};
+    const std::pair<std::size_t, std::size_t> expected[] = {
+        {6, 3}, {12, 6}, {24, 12}, {6, 6}, {6, 12}, {6, 24}};
+    for (std::size_t k = 0; k < 6; ++k) {
+        workload::WorkloadOptions options;
+        options.flow_replicas = rows[k].first;
+        options.cnode_replicas = rows[k].second;
+        const auto spec = workload::make_scaled_workload(options);
+        EXPECT_EQ(spec.flowCount(), expected[k].first);
+        EXPECT_EQ(spec.nodeCount() - static_cast<std::size_t>(rows[k].first),
+                  expected[k].second)
+            << "c-node count mismatch at row " << k;
+    }
+}
+
+TEST(WorkloadLookups, FindThrowsOnUnknownNames) {
+    const auto spec = workload::make_base_workload();
+    EXPECT_THROW((void)workload::find_flow(spec, "nope"), std::invalid_argument);
+    EXPECT_THROW((void)workload::find_node(spec, "nope"), std::invalid_argument);
+    EXPECT_NO_THROW((void)workload::find_flow(spec, "f0_5"));
+    EXPECT_NO_THROW((void)workload::find_node(spec, "r0_S1"));
+}
+
+TEST(ShapeNames, AllDistinct) {
+    EXPECT_EQ(workload::shape_name(UtilityShape::kLog), "log(1+r)");
+    EXPECT_EQ(workload::shape_name(UtilityShape::kPow025), "r^0.25");
+    EXPECT_EQ(workload::shape_name(UtilityShape::kPow05), "r^0.5");
+    EXPECT_EQ(workload::shape_name(UtilityShape::kPow075), "r^0.75");
+}
+
+}  // namespace
