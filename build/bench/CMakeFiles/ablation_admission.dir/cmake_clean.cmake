@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_admission.dir/ablation_admission.cpp.o"
+  "CMakeFiles/ablation_admission.dir/ablation_admission.cpp.o.d"
+  "ablation_admission"
+  "ablation_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gamma.dir/ablation_gamma.cpp.o"
+  "CMakeFiles/ablation_gamma.dir/ablation_gamma.cpp.o.d"
+  "ablation_gamma"
+  "ablation_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_vs_sync.dir/async_vs_sync.cpp.o"
+  "CMakeFiles/async_vs_sync.dir/async_vs_sync.cpp.o.d"
+  "async_vs_sync"
+  "async_vs_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_vs_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for async_vs_sync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multirate.dir/ext_multirate.cpp.o"
+  "CMakeFiles/ext_multirate.dir/ext_multirate.cpp.o.d"
+  "ext_multirate"
+  "ext_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

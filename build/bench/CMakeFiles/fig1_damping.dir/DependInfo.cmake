@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_damping.cpp" "bench/CMakeFiles/fig1_damping.dir/fig1_damping.cpp.o" "gcc" "bench/CMakeFiles/fig1_damping.dir/fig1_damping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lrgp/CMakeFiles/lrgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lrgp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lrgp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lrgp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lrgp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/utility/CMakeFiles/lrgp_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lrgp_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

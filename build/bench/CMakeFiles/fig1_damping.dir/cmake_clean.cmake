@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_damping.dir/fig1_damping.cpp.o"
+  "CMakeFiles/fig1_damping.dir/fig1_damping.cpp.o.d"
+  "fig1_damping"
+  "fig1_damping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

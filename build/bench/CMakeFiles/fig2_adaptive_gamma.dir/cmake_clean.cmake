@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_adaptive_gamma.dir/fig2_adaptive_gamma.cpp.o"
+  "CMakeFiles/fig2_adaptive_gamma.dir/fig2_adaptive_gamma.cpp.o.d"
+  "fig2_adaptive_gamma"
+  "fig2_adaptive_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_adaptive_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_adaptive_gamma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_recovery.dir/fig3_recovery.cpp.o"
+  "CMakeFiles/fig3_recovery.dir/fig3_recovery.cpp.o.d"
+  "fig3_recovery"
+  "fig3_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

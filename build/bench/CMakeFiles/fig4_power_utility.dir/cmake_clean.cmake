@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_power_utility.dir/fig4_power_utility.cpp.o"
+  "CMakeFiles/fig4_power_utility.dir/fig4_power_utility.cpp.o.d"
+  "fig4_power_utility"
+  "fig4_power_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_power_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

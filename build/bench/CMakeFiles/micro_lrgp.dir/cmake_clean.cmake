@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lrgp.dir/micro_lrgp.cpp.o"
+  "CMakeFiles/micro_lrgp.dir/micro_lrgp.cpp.o.d"
+  "micro_lrgp"
+  "micro_lrgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lrgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scalability.dir/table2_scalability.cpp.o"
+  "CMakeFiles/table2_scalability.dir/table2_scalability.cpp.o.d"
+  "table2_scalability"
+  "table2_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_utility_shapes.dir/table3_utility_shapes.cpp.o"
+  "CMakeFiles/table3_utility_shapes.dir/table3_utility_shapes.cpp.o.d"
+  "table3_utility_shapes"
+  "table3_utility_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_utility_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_operations.dir/adaptive_operations.cpp.o"
+  "CMakeFiles/adaptive_operations.dir/adaptive_operations.cpp.o.d"
+  "adaptive_operations"
+  "adaptive_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomic_recovery.dir/autonomic_recovery.cpp.o"
+  "CMakeFiles/autonomic_recovery.dir/autonomic_recovery.cpp.o.d"
+  "autonomic_recovery"
+  "autonomic_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomic_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

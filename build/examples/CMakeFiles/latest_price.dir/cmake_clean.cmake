@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latest_price.dir/latest_price.cpp.o"
+  "CMakeFiles/latest_price.dir/latest_price.cpp.o.d"
+  "latest_price"
+  "latest_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latest_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_cli.dir/lrgp_cli.cpp.o"
+  "CMakeFiles/lrgp_cli.dir/lrgp_cli.cpp.o.d"
+  "lrgp_cli"
+  "lrgp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

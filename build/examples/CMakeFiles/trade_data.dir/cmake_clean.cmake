@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trade_data.dir/trade_data.cpp.o"
+  "CMakeFiles/trade_data.dir/trade_data.cpp.o.d"
+  "trade_data"
+  "trade_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trade_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

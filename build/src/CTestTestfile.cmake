@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("metrics")
+subdirs("solver")
+subdirs("utility")
+subdirs("model")
+subdirs("workload")
+subdirs("lrgp")
+subdirs("baseline")
+subdirs("sim")
+subdirs("dist")
+subdirs("broker")
+subdirs("io")
+subdirs("planner")
+subdirs("multirate")
+subdirs("exp")

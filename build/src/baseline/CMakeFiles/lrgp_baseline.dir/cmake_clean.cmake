@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_baseline.dir/annealing.cpp.o"
+  "CMakeFiles/lrgp_baseline.dir/annealing.cpp.o.d"
+  "CMakeFiles/lrgp_baseline.dir/exhaustive.cpp.o"
+  "CMakeFiles/lrgp_baseline.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/lrgp_baseline.dir/rates_only.cpp.o"
+  "CMakeFiles/lrgp_baseline.dir/rates_only.cpp.o.d"
+  "CMakeFiles/lrgp_baseline.dir/search_state.cpp.o"
+  "CMakeFiles/lrgp_baseline.dir/search_state.cpp.o.d"
+  "liblrgp_baseline.a"
+  "liblrgp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

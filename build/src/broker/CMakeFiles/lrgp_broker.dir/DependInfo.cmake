@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/estimator.cpp" "src/broker/CMakeFiles/lrgp_broker.dir/estimator.cpp.o" "gcc" "src/broker/CMakeFiles/lrgp_broker.dir/estimator.cpp.o.d"
+  "/root/repo/src/broker/filter.cpp" "src/broker/CMakeFiles/lrgp_broker.dir/filter.cpp.o" "gcc" "src/broker/CMakeFiles/lrgp_broker.dir/filter.cpp.o.d"
+  "/root/repo/src/broker/overlay.cpp" "src/broker/CMakeFiles/lrgp_broker.dir/overlay.cpp.o" "gcc" "src/broker/CMakeFiles/lrgp_broker.dir/overlay.cpp.o.d"
+  "/root/repo/src/broker/transform.cpp" "src/broker/CMakeFiles/lrgp_broker.dir/transform.cpp.o" "gcc" "src/broker/CMakeFiles/lrgp_broker.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/lrgp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/utility/CMakeFiles/lrgp_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lrgp_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

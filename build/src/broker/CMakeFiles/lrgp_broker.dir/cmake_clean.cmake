@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_broker.dir/estimator.cpp.o"
+  "CMakeFiles/lrgp_broker.dir/estimator.cpp.o.d"
+  "CMakeFiles/lrgp_broker.dir/filter.cpp.o"
+  "CMakeFiles/lrgp_broker.dir/filter.cpp.o.d"
+  "CMakeFiles/lrgp_broker.dir/overlay.cpp.o"
+  "CMakeFiles/lrgp_broker.dir/overlay.cpp.o.d"
+  "CMakeFiles/lrgp_broker.dir/transform.cpp.o"
+  "CMakeFiles/lrgp_broker.dir/transform.cpp.o.d"
+  "liblrgp_broker.a"
+  "liblrgp_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_dist.dir/dist_lrgp.cpp.o"
+  "CMakeFiles/lrgp_dist.dir/dist_lrgp.cpp.o.d"
+  "liblrgp_dist.a"
+  "liblrgp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblrgp_dist.a"
+)

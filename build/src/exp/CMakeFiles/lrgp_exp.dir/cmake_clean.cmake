@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_exp.dir/experiment.cpp.o"
+  "CMakeFiles/lrgp_exp.dir/experiment.cpp.o.d"
+  "liblrgp_exp.a"
+  "liblrgp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

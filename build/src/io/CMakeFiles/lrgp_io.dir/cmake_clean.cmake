@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_io.dir/json.cpp.o"
+  "CMakeFiles/lrgp_io.dir/json.cpp.o.d"
+  "CMakeFiles/lrgp_io.dir/problem_json.cpp.o"
+  "CMakeFiles/lrgp_io.dir/problem_json.cpp.o.d"
+  "liblrgp_io.a"
+  "liblrgp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lrgp/convergence.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/convergence.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/lrgp/enactment.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/enactment.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/enactment.cpp.o.d"
+  "/root/repo/src/lrgp/greedy_allocator.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/greedy_allocator.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/greedy_allocator.cpp.o.d"
+  "/root/repo/src/lrgp/optimizer.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/optimizer.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/lrgp/price_controllers.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/price_controllers.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/price_controllers.cpp.o.d"
+  "/root/repo/src/lrgp/pruning.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/pruning.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/lrgp/rate_allocator.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/rate_allocator.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/rate_allocator.cpp.o.d"
+  "/root/repo/src/lrgp/trace_export.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/trace_export.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/trace_export.cpp.o.d"
+  "/root/repo/src/lrgp/two_stage.cpp" "src/lrgp/CMakeFiles/lrgp_core.dir/two_stage.cpp.o" "gcc" "src/lrgp/CMakeFiles/lrgp_core.dir/two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/lrgp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lrgp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/utility/CMakeFiles/lrgp_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lrgp_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_core.dir/convergence.cpp.o"
+  "CMakeFiles/lrgp_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/enactment.cpp.o"
+  "CMakeFiles/lrgp_core.dir/enactment.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/greedy_allocator.cpp.o"
+  "CMakeFiles/lrgp_core.dir/greedy_allocator.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/optimizer.cpp.o"
+  "CMakeFiles/lrgp_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/price_controllers.cpp.o"
+  "CMakeFiles/lrgp_core.dir/price_controllers.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/pruning.cpp.o"
+  "CMakeFiles/lrgp_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/rate_allocator.cpp.o"
+  "CMakeFiles/lrgp_core.dir/rate_allocator.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/trace_export.cpp.o"
+  "CMakeFiles/lrgp_core.dir/trace_export.cpp.o.d"
+  "CMakeFiles/lrgp_core.dir/two_stage.cpp.o"
+  "CMakeFiles/lrgp_core.dir/two_stage.cpp.o.d"
+  "liblrgp_core.a"
+  "liblrgp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/table_writer.cpp" "src/metrics/CMakeFiles/lrgp_metrics.dir/table_writer.cpp.o" "gcc" "src/metrics/CMakeFiles/lrgp_metrics.dir/table_writer.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/metrics/CMakeFiles/lrgp_metrics.dir/time_series.cpp.o" "gcc" "src/metrics/CMakeFiles/lrgp_metrics.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

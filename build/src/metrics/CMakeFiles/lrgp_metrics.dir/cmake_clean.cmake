@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_metrics.dir/table_writer.cpp.o"
+  "CMakeFiles/lrgp_metrics.dir/table_writer.cpp.o.d"
+  "CMakeFiles/lrgp_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/lrgp_metrics.dir/time_series.cpp.o.d"
+  "liblrgp_metrics.a"
+  "liblrgp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

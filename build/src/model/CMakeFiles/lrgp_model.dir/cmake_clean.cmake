@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_model.dir/allocation.cpp.o"
+  "CMakeFiles/lrgp_model.dir/allocation.cpp.o.d"
+  "CMakeFiles/lrgp_model.dir/analysis.cpp.o"
+  "CMakeFiles/lrgp_model.dir/analysis.cpp.o.d"
+  "CMakeFiles/lrgp_model.dir/problem.cpp.o"
+  "CMakeFiles/lrgp_model.dir/problem.cpp.o.d"
+  "liblrgp_model.a"
+  "liblrgp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_multirate.dir/multirate.cpp.o"
+  "CMakeFiles/lrgp_multirate.dir/multirate.cpp.o.d"
+  "liblrgp_multirate.a"
+  "liblrgp_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

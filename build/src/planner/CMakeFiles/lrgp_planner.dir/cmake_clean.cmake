@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_planner.dir/capacity_planner.cpp.o"
+  "CMakeFiles/lrgp_planner.dir/capacity_planner.cpp.o.d"
+  "liblrgp_planner.a"
+  "liblrgp_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lrgp_sim.dir/simulator.cpp.o.d"
+  "liblrgp_sim.a"
+  "liblrgp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

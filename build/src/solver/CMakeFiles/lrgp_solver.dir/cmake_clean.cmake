@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_solver.dir/root_finding.cpp.o"
+  "CMakeFiles/lrgp_solver.dir/root_finding.cpp.o.d"
+  "liblrgp_solver.a"
+  "liblrgp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

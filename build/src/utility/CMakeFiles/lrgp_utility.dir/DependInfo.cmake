@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utility/rate_objective.cpp" "src/utility/CMakeFiles/lrgp_utility.dir/rate_objective.cpp.o" "gcc" "src/utility/CMakeFiles/lrgp_utility.dir/rate_objective.cpp.o.d"
+  "/root/repo/src/utility/utility_function.cpp" "src/utility/CMakeFiles/lrgp_utility.dir/utility_function.cpp.o" "gcc" "src/utility/CMakeFiles/lrgp_utility.dir/utility_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/lrgp_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_utility.dir/rate_objective.cpp.o"
+  "CMakeFiles/lrgp_utility.dir/rate_objective.cpp.o.d"
+  "CMakeFiles/lrgp_utility.dir/utility_function.cpp.o"
+  "CMakeFiles/lrgp_utility.dir/utility_function.cpp.o.d"
+  "liblrgp_utility.a"
+  "liblrgp_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrgp_workload.dir/random_workload.cpp.o"
+  "CMakeFiles/lrgp_workload.dir/random_workload.cpp.o.d"
+  "CMakeFiles/lrgp_workload.dir/workloads.cpp.o"
+  "CMakeFiles/lrgp_workload.dir/workloads.cpp.o.d"
+  "liblrgp_workload.a"
+  "liblrgp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrgp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

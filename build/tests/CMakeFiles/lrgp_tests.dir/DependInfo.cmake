@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_broker.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_broker.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_broker.cpp.o.d"
+  "/root/repo/tests/test_broker_reliability.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_broker_reliability.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_broker_reliability.cpp.o.d"
+  "/root/repo/tests/test_convergence.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_convergence.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_convergence.cpp.o.d"
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_dist.cpp.o.d"
+  "/root/repo/tests/test_dist_scaled.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_dist_scaled.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_dist_scaled.cpp.o.d"
+  "/root/repo/tests/test_dynamics.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_dynamics.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_dynamics.cpp.o.d"
+  "/root/repo/tests/test_enactment.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_enactment.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_enactment.cpp.o.d"
+  "/root/repo/tests/test_estimator.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_estimator.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_estimator.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_greedy.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_greedy.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_greedy.cpp.o.d"
+  "/root/repo/tests/test_greedy_optimality.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_greedy_optimality.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_greedy_optimality.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_multirate.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_multirate.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_multirate.cpp.o.d"
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_optimizer.cpp.o.d"
+  "/root/repo/tests/test_planner.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_planner.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_planner.cpp.o.d"
+  "/root/repo/tests/test_prices.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_prices.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_prices.cpp.o.d"
+  "/root/repo/tests/test_problem_json.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_problem_json.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_problem_json.cpp.o.d"
+  "/root/repo/tests/test_pruning.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_pruning.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_pruning.cpp.o.d"
+  "/root/repo/tests/test_random_workload.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_random_workload.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_random_workload.cpp.o.d"
+  "/root/repo/tests/test_rate_allocator.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_rate_allocator.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_rate_allocator.cpp.o.d"
+  "/root/repo/tests/test_rate_objective.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_rate_objective.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_rate_objective.cpp.o.d"
+  "/root/repo/tests/test_rate_oracle.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_rate_oracle.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_rate_oracle.cpp.o.d"
+  "/root/repo/tests/test_rates_only.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_rates_only.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_rates_only.cpp.o.d"
+  "/root/repo/tests/test_shifted_log.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_shifted_log.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_shifted_log.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_trace_export.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_trace_export.cpp.o.d"
+  "/root/repo/tests/test_two_stage.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_two_stage.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_two_stage.cpp.o.d"
+  "/root/repo/tests/test_utility.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_utility.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_utility.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/lrgp_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/lrgp_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lrgp/CMakeFiles/lrgp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lrgp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lrgp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/lrgp_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/lrgp_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/lrgp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/lrgp_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/multirate/CMakeFiles/lrgp_multirate.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/lrgp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lrgp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/lrgp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/utility/CMakeFiles/lrgp_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/lrgp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lrgp_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
