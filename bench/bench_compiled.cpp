@@ -1,0 +1,144 @@
+// Compiled-engine benchmark: serial LrgpOptimizer vs ParallelLrgpEngine
+// on a paper-scale workload (Table 2's largest shape and beyond).
+//
+// Reports iterations/second and per-phase time for
+//   * the serial reference optimizer (object-graph hot path),
+//   * the compiled engine at 1 thread  (flat-array hot path only),
+//   * the compiled engine at hardware threads,
+// cross-checks that all three produce bitwise-identical final utility
+// (the engine's determinism contract), and writes BENCH_lrgp.json for
+// tracking.  LRGP_BENCH_ITERS overrides the iteration budget.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "io/json.hpp"
+#include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+template <class Driver>
+std::uint64_t timed_run(Driver& driver, int iterations) {
+    const std::uint64_t t0 = now_ns();
+    driver.run(iterations);
+    return now_ns() - t0;
+}
+
+}  // namespace
+
+int main() {
+    using namespace lrgp;
+
+    const int iters = static_cast<int>(bench::env_u64("LRGP_BENCH_ITERS", 300));
+    const int hw = std::max(1u, std::thread::hardware_concurrency());
+
+    // 24 flows, 100 nodes (4 producers + 96 consumer nodes), 640 classes:
+    // the "new flows" and "more consumers" scaling axes combined.
+    workload::WorkloadOptions options;
+    options.flow_replicas = 4;
+    options.cnode_replicas = 8;
+    const model::ProblemSpec spec = workload::make_scaled_workload(options);
+
+    std::printf("Compiled-engine benchmark: %zu flows, %zu nodes, %zu classes, %d iterations\n\n",
+                spec.flowCount(), spec.nodeCount(), spec.classCount(), iters);
+
+    // Warm-up passes (page in code and the spec) — results discarded.
+    {
+        core::LrgpOptimizer warm(spec);
+        warm.run(10);
+        core::ParallelLrgpEngine warm_engine(spec, {}, {.threads = 1});
+        warm_engine.run(10);
+    }
+
+    core::LrgpOptimizer serial(spec);
+    const std::uint64_t serial_ns = timed_run(serial, iters);
+
+    core::ParallelLrgpEngine compiled1(spec, {}, {.threads = 1, .collect_phase_times = true});
+    const std::uint64_t compiled1_ns = timed_run(compiled1, iters);
+
+    core::ParallelLrgpEngine compiledN(spec, {}, {.threads = hw});
+    const std::uint64_t compiledN_ns = timed_run(compiledN, iters);
+
+    // Determinism cross-check: all three drivers must land on the exact
+    // same trajectory, not merely a close one.
+    const double u_serial = serial.currentUtility();
+    const double u_c1 = compiled1.currentUtility();
+    const double u_cn = compiledN.currentUtility();
+    if (u_serial != u_c1 || u_serial != u_cn) {
+        std::fprintf(stderr,
+                     "FATAL: trajectories diverged (serial %.17g, compiled/1t %.17g, "
+                     "compiled/%dt %.17g)\n",
+                     u_serial, u_c1, hw, u_cn);
+        return 1;
+    }
+
+    const auto per_iter = [&](std::uint64_t ns) { return static_cast<double>(ns) / iters; };
+    const auto iters_per_sec = [&](std::uint64_t ns) {
+        return iters / (static_cast<double>(ns) * 1e-9);
+    };
+    const double speedup1 = static_cast<double>(serial_ns) / compiled1_ns;
+    const double speedupN = static_cast<double>(serial_ns) / compiledN_ns;
+
+    std::printf("%-24s %14s %14s %10s\n", "driver", "ns/iteration", "iters/sec", "speedup");
+    std::printf("%-24s %14.0f %14.1f %10s\n", "serial LrgpOptimizer", per_iter(serial_ns),
+                iters_per_sec(serial_ns), "1.00x");
+    std::printf("%-24s %14.0f %14.1f %9.2fx\n", "compiled, 1 thread", per_iter(compiled1_ns),
+                iters_per_sec(compiled1_ns), speedup1);
+    char label[32];
+    std::snprintf(label, sizeof label, "compiled, %d threads", hw);
+    std::printf("%-24s %14.0f %14.1f %9.2fx\n", label, per_iter(compiledN_ns),
+                iters_per_sec(compiledN_ns), speedupN);
+
+    const core::PhaseTimes& pt = compiled1.phaseTimes();
+    std::printf("\ncompiled 1-thread phase split (ns/iteration):\n");
+    std::printf("  rate %.0f   node %.0f   link %.0f   reduce %.0f\n",
+                per_iter(pt.rate_ns), per_iter(pt.node_ns), per_iter(pt.link_ns),
+                per_iter(pt.reduce_ns));
+    std::printf("\nfinal utility (all drivers, bitwise equal): %.1f\n", u_serial);
+
+    io::JsonObject instance;
+    instance["flows"] = static_cast<int>(spec.flowCount());
+    instance["nodes"] = static_cast<int>(spec.nodeCount());
+    instance["links"] = static_cast<int>(spec.linkCount());
+    instance["classes"] = static_cast<int>(spec.classCount());
+
+    io::JsonObject phases;
+    phases["rate_ns_per_iter"] = per_iter(pt.rate_ns);
+    phases["node_ns_per_iter"] = per_iter(pt.node_ns);
+    phases["link_ns_per_iter"] = per_iter(pt.link_ns);
+    phases["reduce_ns_per_iter"] = per_iter(pt.reduce_ns);
+
+    io::JsonObject root;
+    root["bench"] = "bench_compiled";
+    root["iterations"] = iters;
+    root["hardware_threads"] = hw;
+    root["instance"] = std::move(instance);
+    root["serial_ns_per_iter"] = per_iter(serial_ns);
+    root["compiled_1t_ns_per_iter"] = per_iter(compiled1_ns);
+    root["compiled_hw_ns_per_iter"] = per_iter(compiledN_ns);
+    root["serial_iters_per_sec"] = iters_per_sec(serial_ns);
+    root["compiled_1t_iters_per_sec"] = iters_per_sec(compiled1_ns);
+    root["compiled_hw_iters_per_sec"] = iters_per_sec(compiledN_ns);
+    root["speedup_1t"] = speedup1;
+    root["speedup_hw"] = speedupN;
+    root["compiled_1t_phases"] = std::move(phases);
+    root["final_utility"] = u_serial;
+    root["bitwise_identical"] = true;
+
+    std::ofstream out("BENCH_lrgp.json");
+    out << io::JsonValue(std::move(root)).dump(true) << "\n";
+    std::printf("\nwrote BENCH_lrgp.json\n");
+    return 0;
+}

@@ -16,12 +16,14 @@
 // in a near-constant ~20-30 iterations; LRGP utility grows linearly with
 // the number of consumer nodes (paper: 1,328,821 / 2,657,600 / 5,313,612
 // / 2,656,706 / 5,313,412 / 10,626,824).
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "baseline/annealing.hpp"
 #include "bench_util.hpp"
 #include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
 #include "metrics/table_writer.hpp"
 #include "workload/workloads.hpp"
 
@@ -50,7 +52,8 @@ int main() {
                 static_cast<unsigned long long>(sa_steps));
 
     metrics::TableWriter table({"workload", "SA utility", "SA minutes", "LRGP iters",
-                                "LRGP utility", "utility increase", "paper LRGP utility"});
+                                "LRGP utility", "utility increase", "paper LRGP utility",
+                                "compiled speedup"});
 
     for (const Row& row : rows) {
         workload::WorkloadOptions options;
@@ -58,10 +61,27 @@ int main() {
         options.cnode_replicas = row.cnode_replicas;
         const auto spec = workload::make_scaled_workload(options);
 
+        using clock = std::chrono::steady_clock;
+        const auto t0 = clock::now();
         core::LrgpOptimizer opt(spec);
         opt.run(250);
+        const auto t1 = clock::now();
         const std::size_t iters = opt.convergence().convergedAt();
         const double lrgp_utility = opt.currentUtility();
+
+        // Compiled-engine cross-check: same 250 iterations must land on
+        // the bitwise-identical utility, and faster.
+        const auto t2 = clock::now();
+        core::ParallelLrgpEngine engine(spec, {}, {.threads = 1});
+        engine.run(250);
+        const auto t3 = clock::now();
+        if (engine.currentUtility() != lrgp_utility) {
+            std::fprintf(stderr, "FATAL: compiled engine diverged on '%s' (%.17g vs %.17g)\n",
+                         row.name, engine.currentUtility(), lrgp_utility);
+            return 1;
+        }
+        const double speedup = std::chrono::duration<double>(t1 - t0).count() /
+                               std::chrono::duration<double>(t3 - t2).count();
 
         const auto sa =
             baseline::best_of_annealing(spec, {5.0, 10.0, 50.0, 100.0}, sa_steps, 1);
@@ -69,9 +89,11 @@ int main() {
         const double increase = 100.0 * (lrgp_utility - sa.best_utility) / sa.best_utility;
         char pct[32];
         std::snprintf(pct, sizeof pct, "%.2f%%", increase);
+        char spd[32];
+        std::snprintf(spd, sizeof spd, "%.2fx", speedup);
         table.addRow({std::string(row.name), sa.best_utility, sa.wall_seconds / 60.0,
                       static_cast<long long>(iters), lrgp_utility, std::string(pct),
-                      row.paper_lrgp_utility});
+                      row.paper_lrgp_utility, std::string(spd)});
     }
 
     table.printTable(std::cout);

@@ -1,0 +1,156 @@
+#include "lrgp/compiled_problem.hpp"
+
+#include "utility/utility_function.hpp"
+
+namespace lrgp::core {
+
+namespace {
+
+struct ClassFamily {
+    SolveFamily family = SolveFamily::kGeneric;
+    double weight = 0.0;
+    double param = 0.0;  ///< exponent (power) or scale (shifted log)
+};
+
+/// Classifies one utility into a closed-form family.  ScaledUtility
+/// chains and unknown subclasses stay generic: replicating their nested
+/// factor arithmetic bit-for-bit is not worth the fragility.
+ClassFamily classify(const utility::UtilityFunction& u) {
+    if (const auto* lg = dynamic_cast<const utility::LogUtility*>(&u))
+        return {SolveFamily::kLog, lg->weight(), 0.0};
+    if (const auto* pw = dynamic_cast<const utility::PowerUtility*>(&u))
+        return {SolveFamily::kPower, pw->weight(), pw->exponent()};
+    if (const auto* sl = dynamic_cast<const utility::ShiftedLogUtility*>(&u))
+        return {SolveFamily::kShiftedLog, sl->weight(), sl->scale()};
+    return {};
+}
+
+}  // namespace
+
+CompiledProblem::CompiledProblem(const model::ProblemSpec& spec) {
+    const std::size_t flows = spec.flowCount();
+    const std::size_t nodes = spec.nodeCount();
+    const std::size_t links = spec.linkCount();
+    const std::size_t classes = spec.classCount();
+
+    // ---- per-class scalars and family classification --------------------
+    class_flow.reserve(classes);
+    class_node.reserve(classes);
+    class_max_consumers.reserve(classes);
+    class_gcost.reserve(classes);
+    class_weight.reserve(classes);
+    class_dweight.reserve(classes);
+    class_utility.reserve(classes);
+    std::vector<ClassFamily> families;
+    families.reserve(classes);
+    for (const model::ClassSpec& c : spec.classes()) {
+        const ClassFamily fam = classify(*c.utility);
+        families.push_back(fam);
+        class_flow.push_back(c.flow.value);
+        class_node.push_back(c.node.value);
+        class_max_consumers.push_back(c.max_consumers);
+        class_gcost.push_back(c.consumer_cost);
+        class_weight.push_back(fam.weight);
+        class_dweight.push_back(fam.family == SolveFamily::kPower ? fam.weight * fam.param
+                                                                  : fam.weight);
+        class_utility.push_back(c.utility.get());
+    }
+
+    // ---- per-flow scalars, hop spans, class spans -----------------------
+    flow_active.reserve(flows);
+    flow_rate_min.reserve(flows);
+    flow_rate_max.reserve(flows);
+    flow_family.assign(flows, SolveFamily::kGeneric);
+    flow_family_param.assign(flows, 0.0);
+    flow_link_begin.reserve(flows + 1);
+    flow_node_begin.reserve(flows + 1);
+    flow_class_begin.reserve(flows + 1);
+    link_hop_link.reserve(spec.totalFlowLinkHops());
+    link_hop_cost.reserve(spec.totalFlowLinkHops());
+    node_hop_node.reserve(spec.totalFlowNodeHops());
+    node_hop_fcost.reserve(spec.totalFlowNodeHops());
+    hop_class_begin.reserve(spec.totalFlowNodeHops() + 1);
+    flow_class_class.reserve(classes);
+
+    flow_link_begin.push_back(0);
+    flow_node_begin.push_back(0);
+    flow_class_begin.push_back(0);
+    hop_class_begin.push_back(0);
+    for (const model::FlowSpec& f : spec.flows()) {
+        flow_active.push_back(f.active ? 1 : 0);
+        flow_rate_min.push_back(f.rate_min);
+        flow_rate_max.push_back(f.rate_max);
+
+        for (const model::FlowLinkHop& hop : f.links) {
+            link_hop_link.push_back(hop.link.value);
+            link_hop_cost.push_back(hop.link_cost);
+        }
+        flow_link_begin.push_back(link_hop_link.size());
+
+        const std::vector<model::ClassId>& of_flow = spec.classesOfFlow(f.id);
+        for (const model::FlowNodeHop& hop : f.nodes) {
+            node_hop_node.push_back(hop.node.value);
+            node_hop_fcost.push_back(hop.flow_node_cost);
+            // Classes of this flow attached at the hop's node, kept in
+            // classesOfFlow order — the exact order the serial
+            // RateAllocator::totalPrice inner loop accumulates them.
+            for (model::ClassId j : of_flow) {
+                if (spec.consumerClass(j).node != hop.node) continue;
+                hop_class_class.push_back(j.value);
+                hop_class_gcost.push_back(spec.consumerClass(j).consumer_cost);
+            }
+            hop_class_begin.push_back(hop_class_class.size());
+        }
+        flow_node_begin.push_back(node_hop_node.size());
+
+        for (model::ClassId j : of_flow) flow_class_class.push_back(j.value);
+        flow_class_begin.push_back(flow_class_class.size());
+
+        // A flow is fast-path solvable when every one of its classes
+        // shares a single closed-form family (equal exponent/scale).
+        if (!of_flow.empty()) {
+            const ClassFamily& first = families[of_flow.front().index()];
+            bool uniform = first.family != SolveFamily::kGeneric;
+            for (model::ClassId j : of_flow) {
+                const ClassFamily& fam = families[j.index()];
+                uniform = uniform && fam.family == first.family && fam.param == first.param;
+            }
+            if (uniform) {
+                flow_family[f.id.index()] = first.family;
+                flow_family_param[f.id.index()] = first.param;
+            }
+        }
+    }
+
+    // ---- per-node spans -------------------------------------------------
+    node_capacity.reserve(nodes);
+    node_flow_begin.reserve(nodes + 1);
+    node_class_begin.reserve(nodes + 1);
+    node_flow_begin.push_back(0);
+    node_class_begin.push_back(0);
+    for (const model::NodeSpec& b : spec.nodes()) {
+        node_capacity.push_back(b.capacity);
+        for (model::FlowId i : spec.flowsAtNode(b.id)) {
+            node_flow_flow.push_back(i.value);
+            node_flow_fcost.push_back(spec.flowNodeCost(b.id, i));
+        }
+        node_flow_begin.push_back(node_flow_flow.size());
+        for (model::ClassId j : spec.classesAtNode(b.id)) node_class_class.push_back(j.value);
+        node_class_begin.push_back(node_class_class.size());
+    }
+
+    // ---- per-link spans -------------------------------------------------
+    link_capacity.reserve(links);
+    link_flow_begin.reserve(links + 1);
+    link_flow_begin.push_back(0);
+    for (const model::LinkSpec& l : spec.links()) {
+        link_capacity.push_back(l.capacity);
+        for (model::FlowId i : spec.flowsOnLink(l.id)) {
+            link_flow_flow.push_back(i.value);
+            link_flow_cost.push_back(spec.linkCost(l.id, i));
+        }
+        link_flow_begin.push_back(link_flow_flow.size());
+    }
+}
+
+}  // namespace lrgp::core

@@ -8,12 +8,14 @@ namespace lrgp::core {
 std::vector<BenefitCost> GreedyConsumerAllocator::benefitCosts(
     model::NodeId node, const std::vector<double>& rates) const {
     std::vector<BenefitCost> out;
+    std::size_t slot = 0;
     for (model::ClassId j : spec_->classesAtNode(node)) {
+        const std::size_t this_slot = slot++;
         const model::ClassSpec& c = spec_->consumerClass(j);
         if (!spec_->flowActive(c.flow) || c.max_consumers == 0) continue;
         const double rate = rates.at(c.flow.index());
         const double unit_cost = c.consumer_cost * rate;
-        out.push_back(BenefitCost{j, c.utility->value(rate) / unit_cost, unit_cost});
+        out.push_back(BenefitCost{j, this_slot, c.utility->value(rate) / unit_cost, unit_cost});
     }
     std::sort(out.begin(), out.end(), [](const BenefitCost& a, const BenefitCost& b) {
         if (a.ratio != b.ratio) return a.ratio > b.ratio;
@@ -45,22 +47,25 @@ NodeAllocationResult GreedyConsumerAllocator::allocate(model::NodeId node,
         const model::ClassSpec& c = spec_->consumerClass(bc.cls);
         int admitted = 0;
         if (remaining > 0.0) {
-            if (batched) {
-                // Clamp in double before narrowing: the quotient can exceed
-                // int range when unit costs are tiny.
-                admitted = static_cast<int>(std::min(std::floor(remaining / bc.unit_cost),
-                                                     static_cast<double>(c.max_consumers)));
-            } else {
+            // Clamp in double before narrowing: the quotient can exceed
+            // int range when unit costs are tiny.
+            admitted = static_cast<int>(std::min(std::floor(remaining / bc.unit_cost),
+                                                 static_cast<double>(c.max_consumers)));
+            if (!batched) {
+                // The stepwise oracle admits the largest k with
+                // remaining - k*unit_cost >= 0.  The floored quotient can
+                // land one off that boundary when the division rounds the
+                // other way than the multiplication; nudge to match.
+                while (admitted > 0 && remaining - admitted * bc.unit_cost < 0.0) --admitted;
                 while (admitted < c.max_consumers &&
                        remaining - (admitted + 1) * bc.unit_cost >= 0.0)
                     ++admitted;
             }
         }
         remaining -= admitted * bc.unit_cost;
-        for (auto& [cls, n] : result.populations)
-            if (cls == bc.cls) n = admitted;
+        result.populations[bc.slot].second = admitted;
         // BC(b,t): first (highest) ratio whose class is not fully admitted.
-        if (admitted < c.max_consumers && result.best_unmet_bc == 0.0)
+        if (admitted < c.max_consumers && !result.best_unmet_bc)
             result.best_unmet_bc = bc.ratio;
     }
 

@@ -8,6 +8,7 @@
 // costs F alone exceed the capacity, no consumer is admitted.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "model/problem.hpp"
@@ -17,19 +18,22 @@ namespace lrgp::core {
 /// A class's benefit-cost ratio at the current rates.
 struct BenefitCost {
     model::ClassId cls;
+    std::size_t slot = 0;    ///< position of cls in classesAtNode(node)
     double ratio = 0.0;      ///< BC_j (Eq. 10)
     double unit_cost = 0.0;  ///< G_{b,j} * r_i, resource per admitted consumer
 };
 
 /// Result of one node's consumer allocation.
 struct NodeAllocationResult {
-    /// (class, n_j) for every class attached at the node, admitted or not.
+    /// (class, n_j) for every class attached at the node, admitted or not,
+    /// in classesAtNode order.
     std::vector<std::pair<model::ClassId, int>> populations;
     /// used_b(t): node resource consumed after allocation (F terms + admitted consumers).
     double used = 0.0;
     /// BC(b,t): the best benefit-cost ratio among classes still below
-    /// n^max (Eq. 11); 0 when every class is fully admitted.
-    double best_unmet_bc = 0.0;
+    /// n^max (Eq. 11); nullopt when every allocatable class is fully
+    /// admitted (a legitimate zero ratio stays distinguishable).
+    std::optional<double> best_unmet_bc;
 };
 
 /// Stateless greedy allocator; holds a reference to the problem.

@@ -1,0 +1,385 @@
+#include "lrgp/parallel_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "model/allocation.hpp"
+#include "utility/rate_objective.hpp"
+
+namespace lrgp::core {
+
+namespace {
+
+inline std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+/// Per-worker greedy ranking buffer (phase 2).
+struct ParallelLrgpEngine::NodeScratch {
+    struct Cand {
+        double ratio;      ///< BC_j (Eq. 10)
+        double unit_cost;  ///< G_{b,j} * r_i
+        double value;      ///< U_j(r_i), reused for the Eq. 1 term
+        int max_consumers;
+        std::uint32_t cls;
+    };
+    std::vector<Cand> cands;
+};
+
+ParallelLrgpEngine::ParallelLrgpEngine(model::ProblemSpec spec, LrgpOptions options,
+                                       EngineConfig config)
+    : spec_(std::move(spec)),
+      options_(options),
+      compiled_(spec_),
+      pool_(std::make_unique<TaskPool>(config.threads)),
+      collect_phase_times_(config.collect_phase_times),
+      allocation_(model::Allocation::minimal(spec_)),
+      prices_(PriceVector::zeros(spec_.nodeCount(), spec_.linkCount())),
+      detector_(options.convergence) {
+    node_prices_.reserve(spec_.nodeCount());
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        node_prices_.emplace_back(options_.gamma, options_.initial_node_price,
+                                  options_.node_price_rule);
+    link_prices_.reserve(spec_.linkCount());
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        link_prices_.emplace_back(options_.link_gamma, options_.initial_link_price);
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        prices_.node[b] = options_.initial_node_price;
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        prices_.link[l] = options_.initial_link_price;
+
+    // Eq. 7 terms: utilities bound once, populations rewritten per solve.
+    flow_terms_.resize(spec_.flowCount());
+    for (const model::FlowSpec& f : spec_.flows()) {
+        auto& terms = flow_terms_[f.id.index()];
+        const auto& classes = spec_.classesOfFlow(f.id);
+        terms.reserve(classes.size());
+        for (model::ClassId j : classes)
+            terms.push_back({0.0, spec_.consumerClass(j).utility});
+    }
+    flow_value_trans_.assign(spec_.flowCount(), 0.0);
+    class_utility_term_.assign(spec_.classCount(), 0.0);
+
+    node_scratch_.reserve(static_cast<std::size_t>(pool_->threadCount()));
+    for (int w = 0; w < pool_->threadCount(); ++w) {
+        node_scratch_.push_back(std::make_unique<NodeScratch>());
+        node_scratch_.back()->cands.reserve(spec_.maxClassesAtAnyNode());
+    }
+}
+
+ParallelLrgpEngine::~ParallelLrgpEngine() = default;
+
+int ParallelLrgpEngine::threadCount() const noexcept { return pool_->threadCount(); }
+
+void ParallelLrgpEngine::solveFlow(std::size_t f) {
+    const CompiledProblem& cp = compiled_;
+    const std::vector<int>& pops = allocation_.populations;
+
+    // PL_i (Eq. 8): link hops in route order.
+    double pl = 0.0;
+    for (std::size_t h = cp.flow_link_begin[f]; h < cp.flow_link_begin[f + 1]; ++h)
+        pl += cp.link_hop_cost[h] * prices_.link[cp.link_hop_link[h]];
+
+    // PB_i (Eq. 9): node hops in route order, each with its class sub-span
+    // in classesOfFlow order — the serial accumulation order exactly.
+    double pb = 0.0;
+    for (std::size_t h = cp.flow_node_begin[f]; h < cp.flow_node_begin[f + 1]; ++h) {
+        double per_rate_cost = cp.node_hop_fcost[h];
+        for (std::size_t e = cp.hop_class_begin[h]; e < cp.hop_class_begin[h + 1]; ++e)
+            per_rate_cost += cp.hop_class_gcost[e] * pops[cp.hop_class_class[e]];
+        pb += per_rate_cost * prices_.node[cp.node_hop_node[h]];
+    }
+    const double price = pl + pb;
+
+    const double lo = cp.flow_rate_min[f];
+    const double hi = cp.flow_rate_max[f];
+    const SolveFamily family = cp.flow_family[f];
+
+    double rate;
+    if (family != SolveFamily::kGeneric && options_.rate_solve.allow_closed_form) {
+        // Fast path: replicates utility::solve_rate_objective step by step
+        // with the virtual dispatch and dynamic_cast family probing
+        // replaced by the precompiled per-class weights.
+        const std::size_t begin = cp.flow_class_begin[f];
+        const std::size_t end = cp.flow_class_begin[f + 1];
+        const double param = cp.flow_family_param[f];
+
+        bool any_population = false;
+        for (std::size_t e = begin; e < end; ++e)
+            if (pops[cp.flow_class_class[e]] > 0) any_population = true;
+
+        if (!any_population) {
+            rate = price > 0.0 ? lo : hi;
+        } else {
+            // sum_j n_j U_j'(r) - price at a bound, in term order; the
+            // inlined derivative expressions mirror utility_function.cpp.
+            const auto derivative_at = [&](double r) {
+                const double pow_term =
+                    family == SolveFamily::kPower ? std::pow(r, param - 1.0) : 0.0;
+                double d = -price;
+                for (std::size_t e = begin; e < end; ++e) {
+                    const std::uint32_t cls = cp.flow_class_class[e];
+                    const int n = pops[cls];
+                    if (n <= 0) continue;
+                    double du;
+                    switch (family) {
+                        case SolveFamily::kLog: du = cp.class_weight[cls] / (1.0 + r); break;
+                        case SolveFamily::kPower: du = cp.class_dweight[cls] * pow_term; break;
+                        default: du = cp.class_weight[cls] / (param + r); break;
+                    }
+                    d += n * du;
+                }
+                return d;
+            };
+
+            if (derivative_at(hi) >= 0.0) {
+                rate = hi;
+            } else if (derivative_at(lo) <= 0.0) {
+                rate = lo;
+            } else {
+                // Combined closed form: W = sum_j n_j w_j in term order.
+                double weight = 0.0;
+                for (std::size_t e = begin; e < end; ++e) {
+                    const std::uint32_t cls = cp.flow_class_class[e];
+                    const int n = pops[cls];
+                    if (n <= 0) continue;
+                    weight += static_cast<double>(n) * cp.class_weight[cls];
+                }
+                double r;
+                switch (family) {
+                    case SolveFamily::kLog: r = weight / price - 1.0; break;
+                    case SolveFamily::kPower:
+                        r = std::pow(price / (weight * param), 1.0 / (param - 1.0));
+                        break;
+                    default: r = weight / price - param; break;
+                }
+                rate = std::clamp(r, lo, hi);
+            }
+        }
+    } else {
+        // Reference path: same solver as the serial optimizer, fed from
+        // the persistent terms buffer (no per-iteration allocation).
+        auto& terms = flow_terms_[f];
+        const std::size_t begin = cp.flow_class_begin[f];
+        for (std::size_t e = begin; e < cp.flow_class_begin[f + 1]; ++e)
+            terms[e - begin].population =
+                static_cast<double>(pops[cp.flow_class_class[e]]);
+        rate = utility::solve_rate_objective(terms, price, lo, hi, options_.rate_solve).rate;
+    }
+    allocation_.rates[f] = rate;
+
+    // One transcendental per flow; phase 2 turns it into per-class
+    // U_j(r) = w_j * trans values (bitwise equal to the virtual calls).
+    switch (family) {
+        case SolveFamily::kLog: flow_value_trans_[f] = std::log1p(rate); break;
+        case SolveFamily::kPower:
+            flow_value_trans_[f] = std::pow(rate, cp.flow_family_param[f]);
+            break;
+        case SolveFamily::kShiftedLog:
+            flow_value_trans_[f] = std::log1p(rate / cp.flow_family_param[f]);
+            break;
+        case SolveFamily::kGeneric: break;
+    }
+}
+
+void ParallelLrgpEngine::ratePhase(std::size_t begin, std::size_t end) {
+    for (std::size_t f = begin; f < end; ++f) {
+        if (!compiled_.flow_active[f]) continue;
+        solveFlow(f);
+    }
+}
+
+void ParallelLrgpEngine::nodePhase(std::size_t begin, std::size_t end, NodeScratch& scratch) {
+    const CompiledProblem& cp = compiled_;
+    const std::vector<double>& rates = allocation_.rates;
+
+    for (std::size_t b = begin; b < end; ++b) {
+        // Resource consumed by the flows themselves (F_{b,i} * r_i).
+        double base_usage = 0.0;
+        for (std::size_t e = cp.node_flow_begin[b]; e < cp.node_flow_begin[b + 1]; ++e) {
+            const std::uint32_t f = cp.node_flow_flow[e];
+            if (!cp.flow_active[f]) continue;
+            base_usage += cp.node_flow_fcost[e] * rates[f];
+        }
+        const double capacity = cp.node_capacity[b];
+        double remaining = capacity - base_usage;
+
+        // Benefit-cost candidates; all classes at the node start at zero.
+        auto& cands = scratch.cands;
+        cands.clear();
+        for (std::size_t e = cp.node_class_begin[b]; e < cp.node_class_begin[b + 1]; ++e) {
+            const std::uint32_t cls = cp.node_class_class[e];
+            allocation_.populations[cls] = 0;
+            class_utility_term_[cls] = 0.0;
+            const std::uint32_t f = cp.class_flow[cls];
+            if (!cp.flow_active[f] || cp.class_max_consumers[cls] == 0) continue;
+            const double rate = rates[f];
+            const double unit_cost = cp.class_gcost[cls] * rate;
+            const double value = cp.flow_family[f] == SolveFamily::kGeneric
+                                     ? cp.class_utility[cls]->value(rate)
+                                     : cp.class_weight[cls] * flow_value_trans_[f];
+            cands.push_back({value / unit_cost, unit_cost, value,
+                             cp.class_max_consumers[cls], cls});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const NodeScratch::Cand& a, const NodeScratch::Cand& c) {
+                      if (a.ratio != c.ratio) return a.ratio > c.ratio;
+                      return a.cls < c.cls;
+                  });
+
+        std::optional<double> best_unmet_bc;
+        for (const NodeScratch::Cand& cand : cands) {
+            int admitted = 0;
+            if (remaining > 0.0) {
+                admitted = static_cast<int>(
+                    std::min(std::floor(remaining / cand.unit_cost),
+                             static_cast<double>(cand.max_consumers)));
+            }
+            remaining -= admitted * cand.unit_cost;
+            allocation_.populations[cand.cls] = admitted;
+            if (admitted > 0) class_utility_term_[cand.cls] = admitted * cand.value;
+            if (admitted < cand.max_consumers && !best_unmet_bc) best_unmet_bc = cand.ratio;
+        }
+
+        const double used = capacity - remaining;
+        prices_.node[b] = node_prices_[b].update(best_unmet_bc, used, capacity);
+    }
+}
+
+void ParallelLrgpEngine::linkPhase(std::size_t begin, std::size_t end) {
+    const CompiledProblem& cp = compiled_;
+    const std::vector<double>& rates = allocation_.rates;
+    for (std::size_t l = begin; l < end; ++l) {
+        double usage = 0.0;
+        for (std::size_t e = cp.link_flow_begin[l]; e < cp.link_flow_begin[l + 1]; ++e) {
+            const std::uint32_t f = cp.link_flow_flow[e];
+            if (!cp.flow_active[f]) continue;
+            usage += cp.link_flow_cost[e] * rates[f];
+        }
+        prices_.link[l] = link_prices_[l].update(usage, cp.link_capacity[l]);
+    }
+}
+
+const IterationRecord& ParallelLrgpEngine::step() {
+    const bool timed = collect_phase_times_;
+    std::uint64_t t0 = timed ? now_ns() : 0;
+
+    pool_->parallelFor(compiled_.flowCount(),
+                       [this](std::size_t b, std::size_t e, int) { ratePhase(b, e); });
+    std::uint64_t t1 = timed ? now_ns() : 0;
+
+    pool_->parallelFor(compiled_.nodeCount(), [this](std::size_t b, std::size_t e, int w) {
+        nodePhase(b, e, *node_scratch_[static_cast<std::size_t>(w)]);
+    });
+    std::uint64_t t2 = timed ? now_ns() : 0;
+
+    pool_->parallelFor(compiled_.linkCount(),
+                       [this](std::size_t b, std::size_t e, int) { linkPhase(b, e); });
+    std::uint64_t t3 = timed ? now_ns() : 0;
+
+    // Serial epilogue: the Eq. 1 reduction in class-id order (skipped
+    // classes hold an exact 0.0, so the sum is bitwise the serial scan).
+    double utility = 0.0;
+    for (double term : class_utility_term_) utility += term;
+
+    ++iteration_;
+    last_record_.iteration = iteration_;
+    last_record_.utility = utility;
+    last_record_.allocation = allocation_;
+    last_record_.prices = prices_;
+    trace_.append(utility);
+    detector_.addSample(utility);
+
+    if (timed) {
+        phase_times_.rate_ns += t1 - t0;
+        phase_times_.node_ns += t2 - t1;
+        phase_times_.link_ns += t3 - t2;
+        phase_times_.reduce_ns += now_ns() - t3;
+        ++phase_times_.iterations;
+    }
+    return last_record_;
+}
+
+const IterationRecord& ParallelLrgpEngine::run(int iterations) {
+    if (iterations <= 0)
+        throw std::invalid_argument("ParallelLrgpEngine::run: iterations must be > 0");
+    for (int i = 0; i < iterations; ++i) step();
+    return last_record_;
+}
+
+std::optional<int> ParallelLrgpEngine::runUntilConverged(int max_iterations) {
+    if (max_iterations <= 0)
+        throw std::invalid_argument("ParallelLrgpEngine::runUntilConverged: bad max_iterations");
+    for (int i = 0; i < max_iterations; ++i) {
+        step();
+        if (detector_.converged()) return static_cast<int>(detector_.convergedAt());
+    }
+    return std::nullopt;
+}
+
+void ParallelLrgpEngine::removeFlow(model::FlowId flow) {
+    if (!spec_.flowActive(flow)) throw std::logic_error("removeFlow: flow already inactive");
+    spec_.setFlowActive(flow, false);
+    compiled_.setFlowActive(flow, false);
+    allocation_.rates[flow.index()] = 0.0;
+    for (model::ClassId j : spec_.classesOfFlow(flow)) allocation_.populations[j.index()] = 0;
+    detector_.reset();
+}
+
+void ParallelLrgpEngine::restoreFlow(model::FlowId flow) {
+    if (spec_.flowActive(flow)) throw std::logic_error("restoreFlow: flow already active");
+    spec_.setFlowActive(flow, true);
+    compiled_.setFlowActive(flow, true);
+    allocation_.rates[flow.index()] = spec_.flow(flow).rate_min;
+    detector_.reset();
+}
+
+void ParallelLrgpEngine::setNodeCapacity(model::NodeId node, double capacity) {
+    spec_.setNodeCapacity(node, capacity);
+    compiled_.setNodeCapacity(node, capacity);
+    detector_.reset();
+}
+
+void ParallelLrgpEngine::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
+    spec_.setClassMaxConsumers(cls, max_consumers);
+    compiled_.setClassMaxConsumers(cls, max_consumers);
+    auto& n = allocation_.populations.at(cls.index());
+    n = std::min(n, max_consumers);
+    detector_.reset();
+}
+
+void ParallelLrgpEngine::warmStart(const PriceVector& prices,
+                                   const std::vector<int>* populations) {
+    if (prices.node.size() != spec_.nodeCount() || prices.link.size() != spec_.linkCount())
+        throw std::invalid_argument("warmStart: price vector sized for another problem");
+    prices_ = prices;
+    for (std::size_t b = 0; b < node_prices_.size(); ++b)
+        node_prices_[b].reset(prices.node[b]);
+    for (std::size_t l = 0; l < link_prices_.size(); ++l)
+        link_prices_[l].reset(prices.link[l]);
+    if (populations != nullptr) {
+        if (populations->size() != spec_.classCount())
+            throw std::invalid_argument("warmStart: populations sized for another problem");
+        for (const model::ClassSpec& c : spec_.classes())
+            allocation_.populations[c.id.index()] =
+                std::min((*populations)[c.id.index()], c.max_consumers);
+    }
+    detector_.reset();
+}
+
+double ParallelLrgpEngine::currentUtility() const {
+    return model::total_utility(spec_, allocation_);
+}
+
+double ParallelLrgpEngine::nodeGamma(model::NodeId node) const {
+    return node_prices_.at(node.index()).currentGamma();
+}
+
+}  // namespace lrgp::core

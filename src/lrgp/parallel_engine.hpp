@@ -1,0 +1,137 @@
+// Compiled + parallel LRGP iteration engine.
+//
+// A drop-in alternative to LrgpOptimizer that runs the same three-phase
+// iteration over the CompiledProblem flat arrays, with each phase fanned
+// out across a reusable TaskPool:
+//
+//   phase 1  rates        one task slice per flow   (Algorithm 1)
+//   phase 2  populations  one task slice per node   (Algorithm 2 + Eq. 12)
+//   phase 3  link prices  one task slice per link   (Eq. 13)
+//
+// The phases are embarrassingly parallel within themselves — rates read
+// only last iteration's populations and prices, node allocations touch
+// disjoint class sets (a class attaches to exactly one node), and link
+// prices touch disjoint links — so the only synchronization is the
+// fork-join barrier between phases.
+//
+// Determinism contract: the engine produces *bitwise-identical* utility,
+// rate, population and price trajectories to LrgpOptimizer on the same
+// problem, for any thread count.  Every floating-point reduction either
+// happens privately per entity (in the serial optimizer's accumulation
+// order over the CSR spans) or serially in entity-id order (the Eq. 1
+// utility sum).  Scratch buffers (benefit-cost ranking, Eq. 7 terms,
+// per-class utility terms) are preallocated once and reused, so the
+// steady-state iteration performs no heap allocation beyond the
+// IterationRecord snapshot that mirrors the serial optimizer's API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lrgp/compiled_problem.hpp"
+#include "lrgp/optimizer.hpp"
+#include "lrgp/task_pool.hpp"
+
+namespace lrgp::core {
+
+/// Engine-only knobs; LrgpOptions keeps its serial-optimizer semantics.
+struct EngineConfig {
+    /// Worker threads including the caller; 1 = compiled but serial,
+    /// 0 = std::thread::hardware_concurrency().
+    int threads = 1;
+    /// Accumulate per-phase wall time (a few steady_clock reads per
+    /// iteration; off by default to keep the hot path undisturbed).
+    bool collect_phase_times = false;
+};
+
+/// Cumulative per-phase wall time in nanoseconds (collect_phase_times).
+struct PhaseTimes {
+    std::uint64_t rate_ns = 0;    ///< phase 1: per-flow rate subproblems
+    std::uint64_t node_ns = 0;    ///< phase 2: greedy allocation + node prices
+    std::uint64_t link_ns = 0;    ///< phase 3: link usage + prices
+    std::uint64_t reduce_ns = 0;  ///< serial epilogue: utility sum + record
+    std::uint64_t iterations = 0;
+};
+
+class ParallelLrgpEngine {
+public:
+    explicit ParallelLrgpEngine(model::ProblemSpec spec, LrgpOptions options = {},
+                                EngineConfig config = {});
+    ~ParallelLrgpEngine();
+
+    ParallelLrgpEngine(const ParallelLrgpEngine&) = delete;
+    ParallelLrgpEngine& operator=(const ParallelLrgpEngine&) = delete;
+
+    /// Runs one LRGP iteration and returns its record.
+    const IterationRecord& step();
+
+    /// Runs exactly `iterations` iterations; returns the final record.
+    const IterationRecord& run(int iterations);
+
+    /// Runs until the convergence criterion fires or `max_iterations` is
+    /// reached.  Returns the 1-based iteration of convergence, or nullopt.
+    std::optional<int> runUntilConverged(int max_iterations);
+
+    // -- dynamic workload changes (same contracts as LrgpOptimizer) ------
+    void removeFlow(model::FlowId flow);
+    void restoreFlow(model::FlowId flow);
+    void setNodeCapacity(model::NodeId node, double capacity);
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers);
+    void warmStart(const PriceVector& prices, const std::vector<int>* populations = nullptr);
+
+    // -- observers --------------------------------------------------------
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
+    [[nodiscard]] const model::Allocation& allocation() const noexcept { return allocation_; }
+    [[nodiscard]] const PriceVector& prices() const noexcept { return prices_; }
+    [[nodiscard]] double currentUtility() const;
+    [[nodiscard]] int iterationsRun() const noexcept { return iteration_; }
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
+    [[nodiscard]] const ConvergenceDetector& convergence() const noexcept { return detector_; }
+    [[nodiscard]] double nodeGamma(model::NodeId node) const;
+    [[nodiscard]] int threadCount() const noexcept;
+    [[nodiscard]] const PhaseTimes& phaseTimes() const noexcept { return phase_times_; }
+    [[nodiscard]] const CompiledProblem& compiled() const noexcept { return compiled_; }
+
+private:
+    struct NodeScratch;
+
+    void ratePhase(std::size_t begin, std::size_t end);
+    void nodePhase(std::size_t begin, std::size_t end, NodeScratch& scratch);
+    void linkPhase(std::size_t begin, std::size_t end);
+    void solveFlow(std::size_t f);
+
+    model::ProblemSpec spec_;
+    LrgpOptions options_;
+    CompiledProblem compiled_;
+    std::unique_ptr<TaskPool> pool_;
+    bool collect_phase_times_ = false;
+
+    std::vector<NodePriceController> node_prices_;
+    std::vector<LinkPriceController> link_prices_;
+
+    model::Allocation allocation_;
+    PriceVector prices_;
+    int iteration_ = 0;
+    IterationRecord last_record_;
+    metrics::TimeSeries trace_;
+    ConvergenceDetector detector_;
+    PhaseTimes phase_times_;
+
+    // -- preallocated scratch, reused every iteration ---------------------
+    /// Eq. 7 terms per flow; utilities bound at compile time, only the
+    /// populations are rewritten (generic-solver path).
+    std::vector<std::vector<utility::WeightedUtility>> flow_terms_;
+    /// Per-flow transcendental of the fresh rate: log1p(r), r^k or
+    /// log1p(r/s) depending on the flow's family; fuels the per-class
+    /// U_j(r) evaluations in phase 2 at one libm call per flow.
+    std::vector<double> flow_value_trans_;
+    /// Per-class n_j * U_j(r_i) term of Eq. 1, written in phase 2 and
+    /// summed serially in class order afterwards.
+    std::vector<double> class_utility_term_;
+    /// Per-worker greedy ranking buffers.
+    std::vector<std::unique_ptr<NodeScratch>> node_scratch_;
+};
+
+}  // namespace lrgp::core

@@ -37,7 +37,9 @@ double NodePriceController::currentGamma() const noexcept {
     return std::get<FixedGamma>(policy_).gamma1;
 }
 
-double NodePriceController::update(double best_unmet_bc, double used, double capacity) {
+double NodePriceController::update(std::optional<double> best_unmet_bc, double used,
+                                   double capacity) {
+    const double target_bc = best_unmet_bc.value_or(0.0);
     double gamma1, gamma2;
     if (const auto* adaptive = std::get_if<AdaptiveGamma>(&policy_)) {
         gamma1 = gamma2 = adaptive_gamma_;
@@ -54,7 +56,7 @@ double NodePriceController::update(double best_unmet_bc, double used, double cap
     // a pure Eq. 13-style update instead.
     const double delta = (rule_ == NodePriceRule::kGradientOnly)
                              ? gamma2 * (used - capacity)
-                             : ((used <= capacity) ? gamma1 * (best_unmet_bc - price_)
+                             : ((used <= capacity) ? gamma1 * (target_bc - price_)
                                                    : gamma2 * (used - capacity));
     price_ = std::max(0.0, price_ + delta);
 

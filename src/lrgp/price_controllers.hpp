@@ -13,6 +13,7 @@
 //     p_l(t+1) = [p_l(t) + gamma_l (usage_l - c_l)]+
 #pragma once
 
+#include <optional>
 #include <variant>
 #include <vector>
 
@@ -54,8 +55,11 @@ public:
                                  NodePriceRule rule = NodePriceRule::kBenefitCost);
 
     /// Applies Eq. 12 given the allocation outcome at this node and
-    /// returns the new price.
-    double update(double best_unmet_bc, double used, double capacity);
+    /// returns the new price.  `best_unmet_bc` is nullopt when every
+    /// class was fully admitted: the node has nothing left to sell, so
+    /// the price decays toward zero (the update treats it as a zero
+    /// target ratio).
+    double update(std::optional<double> best_unmet_bc, double used, double capacity);
 
     [[nodiscard]] double price() const noexcept { return price_; }
     [[nodiscard]] double currentGamma() const noexcept;

@@ -20,6 +20,30 @@ double ProblemSpec::linkCost(LinkId l, FlowId i) const {
     return 0.0;
 }
 
+std::size_t ProblemSpec::maxClassesAtAnyNode() const noexcept {
+    std::size_t best = 0;
+    for (const auto& classes : classes_at_node_) best = std::max(best, classes.size());
+    return best;
+}
+
+std::size_t ProblemSpec::maxFlowsAtAnyNode() const noexcept {
+    std::size_t best = 0;
+    for (const auto& flows : flows_at_node_) best = std::max(best, flows.size());
+    return best;
+}
+
+std::size_t ProblemSpec::totalFlowNodeHops() const noexcept {
+    std::size_t total = 0;
+    for (const FlowSpec& f : flows_) total += f.nodes.size();
+    return total;
+}
+
+std::size_t ProblemSpec::totalFlowLinkHops() const noexcept {
+    std::size_t total = 0;
+    for (const FlowSpec& f : flows_) total += f.links.size();
+    return total;
+}
+
 void ProblemSpec::setNodeCapacity(NodeId id, double capacity) {
     if (!(capacity > 0.0))
         throw std::invalid_argument("ProblemSpec: node capacity must be positive");

@@ -125,6 +125,17 @@ public:
     [[nodiscard]] std::size_t nodeCount() const noexcept { return nodes_.size(); }
     [[nodiscard]] std::size_t linkCount() const noexcept { return links_.size(); }
 
+    // -- aggregate shape queries (scratch sizing for compiled iteration) --
+
+    /// Largest number of classes attached at any single node.
+    [[nodiscard]] std::size_t maxClassesAtAnyNode() const noexcept;
+    /// Largest number of flows reaching any single node.
+    [[nodiscard]] std::size_t maxFlowsAtAnyNode() const noexcept;
+    /// Total (flow, node) hops over all flows: sum of |B_i|.
+    [[nodiscard]] std::size_t totalFlowNodeHops() const noexcept;
+    /// Total (flow, link) hops over all flows: sum of |L_i|.
+    [[nodiscard]] std::size_t totalFlowLinkHops() const noexcept;
+
 private:
     friend class ProblemBuilder;
 

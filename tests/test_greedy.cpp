@@ -58,10 +58,11 @@ TEST(Greedy, BestUnmetBcReflectsFirstUnsatisfiedClass) {
     // At rate 10, gold is fully admitted but public is not: BC(b,t) is
     // public's ratio.
     const auto result = greedy.allocate(t.cnode, {10.0});
-    EXPECT_NEAR(result.best_unmet_bc, 4.0 * std::log(11.0) / 100.0, 1e-9);
+    ASSERT_TRUE(result.best_unmet_bc.has_value());
+    EXPECT_NEAR(*result.best_unmet_bc, 4.0 * std::log(11.0) / 100.0, 1e-9);
 }
 
-TEST(Greedy, BestUnmetBcZeroWhenAllAdmitted) {
+TEST(Greedy, BestUnmetBcEmptyWhenAllAdmitted) {
     // Huge capacity: everything fits.
     model::ProblemBuilder b;
     const auto src = b.addNode("P", 1e9);
@@ -73,7 +74,7 @@ TEST(Greedy, BestUnmetBcZeroWhenAllAdmitted) {
     GreedyConsumerAllocator greedy(spec);
     const auto result = greedy.allocate(model::NodeId{1}, {10.0});
     EXPECT_EQ(result.populations[0].second, 5);
-    EXPECT_DOUBLE_EQ(result.best_unmet_bc, 0.0);
+    EXPECT_FALSE(result.best_unmet_bc.has_value());
 }
 
 TEST(Greedy, FlowCostsAloneCanExhaustNode) {
@@ -99,7 +100,7 @@ TEST(Greedy, InactiveFlowsConsumeNothing) {
     const auto result = greedy.allocate(t.cnode, {10.0});
     for (const auto& [cls, n] : result.populations) EXPECT_EQ(n, 0);
     EXPECT_DOUBLE_EQ(result.used, 0.0);
-    EXPECT_DOUBLE_EQ(result.best_unmet_bc, 0.0);
+    EXPECT_FALSE(result.best_unmet_bc.has_value());
 }
 
 TEST(Greedy, ZeroMaxConsumerClassesIgnored) {
