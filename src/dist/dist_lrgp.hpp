@@ -13,6 +13,14 @@
 //  * asynchronous (Section 3.5): every agent acts on a local timer using
 //    the freshest values it has, and sources average the last few prices
 //    from each resource to tolerate missing or stale reports.
+//
+// The asynchronous mode can additionally be chaos-hardened: a
+// faults::FaultPlan injects message loss, delay spikes, reordering,
+// partitions, agent crash/restart and price corruption, while
+// RobustnessOptions enables heartbeat failure detection, stale-price
+// expiry, exponential-backoff re-announcement and graceful degradation
+// to the flow's minimum rate.  Everything stays deterministic: the same
+// (problem, options, plan, seed) reproduces a bitwise-identical run.
 #pragma once
 
 #include <deque>
@@ -21,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "lrgp/greedy_allocator.hpp"
 #include "lrgp/optimizer.hpp"
 #include "lrgp/price_controllers.hpp"
@@ -31,6 +40,38 @@
 #include "sim/simulator.hpp"
 
 namespace lrgp::dist {
+
+/// Fault-tolerance knobs for the asynchronous protocol.  All zero by
+/// default: the baseline protocol relies only on Section 3.5's price
+/// averaging.  Enable heartbeat_timeout to turn on failure detection;
+/// the other mechanisms build on it.
+struct RobustnessOptions {
+    /// A priced resource (or a flow, seen from a node) is *suspected*
+    /// once it has been silent for this long.  0 disables detection.
+    sim::SimTime heartbeat_timeout = 0.0;
+    /// Price-window entries older than this are expired instead of
+    /// being averaged forever; the newest entry is always retained as
+    /// the last-known price.  0 disables expiry.
+    sim::SimTime price_max_age = 0.0;
+    /// While a resource is suspected, the source stops streaming rates
+    /// to it every tick and instead re-announces with exponential
+    /// backoff in [min, max] — fast recovery without flooding a dead
+    /// peer.  0 disables backoff (suspected peers keep receiving every
+    /// tick).  Requires heartbeat_timeout > 0.
+    sim::SimTime reannounce_backoff_min = 0.0;
+    sim::SimTime reannounce_backoff_max = 0.0;
+    /// When more than this fraction of a source's priced resources are
+    /// suspected, the source degrades gracefully: it clamps its rate to
+    /// r_min instead of trusting stale prices.
+    double degrade_fraction = 0.5;
+
+    [[nodiscard]] bool enabled() const noexcept { return heartbeat_timeout > 0.0; }
+
+    /// The hardened preset used by the chaos suite: 0.25s heartbeat,
+    /// 0.6s price expiry, 0.05s-0.8s re-announcement backoff, majority
+    /// degradation.
+    [[nodiscard]] static RobustnessOptions standard();
+};
 
 struct DistOptions {
     core::GammaPolicy gamma = core::AdaptiveGamma{};
@@ -50,11 +91,22 @@ struct DistOptions {
     /// The price/rate averaging of Section 3.5 is exactly what tolerates
     /// such loss; only valid in asynchronous mode (sync counts messages).
     double message_loss_probability = 0.0;
+
+    /// Scheduled fault injections (async only; empty = no chaos).
+    faults::FaultPlan fault_plan;
+    /// Hardening mechanisms (async only; zeros = baseline protocol).
+    RobustnessOptions robustness;
 };
 
 /// Drives the distributed protocol and records the utility trace.
 class DistLrgp {
 public:
+    /// Validates `options` (and the fault plan against the problem
+    /// size); throws std::invalid_argument on inconsistent settings —
+    /// inverted latency bounds, loss probability outside [0, 1], loss /
+    /// faults / robustness in synchronous mode, zero price window, bad
+    /// agent or sample periods, malformed fault plans, or fault-plan
+    /// agent references outside the problem.
     DistLrgp(model::ProblemSpec spec, DistOptions options = {});
     ~DistLrgp();
 
@@ -66,6 +118,8 @@ public:
     void runRounds(int rounds);
 
     /// Runs the simulation clock forward `seconds` (either mode).
+    /// Throws std::logic_error if the run exceeds its event budget —
+    /// a runaway event loop would otherwise stop silently at a cap.
     void runFor(sim::SimTime seconds);
 
     /// Schedules a flow source's departure at absolute sim time `when`.
@@ -86,12 +140,42 @@ public:
     [[nodiscard]] std::size_t messagesLost() const noexcept { return messages_lost_; }
     [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
 
+    // ------------------------------------------ chaos instrumentation
+
+    /// Injection counters (all zero when no fault plan was given).
+    [[nodiscard]] faults::FaultStats faultStats() const;
+    /// Backoff re-announcements sent to suspected resources.
+    [[nodiscard]] std::size_t reannouncementsSent() const noexcept { return reannouncements_; }
+    /// Resource/flow transitions into the suspected state.
+    [[nodiscard]] std::size_t suspicionEvents() const noexcept { return suspicion_events_; }
+    /// True while `agent` is crashed.
+    [[nodiscard]] bool agentDown(faults::AgentRef agent) const;
+
 private:
     struct SourceAgent;
     struct NodeAgent;
     struct LinkAgent;
 
-    void deliver(std::function<void()> handler);
+    [[nodiscard]] static DistOptions validated(DistOptions options);
+    void validateFaultPlanAgents() const;
+
+    /// Routes one protocol message through the legacy uniform-loss
+    /// model, the fault injector, and the latency model.  `price`
+    /// carries a corruptible payload for report messages (the handler
+    /// receives the possibly-corrupted value); pass nullopt for rate
+    /// messages.
+    void sendMessage(const faults::MessageContext& ctx, std::optional<double> price,
+                     std::function<void(double)> handler);
+
+    void scheduleCrashes();
+    void crashAgent(faults::AgentRef agent);
+    void restartAgent(faults::AgentRef agent);
+
+    [[nodiscard]] std::size_t eventBudget(sim::SimTime seconds) const;
+    [[nodiscard]] bool hardened() const noexcept {
+        return !options_.synchronous && options_.robustness.enabled();
+    }
+
     void onRoundCompletedAtNode(int round, const NodeAgent& agent);
     void startSyncRound();
     void scheduleAsyncTimers();
@@ -103,6 +187,7 @@ private:
     sim::LatencyModel latency_;
     core::RateAllocator rate_allocator_;
     core::GreedyConsumerAllocator greedy_allocator_;
+    std::unique_ptr<faults::FaultInjector> injector_;  ///< null without a plan
 
     std::vector<std::unique_ptr<SourceAgent>> sources_;  // per flow
     std::vector<std::unique_ptr<NodeAgent>> node_agents_;  // per node
@@ -124,6 +209,8 @@ private:
     int target_rounds_ = 0;
     std::size_t messages_sent_ = 0;
     std::size_t messages_lost_ = 0;
+    std::size_t reannouncements_ = 0;
+    std::size_t suspicion_events_ = 0;
     std::uint64_t loss_rng_state_ = 0;
 };
 

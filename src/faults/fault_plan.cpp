@@ -1,0 +1,132 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrgp::faults {
+
+namespace {
+
+void require(bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("FaultPlan: ") + what);
+}
+
+void validateWindow(const TimeWindow& w, const char* what) {
+    require(w.start >= 0.0 && !(w.end < w.start),
+            (std::string(what) + ": window must satisfy 0 <= start <= end").c_str());
+}
+
+void validateProbability(double p, const char* what) {
+    require(p >= 0.0 && p <= 1.0,
+            (std::string(what) + ": probability must be in [0, 1]").c_str());
+}
+
+bool matches(const std::optional<AgentRef>& selector, const AgentRef& agent) {
+    return !selector || *selector == agent;
+}
+
+bool inIsland(const std::vector<AgentRef>& island, const AgentRef& agent) {
+    return std::find(island.begin(), island.end(), agent) != island.end();
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+    for (const LossBurst& f : losses) {
+        validateWindow(f.window, "LossBurst");
+        validateProbability(f.probability, "LossBurst");
+    }
+    for (const DelaySpike& f : delay_spikes) {
+        validateWindow(f.window, "DelaySpike");
+        require(f.extra_min >= 0.0 && f.extra_min <= f.extra_max,
+                "DelaySpike: need 0 <= extra_min <= extra_max");
+    }
+    for (const ReorderWindow& f : reorders) {
+        validateWindow(f.window, "ReorderWindow");
+        validateProbability(f.probability, "ReorderWindow");
+        require(f.jitter >= 0.0, "ReorderWindow: jitter must be >= 0");
+    }
+    for (const PartitionWindow& f : partitions) {
+        validateWindow(f.window, "PartitionWindow");
+        require(!f.island.empty(), "PartitionWindow: island must not be empty");
+    }
+    for (const CrashEvent& f : crashes) {
+        require(f.at >= 0.0, "CrashEvent: crash time must be >= 0");
+        require(f.restart_at > f.at, "CrashEvent: restart_at must be after the crash");
+    }
+    for (const PriceCorruption& f : corruptions) {
+        validateWindow(f.window, "PriceCorruption");
+        validateProbability(f.probability, "PriceCorruption");
+        require(f.factor >= 0.0 && std::isfinite(f.factor),
+                "PriceCorruption: factor must be finite and >= 0");
+    }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint32_t seed) : plan_(std::move(plan)) {
+    plan_.validate();
+    rng_state_ = 0xD1B54A32D192ED03ull ^ (static_cast<std::uint64_t>(seed) * 0x9E3779B97F4A7C15ull);
+    if (rng_state_ == 0) rng_state_ = 0x9E3779B97F4A7C15ull;
+}
+
+double FaultInjector::uniform() {
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    return static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+FaultDecision FaultInjector::onMessage(const MessageContext& ctx, sim::SimTime now) {
+    FaultDecision decision;
+
+    // Partitions drop deterministically: a message crossing any open
+    // island boundary never arrives.
+    for (const PartitionWindow& f : plan_.partitions) {
+        if (!f.window.contains(now)) continue;
+        if (inIsland(f.island, ctx.from) != inIsland(f.island, ctx.to)) {
+            decision.drop = true;
+            ++stats_.messages_dropped;
+            return decision;
+        }
+    }
+
+    for (const LossBurst& f : plan_.losses) {
+        if (!f.window.contains(now)) continue;
+        if (!matches(f.from, ctx.from) || !matches(f.to, ctx.to)) continue;
+        if (uniform() < f.probability) {
+            decision.drop = true;
+            ++stats_.messages_dropped;
+            return decision;
+        }
+    }
+
+    for (const DelaySpike& f : plan_.delay_spikes) {
+        if (!f.window.contains(now)) continue;
+        if (!matches(f.from, ctx.from) || !matches(f.to, ctx.to)) continue;
+        decision.extra_delay += f.extra_min + uniform() * (f.extra_max - f.extra_min);
+        ++stats_.messages_delayed;
+    }
+
+    for (const ReorderWindow& f : plan_.reorders) {
+        if (!f.window.contains(now)) continue;
+        if (uniform() < f.probability) {
+            decision.extra_delay += uniform() * f.jitter;
+            ++stats_.messages_reordered;
+        }
+    }
+
+    if (ctx.kind != MessageKind::kRate) {
+        for (const PriceCorruption& f : plan_.corruptions) {
+            if (!f.window.contains(now)) continue;
+            if (!matches(f.from, ctx.from)) continue;
+            if (uniform() < f.probability) {
+                decision.price_factor *= f.factor;
+                ++stats_.prices_corrupted;
+            }
+        }
+    }
+
+    return decision;
+}
+
+}  // namespace lrgp::faults

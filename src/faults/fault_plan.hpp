@@ -1,0 +1,179 @@
+// Fault injection for the distributed LRGP protocol (chaos testing).
+//
+// A FaultPlan is a declarative schedule of failures — message loss
+// bursts, latency spikes, reordering storms, link partitions, agent
+// crash/restart pairs, and price-report corruption — that the
+// dist::DistLrgp driver replays against the discrete-event simulator.
+// Every stochastic decision is drawn from one xorshift64 stream seeded
+// at construction, so the same (plan, seed, workload) triple reproduces
+// a bitwise-identical run: chaos experiments are regular regression
+// tests, not flaky ones.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lrgp::faults {
+
+/// Which protocol role an agent plays.  Indices are the dense per-role
+/// indices used by dist::DistLrgp (flow index, node index, link index).
+enum class AgentKind : std::uint8_t { kSource, kNode, kLink };
+
+/// A protocol agent named by role and per-role index.
+struct AgentRef {
+    AgentKind kind = AgentKind::kSource;
+    std::uint32_t index = 0;
+
+    friend bool operator==(const AgentRef& a, const AgentRef& b) {
+        return a.kind == b.kind && a.index == b.index;
+    }
+};
+
+/// The protocol message types that can be targeted individually.
+enum class MessageKind : std::uint8_t {
+    kRate,        ///< source -> node/link rate announcement
+    kNodeReport,  ///< node -> source (price, populations) report
+    kLinkReport,  ///< link -> source price report
+};
+
+/// Who is talking to whom; handed to the injector for every message.
+struct MessageContext {
+    AgentRef from;
+    AgentRef to;
+    MessageKind kind = MessageKind::kRate;
+};
+
+/// Closed time interval [start, end] in simulated seconds.
+struct TimeWindow {
+    sim::SimTime start = 0.0;
+    sim::SimTime end = std::numeric_limits<sim::SimTime>::infinity();
+
+    [[nodiscard]] bool contains(sim::SimTime t) const noexcept {
+        return t >= start && t <= end;
+    }
+};
+
+/// Drops each matching message with `probability` while the window is
+/// open.  Empty endpoint selectors match any agent.
+struct LossBurst {
+    TimeWindow window;
+    double probability = 1.0;
+    std::optional<AgentRef> from;  ///< nullopt = any sender
+    std::optional<AgentRef> to;    ///< nullopt = any receiver
+};
+
+/// Adds uniform extra latency in [extra_min, extra_max] to matching
+/// messages — a congested or rerouted path.  Because the extra delay is
+/// drawn per message, a spike with extra_min < extra_max also reorders.
+struct DelaySpike {
+    TimeWindow window;
+    sim::SimTime extra_min = 0.0;
+    sim::SimTime extra_max = 0.0;
+    std::optional<AgentRef> from;
+    std::optional<AgentRef> to;
+};
+
+/// With `probability`, holds a message back by uniform extra delay in
+/// [0, jitter] — later traffic overtakes it (reordering without loss).
+struct ReorderWindow {
+    TimeWindow window;
+    double probability = 0.5;
+    sim::SimTime jitter = 0.1;
+};
+
+/// Cuts the `island` agents off from everyone outside the island (both
+/// directions) while the window is open.  Messages among island members
+/// and among outsiders still flow.
+struct PartitionWindow {
+    TimeWindow window;
+    std::vector<AgentRef> island;
+};
+
+/// Crashes `agent` at `at` with full state loss; it rejoins (state
+/// re-initialised, not restored) at `restart_at`, or never if infinite.
+struct CrashEvent {
+    AgentRef agent;
+    sim::SimTime at = 0.0;
+    sim::SimTime restart_at = std::numeric_limits<sim::SimTime>::infinity();
+};
+
+/// Multiplies the price carried by matching report messages by `factor`
+/// with `probability` — a corrupted or misconverted price report.
+struct PriceCorruption {
+    TimeWindow window;
+    double probability = 1.0;
+    double factor = 10.0;
+    std::optional<AgentRef> from;  ///< nullopt = reports from any resource
+};
+
+/// The full injection schedule.  Plans are plain data: build one, hand
+/// it to dist::DistOptions::fault_plan, and keep it for the paired
+/// lockstep run.
+struct FaultPlan {
+    std::vector<LossBurst> losses;
+    std::vector<DelaySpike> delay_spikes;
+    std::vector<ReorderWindow> reorders;
+    std::vector<PartitionWindow> partitions;
+    std::vector<CrashEvent> crashes;
+    std::vector<PriceCorruption> corruptions;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return losses.empty() && delay_spikes.empty() && reorders.empty() &&
+               partitions.empty() && crashes.empty() && corruptions.empty();
+    }
+
+    /// Throws std::invalid_argument on malformed entries (inverted
+    /// windows, probabilities outside [0,1], negative delays, crash
+    /// restarting before it happens, negative factors, empty islands).
+    void validate() const;
+};
+
+/// What the injector decided for one message.
+struct FaultDecision {
+    bool drop = false;
+    sim::SimTime extra_delay = 0.0;
+    double price_factor = 1.0;  ///< applied to the carried price, if any
+};
+
+/// Injection counters, exposed for instrumentation and tests.
+struct FaultStats {
+    std::size_t messages_dropped = 0;    ///< by loss bursts and partitions
+    std::size_t messages_delayed = 0;    ///< by delay spikes
+    std::size_t messages_reordered = 0;  ///< by reorder windows
+    std::size_t prices_corrupted = 0;
+    std::size_t crashes = 0;
+    std::size_t restarts = 0;
+};
+
+/// Replays a FaultPlan deterministically.  One instance per protocol
+/// run; all stochastic draws come from a private xorshift64 stream.
+class FaultInjector {
+public:
+    /// Validates the plan (see FaultPlan::validate).
+    FaultInjector(FaultPlan plan, std::uint32_t seed);
+
+    /// Decides drop / extra delay / price corruption for one message.
+    /// Must be called exactly once per sent message, in simulation
+    /// order, to keep the random stream aligned across lockstep runs.
+    [[nodiscard]] FaultDecision onMessage(const MessageContext& ctx, sim::SimTime now);
+
+    [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+    [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+    /// Crash bookkeeping (the driver owns the crash schedule).
+    void noteCrash() noexcept { ++stats_.crashes; }
+    void noteRestart() noexcept { ++stats_.restarts; }
+
+private:
+    [[nodiscard]] double uniform();  ///< deterministic draw in [0, 1)
+
+    FaultPlan plan_;
+    FaultStats stats_;
+    std::uint64_t rng_state_;
+};
+
+}  // namespace lrgp::faults

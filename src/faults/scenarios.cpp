@@ -1,0 +1,98 @@
+#include "faults/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace lrgp::faults {
+
+std::vector<ChaosScenario> standard_scenarios(std::size_t flow_count, std::size_t node_count,
+                                              std::size_t link_count, sim::SimTime t0,
+                                              sim::SimTime duration) {
+    if (flow_count == 0 || node_count == 0)
+        throw std::invalid_argument("standard_scenarios: need at least one flow and node");
+    if (!(t0 > 0.0) || !(duration > 0.0))
+        throw std::invalid_argument("standard_scenarios: t0 and duration must be > 0");
+
+    const sim::SimTime t1 = t0 + duration;
+    const AgentRef last_node{AgentKind::kNode, static_cast<std::uint32_t>(node_count - 1)};
+    const AgentRef last_source{AgentKind::kSource, static_cast<std::uint32_t>(flow_count - 1)};
+
+    std::vector<ChaosScenario> out;
+
+    {
+        ChaosScenario s;
+        s.name = "loss_burst";
+        s.description = "40% of all protocol messages dropped";
+        s.plan.losses.push_back(LossBurst{{t0, t1}, 0.4, std::nullopt, std::nullopt});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        ChaosScenario s;
+        s.name = "delay_spike";
+        s.description = "every message delayed by an extra 0.2-0.5s";
+        s.plan.delay_spikes.push_back(DelaySpike{{t0, t1}, 0.2, 0.5, std::nullopt, std::nullopt});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        ChaosScenario s;
+        s.name = "reorder_storm";
+        s.description = "half of all messages held back up to 0.3s (reordering)";
+        s.plan.reorders.push_back(ReorderWindow{{t0, t1}, 0.5, 0.3});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        ChaosScenario s;
+        s.name = "partition";
+        s.description = "last consumer node cut off from all peers";
+        s.plan.partitions.push_back(PartitionWindow{{t0, t1}, {last_node}});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        ChaosScenario s;
+        s.name = "node_crash";
+        s.description = "last consumer node crashes with state loss, restarts";
+        s.plan.crashes.push_back(CrashEvent{last_node, t0, t1});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        ChaosScenario s;
+        s.name = "source_crash";
+        s.description = "largest flow's source crashes with state loss, restarts";
+        s.plan.crashes.push_back(CrashEvent{last_source, t0, t1});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        ChaosScenario s;
+        s.name = "price_corruption";
+        s.description = "30% of price reports multiplied by 25";
+        s.plan.corruptions.push_back(PriceCorruption{{t0, t1}, 0.3, 25.0, std::nullopt});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    if (link_count > 0) {
+        const AgentRef last_link{AgentKind::kLink, static_cast<std::uint32_t>(link_count - 1)};
+        ChaosScenario s;
+        s.name = "link_partition";
+        s.description = "last link agent cut off from all peers";
+        s.plan.partitions.push_back(PartitionWindow{{t0, t1}, {last_link}});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+}  // namespace lrgp::faults

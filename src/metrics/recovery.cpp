@@ -1,0 +1,78 @@
+#include "metrics/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrgp::metrics {
+
+namespace {
+
+double windowMean(const TimeSeries& trace, std::size_t begin, std::size_t count) {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < begin + count; ++i) sum += trace[i];
+    return sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+RecoveryReport analyze_recovery(const TimeSeries& trace, std::size_t fault_index,
+                                double sample_period, const RecoveryOptions& options) {
+    if (!(sample_period > 0.0))
+        throw std::invalid_argument("analyze_recovery: sample_period must be > 0");
+    if (!(options.epsilon > 0.0))
+        throw std::invalid_argument("analyze_recovery: epsilon must be > 0");
+    if (options.baseline_window == 0 || options.settle_window == 0)
+        throw std::invalid_argument("analyze_recovery: windows must be >= 1");
+    if (fault_index < options.baseline_window)
+        throw std::invalid_argument(
+            "analyze_recovery: not enough samples before the fault for the baseline window");
+    if (trace.size() < fault_index + options.settle_window)
+        throw std::invalid_argument(
+            "analyze_recovery: not enough samples after the fault for the settle window");
+
+    RecoveryReport report;
+    report.baseline_utility =
+        windowMean(trace, fault_index - options.baseline_window, options.baseline_window);
+    report.target_utility =
+        options.target == RecoveryTarget::kPreFaultBaseline
+            ? report.baseline_utility
+            : windowMean(trace, trace.size() - options.settle_window, options.settle_window);
+
+    const double band = options.epsilon * std::abs(report.target_utility);
+
+    // First index at/after the fault whose trailing settle_window mean
+    // sits within the band.  A sliding sum keeps this linear.
+    double window_sum = 0.0;
+    for (std::size_t i = fault_index; i < fault_index + options.settle_window; ++i)
+        window_sum += trace[i];
+    const double w = static_cast<double>(options.settle_window);
+    for (std::size_t k = fault_index; k + options.settle_window <= trace.size(); ++k) {
+        if (std::abs(window_sum / w - report.target_utility) <= band) {
+            report.reconverged = true;
+            report.samples_to_reconverge = k - fault_index;
+            report.time_to_reconverge =
+                static_cast<double>(k - fault_index) * sample_period;
+            break;
+        }
+        if (k + options.settle_window < trace.size())
+            window_sum += trace[k + options.settle_window] - trace[k];
+    }
+
+    // Dip statistics over [fault, reconvergence] (or the whole tail when
+    // the system never made it back).
+    const std::size_t dip_end = report.reconverged
+                                    ? fault_index + report.samples_to_reconverge +
+                                          options.settle_window
+                                    : trace.size();
+    report.min_utility = trace[fault_index];
+    for (std::size_t i = fault_index; i < std::min(dip_end, trace.size()); ++i) {
+        report.min_utility = std::min(report.min_utility, trace[i]);
+        report.dip_integral +=
+            std::max(0.0, report.target_utility - trace[i]) * sample_period;
+    }
+    report.max_dip = std::max(0.0, report.target_utility - report.min_utility);
+    return report;
+}
+
+}  // namespace lrgp::metrics

@@ -1,0 +1,60 @@
+// Recovery instrumentation for fault and departure experiments.
+//
+// Given a utility trace sampled at a fixed period and the sample index
+// where a disturbance began, analyze_recovery measures how the system
+// healed: the time until the trailing mean returns to within epsilon of
+// the reference utility (time-to-reconverge) and the area lost below
+// the reference while it was away (utility-dip integral, in
+// utility-seconds).  The reference is either the pre-fault steady state
+// (transient faults that heal: crashes with restart, partitions, loss
+// bursts) or the final steady state (permanent changes such as a flow
+// departure, where the system settles somewhere new).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "metrics/time_series.hpp"
+
+namespace lrgp::metrics {
+
+/// Which utility level recovery is measured against.
+enum class RecoveryTarget {
+    kPreFaultBaseline,  ///< mean of the window just before the fault
+    kFinalSteadyState,  ///< mean of the last settle_window samples
+};
+
+struct RecoveryOptions {
+    double epsilon = 0.01;              ///< relative band around the target
+    std::size_t baseline_window = 40;   ///< samples averaged before the fault
+    std::size_t settle_window = 20;     ///< trailing samples that must sit in band
+    RecoveryTarget target = RecoveryTarget::kPreFaultBaseline;
+};
+
+struct RecoveryReport {
+    double baseline_utility = 0.0;  ///< pre-fault steady-state mean
+    double target_utility = 0.0;    ///< level recovery is measured against
+    double min_utility = 0.0;       ///< deepest post-fault sample
+    double max_dip = 0.0;           ///< target - min, clamped at 0
+    /// Integral of max(0, target - u(t)) dt from the fault until
+    /// reconvergence (or the end of the trace), in utility-seconds.
+    double dip_integral = 0.0;
+    /// Seconds from the fault until the first sample whose settle_window
+    /// mean is within epsilon of the target; +inf when never.
+    double time_to_reconverge = std::numeric_limits<double>::infinity();
+    /// Same instant in samples (rounds); SIZE_MAX when never.
+    std::size_t samples_to_reconverge = std::numeric_limits<std::size_t>::max();
+    bool reconverged = false;
+};
+
+/// Analyzes `trace` (one sample every `sample_period` seconds) around a
+/// disturbance that began at sample `fault_index`.
+///
+/// Throws std::invalid_argument when the trace is too short to hold the
+/// baseline window before the fault plus one settle window after it, or
+/// when sample_period/epsilon/windows are non-positive.
+[[nodiscard]] RecoveryReport analyze_recovery(const TimeSeries& trace, std::size_t fault_index,
+                                              double sample_period,
+                                              const RecoveryOptions& options = {});
+
+}  // namespace lrgp::metrics

@@ -35,9 +35,25 @@ std::size_t Simulator::runUntil(SimTime until) {
     return processed;
 }
 
-std::size_t Simulator::runAll(std::size_t max_events) {
+std::size_t Simulator::runUntil(SimTime until, std::size_t max_events) {
+    std::size_t processed = 0;
+    while (processed < max_events && !queue_.empty() && queue_.top().time <= until) {
+        runOne();
+        ++processed;
+    }
+    // Advance the clock only when the window actually drained; a capped
+    // stop leaves `now` at the last processed event so the caller can
+    // see how far the run got.
+    if ((queue_.empty() || queue_.top().time > until) && now_ < until) now_ = until;
+    return processed;
+}
+
+std::size_t Simulator::runAll(std::size_t max_events, bool throw_on_cap) {
     std::size_t processed = 0;
     while (processed < max_events && runOne()) ++processed;
+    if (throw_on_cap && !queue_.empty())
+        throw std::runtime_error(
+            "Simulator::runAll: event cap reached with events still pending");
     return processed;
 }
 

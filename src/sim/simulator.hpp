@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -35,13 +36,26 @@ public:
     /// Runs every event with time <= until; returns events processed.
     std::size_t runUntil(SimTime until);
 
+    /// Capped variant: stops after `max_events` even if events at or
+    /// before `until` remain pending (the clock then stays at the last
+    /// processed event instead of advancing to `until`).  Callers can
+    /// detect the cap via the return value plus nextEventTime().
+    std::size_t runUntil(SimTime until, std::size_t max_events);
+
     /// Runs until the calendar drains or `max_events` have been
-    /// processed; returns events processed.
-    std::size_t runAll(std::size_t max_events = 10'000'000);
+    /// processed; returns events processed.  With `throw_on_cap`, a cap
+    /// hit with events still pending throws std::runtime_error instead
+    /// of silently stopping — use it when draining is the invariant.
+    std::size_t runAll(std::size_t max_events = 10'000'000, bool throw_on_cap = false);
 
     [[nodiscard]] SimTime now() const noexcept { return now_; }
     [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
     [[nodiscard]] std::size_t pendingEvents() const noexcept { return queue_.size(); }
+    /// Time of the earliest pending event, or nullopt when idle.
+    [[nodiscard]] std::optional<SimTime> nextEventTime() const {
+        if (queue_.empty()) return std::nullopt;
+        return queue_.top().time;
+    }
 
 private:
     struct Event {

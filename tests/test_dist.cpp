@@ -148,4 +148,67 @@ TEST(DistAsync, LargerPriceWindowStillConverges) {
                 0.08 * central.currentUtility());
 }
 
+TEST(DistOptions, ValidationRejectsInconsistentSettings) {
+    const auto spec = workload::make_base_workload();
+
+    DistOptions inverted_latency;
+    inverted_latency.latency_min = 0.02;
+    inverted_latency.latency_max = 0.01;
+    EXPECT_THROW((DistLrgp{spec, inverted_latency}), std::invalid_argument);
+
+    DistOptions negative_loss;
+    negative_loss.synchronous = false;
+    negative_loss.message_loss_probability = -0.1;
+    EXPECT_THROW((DistLrgp{spec, negative_loss}), std::invalid_argument);
+
+    DistOptions bad_period;
+    bad_period.synchronous = false;
+    bad_period.agent_period = 0.0;
+    EXPECT_THROW((DistLrgp{spec, bad_period}), std::invalid_argument);
+
+    DistOptions bad_sampler;
+    bad_sampler.synchronous = false;
+    bad_sampler.sample_period = -1.0;
+    EXPECT_THROW((DistLrgp{spec, bad_sampler}), std::invalid_argument);
+
+    DistOptions bad_fraction;
+    bad_fraction.synchronous = false;
+    bad_fraction.robustness.heartbeat_timeout = 0.25;
+    bad_fraction.robustness.degrade_fraction = 1.5;
+    EXPECT_THROW((DistLrgp{spec, bad_fraction}), std::invalid_argument);
+}
+
+TEST(DistAsync, RunForRejectsNegativeDuration) {
+    const auto spec = workload::make_base_workload();
+    DistOptions options;
+    options.synchronous = false;
+    DistLrgp d(spec, options);
+    EXPECT_THROW(d.runFor(-1.0), std::invalid_argument);
+}
+
+TEST(DistAsync, FlowRemovalUnderMessageLossStillReconverges) {
+    // A departing flow whose goodbye coincides with 20% message loss:
+    // the surviving flows must still settle near the centralized optimum
+    // for the reduced problem.
+    const auto spec = workload::make_base_workload();
+    DistOptions options;
+    options.synchronous = false;
+    options.message_loss_probability = 0.2;
+    DistLrgp d(spec, options);
+    d.runFor(8.0);
+    const model::FlowId removed = workload::find_flow(spec, "f0_5");
+    d.removeFlowAt(removed, d.now() + 0.1);
+    d.runFor(12.0);
+
+    // Centralized reference on the same problem without the flow.
+    core::LrgpOptimizer central(spec);
+    central.removeFlow(removed);
+    central.run(200);
+
+    EXPECT_DOUBLE_EQ(d.snapshot().rates[removed.index()], 0.0);
+    EXPECT_NEAR(d.currentUtility(), central.currentUtility(),
+                0.08 * central.currentUtility());
+    EXPECT_TRUE(model::check_feasibility(d.problem(), d.snapshot()).feasible());
+}
+
 }  // namespace

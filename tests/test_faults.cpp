@@ -1,0 +1,182 @@
+// Unit tests for the fault-injection vocabulary: plan validation, the
+// deterministic injector, and the shipped scenario catalog.
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hpp"
+#include "faults/scenarios.hpp"
+
+namespace {
+
+using namespace lrgp;
+using namespace lrgp::faults;
+
+TEST(FaultPlan, EmptyPlanIsValidAndEmpty) {
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, RejectsInvertedWindow) {
+    FaultPlan plan;
+    plan.losses.push_back(LossBurst{{5.0, 2.0}, 0.5, std::nullopt, std::nullopt});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsProbabilityOutsideUnitInterval) {
+    FaultPlan plan;
+    plan.losses.push_back(LossBurst{{0.0, 1.0}, 1.5, std::nullopt, std::nullopt});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+    plan.losses.clear();
+    plan.corruptions.push_back(PriceCorruption{{0.0, 1.0}, -0.1, 2.0, std::nullopt});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsInvertedDelayBounds) {
+    FaultPlan plan;
+    plan.delay_spikes.push_back(DelaySpike{{0.0, 1.0}, 0.5, 0.2, std::nullopt, std::nullopt});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsRestartBeforeCrash) {
+    FaultPlan plan;
+    plan.crashes.push_back(CrashEvent{{AgentKind::kNode, 0}, 5.0, 4.0});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, CrashWithoutRestartIsValid) {
+    FaultPlan plan;
+    plan.crashes.push_back(CrashEvent{{AgentKind::kNode, 0}, 5.0});  // never restarts
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, RejectsEmptyPartitionIsland) {
+    FaultPlan plan;
+    plan.partitions.push_back(PartitionWindow{{0.0, 1.0}, {}});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, RejectsNonFiniteCorruptionFactor) {
+    FaultPlan plan;
+    plan.corruptions.push_back(PriceCorruption{
+        {0.0, 1.0}, 0.5, std::numeric_limits<double>::infinity(), std::nullopt});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+    FaultPlan plan;
+    plan.losses.push_back(LossBurst{{0.0, 10.0}, 0.5, std::nullopt, std::nullopt});
+    plan.delay_spikes.push_back(DelaySpike{{0.0, 10.0}, 0.1, 0.3, std::nullopt, std::nullopt});
+    plan.reorders.push_back(ReorderWindow{{0.0, 10.0}, 0.5, 0.2});
+
+    FaultInjector a(plan, 42);
+    FaultInjector b(plan, 42);
+    const MessageContext ctx{{AgentKind::kSource, 0}, {AgentKind::kNode, 1}, MessageKind::kRate};
+    for (int i = 0; i < 500; ++i) {
+        const FaultDecision da = a.onMessage(ctx, 0.01 * i);
+        const FaultDecision db = b.onMessage(ctx, 0.01 * i);
+        ASSERT_EQ(da.drop, db.drop) << "message " << i;
+        ASSERT_DOUBLE_EQ(da.extra_delay, db.extra_delay) << "message " << i;
+    }
+    EXPECT_EQ(a.stats().messages_dropped, b.stats().messages_dropped);
+    EXPECT_EQ(a.stats().messages_delayed, b.stats().messages_delayed);
+    EXPECT_EQ(a.stats().messages_reordered, b.stats().messages_reordered);
+    // The burst actually bit: roughly half of 500 messages dropped.
+    EXPECT_GT(a.stats().messages_dropped, 150u);
+    EXPECT_LT(a.stats().messages_dropped, 350u);
+}
+
+TEST(FaultInjector, DifferentSeedDifferentDecisions) {
+    FaultPlan plan;
+    plan.losses.push_back(LossBurst{{0.0, 10.0}, 0.5, std::nullopt, std::nullopt});
+    FaultInjector a(plan, 1);
+    FaultInjector b(plan, 2);
+    const MessageContext ctx{{AgentKind::kSource, 0}, {AgentKind::kNode, 1}, MessageKind::kRate};
+    int differing = 0;
+    for (int i = 0; i < 500; ++i)
+        if (a.onMessage(ctx, 0.01 * i).drop != b.onMessage(ctx, 0.01 * i).drop) ++differing;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjector, WindowGatesInjection) {
+    FaultPlan plan;
+    plan.losses.push_back(LossBurst{{5.0, 6.0}, 1.0, std::nullopt, std::nullopt});
+    FaultInjector injector(plan, 1);
+    const MessageContext ctx{{AgentKind::kSource, 0}, {AgentKind::kNode, 0}, MessageKind::kRate};
+    EXPECT_FALSE(injector.onMessage(ctx, 4.99).drop);
+    EXPECT_TRUE(injector.onMessage(ctx, 5.0).drop);   // closed interval
+    EXPECT_TRUE(injector.onMessage(ctx, 6.0).drop);
+    EXPECT_FALSE(injector.onMessage(ctx, 6.01).drop);
+}
+
+TEST(FaultInjector, EndpointSelectorsTargetOnePair) {
+    FaultPlan plan;
+    const AgentRef src{AgentKind::kSource, 2};
+    const AgentRef dst{AgentKind::kNode, 1};
+    plan.losses.push_back(LossBurst{{0.0, 10.0}, 1.0, src, dst});
+    FaultInjector injector(plan, 1);
+    EXPECT_TRUE(injector.onMessage({src, dst, MessageKind::kRate}, 1.0).drop);
+    EXPECT_FALSE(injector.onMessage({src, {AgentKind::kNode, 0}, MessageKind::kRate}, 1.0).drop);
+    EXPECT_FALSE(
+        injector.onMessage({{AgentKind::kSource, 0}, dst, MessageKind::kRate}, 1.0).drop);
+}
+
+TEST(FaultInjector, PartitionDropsOnlyBoundaryCrossings) {
+    FaultPlan plan;
+    const AgentRef islander{AgentKind::kNode, 0};
+    plan.partitions.push_back(PartitionWindow{{0.0, 10.0}, {islander}});
+    FaultInjector injector(plan, 1);
+    const AgentRef outsider{AgentKind::kSource, 0};
+    const AgentRef other_outsider{AgentKind::kNode, 1};
+    // Crossing the boundary in either direction: dropped.
+    EXPECT_TRUE(injector.onMessage({outsider, islander, MessageKind::kRate}, 1.0).drop);
+    EXPECT_TRUE(injector.onMessage({islander, outsider, MessageKind::kNodeReport}, 1.0).drop);
+    // Outsider to outsider: flows.
+    EXPECT_FALSE(injector.onMessage({outsider, other_outsider, MessageKind::kRate}, 1.0).drop);
+    // Window closed: everything flows again.
+    EXPECT_FALSE(injector.onMessage({outsider, islander, MessageKind::kRate}, 11.0).drop);
+    EXPECT_EQ(injector.stats().messages_dropped, 2u);
+}
+
+TEST(FaultInjector, PriceCorruptionSkipsRateMessages) {
+    FaultPlan plan;
+    plan.corruptions.push_back(PriceCorruption{{0.0, 10.0}, 1.0, 25.0, std::nullopt});
+    FaultInjector injector(plan, 1);
+    const MessageContext rate{{AgentKind::kSource, 0}, {AgentKind::kNode, 0}, MessageKind::kRate};
+    const MessageContext report{
+        {AgentKind::kNode, 0}, {AgentKind::kSource, 0}, MessageKind::kNodeReport};
+    EXPECT_DOUBLE_EQ(injector.onMessage(rate, 1.0).price_factor, 1.0);
+    EXPECT_DOUBLE_EQ(injector.onMessage(report, 1.0).price_factor, 25.0);
+    EXPECT_EQ(injector.stats().prices_corrupted, 1u);
+}
+
+TEST(Scenarios, CatalogCoversTheFaultVocabulary) {
+    const auto scenarios = standard_scenarios(6, 4, 0);
+    ASSERT_GE(scenarios.size(), 7u);
+    bool has_loss = false, has_delay = false, has_reorder = false, has_partition = false,
+         has_crash = false, has_corruption = false;
+    for (const ChaosScenario& s : scenarios) {
+        EXPECT_FALSE(s.plan.empty()) << s.name;
+        EXPECT_NO_THROW(s.plan.validate()) << s.name;
+        EXPECT_LT(s.fault_start, s.fault_end) << s.name;
+        has_loss = has_loss || !s.plan.losses.empty();
+        has_delay = has_delay || !s.plan.delay_spikes.empty();
+        has_reorder = has_reorder || !s.plan.reorders.empty();
+        has_partition = has_partition || !s.plan.partitions.empty();
+        has_crash = has_crash || !s.plan.crashes.empty();
+        has_corruption = has_corruption || !s.plan.corruptions.empty();
+    }
+    EXPECT_TRUE(has_loss && has_delay && has_reorder && has_partition && has_crash &&
+                has_corruption);
+    // No links in the base workload: no link scenarios.
+    for (const ChaosScenario& s : scenarios)
+        for (const PartitionWindow& p : s.plan.partitions)
+            for (const AgentRef& a : p.island) EXPECT_NE(a.kind, AgentKind::kLink);
+}
+
+TEST(Scenarios, LinkScenarioGatedOnLinkCount) {
+    const auto without = standard_scenarios(6, 4, 0);
+    const auto with = standard_scenarios(6, 4, 2);
+    EXPECT_EQ(with.size(), without.size() + 1);
+}
+
+}  // namespace

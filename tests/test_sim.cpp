@@ -78,6 +78,52 @@ TEST(Simulator, Validation) {
     EXPECT_THROW(sim.schedule(1.0, nullptr), std::invalid_argument);
 }
 
+TEST(Simulator, RunAllCapOverflowIsDetectable) {
+    // A capped runAll used to stop silently; the overflow must now be
+    // observable (pending events remain) or turned into an exception.
+    Simulator sim;
+    std::function<void()> forever = [&] { sim.schedule(1.0, forever); };
+    sim.schedule(1.0, forever);
+    EXPECT_EQ(sim.runAll(100), 100u);
+    EXPECT_GT(sim.pendingEvents(), 0u);  // cap was hit with work remaining
+    EXPECT_THROW(sim.runAll(100, /*throw_on_cap=*/true), std::runtime_error);
+}
+
+TEST(Simulator, RunAllWithThrowOnCapPassesWhenDraining) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1.0, [&] { ++fired; });
+    sim.schedule(2.0, [&] { ++fired; });
+    EXPECT_EQ(sim.runAll(100, /*throw_on_cap=*/true), 2u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NextEventTimePeeksTheCalendar) {
+    Simulator sim;
+    EXPECT_FALSE(sim.nextEventTime().has_value());
+    sim.schedule(2.0, [] {});
+    sim.schedule(1.0, [] {});
+    ASSERT_TRUE(sim.nextEventTime().has_value());
+    EXPECT_DOUBLE_EQ(*sim.nextEventTime(), 1.0);
+    sim.runAll();
+    EXPECT_FALSE(sim.nextEventTime().has_value());
+}
+
+TEST(Simulator, CappedRunUntilStopsEarlyWithoutSkippingTime) {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i) sim.schedule(0.1 * i, [&] { ++fired; });
+    // Cap inside the window: clock must stay at the last processed event
+    // so the caller can see how far the run got.
+    EXPECT_EQ(sim.runUntil(2.0, 4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_DOUBLE_EQ(sim.now(), 0.4);
+    EXPECT_EQ(sim.pendingEvents(), 6u);
+    // Uncapped continuation drains the window and advances to the boundary.
+    EXPECT_EQ(sim.runUntil(2.0, 100), 6u);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
 TEST(LatencyModel, SamplesWithinBounds) {
     LatencyModel latency(0.005, 0.015, 1);
     for (int i = 0; i < 1000; ++i) {
