@@ -18,6 +18,8 @@
 #include "io/json.hpp"
 #include "lrgp/optimizer.hpp"
 #include "lrgp/parallel_engine.hpp"
+#include "obs/instruments.hpp"
+#include "obs/metrics.hpp"
 #include "workload/workloads.hpp"
 
 namespace {
@@ -136,6 +138,40 @@ int main() {
     root["compiled_1t_phases"] = std::move(phases);
     root["final_utility"] = u_serial;
     root["bitwise_identical"] = true;
+
+    // Observability columns: a separate instrumented pass (the timed runs
+    // above stay untouched) reports the engine's work counters and what
+    // attaching a registry costs per iteration.
+    io::JsonObject obs_cols;
+    obs_cols["enabled"] = lrgp::obs::kEnabled;
+    if constexpr (lrgp::obs::kEnabled) {
+        lrgp::obs::Registry registry;
+        core::ParallelLrgpEngine instrumented(spec, {}, {.threads = 1});
+        instrumented.attachObservability(&registry, nullptr);
+        const std::uint64_t instrumented_ns = timed_run(instrumented, iters);
+        if (instrumented.currentUtility() != u_c1) {
+            std::fprintf(stderr, "FATAL: observability perturbed the trajectory\n");
+            return 1;
+        }
+        const auto count = [&](const char* name) {
+            return static_cast<double>(registry.counterValue(name));
+        };
+        obs_cols["instrumented_1t_ns_per_iter"] = per_iter(instrumented_ns);
+        obs_cols["overhead_pct"] =
+            100.0 * (static_cast<double>(instrumented_ns) / compiled1_ns - 1.0);
+        obs_cols["rate_solves"] = count("lrgp_rate_solves_total");
+        obs_cols["admissions"] = count("lrgp_admissions_total");
+        obs_cols["node_price_moves"] = count("lrgp_node_price_moves_total");
+        obs_cols["link_price_moves"] = count("lrgp_link_price_moves_total");
+        obs_cols["pool_jobs"] = count("lrgp_pool_jobs_total");
+        obs_cols["pool_chunks"] = count("lrgp_pool_chunks_total");
+        std::printf("\nobs: instrumented 1-thread run %.0f ns/iter (%.2f%% overhead), "
+                    "%.0f rate solves, %.0f admissions\n",
+                    per_iter(instrumented_ns),
+                    100.0 * (static_cast<double>(instrumented_ns) / compiled1_ns - 1.0),
+                    count("lrgp_rate_solves_total"), count("lrgp_admissions_total"));
+    }
+    root["obs"] = std::move(obs_cols);
 
     std::ofstream out("BENCH_lrgp.json");
     out << io::JsonValue(std::move(root)).dump(true) << "\n";

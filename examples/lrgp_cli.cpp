@@ -13,10 +13,12 @@
 //   lrgp_cli --flow-replicas 2 --cnode-replicas 4 --sa --sa-steps 200000
 //   lrgp_cli --workload random --seed 7 --two-stage
 //   lrgp_cli --gamma 0.01 --csv trace.csv
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -26,6 +28,8 @@
 #include "lrgp/trace_export.hpp"
 #include "lrgp/two_stage.hpp"
 #include "model/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "workload/random_workload.hpp"
 #include "workload/workloads.hpp"
 
@@ -47,6 +51,8 @@ struct CliOptions {
     std::string csv_path;
     std::string save_path;   // write the problem as JSON and continue
     std::string load_path;   // read the problem from JSON instead of generating
+    std::string obs_prefix;  // write PREFIX.trace.json + PREFIX.prom
+    std::uint64_t obs_sample = 1;
     bool verbose_classes = false;
 };
 
@@ -64,6 +70,9 @@ void printUsage() {
         "  --sa                       also run the simulated-annealing baseline\n"
         "  --sa-steps N               SA steps per start temperature (default 1e5)\n"
         "  --csv FILE                 export the iteration trace as CSV\n"
+        "  --obs-out PREFIX           write PREFIX.trace.json (chrome://tracing)\n"
+        "                             and PREFIX.prom (Prometheus text)\n"
+        "  --obs-sample N             trace every Nth iteration (default 1)\n"
         "  --save FILE                write the workload as JSON, then optimize it\n"
         "  --load FILE                optimize a JSON workload (overrides --workload)\n"
         "  --classes                  print the per-class service table\n"
@@ -135,6 +144,14 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             const char* v = next();
             if (!v) return std::nullopt;
             options.csv_path = v;
+        } else if (arg == "--obs-out") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.obs_prefix = v;
+        } else if (arg == "--obs-sample") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.obs_sample = std::strtoull(v, nullptr, 10);
         } else if (arg == "--save") {
             const char* v = next();
             if (!v) return std::nullopt;
@@ -204,6 +221,21 @@ int main(int argc, char** argv) {
     if (cli.fixed_gamma) lrgp_options.gamma = core::FixedGamma{*cli.fixed_gamma, *cli.fixed_gamma};
 
     core::LrgpOptimizer optimizer(spec, lrgp_options);
+
+    std::unique_ptr<obs::Registry> obs_registry;
+    std::unique_ptr<obs::IterationTracer> obs_tracer;
+    if (!cli.obs_prefix.empty()) {
+        if (!obs::kEnabled) {
+            std::fprintf(stderr,
+                         "error: --obs-out requires a build with -DLRGP_OBS=ON\n");
+            return 2;
+        }
+        obs_registry = std::make_unique<obs::Registry>();
+        obs_tracer = std::make_unique<obs::IterationTracer>(
+            obs::TracerOptions{.sample_every = std::max<std::uint64_t>(1, cli.obs_sample)});
+        optimizer.attachObservability(obs_registry.get(), obs_tracer.get());
+    }
+
     std::vector<core::IterationRecord> records;
     records.reserve(static_cast<std::size_t>(cli.iterations));
     for (int i = 0; i < cli.iterations; ++i) records.push_back(optimizer.step());
@@ -259,6 +291,24 @@ int main(int argc, char** argv) {
         }
         core::export_trace_csv(out, spec, records);
         std::printf("trace written to %s (%zu rows)\n", cli.csv_path.c_str(), records.size());
+    }
+
+    if (obs_registry) {
+        const std::string trace_path = cli.obs_prefix + ".trace.json";
+        const std::string prom_path = cli.obs_prefix + ".prom";
+        std::ofstream trace_out(trace_path);
+        std::ofstream prom_out(prom_path);
+        if (!trace_out || !prom_out) {
+            std::fprintf(stderr, "error: cannot write %s / %s\n", trace_path.c_str(),
+                         prom_path.c_str());
+            return 1;
+        }
+        obs_tracer->writeChromeTrace(trace_out);
+        obs_registry->writePrometheus(prom_out);
+        std::printf("obs: %s (%zu events%s), %s (%zu series)\n", trace_path.c_str(),
+                    obs_tracer->events().size(),
+                    obs_tracer->droppedEvents() ? ", some dropped" : "", prom_path.c_str(),
+                    obs_registry->size());
     }
     return 0;
 }

@@ -21,6 +21,15 @@ faults::AgentRef linkRef(model::LinkId id) {
     return {faults::AgentKind::kLink, static_cast<std::uint32_t>(id.value)};
 }
 
+[[maybe_unused]] const char* agent_kind_name(faults::AgentKind kind) {
+    switch (kind) {
+        case faults::AgentKind::kSource: return "source";
+        case faults::AgentKind::kNode: return "node";
+        case faults::AgentKind::kLink: return "link";
+    }
+    return "unknown";
+}
+
 }  // namespace
 
 RobustnessOptions RobustnessOptions::standard() {
@@ -128,7 +137,7 @@ struct DistLrgp::SourceAgent {
                 w.suspected = true;
                 w.backoff = rb.reannounce_backoff_min;
                 w.next_reannounce = now;
-                ++driver->suspicion_events_;
+                driver->noteSuspicion("source");
             } else if (!silent && w.suspected) {
                 w.suspected = false;
             }
@@ -160,7 +169,7 @@ struct DistLrgp::SourceAgent {
         if (now >= w.next_reannounce) {
             w.next_reannounce = now + w.backoff;
             w.backoff = std::min(w.backoff * 2.0, rb.reannounce_backoff_max);
-            ++driver->reannouncements_;
+            driver->noteReannouncement();
             return true;
         }
         return false;
@@ -402,7 +411,7 @@ void DistLrgp::NodeAgent::allocateAndReport(int round) {
             const bool silent = now - last_rate_time[i.index()] > rb.heartbeat_timeout;
             if (silent && !flow_suspected[i.index()]) {
                 flow_suspected[i.index()] = 1;
-                ++driver->suspicion_events_;
+                driver->noteSuspicion("node");
             } else if (!silent) {
                 flow_suspected[i.index()] = 0;
             }
@@ -472,7 +481,7 @@ void DistLrgp::LinkAgent::priceAndReport(int round) {
             const bool silent = now - last_rate_time[i.index()] > rb.heartbeat_timeout;
             if (silent && !flow_suspected[i.index()]) {
                 flow_suspected[i.index()] = 1;
-                ++driver->suspicion_events_;
+                driver->noteSuspicion("link");
             } else if (!silent) {
                 flow_suspected[i.index()] = 0;
             }
@@ -619,9 +628,10 @@ DistLrgp::DistLrgp(model::ProblemSpec spec, DistOptions options)
 
     scheduleCrashes();
 
-    if (options_.synchronous) {
-        startSyncRound();
-    } else {
+    // Synchronous kickoff (the round-1 announcements) is deferred to the
+    // first run call so a registry attached between construction and
+    // runRounds() observes every message.
+    if (!options_.synchronous) {
         scheduleAsyncTimers();
         scheduleSampler();
     }
@@ -660,6 +670,19 @@ void DistLrgp::validateFaultPlanAgents() const {
 void DistLrgp::sendMessage(const faults::MessageContext& ctx, std::optional<double> price,
                            std::function<void(double)> handler) {
     ++messages_sent_;
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) {
+            switch (ctx.kind) {
+                case faults::MessageKind::kRate: dist_instr_.sent_rate->add(1); break;
+                case faults::MessageKind::kNodeReport:
+                    dist_instr_.sent_node_report->add(1);
+                    break;
+                case faults::MessageKind::kLinkReport:
+                    dist_instr_.sent_link_report->add(1);
+                    break;
+            }
+        }
+    }
     if (options_.message_loss_probability > 0.0) {
         // xorshift64: deterministic loss pattern per seed.
         loss_rng_state_ ^= loss_rng_state_ << 13;
@@ -668,6 +691,8 @@ void DistLrgp::sendMessage(const faults::MessageContext& ctx, std::optional<doub
         const double unit = static_cast<double>(loss_rng_state_ >> 11) * 0x1.0p-53;
         if (unit < options_.message_loss_probability) {
             ++messages_lost_;
+            if constexpr (obs::kEnabled)
+                if (obs_attached_) dist_instr_.dropped_loss->add(1);
             return;  // dropped in transit
         }
     }
@@ -677,13 +702,19 @@ void DistLrgp::sendMessage(const faults::MessageContext& ctx, std::optional<doub
         const faults::FaultDecision decision = injector_->onMessage(ctx, simulator_.now());
         if (decision.drop) {
             ++messages_lost_;
+            if constexpr (obs::kEnabled)
+                if (obs_attached_) dist_instr_.dropped_fault->add(1);
             return;
         }
         extra_delay = decision.extra_delay;
         if (price) payload *= decision.price_factor;
     }
     simulator_.schedule(latency_.sample() + extra_delay,
-                        [h = std::move(handler), payload] { h(payload); });
+                        [this, h = std::move(handler), payload] {
+                            if constexpr (obs::kEnabled)
+                                if (obs_attached_) dist_instr_.delivered->add(1);
+                            h(payload);
+                        });
 }
 
 void DistLrgp::scheduleCrashes() {
@@ -716,6 +747,12 @@ void DistLrgp::crashAgent(faults::AgentRef agent) {
         }
     }
     if (injector_) injector_->noteCrash();
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) dist_instr_.crashes->add(1);
+        if (tracer_)
+            tracer_->instant("crash", "dist", agent.index, simMicros(),
+                             {{"kind", std::string(agent_kind_name(agent.kind))}});
+    }
 }
 
 void DistLrgp::restartAgent(faults::AgentRef agent) {
@@ -743,6 +780,12 @@ void DistLrgp::restartAgent(faults::AgentRef agent) {
         }
     }
     if (injector_) injector_->noteRestart();
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) dist_instr_.restarts->add(1);
+        if (tracer_)
+            tracer_->instant("restart", "dist", agent.index, simMicros(),
+                             {{"kind", std::string(agent_kind_name(agent.kind))}});
+    }
 }
 
 bool DistLrgp::agentDown(faults::AgentRef agent) const {
@@ -756,6 +799,46 @@ bool DistLrgp::agentDown(faults::AgentRef agent) const {
 
 faults::FaultStats DistLrgp::faultStats() const {
     return injector_ ? injector_->stats() : faults::FaultStats{};
+}
+
+void DistLrgp::attachObservability(obs::Registry* registry, obs::IterationTracer* tracer) {
+    if constexpr (obs::kEnabled) {
+        if (registry != nullptr) {
+            dist_instr_ = obs::DistInstruments::resolve(*registry);
+            alloc_instr_ = obs::AllocatorInstruments::resolve(*registry);
+            rate_allocator_.setInstruments(&alloc_instr_);
+            greedy_allocator_.setInstruments(&alloc_instr_);
+            obs_attached_ = true;
+        } else {
+            rate_allocator_.setInstruments(nullptr);
+            greedy_allocator_.setInstruments(nullptr);
+            obs_attached_ = false;
+        }
+        tracer_ = tracer;
+    } else {
+        (void)registry;
+        (void)tracer;
+    }
+}
+
+void DistLrgp::noteSuspicion(const char* who) {
+    ++suspicion_events_;
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) dist_instr_.suspicions->add(1);
+        if (tracer_)
+            tracer_->instant("suspicion", "dist", 0, simMicros(),
+                             {{"watcher", std::string(who)}});
+    } else {
+        (void)who;
+    }
+}
+
+void DistLrgp::noteReannouncement() {
+    ++reannouncements_;
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) dist_instr_.reannouncements->add(1);
+        if (tracer_) tracer_->instant("reannounce", "dist", 0, simMicros());
+    }
 }
 
 void DistLrgp::startSyncRound() {
@@ -788,7 +871,12 @@ void DistLrgp::scheduleAsyncTimers() {
 
 void DistLrgp::scheduleSampler() {
     simulator_.schedule(options_.sample_period, [this] {
-        trace_.append(currentUtility());
+        const double utility = currentUtility();
+        trace_.append(utility);
+        if constexpr (obs::kEnabled) {
+            if (obs_attached_) dist_instr_.utility->set(utility);
+            if (tracer_) tracer_->counterSample("dist_utility", 0, simMicros(), utility);
+        }
         scheduleSampler();
     });
 }
@@ -813,7 +901,21 @@ void DistLrgp::onRoundCompletedAtNode(int round, const NodeAgent& agent) {
         model::Allocation allocation{std::move(state.rates), std::move(state.populations)};
         round_states_.erase(round);
         completed_rounds_ = std::max(completed_rounds_, round);
-        trace_.append(model::total_utility(spec_, allocation));
+        const double utility = model::total_utility(spec_, allocation);
+        trace_.append(utility);
+        if constexpr (obs::kEnabled) {
+            if (obs_attached_) {
+                dist_instr_.rounds->add(1);
+                dist_instr_.utility->set(utility);
+            }
+            if (tracer_) {
+                tracer_->counterSample("dist_utility", 0, simMicros(), utility);
+                tracer_->instant("round_complete", "dist",
+                                 static_cast<std::uint32_t>(round), simMicros(),
+                                 {{"round", static_cast<double>(round)},
+                                  {"utility", utility}});
+            }
+        }
     }
 }
 
@@ -821,6 +923,10 @@ void DistLrgp::runRounds(int rounds) {
     if (!options_.synchronous)
         throw std::logic_error("DistLrgp::runRounds: only available in synchronous mode");
     if (rounds <= 0) throw std::invalid_argument("DistLrgp::runRounds: rounds must be > 0");
+    if (!sync_started_) {
+        sync_started_ = true;
+        startSyncRound();
+    }
     target_rounds_ = completed_rounds_ + rounds;
     // Process events until the target round completes (each round needs a
     // bounded number of events, so runOne cannot spin forever unless the
@@ -860,6 +966,10 @@ std::size_t DistLrgp::eventBudget(sim::SimTime seconds) const {
 
 void DistLrgp::runFor(sim::SimTime seconds) {
     if (seconds < 0.0) throw std::invalid_argument("DistLrgp::runFor: negative duration");
+    if (options_.synchronous && !sync_started_) {
+        sync_started_ = true;
+        startSyncRound();
+    }
     const sim::SimTime until = simulator_.now() + seconds;
     const std::size_t budget = eventBudget(seconds);
     const std::size_t processed = simulator_.runUntil(until, budget);

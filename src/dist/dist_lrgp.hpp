@@ -37,6 +37,7 @@
 #include "metrics/time_series.hpp"
 #include "model/allocation.hpp"
 #include "model/problem.hpp"
+#include "obs/instruments.hpp"
 #include "sim/simulator.hpp"
 
 namespace lrgp::dist {
@@ -151,6 +152,16 @@ public:
     /// True while `agent` is crashed.
     [[nodiscard]] bool agentDown(faults::AgentRef agent) const;
 
+    // ------------------------------------------------- observability
+
+    /// Attaches a metrics registry (message counters by kind, drop
+    /// causes, suspicion/reannouncement/crash counters, round counter,
+    /// utility gauge) and optionally a tracer.  Tracer timestamps use
+    /// *simulated* time, so traces are deterministic per (problem,
+    /// options, seed).  Pass nullptrs to detach; a no-op without
+    /// LRGP_OBS.
+    void attachObservability(obs::Registry* registry, obs::IterationTracer* tracer = nullptr);
+
 private:
     struct SourceAgent;
     struct NodeAgent;
@@ -170,6 +181,12 @@ private:
     void scheduleCrashes();
     void crashAgent(faults::AgentRef agent);
     void restartAgent(faults::AgentRef agent);
+
+    // Chaos bookkeeping + optional metrics/trace emission (the agents
+    // call these instead of bumping the driver counters directly).
+    void noteSuspicion(const char* who);
+    void noteReannouncement();
+    [[nodiscard]] double simMicros() const noexcept { return simulator_.now() * 1e6; }
 
     [[nodiscard]] std::size_t eventBudget(sim::SimTime seconds) const;
     [[nodiscard]] bool hardened() const noexcept {
@@ -207,11 +224,18 @@ private:
     std::unordered_map<int, RoundState> round_states_;
     int completed_rounds_ = 0;
     int target_rounds_ = 0;
+    bool sync_started_ = false;  ///< round-1 kickoff happens on first run call
     std::size_t messages_sent_ = 0;
     std::size_t messages_lost_ = 0;
     std::size_t reannouncements_ = 0;
     std::size_t suspicion_events_ = 0;
     std::uint64_t loss_rng_state_ = 0;
+
+    // Observability (all null until attachObservability).
+    obs::DistInstruments dist_instr_;
+    obs::AllocatorInstruments alloc_instr_;
+    bool obs_attached_ = false;
+    obs::IterationTracer* tracer_ = nullptr;
 };
 
 }  // namespace lrgp::dist

@@ -15,6 +15,10 @@ std::vector<BenefitCost> GreedyConsumerAllocator::benefitCosts(
         if (!spec_->flowActive(c.flow) || c.max_consumers == 0) continue;
         const double rate = rates.at(c.flow.index());
         const double unit_cost = c.consumer_cost * rate;
+        // A non-positive unit cost (zero rate) makes BC_j = U_j(0)/0 an
+        // undefined 0/0: such classes are simply not allocatable this
+        // iteration and must not poison the ranking or BC(b,t) with NaN.
+        if (!(unit_cost > 0.0)) continue;
         out.push_back(BenefitCost{j, this_slot, c.utility->value(rate) / unit_cost, unit_cost});
     }
     std::sort(out.begin(), out.end(), [](const BenefitCost& a, const BenefitCost& b) {
@@ -43,6 +47,7 @@ NodeAllocationResult GreedyConsumerAllocator::allocate(model::NodeId node,
     for (model::ClassId j : spec_->classesAtNode(node)) result.populations.emplace_back(j, 0);
 
     const std::vector<BenefitCost> ranked = benefitCosts(node, rates);
+    int total_admitted = 0;
     for (const BenefitCost& bc : ranked) {
         const model::ClassSpec& c = spec_->consumerClass(bc.cls);
         int admitted = 0;
@@ -64,12 +69,20 @@ NodeAllocationResult GreedyConsumerAllocator::allocate(model::NodeId node,
         }
         remaining -= admitted * bc.unit_cost;
         result.populations[bc.slot].second = admitted;
+        total_admitted += admitted;
         // BC(b,t): first (highest) ratio whose class is not fully admitted.
         if (admitted < c.max_consumers && !result.best_unmet_bc)
             result.best_unmet_bc = bc.ratio;
     }
 
     result.used = capacity - remaining;
+    if constexpr (obs::kEnabled) {
+        if (instruments_) {
+            instruments_->greedy_allocations->add(1);
+            instruments_->greedy_candidates->add(ranked.size());
+            instruments_->greedy_admitted->add(static_cast<std::uint64_t>(total_admitted));
+        }
+    }
     return result;
 }
 

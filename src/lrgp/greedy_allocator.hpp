@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "model/problem.hpp"
+#include "obs/instruments.hpp"
 
 namespace lrgp::core {
 
@@ -43,7 +44,11 @@ public:
 
     /// Benefit-cost ratios of the allocatable classes at `node`, sorted
     /// descending (ties broken by class id for determinism).  Classes of
-    /// inactive flows and classes with n^max = 0 are omitted.
+    /// inactive flows, classes with n^max = 0, and classes whose unit
+    /// cost G_{b,j} * r_i is not positive (a zero rate) are omitted —
+    /// a zero-rate flow delivers nothing, so its classes are not
+    /// allocatable and their undefined 0/0 ratio never enters the
+    /// ranking or BC(b,t).
     [[nodiscard]] std::vector<BenefitCost> benefitCosts(model::NodeId node,
                                                         const std::vector<double>& rates) const;
 
@@ -56,8 +61,15 @@ public:
                                                 const std::vector<double>& rates,
                                                 bool batched = true) const;
 
+    /// Optional observability counters (owned by the caller's Registry);
+    /// nullptr (the default) keeps allocate() uninstrumented.
+    void setInstruments(const obs::AllocatorInstruments* instruments) noexcept {
+        instruments_ = instruments;
+    }
+
 private:
     const model::ProblemSpec* spec_;
+    const obs::AllocatorInstruments* instruments_ = nullptr;
 };
 
 }  // namespace lrgp::core

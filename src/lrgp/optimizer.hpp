@@ -23,6 +23,7 @@
 #include "metrics/time_series.hpp"
 #include "model/allocation.hpp"
 #include "model/problem.hpp"
+#include "obs/instruments.hpp"
 
 namespace lrgp::core {
 
@@ -86,6 +87,15 @@ public:
     void warmStart(const PriceVector& prices,
                    const std::vector<int>* populations = nullptr);
 
+    // -- observability ----------------------------------------------------
+
+    /// Attaches a metrics registry (and optionally a tracer) to this
+    /// optimizer: iteration/phase timings, rate-solve and admission
+    /// counters, price-move counts and the utility gauge are recorded on
+    /// every subsequent step().  Pass nullptrs to detach.  A no-op in
+    /// builds without LRGP_OBS (metric names in docs/observability.md).
+    void attachObservability(obs::Registry* registry, obs::IterationTracer* tracer = nullptr);
+
     // -- observers --------------------------------------------------------
 
     [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
@@ -99,10 +109,19 @@ public:
     [[nodiscard]] double nodeGamma(model::NodeId node) const;
 
 private:
+    void noteConvergenceReset();
+
     model::ProblemSpec spec_;
     LrgpOptions options_;
     RateAllocator rate_allocator_;
     GreedyConsumerAllocator greedy_allocator_;
+
+    // Observability (all null until attachObservability): resolved once,
+    // touched behind `if constexpr (obs::kEnabled)` + null checks.
+    obs::SolverInstruments instr_;
+    obs::AllocatorInstruments alloc_instr_;
+    bool obs_attached_ = false;
+    obs::IterationTracer* tracer_ = nullptr;
     std::vector<NodePriceController> node_prices_;
     std::vector<LinkPriceController> link_prices_;
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "model/allocation.hpp"
+#include "obs/scoped_timer.hpp"
 #include "utility/rate_objective.hpp"
 
 namespace lrgp::core {
@@ -117,6 +118,8 @@ void ParallelLrgpEngine::solveFlow(std::size_t f) {
 
         if (!any_population) {
             rate = price > 0.0 ? lo : hi;
+            if constexpr (obs::kEnabled)
+                if (obs_attached_) alloc_instr_.rate_bound->add(1);
         } else {
             // sum_j n_j U_j'(r) - price at a bound, in term order; the
             // inlined derivative expressions mirror utility_function.cpp.
@@ -141,8 +144,12 @@ void ParallelLrgpEngine::solveFlow(std::size_t f) {
 
             if (derivative_at(hi) >= 0.0) {
                 rate = hi;
+                if constexpr (obs::kEnabled)
+                    if (obs_attached_) alloc_instr_.rate_bound->add(1);
             } else if (derivative_at(lo) <= 0.0) {
                 rate = lo;
+                if constexpr (obs::kEnabled)
+                    if (obs_attached_) alloc_instr_.rate_bound->add(1);
             } else {
                 // Combined closed form: W = sum_j n_j w_j in term order.
                 double weight = 0.0;
@@ -161,6 +168,8 @@ void ParallelLrgpEngine::solveFlow(std::size_t f) {
                     default: r = weight / price - param; break;
                 }
                 rate = std::clamp(r, lo, hi);
+                if constexpr (obs::kEnabled)
+                    if (obs_attached_) alloc_instr_.rate_closed_form->add(1);
             }
         }
     } else {
@@ -171,7 +180,22 @@ void ParallelLrgpEngine::solveFlow(std::size_t f) {
         for (std::size_t e = begin; e < cp.flow_class_begin[f + 1]; ++e)
             terms[e - begin].population =
                 static_cast<double>(pops[cp.flow_class_class[e]]);
-        rate = utility::solve_rate_objective(terms, price, lo, hi, options_.rate_solve).rate;
+        const utility::RateSolveResult result =
+            utility::solve_rate_objective(terms, price, lo, hi, options_.rate_solve);
+        rate = result.rate;
+        if constexpr (obs::kEnabled) {
+            if (obs_attached_) {
+                switch (result.method) {
+                    case utility::RateSolveMethod::kClosedForm:
+                        alloc_instr_.rate_closed_form->add(1);
+                        break;
+                    case utility::RateSolveMethod::kNumeric:
+                        alloc_instr_.rate_numeric->add(1);
+                        break;
+                    default: alloc_instr_.rate_bound->add(1); break;
+                }
+            }
+        }
     }
     allocation_.rates[f] = rate;
 
@@ -190,15 +214,21 @@ void ParallelLrgpEngine::solveFlow(std::size_t f) {
 }
 
 void ParallelLrgpEngine::ratePhase(std::size_t begin, std::size_t end) {
+    [[maybe_unused]] std::uint64_t solves = 0;
     for (std::size_t f = begin; f < end; ++f) {
         if (!compiled_.flow_active[f]) continue;
         solveFlow(f);
+        if constexpr (obs::kEnabled) ++solves;
     }
+    if constexpr (obs::kEnabled)
+        if (obs_attached_ && solves > 0) instr_.rate_solves->add(solves);
 }
 
 void ParallelLrgpEngine::nodePhase(std::size_t begin, std::size_t end, NodeScratch& scratch) {
     const CompiledProblem& cp = compiled_;
     const std::vector<double>& rates = allocation_.rates;
+    // Chunk-local tallies, flushed to the shared atomics once at the end.
+    [[maybe_unused]] std::uint64_t candidates = 0, price_moves = 0;
 
     for (std::size_t b = begin; b < end; ++b) {
         // Resource consumed by the flows themselves (F_{b,i} * r_i).
@@ -222,6 +252,10 @@ void ParallelLrgpEngine::nodePhase(std::size_t begin, std::size_t end, NodeScrat
             if (!cp.flow_active[f] || cp.class_max_consumers[cls] == 0) continue;
             const double rate = rates[f];
             const double unit_cost = cp.class_gcost[cls] * rate;
+            // Mirrors GreedyConsumerAllocator::benefitCosts: a zero rate
+            // makes BC_j = U_j(0)/0 an undefined 0/0 that must not reach
+            // the ranking (bitwise parity with the serial allocator).
+            if (!(unit_cost > 0.0)) continue;
             const double value = cp.flow_family[f] == SolveFamily::kGeneric
                                      ? cp.class_utility[cls]->value(rate)
                                      : cp.class_weight[cls] * flow_value_trans_[f];
@@ -249,13 +283,27 @@ void ParallelLrgpEngine::nodePhase(std::size_t begin, std::size_t end, NodeScrat
         }
 
         const double used = capacity - remaining;
+        const double old_price = prices_.node[b];
         prices_.node[b] = node_prices_[b].update(best_unmet_bc, used, capacity);
+        if constexpr (obs::kEnabled) {
+            candidates += cands.size();
+            if (prices_.node[b] != old_price) ++price_moves;
+        }
+    }
+
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_ && end > begin) {
+            alloc_instr_.greedy_allocations->add(end - begin);
+            alloc_instr_.greedy_candidates->add(candidates);
+            instr_.node_price_moves->add(price_moves);
+        }
     }
 }
 
 void ParallelLrgpEngine::linkPhase(std::size_t begin, std::size_t end) {
     const CompiledProblem& cp = compiled_;
     const std::vector<double>& rates = allocation_.rates;
+    [[maybe_unused]] std::uint64_t price_moves = 0;
     for (std::size_t l = begin; l < end; ++l) {
         double usage = 0.0;
         for (std::size_t e = cp.link_flow_begin[l]; e < cp.link_flow_begin[l + 1]; ++e) {
@@ -263,12 +311,23 @@ void ParallelLrgpEngine::linkPhase(std::size_t begin, std::size_t end) {
             if (!cp.flow_active[f]) continue;
             usage += cp.link_flow_cost[e] * rates[f];
         }
+        const double old_price = prices_.link[l];
         prices_.link[l] = link_prices_[l].update(usage, cp.link_capacity[l]);
+        if constexpr (obs::kEnabled)
+            if (prices_.link[l] != old_price) ++price_moves;
     }
+    if constexpr (obs::kEnabled)
+        if (obs_attached_ && price_moves > 0) instr_.link_price_moves->add(price_moves);
 }
 
 const IterationRecord& ParallelLrgpEngine::step() {
-    const bool timed = collect_phase_times_;
+    [[maybe_unused]] bool obs_on = false;
+    bool timed = collect_phase_times_;
+    if constexpr (obs::kEnabled) {
+        obs_on = obs_attached_;
+        if (tracer_) tracer_->beginIteration(static_cast<std::uint64_t>(iteration_) + 1);
+        timed = timed || obs_on || (tracer_ && tracer_->sampling());
+    }
     std::uint64_t t0 = timed ? now_ns() : 0;
 
     pool_->parallelFor(compiled_.flowCount(),
@@ -297,14 +356,79 @@ const IterationRecord& ParallelLrgpEngine::step() {
     trace_.append(utility);
     detector_.addSample(utility);
 
+    std::uint64_t t4 = 0;
     if (timed) {
-        phase_times_.rate_ns += t1 - t0;
-        phase_times_.node_ns += t2 - t1;
-        phase_times_.link_ns += t3 - t2;
-        phase_times_.reduce_ns += now_ns() - t3;
-        ++phase_times_.iterations;
+        t4 = now_ns();
+        if (collect_phase_times_) {
+            phase_times_.rate_ns += t1 - t0;
+            phase_times_.node_ns += t2 - t1;
+            phase_times_.link_ns += t3 - t2;
+            phase_times_.reduce_ns += t4 - t3;
+            ++phase_times_.iterations;
+        }
+    }
+
+    if constexpr (obs::kEnabled) {
+        [[maybe_unused]] long long admitted_total = 0;
+        if (obs_on || (tracer_ && tracer_->sampling()))
+            for (int n : allocation_.populations) admitted_total += n;
+        if (obs_on) {
+            instr_.iterations->add(1);
+            instr_.admissions->add(static_cast<std::uint64_t>(admitted_total));
+            alloc_instr_.greedy_admitted->add(static_cast<std::uint64_t>(admitted_total));
+            instr_.utility->set(utility);
+            instr_.admitted_consumers->set(static_cast<double>(admitted_total));
+            instr_.phase_rate->observe(static_cast<double>(t1 - t0) * 1e-9);
+            instr_.phase_node->observe(static_cast<double>(t2 - t1) * 1e-9);
+            instr_.phase_link->observe(static_cast<double>(t3 - t2) * 1e-9);
+            instr_.phase_reduce->observe(static_cast<double>(t4 - t3) * 1e-9);
+            instr_.iter_seconds->observe(static_cast<double>(t4 - t0) * 1e-9);
+        }
+        if (tracer_ && tracer_->sampling()) {
+            const double origin = tracer_->nowMicros();
+            const auto us = [](std::uint64_t a, std::uint64_t b) {
+                return static_cast<double>(b - a) * 1e-3;
+            };
+            const double ts0 = timed ? origin - us(t0, t4) : origin;
+            tracer_->complete("rate_phase", "lrgp", 0, ts0, us(t0, t1));
+            tracer_->complete("node_phase", "lrgp", 0, ts0 + us(t0, t1), us(t1, t2));
+            tracer_->complete("link_phase", "lrgp", 0, ts0 + us(t0, t2), us(t2, t3));
+            tracer_->complete("iteration", "lrgp", 0, ts0, us(t0, t4),
+                              {{"iteration", static_cast<double>(iteration_)},
+                               {"utility", utility},
+                               {"admitted", static_cast<double>(admitted_total)}});
+            tracer_->counterSample("utility", 0, origin, utility);
+        }
     }
     return last_record_;
+}
+
+void ParallelLrgpEngine::attachObservability(obs::Registry* registry,
+                                             obs::IterationTracer* tracer) {
+    if constexpr (obs::kEnabled) {
+        if (registry != nullptr) {
+            instr_ = obs::SolverInstruments::resolve(*registry);
+            alloc_instr_ = obs::AllocatorInstruments::resolve(*registry);
+            pool_instr_ = obs::PoolInstruments::resolve(*registry);
+            pool_->setInstruments(&pool_instr_);
+            obs_attached_ = true;
+        } else {
+            pool_->setInstruments(nullptr);
+            obs_attached_ = false;
+        }
+        tracer_ = tracer;
+    } else {
+        (void)registry;
+        (void)tracer;
+    }
+}
+
+void ParallelLrgpEngine::noteConvergenceReset() {
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) instr_.convergence_resets->add(1);
+        if (tracer_ && tracer_->sampling())
+            tracer_->instant("convergence_reset", "lrgp", 0, tracer_->nowMicros());
+    }
 }
 
 const IterationRecord& ParallelLrgpEngine::run(int iterations) {
@@ -331,6 +455,7 @@ void ParallelLrgpEngine::removeFlow(model::FlowId flow) {
     allocation_.rates[flow.index()] = 0.0;
     for (model::ClassId j : spec_.classesOfFlow(flow)) allocation_.populations[j.index()] = 0;
     detector_.reset();
+    noteConvergenceReset();
 }
 
 void ParallelLrgpEngine::restoreFlow(model::FlowId flow) {
@@ -339,12 +464,14 @@ void ParallelLrgpEngine::restoreFlow(model::FlowId flow) {
     compiled_.setFlowActive(flow, true);
     allocation_.rates[flow.index()] = spec_.flow(flow).rate_min;
     detector_.reset();
+    noteConvergenceReset();
 }
 
 void ParallelLrgpEngine::setNodeCapacity(model::NodeId node, double capacity) {
     spec_.setNodeCapacity(node, capacity);
     compiled_.setNodeCapacity(node, capacity);
     detector_.reset();
+    noteConvergenceReset();
 }
 
 void ParallelLrgpEngine::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
@@ -353,6 +480,7 @@ void ParallelLrgpEngine::setClassMaxConsumers(model::ClassId cls, int max_consum
     auto& n = allocation_.populations.at(cls.index());
     n = std::min(n, max_consumers);
     detector_.reset();
+    noteConvergenceReset();
 }
 
 void ParallelLrgpEngine::warmStart(const PriceVector& prices,
@@ -372,6 +500,7 @@ void ParallelLrgpEngine::warmStart(const PriceVector& prices,
                 std::min((*populations)[c.id.index()], c.max_consumers);
     }
     detector_.reset();
+    noteConvergenceReset();
 }
 
 double ParallelLrgpEngine::currentUtility() const {

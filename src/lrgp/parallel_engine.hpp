@@ -81,6 +81,13 @@ public:
     void setClassMaxConsumers(model::ClassId cls, int max_consumers);
     void warmStart(const PriceVector& prices, const std::vector<int>* populations = nullptr);
 
+    // -- observability ----------------------------------------------------
+
+    /// Same contract as LrgpOptimizer::attachObservability, plus TaskPool
+    /// fan-out counters.  Metric mutation from worker threads uses relaxed
+    /// atomics, so attaching does not perturb the determinism contract.
+    void attachObservability(obs::Registry* registry, obs::IterationTracer* tracer = nullptr);
+
     // -- observers --------------------------------------------------------
     [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
     [[nodiscard]] const model::Allocation& allocation() const noexcept { return allocation_; }
@@ -101,12 +108,20 @@ private:
     void nodePhase(std::size_t begin, std::size_t end, NodeScratch& scratch);
     void linkPhase(std::size_t begin, std::size_t end);
     void solveFlow(std::size_t f);
+    void noteConvergenceReset();
 
     model::ProblemSpec spec_;
     LrgpOptions options_;
     CompiledProblem compiled_;
     std::unique_ptr<TaskPool> pool_;
     bool collect_phase_times_ = false;
+
+    // Observability (all null until attachObservability).
+    obs::SolverInstruments instr_;
+    obs::AllocatorInstruments alloc_instr_;
+    obs::PoolInstruments pool_instr_;
+    bool obs_attached_ = false;
+    obs::IterationTracer* tracer_ = nullptr;
 
     std::vector<NodePriceController> node_prices_;
     std::vector<LinkPriceController> link_prices_;

@@ -43,7 +43,24 @@ utility::RateSolveResult RateAllocator::computeRate(model::FlowId flow,
     }
 
     const double price = totalPrice(flow, populations, prices);
-    return utility::solve_rate_objective(terms, price, f.rate_min, f.rate_max, solve_options_);
+    const utility::RateSolveResult result =
+        utility::solve_rate_objective(terms, price, f.rate_min, f.rate_max, solve_options_);
+    if constexpr (obs::kEnabled) {
+        if (instruments_) {
+            switch (result.method) {
+                case utility::RateSolveMethod::kClosedForm:
+                    instruments_->rate_closed_form->add(1);
+                    break;
+                case utility::RateSolveMethod::kNumeric:
+                    instruments_->rate_numeric->add(1);
+                    break;
+                default:
+                    instruments_->rate_bound->add(1);
+                    break;
+            }
+        }
+    }
+    return result;
 }
 
 }  // namespace lrgp::core

@@ -11,6 +11,7 @@
 
 #include "lrgp/prices.hpp"
 #include "model/problem.hpp"
+#include "obs/instruments.hpp"
 #include "utility/rate_objective.hpp"
 
 namespace lrgp::core {
@@ -33,9 +34,16 @@ public:
                                                        const std::vector<int>& populations,
                                                        const PriceVector& prices) const;
 
+    /// Optional observability counters (solve-path breakdown); nullptr
+    /// (the default) keeps computeRate() uninstrumented.
+    void setInstruments(const obs::AllocatorInstruments* instruments) noexcept {
+        instruments_ = instruments;
+    }
+
 private:
     const model::ProblemSpec* spec_;
     utility::RateSolveOptions solve_options_;
+    const obs::AllocatorInstruments* instruments_ = nullptr;
 };
 
 }  // namespace lrgp::core

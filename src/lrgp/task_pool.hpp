@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/instruments.hpp"
+
 namespace lrgp::core {
 
 class TaskPool {
@@ -42,6 +44,12 @@ public:
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t, std::size_t, int)>& fn);
 
+    /// Optional fan-out counters (dispatches, chunks, depth histogram);
+    /// nullptr (the default) keeps parallelFor() uninstrumented.
+    void setInstruments(const obs::PoolInstruments* instruments) noexcept {
+        instruments_ = instruments;
+    }
+
 private:
     void workerLoop(int worker);
 
@@ -58,6 +66,7 @@ private:
     int pending_ = 0;
     bool stop_ = false;
     std::exception_ptr first_error_;
+    const obs::PoolInstruments* instruments_ = nullptr;
 };
 
 }  // namespace lrgp::core

@@ -1,0 +1,95 @@
+#include "obs/instruments.hpp"
+
+namespace lrgp::obs {
+
+SolverInstruments SolverInstruments::resolve(Registry& registry) {
+    SolverInstruments instruments;
+    instruments.iterations =
+        &registry.counter("lrgp_iterations_total", "LRGP iterations completed");
+    instruments.rate_solves =
+        &registry.counter("lrgp_rate_solves_total", "Per-flow rate subproblems solved (Alg. 1)");
+    instruments.admissions = &registry.counter(
+        "lrgp_admissions_total", "Consumer slots granted by the greedy allocator (Alg. 2)");
+    instruments.node_price_moves =
+        &registry.counter("lrgp_node_price_moves_total", "Node price updates that changed the price");
+    instruments.link_price_moves =
+        &registry.counter("lrgp_link_price_moves_total", "Link price updates that changed the price");
+    instruments.convergence_resets = &registry.counter(
+        "lrgp_convergence_resets_total", "Convergence detector restarts after workload changes");
+    instruments.utility = &registry.gauge("lrgp_utility", "Eq. 1 utility after the last iteration");
+    instruments.admitted_consumers = &registry.gauge(
+        "lrgp_admitted_consumers", "Total admitted consumers after the last iteration");
+    instruments.iter_seconds = &registry.histogram(
+        "lrgp_iteration_seconds", default_time_buckets(), "Wall time per LRGP iteration");
+    const std::string phase_help = "Wall time per iteration phase";
+    instruments.phase_rate = &registry.histogram("lrgp_phase_seconds", default_time_buckets(),
+                                                 phase_help, {{"phase", "rate"}});
+    instruments.phase_node = &registry.histogram("lrgp_phase_seconds", default_time_buckets(),
+                                                 phase_help, {{"phase", "node"}});
+    instruments.phase_link = &registry.histogram("lrgp_phase_seconds", default_time_buckets(),
+                                                 phase_help, {{"phase", "link"}});
+    instruments.phase_reduce = &registry.histogram("lrgp_phase_seconds", default_time_buckets(),
+                                                   phase_help, {{"phase", "reduce"}});
+    return instruments;
+}
+
+PoolInstruments PoolInstruments::resolve(Registry& registry) {
+    PoolInstruments instruments;
+    instruments.jobs =
+        &registry.counter("lrgp_pool_jobs_total", "parallelFor fork-join dispatches");
+    instruments.chunks =
+        &registry.counter("lrgp_pool_chunks_total", "Statically partitioned chunks executed");
+    instruments.fanout = &registry.histogram(
+        "lrgp_pool_fanout_chunks", {1, 2, 4, 8, 16, 32, 64, 128},
+        "Chunks queued per dispatch (the pool's queue depth; static partitioning, no stealing)");
+    return instruments;
+}
+
+DistInstruments DistInstruments::resolve(Registry& registry) {
+    DistInstruments instruments;
+    const std::string sent_help = "Protocol messages handed to the network";
+    instruments.sent_rate =
+        &registry.counter("dist_messages_sent_total", sent_help, {{"kind", "rate"}});
+    instruments.sent_node_report =
+        &registry.counter("dist_messages_sent_total", sent_help, {{"kind", "node_report"}});
+    instruments.sent_link_report =
+        &registry.counter("dist_messages_sent_total", sent_help, {{"kind", "link_report"}});
+    instruments.delivered =
+        &registry.counter("dist_messages_delivered_total", "Messages that reached their handler");
+    const std::string drop_help = "Messages dropped in transit";
+    instruments.dropped_loss =
+        &registry.counter("dist_messages_dropped_total", drop_help, {{"cause", "loss"}});
+    instruments.dropped_fault =
+        &registry.counter("dist_messages_dropped_total", drop_help, {{"cause", "fault"}});
+    instruments.suspicions = &registry.counter(
+        "dist_suspicions_total", "Transitions of a peer into the suspected state");
+    instruments.reannouncements = &registry.counter(
+        "dist_reannouncements_total", "Backoff re-announcements sent to suspected resources");
+    instruments.crashes = &registry.counter("dist_crashes_total", "Agent crash events injected");
+    instruments.restarts = &registry.counter("dist_restarts_total", "Agent restarts completed");
+    instruments.rounds =
+        &registry.counter("dist_rounds_completed_total", "Synchronous rounds completed");
+    instruments.utility =
+        &registry.gauge("dist_utility", "Utility of the latest global snapshot");
+    return instruments;
+}
+
+AllocatorInstruments AllocatorInstruments::resolve(Registry& registry) {
+    AllocatorInstruments instruments;
+    instruments.greedy_allocations =
+        &registry.counter("greedy_allocations_total", "Greedy node allocations run (Alg. 2)");
+    instruments.greedy_candidates = &registry.counter(
+        "greedy_candidates_ranked_total", "Benefit-cost candidates ranked across allocations");
+    instruments.greedy_admitted = &registry.counter(
+        "greedy_consumers_admitted_total", "Consumer slots granted across allocations");
+    const std::string method_help = "Rate solves by solution path";
+    instruments.rate_closed_form = &registry.counter("rate_solves_by_method_total", method_help,
+                                                     {{"method", "closed_form"}});
+    instruments.rate_numeric =
+        &registry.counter("rate_solves_by_method_total", method_help, {{"method", "numeric"}});
+    instruments.rate_bound =
+        &registry.counter("rate_solves_by_method_total", method_help, {{"method", "bound"}});
+    return instruments;
+}
+
+}  // namespace lrgp::obs

@@ -1,0 +1,75 @@
+// Pre-resolved instrument bundles for the LRGP engines.
+//
+// Engines resolve their named metrics once, at attach time, into one of
+// these structs of raw pointers; the per-iteration hot path then touches
+// plain atomics without any name lookups.  All metric names are
+// documented in docs/observability.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace lrgp::obs {
+
+/// Instruments shared by LrgpOptimizer and ParallelLrgpEngine.
+/// All pointers live in (and are owned by) the Registry.
+struct SolverInstruments {
+    Counter* iterations = nullptr;          ///< lrgp_iterations_total
+    Counter* rate_solves = nullptr;         ///< lrgp_rate_solves_total
+    Counter* admissions = nullptr;          ///< lrgp_admissions_total (consumer-slots granted)
+    Counter* node_price_moves = nullptr;    ///< lrgp_node_price_moves_total
+    Counter* link_price_moves = nullptr;    ///< lrgp_link_price_moves_total
+    Counter* convergence_resets = nullptr;  ///< lrgp_convergence_resets_total
+    Gauge* utility = nullptr;               ///< lrgp_utility
+    Gauge* admitted_consumers = nullptr;    ///< lrgp_admitted_consumers
+    Histogram* iter_seconds = nullptr;      ///< lrgp_iteration_seconds
+    Histogram* phase_rate = nullptr;        ///< lrgp_phase_seconds{phase="rate"}
+    Histogram* phase_node = nullptr;        ///< lrgp_phase_seconds{phase="node"}
+    Histogram* phase_link = nullptr;        ///< lrgp_phase_seconds{phase="link"}
+    Histogram* phase_reduce = nullptr;      ///< lrgp_phase_seconds{phase="reduce"}
+
+    /// Registers/looks up every solver metric in `registry`.
+    static SolverInstruments resolve(Registry& registry);
+};
+
+/// TaskPool fan-out statistics (ParallelLrgpEngine wiring).
+struct PoolInstruments {
+    Counter* jobs = nullptr;            ///< lrgp_pool_jobs_total (parallelFor calls)
+    Counter* chunks = nullptr;          ///< lrgp_pool_chunks_total (chunks executed)
+    Histogram* fanout = nullptr;        ///< lrgp_pool_fanout_chunks (chunks queued per job)
+
+    static PoolInstruments resolve(Registry& registry);
+};
+
+/// Distributed-protocol instruments (DistLrgp).
+struct DistInstruments {
+    Counter* sent_rate = nullptr;        ///< dist_messages_sent_total{kind="rate"}
+    Counter* sent_node_report = nullptr; ///< dist_messages_sent_total{kind="node_report"}
+    Counter* sent_link_report = nullptr; ///< dist_messages_sent_total{kind="link_report"}
+    Counter* delivered = nullptr;        ///< dist_messages_delivered_total
+    Counter* dropped_loss = nullptr;     ///< dist_messages_dropped_total{cause="loss"}
+    Counter* dropped_fault = nullptr;    ///< dist_messages_dropped_total{cause="fault"}
+    Counter* suspicions = nullptr;       ///< dist_suspicions_total
+    Counter* reannouncements = nullptr;  ///< dist_reannouncements_total
+    Counter* crashes = nullptr;          ///< dist_crashes_total
+    Counter* restarts = nullptr;         ///< dist_restarts_total
+    Counter* rounds = nullptr;           ///< dist_rounds_completed_total
+    Gauge* utility = nullptr;            ///< dist_utility
+
+    static DistInstruments resolve(Registry& registry);
+};
+
+/// Allocator-level instruments, shared by every engine that drives the
+/// greedy/rate allocators (serial, parallel, distributed).
+struct AllocatorInstruments {
+    Counter* greedy_allocations = nullptr;   ///< greedy_allocations_total (allocate calls)
+    Counter* greedy_candidates = nullptr;    ///< greedy_candidates_ranked_total
+    Counter* greedy_admitted = nullptr;      ///< greedy_consumers_admitted_total
+    Counter* rate_closed_form = nullptr;     ///< rate_solves_by_method_total{method="closed_form"}
+    Counter* rate_numeric = nullptr;         ///< rate_solves_by_method_total{method="numeric"}
+    Counter* rate_bound = nullptr;           ///< rate_solves_by_method_total{method="bound"}
+
+    static AllocatorInstruments resolve(Registry& registry);
+};
+
+}  // namespace lrgp::obs

@@ -1,0 +1,213 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lrgp::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    };
+    auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+    if (!head(name.front())) return false;
+    return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+/// Shortest-round-trip style formatting: integers render without a
+/// decimal point, everything else through %g with enough digits to be
+/// unambiguous.  Deterministic across runs (golden-tested).
+std::string format_number(double v) {
+    if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 && v < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string render_labels(const Labels& labels) {
+    if (labels.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += k;
+        out += "=\"";
+        for (char c : v) {
+            if (c == '\\' || c == '"') out += '\\';
+            out += c;
+        }
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+std::string render_labels_plus(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+    Labels all = labels;
+    all.emplace_back(key, value);
+    return render_labels(all);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+        throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    buckets_.resize(bounds_.size() + 1);  // + implicit +Inf bucket
+}
+
+void Histogram::observe(double x) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // C++20 atomic<double>::fetch_add: relaxed CAS loop under the hood.
+    sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<double> default_time_buckets() {
+    std::vector<double> bounds;
+    for (double decade = 1e-6; decade < 10.0; decade *= 10.0)
+        for (double m : {1.0, 2.5, 5.0}) bounds.push_back(decade * m);
+    return bounds;
+}
+
+Registry::Entry* Registry::find(Kind kind, const std::string& name, const Labels& labels) {
+    for (Entry& e : entries_)
+        if (e.kind == kind && e.name == name && e.labels == labels) return &e;
+    return nullptr;
+}
+
+const Registry::Entry* Registry::findConst(Kind kind, const std::string& name,
+                                           const Labels& labels) const {
+    for (const Entry& e : entries_)
+        if (e.kind == kind && e.name == name && e.labels == labels) return &e;
+    return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+    if (!valid_metric_name(name)) throw std::invalid_argument("Registry: bad metric name " + name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Entry* e = find(Kind::kCounter, name, labels)) return *e->counter;
+    entries_.push_back(Entry{Kind::kCounter, name, help, labels,
+                             std::make_unique<Counter>(), nullptr, nullptr});
+    return *entries_.back().counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help, const Labels& labels) {
+    if (!valid_metric_name(name)) throw std::invalid_argument("Registry: bad metric name " + name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Entry* e = find(Kind::kGauge, name, labels)) return *e->gauge;
+    entries_.push_back(Entry{Kind::kGauge, name, help, labels, nullptr,
+                             std::make_unique<Gauge>(), nullptr});
+    return *entries_.back().gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds,
+                               const std::string& help, const Labels& labels) {
+    if (!valid_metric_name(name)) throw std::invalid_argument("Registry: bad metric name " + name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Entry* e = find(Kind::kHistogram, name, labels)) {
+        if (e->histogram->upperBounds() != upper_bounds)
+            throw std::invalid_argument("Registry: histogram " + name +
+                                        " re-registered with different bounds");
+        return *e->histogram;
+    }
+    entries_.push_back(Entry{Kind::kHistogram, name, help, labels, nullptr, nullptr,
+                             std::make_unique<Histogram>(std::move(upper_bounds))});
+    return *entries_.back().histogram;
+}
+
+const Counter* Registry::findCounter(const std::string& name, const Labels& labels) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* e = findConst(Kind::kCounter, name, labels);
+    return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* Registry::findGauge(const std::string& name, const Labels& labels) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* e = findConst(Kind::kGauge, name, labels);
+    return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* Registry::findHistogram(const std::string& name, const Labels& labels) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Entry* e = findConst(Kind::kHistogram, name, labels);
+    return e ? e->histogram.get() : nullptr;
+}
+
+std::uint64_t Registry::counterValue(const std::string& name, const Labels& labels) const {
+    const Counter* c = findCounter(name, labels);
+    return c ? c->value() : 0;
+}
+
+std::size_t Registry::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void Registry::writePrometheus(std::ostream& os) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One HELP/TYPE header per family, emitted at the family's first
+    // series; labeled series of the same family registered consecutively
+    // share the header (registration order is preserved throughout).
+    std::string last_header;
+    for (const Entry& e : entries_) {
+        const char* type = e.kind == Kind::kCounter  ? "counter"
+                           : e.kind == Kind::kGauge  ? "gauge"
+                                                     : "histogram";
+        if (e.name != last_header) {
+            if (!e.help.empty()) os << "# HELP " << e.name << ' ' << e.help << '\n';
+            os << "# TYPE " << e.name << ' ' << type << '\n';
+            last_header = e.name;
+        }
+        switch (e.kind) {
+            case Kind::kCounter:
+                os << e.name << render_labels(e.labels) << ' ' << e.counter->value() << '\n';
+                break;
+            case Kind::kGauge:
+                os << e.name << render_labels(e.labels) << ' '
+                   << format_number(e.gauge->value()) << '\n';
+                break;
+            case Kind::kHistogram: {
+                const Histogram& h = *e.histogram;
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < h.upperBounds().size(); ++i) {
+                    cumulative += h.bucketCount(i);
+                    os << e.name << "_bucket"
+                       << render_labels_plus(e.labels, "le", format_number(h.upperBounds()[i]))
+                       << ' ' << cumulative << '\n';
+                }
+                cumulative += h.bucketCount(h.upperBounds().size());
+                os << e.name << "_bucket" << render_labels_plus(e.labels, "le", "+Inf") << ' '
+                   << cumulative << '\n';
+                os << e.name << "_sum" << render_labels(e.labels) << ' '
+                   << format_number(h.sum()) << '\n';
+                os << e.name << "_count" << render_labels(e.labels) << ' ' << h.count() << '\n';
+                break;
+            }
+        }
+    }
+}
+
+std::string Registry::prometheusText() const {
+    std::ostringstream os;
+    writePrometheus(os);
+    return os.str();
+}
+
+}  // namespace lrgp::obs

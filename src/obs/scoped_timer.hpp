@@ -1,0 +1,45 @@
+// RAII scoped timing into a Histogram (seconds).  A null histogram makes
+// the timer free: no clock is read.  Use together with the compile-time
+// gate:
+//
+//     if constexpr (obs::kEnabled) { ... }  // or pass nullptr
+//     obs::ScopedTimer t(instr_ ? instr_->iter_seconds : nullptr);
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace lrgp::obs {
+
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram* sink) noexcept
+        : sink_(sink), start_ns_(sink ? monotonic_ns() : 0) {}
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    ~ScopedTimer() {
+        if (sink_) sink_->observe(static_cast<double>(monotonic_ns() - start_ns_) * 1e-9);
+    }
+
+    /// Nanoseconds elapsed so far (0 when no sink was attached).
+    [[nodiscard]] std::uint64_t elapsedNs() const noexcept {
+        return sink_ ? monotonic_ns() - start_ns_ : 0;
+    }
+
+private:
+    Histogram* sink_;
+    std::uint64_t start_ns_;
+};
+
+}  // namespace lrgp::obs

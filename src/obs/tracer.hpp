@@ -1,0 +1,91 @@
+// Structured iteration tracing for the LRGP engines.
+//
+// The tracer records a bounded in-memory sequence of events — phase
+// spans, instants (suspicions, crashes), and counter samples — and
+// exports them as Chrome trace_event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev).  Timestamps are supplied
+// by the caller in microseconds: the in-process engines use a monotonic
+// clock relative to the tracer's creation, while DistLrgp uses simulated
+// time, which makes distributed traces fully deterministic.
+//
+// Cost model: recording is two branches (sampling gate, capacity gate)
+// plus a vector push_back; an unsampled iteration records nothing.  The
+// `sample_every` option keeps long runs cheap — only every Nth
+// iteration's events are kept — and `max_events` hard-bounds memory
+// (excess events are counted in droppedEvents(), never allocated).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lrgp::obs {
+
+/// One Chrome trace_event.  `ph` is the Chrome phase tag: 'X' complete
+/// (span with duration), 'i' instant, 'C' counter sample.
+struct TraceEvent {
+    std::string name;
+    std::string cat;
+    char ph = 'X';
+    double ts_us = 0.0;   ///< event start, microseconds
+    double dur_us = 0.0;  ///< span length ('X' only)
+    std::uint32_t tid = 0;
+    std::vector<std::pair<std::string, std::variant<double, std::string>>> args;
+};
+
+struct TracerOptions {
+    /// Record every Nth iteration's events (1 = all).  beginIteration()
+    /// applies the gate; events recorded outside any iteration (e.g.
+    /// DistLrgp fault instants) are always eligible.
+    std::uint64_t sample_every = 1;
+    /// Hard cap on stored events; the excess is counted, not stored.
+    std::size_t max_events = 1u << 20;
+};
+
+class IterationTracer {
+public:
+    explicit IterationTracer(TracerOptions options = {});
+
+    IterationTracer(const IterationTracer&) = delete;
+    IterationTracer& operator=(const IterationTracer&) = delete;
+
+    /// Marks the start of iteration `iteration` (1-based) and decides
+    /// whether its events are sampled.
+    void beginIteration(std::uint64_t iteration);
+    /// True when the current iteration's events are being recorded.
+    [[nodiscard]] bool sampling() const noexcept { return sampling_; }
+
+    /// Microseconds since tracer construction on the monotonic clock —
+    /// the timestamp base for in-process engines.
+    [[nodiscard]] double nowMicros() const noexcept;
+
+    void complete(std::string name, std::string cat, std::uint32_t tid, double ts_us,
+                  double dur_us,
+                  std::vector<std::pair<std::string, std::variant<double, std::string>>> args = {});
+    void instant(std::string name, std::string cat, std::uint32_t tid, double ts_us,
+                 std::vector<std::pair<std::string, std::variant<double, std::string>>> args = {});
+    /// Counter track sample: chrome plots `value` over time under `name`.
+    void counterSample(std::string name, std::uint32_t tid, double ts_us, double value);
+
+    [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+    [[nodiscard]] std::size_t droppedEvents() const noexcept { return dropped_; }
+
+    /// Chrome trace_event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+    /// Events render in recording order; numbers use shortest-exact
+    /// formatting, so deterministic inputs give byte-stable output.
+    void writeChromeTrace(std::ostream& os) const;
+    [[nodiscard]] std::string chromeTraceText() const;
+
+private:
+    void push(TraceEvent&& event);
+
+    TracerOptions options_;
+    std::vector<TraceEvent> events_;
+    std::size_t dropped_ = 0;
+    bool sampling_ = true;
+    std::uint64_t origin_ns_ = 0;
+};
+
+}  // namespace lrgp::obs

@@ -1,0 +1,125 @@
+// Golden-file regression tests for the deterministic text writers:
+// iteration-trace CSV, TableWriter (ASCII + CSV), Chrome trace JSON and
+// Prometheus exposition.  Each test renders a fixed input and compares
+// byte-exact against tests/golden/<name>.golden.
+//
+// To regenerate after an intentional format change:
+//   ./lrgp_golden_tests --update-golden      (or LRGP_UPDATE_GOLDEN=1)
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "lrgp/optimizer.hpp"
+#include "lrgp/trace_export.hpp"
+#include "metrics/table_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+bool g_update_golden = false;
+
+std::string golden_path(const std::string& name) {
+    return std::string(LRGP_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+    const std::string path = golden_path(name);
+    if (g_update_golden) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — run with --update-golden to create it";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+    if (expected != actual) {
+        // Report the first differing line to keep failures readable.
+        std::istringstream a(expected), b(actual);
+        std::string la, lb;
+        int line = 1;
+        while (std::getline(a, la) && std::getline(b, lb) && la == lb) ++line;
+        FAIL() << name << " differs from " << path << " at line " << line << "\n  golden: " << la
+               << "\n  actual: " << lb
+               << "\nIf the change is intentional, rerun with --update-golden.";
+    }
+}
+
+TEST(Golden, TraceExportCsv) {
+    // The tiny problem's 8-iteration trajectory is fully deterministic.
+    const auto t = test::make_tiny_problem();
+    core::LrgpOptimizer optimizer(t.spec);
+    std::ostringstream os;
+    core::run_and_export(os, optimizer, 8);
+    check_golden("trace_export_csv", os.str());
+}
+
+metrics::TableWriter make_table() {
+    metrics::TableWriter table({"workload", "iters", "utility", "speedup"}, 3);
+    table.addRow({std::string("base"), 120LL, 1234.5, 1.0});
+    table.addRow({std::string("wide, sparse"), 80LL, 98765.4321, 3.75});
+    table.addRow({std::string("quoted \"x\""), 7LL, 0.125, 0.5});
+    return table;
+}
+
+TEST(Golden, TableWriterAscii) {
+    check_golden("table_writer_ascii", make_table().toTableString());
+}
+
+TEST(Golden, TableWriterCsv) {
+    check_golden("table_writer_csv", make_table().toCsvString());
+}
+
+TEST(Golden, ChromeTraceJson) {
+    // Hand-fed timestamps (no clock) keep the JSON byte-stable.
+    obs::IterationTracer tracer;
+    tracer.beginIteration(1);
+    tracer.complete("rate_phase", "lrgp", 0, 100.0, 40.5, {{"iteration", 1.0}});
+    tracer.complete("iteration", "lrgp", 0, 100.0, 90.25,
+                    {{"iteration", 1.0}, {"utility", 512.0625}});
+    tracer.counterSample("utility", 0, 190.25, 512.0625);
+    tracer.instant("suspicion", "dist", 3, 250.0, {{"watcher", std::string("source")}});
+    check_golden("chrome_trace_json", tracer.chromeTraceText());
+}
+
+TEST(Golden, PrometheusText) {
+    obs::Registry reg;
+    reg.counter("lrgp_iterations_total", "LRGP iterations completed").add(42);
+    reg.counter("dist_messages_sent_total", "protocol messages by kind", {{"kind", "rate"}})
+        .add(1200);
+    reg.counter("dist_messages_sent_total", "protocol messages by kind", {{"kind", "node_report"}})
+        .add(900);
+    reg.gauge("lrgp_utility", "current objective value").set(512.0625);
+    obs::Histogram& h =
+        reg.histogram("lrgp_phase_seconds", {1e-6, 1e-4, 1e-2}, "phase wall time",
+                      {{"phase", "rate"}});
+    h.observe(5e-7);
+    h.observe(5e-5);
+    h.observe(5e-5);
+    h.observe(1.0);
+    check_golden("prometheus_text", reg.prometheusText());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--update-golden") g_update_golden = true;
+    if (const char* env = std::getenv("LRGP_UPDATE_GOLDEN"); env != nullptr && *env != '\0')
+        g_update_golden = true;
+    return RUN_ALL_TESTS();
+}

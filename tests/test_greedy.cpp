@@ -168,4 +168,60 @@ TEST_P(GreedySweep, RespectsAllNodeConstraints) {
 INSTANTIATE_TEST_SUITE_P(Rates, GreedySweep,
                          ::testing::Values(10.0, 25.0, 60.0, 125.0, 333.0, 500.0, 1000.0));
 
+// Regression: a zero rate gives every class at that flow a zero unit
+// cost, making BC_j = U_j(0)/0 an undefined 0/0.  Such classes must be
+// omitted from the ranking (not ranked as NaN, which would poison the
+// sort and BC(b,t)) and must receive no consumers (floor(remaining/0)
+// would otherwise admit an unbounded block).
+TEST(Greedy, ZeroRateClassesAreNotAllocatable) {
+    const auto t = make_tiny_problem();
+    GreedyConsumerAllocator greedy(t.spec);
+    const std::vector<double> rates{0.0};
+
+    const auto bcs = greedy.benefitCosts(t.cnode, rates);
+    EXPECT_TRUE(bcs.empty());
+
+    const auto result = greedy.allocate(t.cnode, rates);
+    for (const auto& [cls, n] : result.populations) EXPECT_EQ(n, 0);
+    EXPECT_EQ(result.used, 0.0);
+    // No allocatable class means no defined BC(b,t) — not a NaN one.
+    EXPECT_FALSE(result.best_unmet_bc.has_value());
+}
+
+TEST(Greedy, ZeroRateFlowDoesNotPoisonOtherFlows) {
+    // Two flows with classes at one shared node; the dead (zero-rate)
+    // flow's class sits out while the live flow's allocation proceeds
+    // exactly as if it were alone.
+    model::ProblemBuilder b;
+    const model::NodeId source = b.addNode("P", 1e9);
+    const model::NodeId shared = b.addNode("S", 1000.0);
+    const model::FlowId live = b.addFlow("live", source, 1.0, 50.0);
+    const model::FlowId dead = b.addFlow("dead", source, 1.0, 50.0);
+    b.routeThroughNode(live, shared, 2.0);
+    b.routeThroughNode(dead, shared, 2.0);
+    b.addClass("live_cls", live, shared, 8, 5.0,
+               std::make_shared<utility::LogUtility>(30.0));
+    b.addClass("dead_cls", dead, shared, 20, 10.0,
+               std::make_shared<utility::LogUtility>(4.0));
+    const model::ProblemSpec spec = b.build();
+    GreedyConsumerAllocator greedy(spec);
+
+    const std::vector<double> mixed_rates{10.0, 0.0};
+    const auto bcs = greedy.benefitCosts(shared, mixed_rates);
+    ASSERT_EQ(bcs.size(), 1u);  // only the live flow's class ranks
+    EXPECT_FALSE(std::isnan(bcs[0].ratio));
+    EXPECT_GT(bcs[0].unit_cost, 0.0);
+
+    const auto mixed = greedy.allocate(shared, mixed_rates);
+    const auto reference = greedy.allocate(shared, std::vector<double>{10.0, 0.0});
+    int live_admitted = 0, dead_admitted = 0;
+    for (const auto& [cls, n] : mixed.populations) {
+        if (spec.consumerClass(cls).flow == live) live_admitted = n;
+        if (spec.consumerClass(cls).flow == dead) dead_admitted = n;
+    }
+    EXPECT_GT(live_admitted, 0);
+    EXPECT_EQ(dead_admitted, 0);
+    EXPECT_EQ(mixed.used, reference.used);
+}
+
 }  // namespace
