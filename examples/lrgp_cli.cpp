@@ -23,7 +23,9 @@
 #include <string>
 
 #include "baseline/annealing.hpp"
+#include "dataplane/dataplane.hpp"
 #include "io/problem_json.hpp"
+#include "lrgp/enactment.hpp"
 #include "lrgp/optimizer.hpp"
 #include "lrgp/trace_export.hpp"
 #include "lrgp/two_stage.hpp"
@@ -54,6 +56,9 @@ struct CliOptions {
     std::string obs_prefix;  // write PREFIX.trace.json + PREFIX.prom
     std::uint64_t obs_sample = 1;
     bool verbose_classes = false;
+    bool enact = false;            // replay the trace through the dataplane
+    double enact_deadband = 0.05;  // EnactmentOptions::rate_deadband
+    double enact_interval = 5.0;   // EnactmentOptions::min_interval (seconds)
 };
 
 void printUsage() {
@@ -73,6 +78,13 @@ void printUsage() {
         "  --obs-out PREFIX           write PREFIX.trace.json (chrome://tracing)\n"
         "                             and PREFIX.prom (Prometheus text)\n"
         "  --obs-sample N             trace every Nth iteration (default 1)\n"
+        "  --enact                    replay the iteration trace through the\n"
+        "                             message-level dataplane and report the\n"
+        "                             planned vs achieved utility\n"
+        "  --enact-deadband X         relative rate change that forces an\n"
+        "                             enactment (default 0.05; implies --enact)\n"
+        "  --enact-interval X         periodic enactment refresh in seconds of\n"
+        "                             system time (default 5; implies --enact)\n"
         "  --save FILE                write the workload as JSON, then optimize it\n"
         "  --load FILE                optimize a JSON workload (overrides --workload)\n"
         "  --classes                  print the per-class service table\n"
@@ -160,6 +172,18 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             const char* v = next();
             if (!v) return std::nullopt;
             options.load_path = v;
+        } else if (arg == "--enact") {
+            options.enact = true;
+        } else if (arg == "--enact-deadband") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.enact_deadband = std::atof(v);
+            options.enact = true;
+        } else if (arg == "--enact-interval") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.enact_interval = std::atof(v);
+            options.enact = true;
         } else if (arg == "--classes") {
             options.verbose_classes = true;
         } else {
@@ -169,6 +193,10 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     }
     if (options.iterations <= 0 || options.flow_replicas < 1 || options.cnode_replicas < 1) {
         std::fprintf(stderr, "error: non-positive numeric option\n");
+        return std::nullopt;
+    }
+    if (options.enact && (options.enact_deadband < 0.0 || options.enact_interval <= 0.0)) {
+        std::fprintf(stderr, "error: --enact-deadband must be >= 0, --enact-interval > 0\n");
         return std::nullopt;
     }
     return options;
@@ -272,6 +300,47 @@ int main(int argc, char** argv) {
     double hottest = 0.0;
     for (double u : summary.node_utilization) hottest = std::max(hottest, u);
     std::printf("hottest node at %.1f%% utilization\n", 100.0 * hottest);
+
+    if (cli.enact) {
+        // Replay the iteration trace as a control loop: each iteration is
+        // one 50 ms control tick offered to the hysteresis policy; enacted
+        // allocations drive simulated traffic, and the final 5 seconds of
+        // settled traffic measure how much of the planned utility the
+        // dataplane actually delivers.
+        constexpr double kTick = 0.05;
+        dataplane::Dataplane dp(spec, dataplane::DataplaneOptions{});
+        core::EnactmentOptions eopts;
+        eopts.rate_deadband = cli.enact_deadband;
+        // A converged LRGP trace still jitters admissions by a consumer
+        // or two; don't reconfigure the dataplane for that.
+        eopts.population_deadband = 2;
+        eopts.min_interval = cli.enact_interval;
+        core::EnactmentController enactor(
+            eopts, [&](const model::Allocation& allocation) { dp.enact(allocation); });
+        for (const auto& record : records) {
+            const double t = kTick * record.iteration;
+            dp.notePlanned(record.allocation);
+            enactor.offer(t, record.allocation);
+            dp.runUntil(t);
+        }
+        const double settle = 10.0;
+        dp.runUntil(kTick * static_cast<double>(records.size()) + settle);
+        const auto stats = dp.collectStats();
+        const std::size_t window =
+            std::min<std::size_t>(10, dp.achievedUtilityTrace().size());
+        const double achieved = dp.achievedUtilityTrace().trailingMean(window);
+        const double planned = dp.plannedUtilityTrace().trailingMean(window);
+        std::printf("enactment: %zu of %zu offers enacted (%zu suppressed by deadband %.2f"
+                    " / interval %.1fs)\n",
+                    enactor.enactments(), enactor.offers(), enactor.suppressions(),
+                    cli.enact_deadband, cli.enact_interval);
+        std::printf("dataplane: planned %.0f, achieved %.0f (gap %+.2f%%), drop rate %.4f, "
+                    "%llu messages delivered\n",
+                    planned, achieved,
+                    planned > 0.0 ? 100.0 * (planned - achieved) / planned : 0.0,
+                    stats.drop_rate,
+                    static_cast<unsigned long long>(stats.total_delivered));
+    }
 
     if (cli.verbose_classes) {
         std::printf("\n%-12s %10s %10s %12s %14s\n", "class", "admitted", "max", "ratio",

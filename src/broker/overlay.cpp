@@ -59,6 +59,13 @@ std::vector<ConsumerId> BrokerOverlay::consumersOfClass(model::ClassId cls) cons
     return consumers_by_class_.at(cls.index());
 }
 
+std::vector<int> BrokerOverlay::admittedPopulations() const {
+    std::vector<int> admitted(spec_.classCount(), 0);
+    for (const Consumer& c : consumers_)
+        if (c.admitted) ++admitted[c.cls.index()];
+    return admitted;
+}
+
 EpochReport BrokerOverlay::runEpoch(double seconds) {
     if (!(seconds > 0.0)) throw std::invalid_argument("BrokerOverlay::runEpoch: bad duration");
 

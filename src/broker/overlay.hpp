@@ -115,6 +115,11 @@ public:
     /// Consumers registered for one class, in registration order.
     [[nodiscard]] std::vector<ConsumerId> consumersOfClass(model::ClassId cls) const;
 
+    /// Currently admitted consumers per class (indexed by ClassId) — the
+    /// population side of the enacted state, for mirroring the overlay's
+    /// live configuration into other substrates (e.g. the dataplane).
+    [[nodiscard]] std::vector<int> admittedPopulations() const;
+
     /// Mirrors a capacity change into the overlay (fault injection /
     /// hardware change); affects subsequent epochs' budgets.
     void setNodeCapacity(model::NodeId node, double capacity) {

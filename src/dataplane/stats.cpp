@@ -1,0 +1,88 @@
+#include "dataplane/stats.hpp"
+
+namespace lrgp::dataplane {
+
+namespace {
+
+io::JsonValue entity_json(const EntityStats& e) {
+    io::JsonObject o;
+    o["name"] = e.name;
+    o["capacity"] = e.capacity;
+    o["arrivals"] = static_cast<double>(e.arrivals);
+    o["served"] = static_cast<double>(e.served);
+    o["dropped"] = static_cast<double>(e.dropped);
+    o["queue_depth"] = static_cast<double>(e.queue_depth);
+    o["peak_queue"] = static_cast<double>(e.peak_queue);
+    o["utilization"] = e.utilization;
+    return io::JsonValue(std::move(o));
+}
+
+}  // namespace
+
+io::JsonValue stats_to_json(const DataplaneStats& stats) {
+    io::JsonObject root;
+    root["elapsed"] = stats.elapsed;
+    root["events_scheduled"] = static_cast<double>(stats.events_scheduled);
+    root["enactments"] = static_cast<double>(stats.enactments);
+
+    io::JsonObject totals;
+    totals["emitted"] = static_cast<double>(stats.total_emitted);
+    totals["shaped"] = static_cast<double>(stats.total_shaped);
+    totals["delivered"] = static_cast<double>(stats.total_delivered);
+    totals["dropped_link"] = static_cast<double>(stats.dropped_link);
+    totals["dropped_node"] = static_cast<double>(stats.dropped_node);
+    totals["drop_rate"] = stats.drop_rate;
+    root["totals"] = io::JsonValue(std::move(totals));
+
+    io::JsonArray flows;
+    for (const FlowStats& f : stats.flows) {
+        io::JsonObject o;
+        o["name"] = f.name;
+        o["active"] = f.active;
+        o["enacted_rate"] = f.enacted_rate;
+        o["offered_rate"] = f.offered_rate;
+        o["emitted"] = static_cast<double>(f.emitted);
+        o["shaped"] = static_cast<double>(f.shaped);
+        flows.emplace_back(std::move(o));
+    }
+    root["flows"] = io::JsonValue(std::move(flows));
+
+    io::JsonArray classes;
+    for (const ClassStats& c : stats.classes) {
+        io::JsonObject o;
+        o["name"] = c.name;
+        o["population"] = c.population;
+        o["delivered"] = static_cast<double>(c.delivered);
+        o["achieved_rate"] = c.achieved_rate;
+        classes.emplace_back(std::move(o));
+    }
+    root["classes"] = io::JsonValue(std::move(classes));
+
+    io::JsonArray links;
+    for (const EntityStats& e : stats.links) links.push_back(entity_json(e));
+    root["links"] = io::JsonValue(std::move(links));
+
+    io::JsonArray nodes;
+    for (const EntityStats& e : stats.nodes) nodes.push_back(entity_json(e));
+    root["nodes"] = io::JsonValue(std::move(nodes));
+
+    io::JsonObject latency;
+    latency["count"] = static_cast<double>(stats.latency.count);
+    latency["mean"] = stats.latency.mean;
+    latency["p50"] = stats.latency.p50;
+    latency["p90"] = stats.latency.p90;
+    latency["p99"] = stats.latency.p99;
+    latency["max"] = stats.latency.max;
+    root["latency"] = io::JsonValue(std::move(latency));
+
+    io::JsonObject utility;
+    utility["planned"] = stats.utility.planned;
+    utility["enacted"] = stats.utility.enacted;
+    utility["achieved_window"] = stats.utility.achieved_window;
+    utility["achieved_cumulative"] = stats.utility.achieved_cumulative;
+    root["utility"] = io::JsonValue(std::move(utility));
+
+    return io::JsonValue(std::move(root));
+}
+
+}  // namespace lrgp::dataplane

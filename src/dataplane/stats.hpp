@@ -1,0 +1,91 @@
+// Dataplane measurement snapshot: what the traffic engine actually did
+// with an enacted allocation — achieved rates, goodput, drops, queue
+// depths, latency percentiles, and achieved vs planned utility.  The
+// JSON serialization contains only simulation-derived quantities (no
+// wall-clock timestamps), so two same-seed runs dump byte-identical
+// documents — the property the CI determinism check asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace lrgp::dataplane {
+
+/// Per-flow source-side counters.
+struct FlowStats {
+    std::string name;
+    bool active = true;
+    double enacted_rate = 0.0;   ///< r_i currently enacted (tokens/s)
+    double offered_rate = 0.0;   ///< arrival-process rate (>= enacted when overdriven)
+    std::uint64_t emitted = 0;   ///< messages past the policer
+    std::uint64_t shaped = 0;    ///< messages the token bucket policed away
+};
+
+/// Per-consumer-class delivery counters.
+struct ClassStats {
+    std::string name;
+    int population = 0;             ///< n_j currently enacted
+    std::uint64_t delivered = 0;    ///< messages delivered to the class
+    double achieved_rate = 0.0;     ///< delivered / elapsed (messages/s)
+};
+
+/// Per-link or per-node queueing-server counters.
+struct EntityStats {
+    std::string name;
+    double capacity = 0.0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t served = 0;
+    std::uint64_t dropped = 0;
+    std::size_t queue_depth = 0;   ///< at snapshot time
+    std::size_t peak_queue = 0;
+    double utilization = 0.0;      ///< busy_seconds / elapsed
+};
+
+/// End-to-end delivery latency summary (source emission -> class delivery).
+struct LatencyStats {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/// Utility accounting: what the optimizer wanted vs what the wire did.
+struct UtilityStats {
+    double planned = 0.0;            ///< sum n_j U_j(r_i) of the last planned allocation
+    double enacted = 0.0;            ///< same, for the last *enacted* allocation
+    double achieved_window = 0.0;    ///< last sampler window, sum n_j U_j(r-hat_j)
+    double achieved_cumulative = 0.0;///< over the whole run, r-hat_j = delivered_j/elapsed
+};
+
+/// Complete dataplane snapshot at `elapsed` seconds of simulated time.
+struct DataplaneStats {
+    double elapsed = 0.0;
+    std::uint64_t events_scheduled = 0;  ///< simulator calendar lifetime count
+    std::size_t enactments = 0;          ///< allocations pushed into the dataplane
+
+    std::uint64_t total_emitted = 0;
+    std::uint64_t total_shaped = 0;
+    std::uint64_t total_delivered = 0;
+    std::uint64_t dropped_link = 0;
+    std::uint64_t dropped_node = 0;
+    /// dropped / (dropped + served-equivalent): fraction of messages that
+    /// entered the overlay but never reached a server completion.
+    double drop_rate = 0.0;
+
+    std::vector<FlowStats> flows;
+    std::vector<ClassStats> classes;
+    std::vector<EntityStats> links;
+    std::vector<EntityStats> nodes;
+    LatencyStats latency;
+    UtilityStats utility;
+};
+
+/// Serializes a snapshot; schema documented in docs/schemas.md.
+[[nodiscard]] io::JsonValue stats_to_json(const DataplaneStats& stats);
+
+}  // namespace lrgp::dataplane

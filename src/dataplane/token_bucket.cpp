@@ -1,0 +1,38 @@
+#include "dataplane/token_bucket.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lrgp::dataplane {
+
+TokenBucket::TokenBucket(double depth, double rate) : depth_(depth), rate_(rate), tokens_(depth) {
+    if (!(depth >= 1.0)) throw std::invalid_argument("TokenBucket: depth must be >= 1");
+    if (!(rate >= 0.0)) throw std::invalid_argument("TokenBucket: rate must be >= 0");
+}
+
+void TokenBucket::refill(sim::SimTime now) {
+    if (now > last_refill_) {
+        tokens_ = std::min(depth_, tokens_ + rate_ * (now - last_refill_));
+        last_refill_ = now;
+    }
+}
+
+bool TokenBucket::tryConsume(sim::SimTime now) {
+    refill(now);
+    // A hair of slack absorbs floating-point drift when deterministic
+    // arrivals run at exactly the refill rate (1/r spacing refills one
+    // token per arrival up to rounding).
+    if (tokens_ >= 1.0 - 1e-9) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+void TokenBucket::setRate(sim::SimTime now, double rate) {
+    if (!(rate >= 0.0)) throw std::invalid_argument("TokenBucket::setRate: rate must be >= 0");
+    refill(now);
+    rate_ = rate;
+}
+
+}  // namespace lrgp::dataplane

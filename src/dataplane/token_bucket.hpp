@@ -1,0 +1,45 @@
+// Token-bucket policer, the host-level enforcement point between what a
+// producer *offers* and what the optimizer *allocated* (in the spirit
+// of heyp-agents' host enforcers of cluster-level allocations): tokens
+// refill at the enacted rate, each emitted message spends one, and a
+// message arriving to an empty bucket is policed away instead of
+// entering the overlay.  When the offered rate equals the enacted rate
+// the bucket is transparent; when a producer overdrives its allocation
+// the excess is shaped off at the edge, before it can waste overlay
+// capacity — which is exactly how the dataplane keeps the measured
+// per-node usage inside the constraint Eq. 5 reasons about.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace lrgp::dataplane {
+
+class TokenBucket {
+public:
+    /// `depth` is the burst allowance in messages (>= 1); `rate` the
+    /// refill rate in messages/second (>= 0; 0 passes nothing).  The
+    /// bucket starts full.  Throws std::invalid_argument on bad depth.
+    TokenBucket(double depth, double rate);
+
+    /// Refills for the elapsed time and tries to spend one token.
+    /// Returns true when the message may pass.  `now` must not go
+    /// backwards between calls.
+    [[nodiscard]] bool tryConsume(sim::SimTime now);
+
+    /// Changes the refill rate (refills at the old rate first so the
+    /// change is not retroactive).
+    void setRate(sim::SimTime now, double rate);
+
+    [[nodiscard]] double rate() const noexcept { return rate_; }
+    [[nodiscard]] double depth() const noexcept { return depth_; }
+
+private:
+    void refill(sim::SimTime now);
+
+    double depth_;
+    double rate_;
+    double tokens_;
+    sim::SimTime last_refill_ = 0.0;
+};
+
+}  // namespace lrgp::dataplane

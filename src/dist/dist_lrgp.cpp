@@ -871,12 +871,14 @@ void DistLrgp::scheduleAsyncTimers() {
 
 void DistLrgp::scheduleSampler() {
     simulator_.schedule(options_.sample_period, [this] {
-        const double utility = currentUtility();
+        const model::Allocation allocation = snapshot();
+        const double utility = model::total_utility(spec_, allocation);
         trace_.append(utility);
         if constexpr (obs::kEnabled) {
             if (obs_attached_) dist_instr_.utility->set(utility);
             if (tracer_) tracer_->counterSample("dist_utility", 0, simMicros(), utility);
         }
+        if (sample_callback_) sample_callback_(simulator_.now(), allocation);
         scheduleSampler();
     });
 }
@@ -916,6 +918,7 @@ void DistLrgp::onRoundCompletedAtNode(int round, const NodeAgent& agent) {
                                   {"utility", utility}});
             }
         }
+        if (sample_callback_) sample_callback_(simulator_.now(), allocation);
     }
 }
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -135,6 +136,17 @@ public:
     /// sample_period seconds.
     [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
 
+    /// Invoked with (sim time, global allocation snapshot) at every
+    /// trace sample — each completed round in synchronous mode, every
+    /// sample_period in asynchronous mode.  This is the enactment tap:
+    /// a closed-loop driver offers each snapshot to an
+    /// EnactmentController that pushes it into a live substrate (e.g.
+    /// dataplane::Dataplane).  The callback must not mutate this
+    /// protocol instance; it does not affect the protocol's own event
+    /// stream, so traces stay bitwise identical with or without it.
+    using SampleCallback = std::function<void(sim::SimTime, const model::Allocation&)>;
+    void setSampleCallback(SampleCallback callback) { sample_callback_ = std::move(callback); }
+
     [[nodiscard]] int completedRounds() const noexcept { return completed_rounds_; }
     [[nodiscard]] sim::SimTime now() const noexcept { return simulator_.now(); }
     [[nodiscard]] std::size_t messagesSent() const noexcept { return messages_sent_; }
@@ -211,6 +223,7 @@ private:
     std::vector<std::unique_ptr<LinkAgent>> link_agents_;  // per link
 
     metrics::TimeSeries trace_;
+    SampleCallback sample_callback_;
     // Synchronous mode: the per-round utility must be computed from the
     // state every node actually used in that round.  Sources on fast
     // subgraphs may already have advanced to round t+1 while slower

@@ -35,6 +35,7 @@ bool EnactmentController::significantlyDifferent(const model::Allocation& alloca
 }
 
 bool EnactmentController::offer(double now, const model::Allocation& allocation) {
+    ++offers_;
     const bool periodic = last_ && (now - last_time_ >= options_.min_interval);
     if (last_ && !periodic && !significantlyDifferent(allocation)) return false;
     enact_(allocation);

@@ -20,9 +20,16 @@
 namespace lrgp::core {
 
 struct EnactmentOptions {
-    double rate_deadband = 0.05;     ///< relative rate change that forces enactment
-    int population_deadband = 10;    ///< absolute per-class admission change
-    double min_interval = 60.0;      ///< periodic enactment (seconds of system time)
+    /// Relative rate change that forces enactment.  The comparison is
+    /// strict: a change of exactly the deadband is still suppressed.
+    double rate_deadband = 0.05;
+    /// Absolute per-class admission change; also strictly compared.
+    int population_deadband = 10;
+    /// Periodic enactment (seconds of system time).  The periodic
+    /// trigger fires even when the allocation is unchanged — "enact
+    /// once every few minutes" refreshes the live configuration
+    /// regardless of drift.
+    double min_interval = 60.0;
 };
 
 /// Decides when optimizer outputs become live system configuration.
@@ -40,6 +47,10 @@ public:
     bool offer(double now, const model::Allocation& allocation);
 
     [[nodiscard]] std::size_t enactments() const noexcept { return enactments_; }
+    /// Allocations offered so far (enacted + suppressed).
+    [[nodiscard]] std::size_t offers() const noexcept { return offers_; }
+    /// Offers the hysteresis swallowed; offers() - enactments().
+    [[nodiscard]] std::size_t suppressions() const noexcept { return offers_ - enactments_; }
     [[nodiscard]] const std::optional<model::Allocation>& lastEnacted() const noexcept {
         return last_;
     }
@@ -54,6 +65,7 @@ private:
     std::optional<model::Allocation> last_;
     double last_time_ = 0.0;
     std::size_t enactments_ = 0;
+    std::size_t offers_ = 0;
 };
 
 }  // namespace lrgp::core

@@ -74,6 +74,31 @@ DistInstruments DistInstruments::resolve(Registry& registry) {
     return instruments;
 }
 
+DataplaneInstruments DataplaneInstruments::resolve(Registry& registry) {
+    DataplaneInstruments instruments;
+    instruments.emitted = &registry.counter("dataplane_messages_emitted_total",
+                                            "Messages emitted by traffic sources");
+    instruments.shaped = &registry.counter(
+        "dataplane_messages_shaped_total", "Messages policed away by the source token bucket");
+    instruments.delivered = &registry.counter(
+        "dataplane_messages_delivered_total", "Per-class message deliveries at consumer nodes");
+    const std::string drop_help = "Messages dropped at a bounded server queue";
+    instruments.dropped_node =
+        &registry.counter("dataplane_messages_dropped_total", drop_help, {{"where", "node"}});
+    instruments.dropped_link =
+        &registry.counter("dataplane_messages_dropped_total", drop_help, {{"where", "link"}});
+    instruments.enactments = &registry.counter("dataplane_enactments_total",
+                                               "Allocations pushed into the dataplane");
+    instruments.planned_utility = &registry.gauge(
+        "dataplane_planned_utility", "Optimizer-planned utility at the last sample");
+    instruments.achieved_utility = &registry.gauge(
+        "dataplane_achieved_utility", "Measured utility over the last sample window");
+    instruments.latency = &registry.histogram(
+        "dataplane_delivery_latency_seconds", default_time_buckets(),
+        "End-to-end latency from source emission to class delivery (simulated seconds)");
+    return instruments;
+}
+
 AllocatorInstruments AllocatorInstruments::resolve(Registry& registry) {
     AllocatorInstruments instruments;
     instruments.greedy_allocations =

@@ -59,6 +59,21 @@ struct DistInstruments {
     static DistInstruments resolve(Registry& registry);
 };
 
+/// Message-level dataplane instruments (dataplane::Dataplane).
+struct DataplaneInstruments {
+    Counter* emitted = nullptr;       ///< dataplane_messages_emitted_total
+    Counter* shaped = nullptr;        ///< dataplane_messages_shaped_total (token-bucket policer)
+    Counter* delivered = nullptr;     ///< dataplane_messages_delivered_total (per class copy)
+    Counter* dropped_node = nullptr;  ///< dataplane_messages_dropped_total{where="node"}
+    Counter* dropped_link = nullptr;  ///< dataplane_messages_dropped_total{where="link"}
+    Counter* enactments = nullptr;    ///< dataplane_enactments_total
+    Gauge* planned_utility = nullptr;   ///< dataplane_planned_utility
+    Gauge* achieved_utility = nullptr;  ///< dataplane_achieved_utility
+    Histogram* latency = nullptr;       ///< dataplane_delivery_latency_seconds
+
+    static DataplaneInstruments resolve(Registry& registry);
+};
+
 /// Allocator-level instruments, shared by every engine that drives the
 /// greedy/rate allocators (serial, parallel, distributed).
 struct AllocatorInstruments {

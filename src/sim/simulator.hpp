@@ -51,6 +51,9 @@ public:
     [[nodiscard]] SimTime now() const noexcept { return now_; }
     [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
     [[nodiscard]] std::size_t pendingEvents() const noexcept { return queue_.size(); }
+    /// Events ever scheduled on this calendar (processed + pending);
+    /// cheap lifetime counter for stats and runaway-loop diagnostics.
+    [[nodiscard]] std::uint64_t scheduledEvents() const noexcept { return next_seq_; }
     /// Time of the earliest pending event, or nullopt when idle.
     [[nodiscard]] std::optional<SimTime> nextEventTime() const {
         if (queue_.empty()) return std::nullopt;

@@ -92,6 +92,59 @@ TEST(Enactment, Validation) {
                  std::invalid_argument);
 }
 
+TEST(Enactment, FirstOfferEnactsAtTimeZeroEvenWhenTrivial) {
+    // t = 0 with an all-minimal allocation: nothing to compare against,
+    // so the first offer must install the configuration unconditionally.
+    int calls = 0;
+    EnactmentOptions options;
+    options.min_interval = 1e9;
+    EnactmentController ctrl(options, [&](const model::Allocation&) { ++calls; });
+    EXPECT_TRUE(ctrl.offer(0.0, twoVarAllocation(0.0, 0)));
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(ctrl.offers(), 1u);
+    EXPECT_EQ(ctrl.suppressions(), 0u);
+}
+
+TEST(Enactment, DeadbandExactlyAtThresholdIsSuppressed) {
+    // The comparisons are strict: a change of *exactly* the deadband
+    // stays suppressed; one epsilon beyond it fires.
+    int calls = 0;
+    EnactmentOptions options;
+    options.rate_deadband = 0.10;
+    options.population_deadband = 5;
+    options.min_interval = 1e9;
+    EnactmentController ctrl(options, [&](const model::Allocation&) { ++calls; });
+    ctrl.offer(0.0, twoVarAllocation(100.0, 50));
+    EXPECT_FALSE(ctrl.offer(1.0, twoVarAllocation(110.0, 50)));  // exactly +10%
+    EXPECT_FALSE(ctrl.offer(2.0, twoVarAllocation(100.0, 55)));  // exactly +5
+    EXPECT_FALSE(ctrl.significantlyDifferent(twoVarAllocation(110.0, 55)));
+    EXPECT_TRUE(ctrl.offer(3.0, twoVarAllocation(110.2, 50)));   // just beyond
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(ctrl.offers(), 4u);
+    EXPECT_EQ(ctrl.suppressions(), 2u);
+}
+
+TEST(Enactment, PeriodicTriggerFiresWithUnchangedAllocationAndResetsTimer) {
+    // "Enact once every few minutes" refreshes the live configuration
+    // even when the allocation is bit-for-bit unchanged — and each
+    // periodic enactment restarts the interval clock.
+    int calls = 0;
+    EnactmentOptions options;
+    options.rate_deadband = 0.50;
+    options.population_deadband = 1000;
+    options.min_interval = 10.0;
+    EnactmentController ctrl(options, [&](const model::Allocation&) { ++calls; });
+    const model::Allocation same = twoVarAllocation(100.0, 50);
+    ctrl.offer(0.0, same);
+    EXPECT_FALSE(ctrl.offer(9.0, same));
+    EXPECT_TRUE(ctrl.offer(10.0, same));   // interval elapsed, unchanged
+    EXPECT_FALSE(ctrl.offer(19.0, same));  // timer restarted at t=10
+    EXPECT_TRUE(ctrl.offer(20.0, same));
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(ctrl.offers(), 5u);
+    EXPECT_EQ(ctrl.suppressions(), 2u);
+}
+
 TEST(Enactment, SuppressesChurnDuringConvergence) {
     // Drive the controller from a real optimizer run: during the early
     // oscillation phase many iterations differ, but after convergence the

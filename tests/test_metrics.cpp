@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "metrics/histogram.hpp"
 #include "metrics/table_writer.hpp"
 #include "metrics/time_series.hpp"
 
@@ -106,6 +107,57 @@ TEST(TableWriter, RowCount) {
     EXPECT_EQ(t.rowCount(), 0u);
     t.addRow({Cell{1.0}});
     EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(BucketHistogram, CountsSumAndExactExtrema) {
+    lrgp::metrics::BucketHistogram h({1.0, 10.0, 100.0});
+    h.observe(0.5);
+    h.observe(3.0);
+    h.observe(42.0);
+    h.observe(500.0);  // overflow bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 545.5);
+    EXPECT_DOUBLE_EQ(h.minObserved(), 0.5);
+    EXPECT_DOUBLE_EQ(h.maxObserved(), 500.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);  // overflow
+}
+
+TEST(BucketHistogram, QuantilesInterpolateAndClampToObservations) {
+    lrgp::metrics::BucketHistogram h({1.0, 2.0, 4.0});
+    for (int i = 0; i < 100; ++i) h.observe(1.5);  // all in (1, 2]
+    // Every rank crosses the same bucket; clamping pins the tails to the
+    // exact extrema rather than the bucket bounds.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.5);
+    EXPECT_GE(h.quantile(0.5), 1.0);
+    EXPECT_LE(h.quantile(0.5), 2.0);
+    EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(BucketHistogram, OverflowQuantileReportsObservedMax) {
+    lrgp::metrics::BucketHistogram h({1.0});
+    h.observe(7.0);
+    h.observe(9.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 9.0);
+}
+
+TEST(BucketHistogram, ValidatesBounds) {
+    using lrgp::metrics::BucketHistogram;
+    EXPECT_THROW(BucketHistogram({}), std::invalid_argument);
+    EXPECT_THROW(BucketHistogram({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(BucketHistogram({-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(BucketHistogram, ExponentialBoundsCoverTheRequestedRange) {
+    const std::vector<double> bounds = lrgp::metrics::exponential_bounds(1e-3, 10.0, 5);
+    ASSERT_FALSE(bounds.empty());
+    EXPECT_DOUBLE_EQ(bounds.front(), 1e-3);
+    EXPECT_GE(bounds.back(), 10.0);
+    for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_GT(bounds[i], bounds[i - 1]);
+    EXPECT_THROW((void)lrgp::metrics::exponential_bounds(1.0, 0.5), std::invalid_argument);
 }
 
 }  // namespace

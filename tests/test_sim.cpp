@@ -158,4 +158,17 @@ TEST(LatencyModel, Validation) {
     EXPECT_THROW(LatencyModel(0.2, 0.1, 1), std::invalid_argument);
 }
 
+TEST(Simulator, ScheduledEventsCountsProcessedAndPending) {
+    Simulator sim;
+    EXPECT_EQ(sim.scheduledEvents(), 0u);
+    sim.schedule(1.0, [] {});
+    sim.schedule(2.0, [] {});
+    EXPECT_EQ(sim.scheduledEvents(), 2u);
+    sim.runOne();
+    EXPECT_EQ(sim.scheduledEvents(), 2u);  // lifetime count, not queue depth
+    sim.schedule(3.0, [] {});
+    sim.runAll();
+    EXPECT_EQ(sim.scheduledEvents(), 3u);
+}
+
 }  // namespace
