@@ -27,6 +27,7 @@
 #include "io/problem_json.hpp"
 #include "lrgp/enactment.hpp"
 #include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
 #include "lrgp/trace_export.hpp"
 #include "lrgp/two_stage.hpp"
 #include "model/analysis.hpp"
@@ -41,6 +42,8 @@ namespace {
 
 struct CliOptions {
     std::string workload = "base";  // base | random
+    std::string engine = "serial";  // serial | compiled | incremental
+    int threads = 1;                // compiled/incremental worker threads
     workload::UtilityShape shape = workload::UtilityShape::kLog;
     int flow_replicas = 1;
     int cnode_replicas = 1;
@@ -65,6 +68,11 @@ void printUsage() {
     std::puts(
         "usage: lrgp_cli [options]\n"
         "  --workload base|random     workload family (default base)\n"
+        "  --engine serial|compiled|incremental\n"
+        "                             iteration driver (default serial); all three\n"
+        "                             produce bitwise-identical trajectories\n"
+        "  --threads N                compiled/incremental worker threads\n"
+        "                             (default 1; 0 = hardware concurrency)\n"
         "  --shape log|p025|p05|p075  class utility shape (default log)\n"
         "  --flow-replicas N          scale: replicate the 6-flow set (default 1)\n"
         "  --cnode-replicas N         scale: replicate consumer nodes (default 1)\n"
@@ -111,6 +119,23 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             options.workload = v;
             if (options.workload != "base" && options.workload != "random") {
                 std::fprintf(stderr, "error: unknown workload '%s'\n", v);
+                return std::nullopt;
+            }
+        } else if (arg == "--engine") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.engine = v;
+            if (options.engine != "serial" && options.engine != "compiled" &&
+                options.engine != "incremental") {
+                std::fprintf(stderr, "error: unknown engine '%s'\n", v);
+                return std::nullopt;
+            }
+        } else if (arg == "--threads") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.threads = std::atoi(v);
+            if (options.threads < 0) {
+                std::fprintf(stderr, "error: --threads must be >= 0\n");
                 return std::nullopt;
             }
         } else if (arg == "--shape") {
@@ -248,7 +273,24 @@ int main(int argc, char** argv) {
     core::LrgpOptions lrgp_options;
     if (cli.fixed_gamma) lrgp_options.gamma = core::FixedGamma{*cli.fixed_gamma, *cli.fixed_gamma};
 
-    core::LrgpOptimizer optimizer(spec, lrgp_options);
+    // All three drivers follow the same bitwise trajectory; --engine only
+    // chooses the hot path (object graph, flat arrays, or flat arrays
+    // with dirty-set skipping).
+    std::unique_ptr<core::LrgpOptimizer> serial;
+    std::unique_ptr<core::ParallelLrgpEngine> engine;
+    if (cli.engine == "serial") {
+        serial = std::make_unique<core::LrgpOptimizer>(spec, lrgp_options);
+    } else {
+        engine = std::make_unique<core::ParallelLrgpEngine>(
+            spec, lrgp_options,
+            core::EngineConfig{.threads = cli.threads,
+                               .incremental = cli.engine == "incremental"});
+        std::printf("engine: %s, %d thread%s\n", cli.engine.c_str(), engine->threadCount(),
+                    engine->threadCount() == 1 ? "" : "s");
+    }
+    const auto current_utility = [&] {
+        return serial ? serial->currentUtility() : engine->currentUtility();
+    };
 
     std::unique_ptr<obs::Registry> obs_registry;
     std::unique_ptr<obs::IterationTracer> obs_tracer;
@@ -261,16 +303,33 @@ int main(int argc, char** argv) {
         obs_registry = std::make_unique<obs::Registry>();
         obs_tracer = std::make_unique<obs::IterationTracer>(
             obs::TracerOptions{.sample_every = std::max<std::uint64_t>(1, cli.obs_sample)});
-        optimizer.attachObservability(obs_registry.get(), obs_tracer.get());
+        if (serial) serial->attachObservability(obs_registry.get(), obs_tracer.get());
+        else engine->attachObservability(obs_registry.get(), obs_tracer.get());
     }
 
     std::vector<core::IterationRecord> records;
     records.reserve(static_cast<std::size_t>(cli.iterations));
-    for (int i = 0; i < cli.iterations; ++i) records.push_back(optimizer.step());
+    for (int i = 0; i < cli.iterations; ++i)
+        records.push_back(serial ? serial->step() : engine->step());
 
-    const std::size_t converged = optimizer.convergence().convergedAt();
+    const std::size_t converged =
+        (serial ? serial->convergence() : engine->convergence()).convergedAt();
     std::printf("LRGP: utility %.0f after %d iterations (converged at %zu)\n",
-                optimizer.currentUtility(), cli.iterations, converged);
+                current_utility(), cli.iterations, converged);
+
+    if (engine && engine->incremental()) {
+        const core::IncrementalStats inc = engine->incrementalStats();
+        std::printf("incremental: %llu rate solves run / %llu skipped, "
+                    "%llu node admissions run / %llu cached (%llu rank reuses), "
+                    "%llu link sums, %llu utility-sum reuses\n",
+                    static_cast<unsigned long long>(inc.dirty_flows),
+                    static_cast<unsigned long long>(inc.skipped_solves),
+                    static_cast<unsigned long long>(inc.dirty_nodes),
+                    static_cast<unsigned long long>(inc.node_cache_hits),
+                    static_cast<unsigned long long>(inc.rank_cache_hits),
+                    static_cast<unsigned long long>(inc.dirty_links),
+                    static_cast<unsigned long long>(inc.utility_cache_hits));
+    }
 
     if (cli.two_stage) {
         core::TwoStageOptions ts;
@@ -290,10 +349,11 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(cli.sa_steps), sa.best_utility,
                     sa.wall_seconds);
         std::printf("LRGP vs SA: %+.2f%%\n",
-                    100.0 * (optimizer.currentUtility() - sa.best_utility) / sa.best_utility);
+                    100.0 * (current_utility() - sa.best_utility) / sa.best_utility);
     }
 
-    const auto summary = model::summarize(spec, optimizer.allocation());
+    const auto summary =
+        model::summarize(spec, serial ? serial->allocation() : engine->allocation());
     std::printf("classes: %d fully admitted, %d partial, %d denied; Jain fairness %.3f\n",
                 summary.classes_fully_admitted, summary.classes_partially_admitted,
                 summary.classes_denied, summary.jain_fairness);

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""CI perf-regression guard for the compiled/incremental LRGP engines.
+
+Compares a freshly generated BENCH_lrgp.json (from bench/bench_compiled)
+against the committed baseline and fails on a >25% regression in any
+tracked ns/iteration column.
+
+Absolute wall times are machine-dependent: a committed baseline measured
+on one box says little about a shared CI runner.  Setting
+LRGP_PERF_ALLOW_UNKNOWN_HW=1 downgrades *absolute* regressions to
+warnings.  Relative speedups are ratios of two measurements taken in the
+same process on the same machine, so they stay enforced either way — as
+do the incremental engine's floor targets (converged-tail node phase
+>= 3x, end-to-end >= 1.5x) and the bitwise-identity flag.
+
+usage: check_perf_regression.py <committed_baseline.json> <fresh.json>
+exit status: 0 ok, 1 regression/violation, 2 usage or unreadable input
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_LIMIT = 0.25  # fail when fresh is >25% worse than the baseline
+
+# Absolute ns/iteration columns: lower is better.  Dotted paths index
+# into nested objects.
+ABSOLUTE_NS_METRICS = [
+    "serial_ns_per_iter",
+    "compiled_1t_ns_per_iter",
+    "incremental.contended_1t_ns_per_iter",
+    "incremental.steady_full_ns_per_iter",
+    "incremental.steady_inc_ns_per_iter",
+    "incremental.steady_inc_node_ns_per_iter",
+]
+
+# Same-machine ratios: higher is better, hardware-independent enough to
+# enforce even on unknown runners.
+RELATIVE_SPEEDUP_METRICS = [
+    "speedup_1t",
+    "incremental.node_phase_tail_speedup",
+    "incremental.e2e_tail_speedup",
+]
+
+# Hard floors from the incremental-engine acceptance targets; these hold
+# on any machine because they compare two runs of the same binary.
+SPEEDUP_FLOORS = {
+    "incremental.node_phase_tail_speedup": 3.0,
+    "incremental.e2e_tail_speedup": 1.5,
+}
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            baseline = json.load(f)
+        with open(argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    allow_unknown_hw = os.environ.get("LRGP_PERF_ALLOW_UNKNOWN_HW", "") not in ("", "0")
+    failures = []
+    warnings = []
+
+    def check(kind, metric, ok, message):
+        if ok:
+            print(f"  ok    {metric}: {message}")
+        elif kind == "absolute" and allow_unknown_hw:
+            warnings.append(f"{metric}: {message}")
+            print(f"  WARN  {metric}: {message} (absolute check relaxed: unknown hardware)")
+        else:
+            failures.append(f"{metric}: {message}")
+            print(f"  FAIL  {metric}: {message}")
+
+    if fresh.get("bitwise_identical") is not True:
+        failures.append("bitwise_identical: fresh run did not certify bitwise identity")
+
+    print(f"perf guard: baseline {argv[1]} vs fresh {argv[2]}")
+    if allow_unknown_hw:
+        print("  note: LRGP_PERF_ALLOW_UNKNOWN_HW set — absolute ns/iter regressions warn only")
+
+    for metric in ABSOLUTE_NS_METRICS:
+        base, now = lookup(baseline, metric), lookup(fresh, metric)
+        if base is None or now is None:
+            warnings.append(f"{metric}: missing in {'baseline' if base is None else 'fresh'} — skipped")
+            print(f"  skip  {metric}: not present in both files")
+            continue
+        limit = base * (1.0 + REGRESSION_LIMIT)
+        check("absolute", metric, now <= limit,
+              f"{now:.0f} ns/iter vs baseline {base:.0f} (limit {limit:.0f})")
+
+    for metric in RELATIVE_SPEEDUP_METRICS:
+        base, now = lookup(baseline, metric), lookup(fresh, metric)
+        if base is None or now is None:
+            warnings.append(f"{metric}: missing in {'baseline' if base is None else 'fresh'} — skipped")
+            print(f"  skip  {metric}: not present in both files")
+            continue
+        floor = base / (1.0 + REGRESSION_LIMIT)
+        check("relative", metric, now >= floor,
+              f"{now:.2f}x vs baseline {base:.2f}x (floor {floor:.2f}x)")
+
+    for metric, floor in SPEEDUP_FLOORS.items():
+        now = lookup(fresh, metric)
+        if now is None:
+            failures.append(f"{metric}: missing from fresh results (floor {floor}x unverified)")
+            print(f"  FAIL  {metric}: missing from fresh results")
+            continue
+        check("relative", metric, now >= floor, f"{now:.2f}x vs hard floor {floor:.2f}x")
+
+    if warnings:
+        print(f"{len(warnings)} warning(s).")
+    if failures:
+        print(f"{len(failures)} perf regression(s) detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf guard passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 #include "lrgp/compiled_problem.hpp"
 
+#include <algorithm>
+
 #include "utility/utility_function.hpp"
 
 namespace lrgp::core {
@@ -137,6 +139,9 @@ CompiledProblem::CompiledProblem(const model::ProblemSpec& spec) {
         node_flow_begin.push_back(node_flow_flow.size());
         for (model::ClassId j : spec.classesAtNode(b.id)) node_class_class.push_back(j.value);
         node_class_begin.push_back(node_class_class.size());
+        max_classes_at_node = std::max(
+            max_classes_at_node, node_class_begin[node_class_begin.size() - 1] -
+                                     node_class_begin[node_class_begin.size() - 2]);
     }
 
     // ---- per-link spans -------------------------------------------------

@@ -114,6 +114,9 @@ public:
     std::vector<double> node_flow_fcost;
     std::vector<std::size_t> node_class_begin;  ///< size nodeCount()+1
     std::vector<std::uint32_t> node_class_class;
+    /// Widest node-class span; sizes per-worker scratch (greedy ranking,
+    /// the incremental engine's old-population snapshots) exactly.
+    std::size_t max_classes_at_node = 0;
 
     // -- per-link spans ---------------------------------------------------
     std::vector<double> link_capacity;

@@ -18,15 +18,28 @@ bool ConvergenceDetector::addSample(double utility) {
     window_.push_back(utility);
     if (window_.size() > options_.window) window_.pop_front();
 
+    if (run_length_ > 0 && utility == last_sample_) ++run_length_;
+    else run_length_ = 1;
+    last_sample_ = utility;
+
     if (!converged_ && window_.size() == options_.window) {
-        const auto [lo, hi] = std::minmax_element(window_.begin(), window_.end());
-        double mean = 0.0;
-        for (double s : window_) mean += s;
-        mean /= static_cast<double>(window_.size());
-        const double amplitude = *hi - *lo;
-        if (mean != 0.0 && amplitude / std::abs(mean) < options_.relative_amplitude) {
-            converged_ = true;
-            converged_at_ = samples_seen_;
+        if (run_length_ >= options_.window) {
+            // Uniform window: amplitude is exactly 0, mean has the sign of
+            // the repeated sample, so 0/|mean| < threshold iff mean != 0.
+            if (utility != 0.0) {
+                converged_ = true;
+                converged_at_ = samples_seen_;
+            }
+        } else {
+            const auto [lo, hi] = std::minmax_element(window_.begin(), window_.end());
+            double mean = 0.0;
+            for (double s : window_) mean += s;
+            mean /= static_cast<double>(window_.size());
+            const double amplitude = *hi - *lo;
+            if (mean != 0.0 && amplitude / std::abs(mean) < options_.relative_amplitude) {
+                converged_ = true;
+                converged_at_ = samples_seen_;
+            }
         }
     }
     return converged_;
@@ -37,6 +50,8 @@ void ConvergenceDetector::reset() {
     samples_seen_ = 0;
     converged_ = false;
     converged_at_ = 0;
+    last_sample_ = 0.0;
+    run_length_ = 0;
 }
 
 }  // namespace lrgp::core

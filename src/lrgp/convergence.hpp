@@ -16,12 +16,24 @@ struct ConvergenceOptions {
 
 /// Feed one utility sample per iteration; `converged()` becomes true when
 /// the trailing window's relative amplitude drops below the threshold.
+///
+/// A trailing run of bitwise-equal samples (the common shape once the
+/// incremental engine reaches a floating-point fixpoint) is detected in
+/// O(1): the peak-to-peak amplitude of a uniform window is exactly zero,
+/// so the window scan reduces to a nonzero check on the repeated value.
+/// The fast path is outcome-identical to the full scan — converged() and
+/// convergedAt() fire on the same sample either way.
 class ConvergenceDetector {
 public:
     explicit ConvergenceDetector(ConvergenceOptions options = {});
 
     /// Records a sample; returns converged().
     bool addSample(double utility);
+
+    /// Length of the trailing run of samples bitwise-equal to the latest
+    /// one (0 before the first sample).  Exposed so engines can report
+    /// quiescence without re-scanning their own state.
+    [[nodiscard]] std::size_t uniformRunLength() const noexcept { return run_length_; }
 
     [[nodiscard]] bool converged() const noexcept { return converged_; }
 
@@ -37,6 +49,9 @@ private:
     std::size_t samples_seen_ = 0;
     bool converged_ = false;
     std::size_t converged_at_ = 0;
+    // Trailing-uniform-run tracking for the O(1) fast path.
+    double last_sample_ = 0.0;
+    std::size_t run_length_ = 0;
 };
 
 }  // namespace lrgp::core

@@ -21,10 +21,7 @@ std::vector<BenefitCost> GreedyConsumerAllocator::benefitCosts(
         if (!(unit_cost > 0.0)) continue;
         out.push_back(BenefitCost{j, this_slot, c.utility->value(rate) / unit_cost, unit_cost});
     }
-    std::sort(out.begin(), out.end(), [](const BenefitCost& a, const BenefitCost& b) {
-        if (a.ratio != b.ratio) return a.ratio > b.ratio;
-        return a.cls < b.cls;
-    });
+    std::sort(out.begin(), out.end(), BenefitCostOrder{});
     return out;
 }
 

@@ -24,6 +24,19 @@ struct BenefitCost {
     double unit_cost = 0.0;  ///< G_{b,j} * r_i, resource per admitted consumer
 };
 
+/// Strict weak ordering shared by every benefit-cost ranking: descending
+/// ratio (Eq. 10), ties broken by ascending class id for determinism.
+/// The serial allocator, the compiled node phase, and the incremental
+/// engine's cached rankings all sort with this one definition, so a
+/// ranking cached across iterations is ordered exactly like a fresh one.
+struct BenefitCostOrder {
+    template <class Cand>
+    [[nodiscard]] bool operator()(const Cand& a, const Cand& b) const {
+        if (a.ratio != b.ratio) return a.ratio > b.ratio;
+        return a.cls < b.cls;
+    }
+};
+
 /// Result of one node's consumer allocation.
 struct NodeAllocationResult {
     /// (class, n_j) for every class attached at the node, admitted or not,

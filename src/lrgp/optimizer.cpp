@@ -58,11 +58,10 @@ const IterationRecord& LrgpOptimizer::step() {
     for (const model::NodeSpec& b : spec_.nodes()) {
         const NodeAllocationResult result = greedy_allocator_.allocate(b.id, allocation_.rates);
         for (const auto& [cls, n] : result.populations) allocation_.populations[cls.index()] = n;
-        const double old_price = prices_.node[b.id.index()];
         prices_.node[b.id.index()] =
             node_prices_[b.id.index()].update(result.best_unmet_bc, result.used, b.capacity);
         if constexpr (obs::kEnabled)
-            if (obs_on && prices_.node[b.id.index()] != old_price) ++node_moves;
+            if (obs_on && node_prices_[b.id.index()].lastMoved()) ++node_moves;
     }
     if constexpr (obs::kEnabled)
         if (obs_on) t2 = obs::monotonic_ns();
@@ -70,10 +69,9 @@ const IterationRecord& LrgpOptimizer::step() {
     // 4. Link price update (Eq. 13) with the fresh rates.
     for (const model::LinkSpec& l : spec_.links()) {
         const double usage = model::link_usage(spec_, allocation_, l.id);
-        const double old_price = prices_.link[l.id.index()];
         prices_.link[l.id.index()] = link_prices_[l.id.index()].update(usage, l.capacity);
         if constexpr (obs::kEnabled)
-            if (obs_on && prices_.link[l.id.index()] != old_price) ++link_moves;
+            if (obs_on && link_prices_[l.id.index()].lastMoved()) ++link_moves;
     }
     if constexpr (obs::kEnabled)
         if (obs_on) t3 = obs::monotonic_ns();

@@ -23,6 +23,28 @@
 // per-class utility terms) are preallocated once and reused, so the
 // steady-state iteration performs no heap allocation beyond the
 // IterationRecord snapshot that mirrors the serial optimizer's API.
+//
+// Incremental mode (EngineConfig::incremental) adds dirty-set tracking
+// on top, skipping work whose inputs are bitwise-unchanged since the
+// last iteration:
+//
+//   * a flow re-solves Eq. 7 only if one of its own populations, a node
+//     price on its route, or a link price on its route moved;
+//   * a node re-runs greedy admission only if an incident flow's rate
+//     moved (or a dynamic op touched it); a capacity-only change reuses
+//     the node's cached benefit-cost ordering and just re-admits;
+//   * a link re-sums usage only if an incident flow's rate moved;
+//   * the Eq. 1 utility sum is reused when no node re-ran.
+//
+// Price controllers are stateful (adaptive gamma), so their updates
+// always run — fed from cached (BC(b,t), used_b) and usage values when
+// the producing phase was skipped — and publish per-entity "moved" bits
+// that seed the next iteration's dirty flows.  Skipping is a pure
+// evaluation-order optimization: every skipped computation is a
+// deterministic function of inputs that are bitwise-unchanged, so the
+// trajectory stays bitwise-identical to the serial optimizer (see
+// docs/algorithm.md for the invalidation rules and the full argument).
+// Dynamic workload changes widen the dirty sets conservatively.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +66,11 @@ struct EngineConfig {
     /// Accumulate per-phase wall time (a few steady_clock reads per
     /// iteration; off by default to keep the hot path undisturbed).
     bool collect_phase_times = false;
+    /// Track dirty sets across iterations and skip rate solves, greedy
+    /// admissions, link sums and the utility reduction whose inputs are
+    /// bitwise-unchanged.  Results stay bitwise-identical to the serial
+    /// optimizer; only the evaluation order changes.
+    bool incremental = false;
 };
 
 /// Cumulative per-phase wall time in nanoseconds (collect_phase_times).
@@ -53,6 +80,19 @@ struct PhaseTimes {
     std::uint64_t link_ns = 0;    ///< phase 3: link usage + prices
     std::uint64_t reduce_ns = 0;  ///< serial epilogue: utility sum + record
     std::uint64_t iterations = 0;
+};
+
+/// Cumulative dirty-set bookkeeping of incremental mode, maintained
+/// whether or not observability is attached (the lrgp_inc_* counters
+/// mirror these when it is).  All counts are totals since construction.
+struct IncrementalStats {
+    std::uint64_t dirty_flows = 0;         ///< rate solves re-run
+    std::uint64_t skipped_solves = 0;      ///< active flows skipped in phase 1
+    std::uint64_t dirty_nodes = 0;         ///< nodes that re-ran admission
+    std::uint64_t node_cache_hits = 0;     ///< nodes fully skipped
+    std::uint64_t rank_cache_hits = 0;     ///< re-admissions reusing the cached ranking
+    std::uint64_t dirty_links = 0;         ///< link usage sums recomputed
+    std::uint64_t utility_cache_hits = 0;  ///< iterations reusing the cached Eq. 1 sum
 };
 
 class ParallelLrgpEngine {
@@ -99,15 +139,55 @@ public:
     [[nodiscard]] double nodeGamma(model::NodeId node) const;
     [[nodiscard]] int threadCount() const noexcept;
     [[nodiscard]] const PhaseTimes& phaseTimes() const noexcept { return phase_times_; }
+
+    /// Zeroes the accumulated phase times; benchmarks call this after a
+    /// warmup run to time the converged tail in isolation.
+    void resetPhaseTimes() noexcept { phase_times_ = {}; }
+
     [[nodiscard]] const CompiledProblem& compiled() const noexcept { return compiled_; }
 
+    /// Whether dirty-set tracking is on (EngineConfig::incremental).
+    [[nodiscard]] bool incremental() const noexcept;
+
+    /// Cumulative dirty-set counts; all-zero when incremental() is false.
+    [[nodiscard]] IncrementalStats incrementalStats() const noexcept;
+
 private:
+    struct Cand;
     struct NodeScratch;
+    struct IncrementalState;
+
+    /// Outcome of one node's greedy admission, fed to Eq. 12.
+    struct AdmitResult {
+        double used = 0.0;
+        std::optional<double> best_unmet_bc;
+    };
+
+    /// F_{b,i} * r_i usage of the active flows at node b.
+    [[nodiscard]] double nodeBaseUsage(std::size_t b) const;
+    /// Zeroes the node's populations/utility terms and writes the sorted
+    /// benefit-cost candidates to `out`; returns the candidate count.
+    std::uint32_t buildNodeCands(std::size_t b, Cand* out);
+    /// Runs the batched greedy admission over an already-sorted candidate
+    /// range, writing populations and Eq. 1 terms.
+    void admitNode(const Cand* cands, std::uint32_t count, double capacity, double base_usage,
+                   AdmitResult& result);
 
     void ratePhase(std::size_t begin, std::size_t end);
+    void ratePhaseInc(std::size_t begin, std::size_t end);
     void nodePhase(std::size_t begin, std::size_t end, NodeScratch& scratch);
+    void nodePhaseInc(std::size_t begin, std::size_t end, NodeScratch& scratch);
     void linkPhase(std::size_t begin, std::size_t end);
+    void linkPhaseInc(std::size_t begin, std::size_t end);
     void solveFlow(std::size_t f);
+    /// Seeds flow_dirty from last iteration's pop/price moved bits.
+    void seedDirtyFlows();
+    /// Turns phase-1 rate moves into node/link dirty bits.
+    void propagateRateMoves();
+    /// Conservative widening for dynamic ops touching `flow`.
+    void dirtyFlowCascade(model::FlowId flow);
+    /// warmStart widening: every flow, node and link is dirty.
+    void markAllDirty();
     void noteConvergenceReset();
 
     model::ProblemSpec spec_;
@@ -120,6 +200,7 @@ private:
     obs::SolverInstruments instr_;
     obs::AllocatorInstruments alloc_instr_;
     obs::PoolInstruments pool_instr_;
+    obs::IncrementalInstruments inc_instr_;
     bool obs_attached_ = false;
     obs::IterationTracer* tracer_ = nullptr;
 
@@ -147,6 +228,9 @@ private:
     std::vector<double> class_utility_term_;
     /// Per-worker greedy ranking buffers.
     std::vector<std::unique_ptr<NodeScratch>> node_scratch_;
+    /// Dirty bits, cached node rankings/outputs, cached link usage and
+    /// the cached utility sum; null unless EngineConfig::incremental.
+    std::unique_ptr<IncrementalState> inc_;
 };
 
 }  // namespace lrgp::core

@@ -58,7 +58,9 @@ double NodePriceController::update(std::optional<double> best_unmet_bc, double u
                              ? gamma2 * (used - capacity)
                              : ((used <= capacity) ? gamma1 * (target_bc - price_)
                                                    : gamma2 * (used - capacity));
+    const double old_price = price_;
     price_ = std::max(0.0, price_ + delta);
+    last_moved_ = price_ != old_price;
 
     // Adaptive heuristic (Section 4.2): a sign flip in the price movement
     // counts as a fluctuation and halves gamma; otherwise gamma creeps up.
@@ -78,6 +80,7 @@ void NodePriceController::reset(double price) {
     price_ = price;
     has_last_delta_ = false;
     last_delta_ = 0.0;
+    last_moved_ = false;
     if (const auto* adaptive = std::get_if<AdaptiveGamma>(&policy_))
         adaptive_gamma_ = std::clamp(adaptive->initial, adaptive->min, adaptive->max);
 }
@@ -90,7 +93,9 @@ LinkPriceController::LinkPriceController(double gamma, double initial_price)
 }
 
 double LinkPriceController::update(double usage, double capacity) {
+    const double old_price = price_;
     price_ = std::max(0.0, price_ + gamma_ * (usage - capacity));
+    last_moved_ = price_ != old_price;
     return price_;
 }
 

@@ -64,6 +64,12 @@ public:
     [[nodiscard]] double price() const noexcept { return price_; }
     [[nodiscard]] double currentGamma() const noexcept;
 
+    /// Whether the most recent update() changed the price bitwise.  The
+    /// incremental engine seeds next iteration's dirty flows from this
+    /// bit; a price that is exactly stationary (e.g. pinned at 0, or the
+    /// update landed on the same double) dirties nothing.
+    [[nodiscard]] bool lastMoved() const noexcept { return last_moved_; }
+
     /// Resets price (and adaptive state) — used when the workload changes
     /// abruptly and a controller restart is desired.
     void reset(double price = 0.0);
@@ -76,6 +82,7 @@ private:
     double adaptive_gamma_;
     double last_delta_ = 0.0;
     bool has_last_delta_ = false;
+    bool last_moved_ = false;
 };
 
 /// Per-link gradient-projection price (Eq. 13).
@@ -87,11 +94,20 @@ public:
     double update(double usage, double capacity);
 
     [[nodiscard]] double price() const noexcept { return price_; }
-    void reset(double price = 0.0) { price_ = price; }
+
+    /// Whether the most recent update() changed the price bitwise (see
+    /// NodePriceController::lastMoved).
+    [[nodiscard]] bool lastMoved() const noexcept { return last_moved_; }
+
+    void reset(double price = 0.0) {
+        price_ = price;
+        last_moved_ = false;
+    }
 
 private:
     double gamma_;
     double price_;
+    bool last_moved_ = false;
 };
 
 }  // namespace lrgp::core

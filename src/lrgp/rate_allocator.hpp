@@ -5,6 +5,17 @@
 // (Eq. 7):   sum_{j in C_i} n_j U_j(r) - r (PL_i + PB_i),
 // where PL_i = sum_l L_{l,i} p_l  (Eq. 8) and
 //       PB_i = sum_b (F_{b,i} + sum_j G_{b,j} n_j) p_b  (Eq. 9).
+//
+// Purity contract: the solve is a deterministic, state-free function of
+// (populations of the flow's OWN classes, the node prices on its route,
+// the link prices on its route, the flow's static spec).  Both sums
+// range over the flow's own classes only — no other flow's populations
+// enter.  The incremental engine's skip rule leans on exactly this: if
+// those inputs are bitwise-unchanged since the last iteration, the
+// previous rate (and its cached transcendental) IS the result of
+// re-solving, so the solve can be skipped without perturbing the
+// trajectory.  Any future state added here (caches, iteration counters)
+// must preserve this property or widen the engine's dirty rules.
 #pragma once
 
 #include <vector>

@@ -99,6 +99,28 @@ DataplaneInstruments DataplaneInstruments::resolve(Registry& registry) {
     return instruments;
 }
 
+IncrementalInstruments IncrementalInstruments::resolve(Registry& registry) {
+    IncrementalInstruments instruments;
+    instruments.dirty_flows = &registry.counter(
+        "lrgp_inc_dirty_flows_total", "Flows whose Eq. 7 rate solve re-ran (dirty inputs)");
+    instruments.skipped_solves = &registry.counter(
+        "lrgp_inc_skipped_solves_total", "Active flows whose rate solve was skipped (clean inputs)");
+    instruments.dirty_nodes = &registry.counter(
+        "lrgp_inc_dirty_nodes_total", "Nodes that re-ran greedy admission (dirty incident state)");
+    instruments.node_cache_hits = &registry.counter(
+        "lrgp_inc_node_cache_hits_total",
+        "Nodes skipped entirely: cached populations, usage and BC(b,t) reused");
+    instruments.rank_cache_hits = &registry.counter(
+        "lrgp_inc_rank_cache_hits_total",
+        "Node re-admissions that reused the cached benefit-cost ordering (no re-rank)");
+    instruments.dirty_links = &registry.counter(
+        "lrgp_inc_dirty_links_total", "Links whose usage sum was recomputed (dirty incident rates)");
+    instruments.utility_cache_hits = &registry.counter(
+        "lrgp_inc_utility_cache_hits_total",
+        "Iterations that reused the cached Eq. 1 utility sum (no node re-ran)");
+    return instruments;
+}
+
 AllocatorInstruments AllocatorInstruments::resolve(Registry& registry) {
     AllocatorInstruments instruments;
     instruments.greedy_allocations =

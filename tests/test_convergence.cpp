@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
 
 #include "lrgp/convergence.hpp"
 
@@ -8,6 +13,41 @@ namespace {
 
 using lrgp::core::ConvergenceDetector;
 using lrgp::core::ConvergenceOptions;
+
+/// Brute-force reference: always performs the full window scan.  The
+/// production detector's uniform-run fast path must be outcome-identical
+/// to this on every sample.
+class FullScanDetector {
+public:
+    explicit FullScanDetector(ConvergenceOptions options) : options_(options) {}
+
+    bool addSample(double utility) {
+        ++samples_seen_;
+        window_.push_back(utility);
+        if (window_.size() > options_.window) window_.pop_front();
+        if (!converged_ && window_.size() == options_.window) {
+            const auto [lo, hi] = std::minmax_element(window_.begin(), window_.end());
+            double mean = 0.0;
+            for (double s : window_) mean += s;
+            mean /= static_cast<double>(window_.size());
+            if (mean != 0.0 && (*hi - *lo) / std::abs(mean) < options_.relative_amplitude) {
+                converged_ = true;
+                converged_at_ = samples_seen_;
+            }
+        }
+        return converged_;
+    }
+
+    [[nodiscard]] bool converged() const { return converged_; }
+    [[nodiscard]] std::size_t convergedAt() const { return converged_at_; }
+
+private:
+    ConvergenceOptions options_;
+    std::deque<double> window_;
+    std::size_t samples_seen_ = 0;
+    bool converged_ = false;
+    std::size_t converged_at_ = 0;
+};
 
 TEST(Convergence, NotConvergedBeforeWindowFills) {
     ConvergenceDetector d(ConvergenceOptions{5, 1e-3});
@@ -67,6 +107,75 @@ TEST(Convergence, ZeroMeanNeverConverges) {
     for (int i = 0; i < 20; ++i) d.addSample(0.0);
     // Mean zero: relative amplitude undefined; detector stays quiet.
     EXPECT_FALSE(d.converged());
+}
+
+TEST(Convergence, UniformRunLengthTracksTrailingRun) {
+    ConvergenceDetector d(ConvergenceOptions{4, 1e-3});
+    EXPECT_EQ(d.uniformRunLength(), 0u);
+    d.addSample(5.0);
+    EXPECT_EQ(d.uniformRunLength(), 1u);
+    d.addSample(5.0);
+    EXPECT_EQ(d.uniformRunLength(), 2u);
+    d.addSample(6.0);  // run breaks
+    EXPECT_EQ(d.uniformRunLength(), 1u);
+    d.addSample(6.0);
+    EXPECT_EQ(d.uniformRunLength(), 2u);
+    d.reset();
+    EXPECT_EQ(d.uniformRunLength(), 0u);
+}
+
+TEST(Convergence, FastPathMatchesFullScanOnStructuredSequences) {
+    // The uniform-run fast path must fire on exactly the same sample as
+    // the brute-force full scan — including the mean-zero exclusion and
+    // runs interrupted by a blip.
+    const std::vector<std::vector<double>> sequences = {
+        {1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5},              // ramp then uniform
+        {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},                    // uniform zeros: never
+        {7, 7, 7, 7, 9, 7, 7, 7, 7, 7, 7, 7, 7},           // blip restarts the run
+        {100, -100, 100, -100, 100, 100, 100, 100, 100},   // sign flips then settle
+        {1e6, 1e6 + 1, 1e6, 1e6 + 1, 1e6, 1e6 + 1},        // tiny relative wobble
+        {-4, -4, -4, -4, -4, -4},                          // negative uniform run
+    };
+    for (std::size_t w = 2; w <= 6; ++w) {
+        for (std::size_t s = 0; s < sequences.size(); ++s) {
+            SCOPED_TRACE(testing::Message() << "window " << w << " sequence " << s);
+            const ConvergenceOptions options{w, 1e-3};
+            ConvergenceDetector fast(options);
+            FullScanDetector reference(options);
+            for (double sample : sequences[s]) {
+                EXPECT_EQ(fast.addSample(sample), reference.addSample(sample));
+                EXPECT_EQ(fast.converged(), reference.converged());
+                EXPECT_EQ(fast.convergedAt(), reference.convergedAt());
+            }
+        }
+    }
+}
+
+TEST(Convergence, FastPathMatchesFullScanOnRandomSequences) {
+    // Randomized differential check: mixed noisy stretches and uniform
+    // runs of random lengths, across window sizes and thresholds.
+    std::mt19937 rng(20260806u);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t window = 2 + rng() % 9;
+        const double threshold = (trial % 2 == 0) ? 1e-3 : 5e-2;
+        const ConvergenceOptions options{window, threshold};
+        ConvergenceDetector fast(options);
+        FullScanDetector reference(options);
+        double level = static_cast<double>(static_cast<int>(rng() % 2001)) - 1000.0;
+        for (int i = 0; i < 120; ++i) {
+            double sample;
+            if (rng() % 3 == 0) {
+                // Noisy stretch around the current level.
+                sample = level + static_cast<double>(static_cast<int>(rng() % 200)) - 100.0;
+            } else {
+                sample = level;  // extends a uniform run
+            }
+            if (rng() % 17 == 0) level = static_cast<double>(static_cast<int>(rng() % 2001)) - 1000.0;
+            SCOPED_TRACE(testing::Message() << "trial " << trial << " sample " << i);
+            ASSERT_EQ(fast.addSample(sample), reference.addSample(sample));
+            ASSERT_EQ(fast.convergedAt(), reference.convergedAt());
+        }
+    }
 }
 
 TEST(Convergence, Validation) {

@@ -16,8 +16,10 @@
 #include <string_view>
 
 #include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
 #include "lrgp/trace_export.hpp"
 #include "metrics/table_writer.hpp"
+#include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "test_helpers.hpp"
@@ -111,6 +113,32 @@ TEST(Golden, PrometheusText) {
     h.observe(5e-5);
     h.observe(1.0);
     check_golden("prometheus_text", reg.prometheusText());
+}
+
+TEST(Golden, IncrementalPrometheusText) {
+    if constexpr (!obs::kEnabled) GTEST_SKIP() << "built without LRGP_OBS";
+    // Drive the incremental engine on the tiny problem with observability
+    // attached; the lrgp_inc_* counter values are fully deterministic
+    // (the dirty sets follow the bitwise-deterministic trajectory).  The
+    // live registry also holds wall-time histograms, which are not
+    // byte-stable, so the golden fixture re-exposes just the incremental
+    // series with the measured counts.
+    const auto t = test::make_tiny_problem();
+    obs::Registry live;
+    core::ParallelLrgpEngine engine(t.spec, {}, {.threads = 1, .incremental = true});
+    engine.attachObservability(&live);
+    engine.run(12);
+
+    obs::Registry reg;
+    const obs::IncrementalInstruments inc = obs::IncrementalInstruments::resolve(reg);
+    inc.dirty_flows->add(live.counterValue("lrgp_inc_dirty_flows_total"));
+    inc.skipped_solves->add(live.counterValue("lrgp_inc_skipped_solves_total"));
+    inc.dirty_nodes->add(live.counterValue("lrgp_inc_dirty_nodes_total"));
+    inc.node_cache_hits->add(live.counterValue("lrgp_inc_node_cache_hits_total"));
+    inc.rank_cache_hits->add(live.counterValue("lrgp_inc_rank_cache_hits_total"));
+    inc.dirty_links->add(live.counterValue("lrgp_inc_dirty_links_total"));
+    inc.utility_cache_hits->add(live.counterValue("lrgp_inc_utility_cache_hits_total"));
+    check_golden("prometheus_inc_text", reg.prometheusText());
 }
 
 }  // namespace

@@ -166,8 +166,9 @@ TEST(PropertyInvariants, DynamicChangesPreserveInvariants) {
 }
 
 TEST(PropertyInvariants, ParallelEngineInvariantsAndBitwiseParity) {
-    // The compiled parallel engine satisfies the same invariants and is
-    // bitwise identical to the serial optimizer on every trajectory.
+    // The compiled parallel engine — in both full and incremental mode —
+    // satisfies the same invariants and is bitwise identical to the
+    // serial optimizer on every trajectory.
     for (std::uint32_t seed = 1; seed <= 60; ++seed) {
         const model::ProblemSpec spec =
             workload::make_random_workload(options_for_seed(seed));
@@ -175,26 +176,37 @@ TEST(PropertyInvariants, ParallelEngineInvariantsAndBitwiseParity) {
         core::EngineConfig config;
         config.threads = (seed % 3) + 1;
         core::ParallelLrgpEngine engine(spec, {}, config);
+        config.threads = ((seed + 1) % 3) + 1;
+        config.incremental = true;
+        core::ParallelLrgpEngine incremental(spec, {}, config);
         for (int i = 0; i < kIterations; ++i) {
             const core::IterationRecord& s = serial.step();
             const core::IterationRecord& p = engine.step();
+            const core::IterationRecord& q = incremental.step();
             ASSERT_EQ(s.utility, p.utility) << "seed " << seed << " iter " << i;
             ASSERT_EQ(s.allocation.rates, p.allocation.rates) << "seed " << seed;
             ASSERT_EQ(s.allocation.populations, p.allocation.populations) << "seed " << seed;
             ASSERT_EQ(s.prices.node, p.prices.node) << "seed " << seed;
             ASSERT_EQ(s.prices.link, p.prices.link) << "seed " << seed;
+            ASSERT_EQ(s.utility, q.utility) << "inc seed " << seed << " iter " << i;
+            ASSERT_EQ(s.allocation.rates, q.allocation.rates) << "inc seed " << seed;
+            ASSERT_EQ(s.allocation.populations, q.allocation.populations) << "inc seed " << seed;
+            ASSERT_EQ(s.prices.node, q.prices.node) << "inc seed " << seed;
+            ASSERT_EQ(s.prices.link, q.prices.link) << "inc seed " << seed;
         }
         check_allocation_invariants(spec, engine.step(), seed);
+        check_allocation_invariants(spec, incremental.step(), seed);
     }
 }
 
 TEST(PropertyDifferential, ThreeEnginesAgreeOnSeededWorkloads) {
-    // Differential oracle: the serial optimizer, the parallel engine and
-    // the lossless synchronous distributed protocol implement the same
-    // iteration; their utility trajectories must coincide.  Serial vs
-    // parallel is a bitwise contract; the distributed protocol computes
-    // the same arithmetic from message-carried state, so its per-round
-    // utilities match to double-equality.
+    // Differential oracle: the serial optimizer, the parallel engine
+    // (full and incremental) and the lossless synchronous distributed
+    // protocol implement the same iteration; their utility trajectories
+    // must coincide.  Serial vs parallel is a bitwise contract; the
+    // distributed protocol computes the same arithmetic from
+    // message-carried state, so its per-round utilities match to
+    // double-equality.
     for (std::uint32_t seed = 1; seed <= kDifferentialSeeds; ++seed) {
         workload::RandomWorkloadOptions opt = options_for_seed(seed);
         // Sync rounds cost sim events proportional to hops; keep the
@@ -210,15 +222,21 @@ TEST(PropertyDifferential, ThreeEnginesAgreeOnSeededWorkloads) {
         core::ParallelLrgpEngine parallel(spec, {}, config);
         parallel.run(20);
 
+        config.incremental = true;
+        core::ParallelLrgpEngine incremental(spec, {}, config);
+        incremental.run(20);
+
         dist::DistLrgp distributed(spec, dist::DistOptions{});
         distributed.runRounds(20);
 
         const auto& st = serial.utilityTrace();
         const auto& pt = parallel.utilityTrace();
+        const auto& it = incremental.utilityTrace();
         const auto& dt = distributed.utilityTrace();
         ASSERT_GE(dt.size(), 20u) << "seed " << seed;
         for (std::size_t i = 0; i < 20; ++i) {
             EXPECT_EQ(st[i], pt[i]) << "seed " << seed << " iter " << i;
+            EXPECT_EQ(st[i], it[i]) << "seed " << seed << " iter " << i;
             EXPECT_DOUBLE_EQ(st[i], dt[i]) << "seed " << seed << " round " << i + 1;
         }
     }
