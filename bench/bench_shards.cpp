@@ -1,0 +1,438 @@
+// Sharded control-plane benchmark: ShardedLrgpEngine vs the monolithic
+// incremental engine on federated workloads of 10^4 .. 10^6 consumer
+// classes (ROADMAP item 1: near-real-time control at 10^5+ classes).
+//
+// Two measurement families, written to BENCH_shards.json:
+//
+//   * scaling rows: wall-clock of runUntilConverged at K in {1, 2, 4, 8}
+//     shards on federated workloads whose slow-converging (capacity
+//     starved) groups concentrate in a few shards.  K=1 must be
+//     bitwise-identical to the monolithic incremental engine (the
+//     determinism contract); larger K wins wall-clock because converged
+//     shards pause — the per-iteration O(total) publication cost shrinks
+//     to O(still-iterating shards) — not because of extra cores, so the
+//     speedup holds on a single-core box.
+//   * gap rows: a coupled federated workload (shared hub node) forces
+//     boundary resources; the achieved utility after boundary-price
+//     reconciliation is compared with the monolithic solver's at the
+//     same iteration budget (acceptance: gap <= 1%).
+//
+// Iteration budgets scale down via LRGP_BENCH_SHARDS_ITERS; the 10^6
+// class workload only runs with LRGP_BENCH_SHARDS_FULL=1.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/json.hpp"
+#include "lrgp/parallel_engine.hpp"
+#include "shard/sharded_engine.hpp"
+#include "workload/federated.hpp"
+
+namespace {
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+struct ShardRun {
+    int shards = 0;
+    double wall_ms = 0.0;
+    int iterations = 0;          ///< deepest member-engine iteration count
+    bool converged = false;
+    int converged_at = 0;
+    double utility = 0.0;
+    std::size_t boundary_nodes = 0;
+    std::size_t boundary_links = 0;
+    double boundary_node_fraction = 0.0;
+    std::uint64_t reconcile_passes = 0;
+    std::uint64_t budget_updates = 0;
+    std::uint64_t shard_wakeups = 0;
+    double budget_moved = 0.0;
+    double build_ms = 0.0;
+};
+
+ShardRun run_sharded(const lrgp::model::ProblemSpec& spec, int shards, int max_iters) {
+    using namespace lrgp;
+    shard::ShardedConfig config;
+    config.shards = shards;
+    config.threads = 1;  // isolate the algorithmic win from thread parallelism
+    const std::uint64_t b0 = now_ns();
+    shard::ShardedLrgpEngine engine(spec, {}, config);
+    const std::uint64_t b1 = now_ns();
+    const auto converged_at = engine.runUntilConverged(max_iters);
+    const std::uint64_t t1 = now_ns();
+
+    ShardRun run;
+    run.shards = shards;
+    run.build_ms = static_cast<double>(b1 - b0) * 1e-6;
+    run.wall_ms = static_cast<double>(t1 - b1) * 1e-6;
+    run.iterations = engine.iterationsRun();
+    run.converged = converged_at.has_value();
+    run.converged_at = converged_at.value_or(0);
+    run.utility = engine.currentUtility();
+    run.boundary_nodes = engine.boundaryNodeCount();
+    run.boundary_links = engine.boundaryLinkCount();
+    run.boundary_node_fraction = engine.boundaryNodeFraction();
+    run.reconcile_passes = engine.reconcileStats().passes;
+    run.budget_updates = engine.reconcileStats().budget_updates;
+    run.shard_wakeups = engine.reconcileStats().shard_wakeups;
+    run.budget_moved = engine.reconcileStats().budget_moved;
+    return run;
+}
+
+/// Steady-state control loop: the engine is already converged; apply
+/// `rounds` capacity perturbations to the given (tight-group) nodes and
+/// re-converge after each.  Only the owning shard wakes up in a sharded
+/// engine, so this isolates the per-iteration publication asymmetry the
+/// gating is designed around.
+struct SteadyOutcome {
+    double wall_ms = 0.0;
+    int iterations = 0;        ///< engine iterations advanced over all rounds
+    int rounds_converged = 0;
+    double utility = 0.0;      ///< after the final round
+};
+
+SteadyOutcome run_steady(lrgp::core::Engine& engine,
+                         const std::vector<std::pair<lrgp::model::NodeId, double>>& targets,
+                         int rounds, int max_iters) {
+    engine.runUntilConverged(max_iters);  // settle outside the timed region
+    const int iters0 = engine.iterationsRun();
+    SteadyOutcome out;
+    const std::uint64_t t0 = now_ns();
+    for (int r = 0; r < rounds; ++r) {
+        const auto& [node, capacity] = targets[static_cast<std::size_t>(r) % targets.size()];
+        // Alternate squeeze / restore so the load pattern is periodic
+        // and every round genuinely moves prices.
+        engine.setNodeCapacity(node, r % 2 == 0 ? capacity * 0.55 : capacity);
+        if (engine.runUntilConverged(max_iters)) ++out.rounds_converged;
+    }
+    out.wall_ms = static_cast<double>(now_ns() - t0) * 1e-6;
+    out.iterations = engine.iterationsRun() - iters0;
+    out.utility = engine.currentUtility();
+    return out;
+}
+
+lrgp::io::JsonObject run_to_json(const ShardRun& run) {
+    lrgp::io::JsonObject row;
+    row["shards"] = run.shards;
+    row["build_ms"] = run.build_ms;
+    row["wall_ms"] = run.wall_ms;
+    row["iterations"] = run.iterations;
+    row["converged"] = run.converged;
+    row["converged_at"] = run.converged_at;
+    row["utility"] = run.utility;
+    row["boundary_nodes"] = static_cast<int>(run.boundary_nodes);
+    row["boundary_links"] = static_cast<int>(run.boundary_links);
+    row["boundary_node_fraction"] = run.boundary_node_fraction;
+    row["reconcile_passes"] = static_cast<double>(run.reconcile_passes);
+    row["budget_updates"] = static_cast<double>(run.budget_updates);
+    row["shard_wakeups"] = static_cast<double>(run.shard_wakeups);
+    row["budget_moved"] = run.budget_moved;
+    return row;
+}
+
+}  // namespace
+
+int main() {
+    using namespace lrgp;
+
+    const int max_iters = static_cast<int>(bench::env_u64("LRGP_BENCH_SHARDS_ITERS", 600));
+    const bool full = bench::env_u64("LRGP_BENCH_SHARDS_FULL", 0) != 0;
+    const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+    struct Scale {
+        const char* name;
+        workload::FederatedWorkloadOptions options;
+    };
+    std::vector<Scale> scales;
+    {
+        workload::FederatedWorkloadOptions w10k;
+        w10k.groups = 20;
+        w10k.flows_per_group = 5;
+        w10k.cnodes_per_group = 100;
+        w10k.tight_groups = 2;
+        scales.push_back({"10k", w10k});
+
+        workload::FederatedWorkloadOptions w100k;
+        w100k.groups = 40;
+        w100k.flows_per_group = 10;
+        w100k.cnodes_per_group = 250;
+        w100k.tight_groups = 4;
+        scales.push_back({"100k", w100k});
+
+        if (full) {
+            workload::FederatedWorkloadOptions w1m;
+            w1m.groups = 80;
+            w1m.flows_per_group = 25;
+            w1m.cnodes_per_group = 500;
+            w1m.tight_groups = 8;
+            scales.push_back({"1m", w1m});
+        }
+    }
+
+    io::JsonObject root;
+    root["bench"] = "bench_shards";
+    root["hardware_threads"] = hw;
+    root["single_core_environment"] = (hw == 1);
+    root["max_iterations"] = max_iters;
+    root["full_scale"] = full;
+
+    bool k1_bitwise = true;
+    double speedup_4 = 0.0, speedup_8 = 0.0;
+    bool monotone_1_2_4 = true;
+    double max_gap = 0.0;
+
+    io::JsonArray workloads;
+    for (const Scale& scale : scales) {
+        const model::ProblemSpec spec = workload::make_federated_workload(scale.options);
+        std::printf("== workload %s: %zu classes, %zu flows, %zu nodes (tight groups: %d) ==\n",
+                    scale.name, spec.classCount(), spec.flowCount(), spec.nodeCount(),
+                    scale.options.tight_groups);
+
+        // Monolithic incremental reference (the K=1 bitwise oracle).
+        const std::uint64_t m0 = now_ns();
+        core::ParallelLrgpEngine mono(spec, {}, {.threads = 1, .incremental = true});
+        const auto mono_conv = mono.runUntilConverged(max_iters);
+        const double mono_ms = static_cast<double>(now_ns() - m0) * 1e-6;
+        const double mono_utility = mono.currentUtility();
+        std::printf("  monolithic incremental: %.0f ms, %d iterations, converged %s, "
+                    "utility %.1f\n",
+                    mono_ms, mono.iterationsRun(), mono_conv ? "yes" : "no", mono_utility);
+
+        io::JsonArray rows;
+        std::vector<ShardRun> runs;
+        for (int k : shard_counts) {
+            ShardRun run = run_sharded(spec, k, max_iters);
+            std::printf("  K=%d: %8.0f ms  %5d iters  converged %-3s  utility %.1f  "
+                        "boundary %zu+%zu  reconciles %llu  wakeups %llu\n",
+                        k, run.wall_ms, run.iterations, run.converged ? "yes" : "no",
+                        run.utility, run.boundary_nodes, run.boundary_links,
+                        static_cast<unsigned long long>(run.reconcile_passes),
+                        static_cast<unsigned long long>(run.shard_wakeups));
+            io::JsonObject row = run_to_json(run);
+            const double gap = mono_utility != 0.0
+                                   ? (mono_utility - run.utility) / std::fabs(mono_utility)
+                                   : 0.0;
+            row["gap_vs_monolithic"] = gap;
+            if (k == 1) {
+                const bool bitwise = run.utility == mono_utility &&
+                                     run.iterations == mono.iterationsRun();
+                row["bitwise_identical_to_monolithic"] = bitwise;
+                if (!bitwise) {
+                    k1_bitwise = false;
+                    std::fprintf(stderr,
+                                 "FATAL: K=1 diverged from monolithic on %s "
+                                 "(%.17g vs %.17g, %d vs %d iters)\n",
+                                 scale.name, run.utility, mono_utility, run.iterations,
+                                 mono.iterationsRun());
+                }
+            } else {
+                max_gap = std::max(max_gap, std::fabs(gap));
+            }
+            rows.push_back(std::move(row));
+            runs.push_back(run);
+        }
+
+        const double w1 = runs[0].wall_ms;
+        io::JsonObject entry;
+        entry["name"] = scale.name;
+        entry["classes"] = static_cast<int>(spec.classCount());
+        entry["flows"] = static_cast<int>(spec.flowCount());
+        entry["nodes"] = static_cast<int>(spec.nodeCount());
+        entry["tight_groups"] = scale.options.tight_groups;
+        entry["monolithic_wall_ms"] = mono_ms;
+        entry["monolithic_iterations"] = mono.iterationsRun();
+        entry["monolithic_utility"] = mono_utility;
+        entry["rows"] = std::move(rows);
+        entry["speedup_2"] = w1 / runs[1].wall_ms;
+        entry["speedup_4"] = w1 / runs[2].wall_ms;
+        entry["speedup_8"] = w1 / runs[3].wall_ms;
+        std::printf("  cold-start speedups vs K=1: x%.2f (K=2)  x%.2f (K=4)  x%.2f (K=8)\n",
+                    w1 / runs[1].wall_ms, w1 / runs[2].wall_ms, w1 / runs[3].wall_ms);
+
+        // ---- steady-state control loop -------------------------------
+        // Perturb tight-group-0 c-node capacities; only that group's
+        // shard re-iterates, every other shard stays paused.
+        std::vector<std::pair<model::NodeId, double>> targets;
+        for (std::size_t n = 0; n < spec.nodeCount() && targets.size() < 8; ++n) {
+            const model::NodeSpec& node = spec.node(model::NodeId{static_cast<std::uint32_t>(n)});
+            if (node.name.rfind("g0_S", 0) == 0) targets.emplace_back(node.id, node.capacity);
+        }
+        const int rounds = static_cast<int>(bench::env_u64("LRGP_BENCH_SHARDS_ROUNDS", 20));
+
+        core::ParallelLrgpEngine steady_mono(spec, {}, {.threads = 1, .incremental = true});
+        const SteadyOutcome mono_st = run_steady(steady_mono, targets, rounds, max_iters);
+        std::printf("  steady monolithic: %8.0f ms  %5d iters over %d perturbations\n",
+                    mono_st.wall_ms, mono_st.iterations, rounds);
+
+        io::JsonArray steady_rows;
+        std::vector<SteadyOutcome> steadies;
+        for (int k : shard_counts) {
+            shard::ShardedConfig config;
+            config.shards = k;
+            config.threads = 1;
+            shard::ShardedLrgpEngine engine(spec, {}, config);
+            const SteadyOutcome st = run_steady(engine, targets, rounds, max_iters);
+            std::printf("  steady K=%d: %8.0f ms  %5d iters  %d/%d rounds converged\n",
+                        k, st.wall_ms, st.iterations, st.rounds_converged, rounds);
+            io::JsonObject row;
+            row["shards"] = k;
+            row["wall_ms"] = st.wall_ms;
+            row["iterations"] = st.iterations;
+            row["rounds_converged"] = st.rounds_converged;
+            row["utility"] = st.utility;
+            if (k == 1) {
+                const bool bitwise = st.utility == mono_st.utility;
+                row["bitwise_identical_to_monolithic"] = bitwise;
+                if (!bitwise) {
+                    k1_bitwise = false;
+                    std::fprintf(stderr,
+                                 "FATAL: steady K=1 diverged from monolithic on %s "
+                                 "(%.17g vs %.17g)\n",
+                                 scale.name, st.utility, mono_st.utility);
+                }
+            } else if (mono_st.utility != 0.0) {
+                max_gap = std::max(max_gap, std::fabs((mono_st.utility - st.utility) /
+                                                      mono_st.utility));
+            }
+            steady_rows.push_back(std::move(row));
+            steadies.push_back(st);
+        }
+        const double s1 = steadies[0].wall_ms;
+        io::JsonObject steady;
+        steady["rounds"] = rounds;
+        steady["monolithic_wall_ms"] = mono_st.wall_ms;
+        steady["monolithic_iterations"] = mono_st.iterations;
+        steady["rows"] = std::move(steady_rows);
+        steady["speedup_2"] = s1 / steadies[1].wall_ms;
+        steady["speedup_4"] = s1 / steadies[2].wall_ms;
+        steady["speedup_8"] = s1 / steadies[3].wall_ms;
+        std::printf("  steady speedups vs K=1: x%.2f (K=2)  x%.2f (K=4)  x%.2f (K=8)\n\n",
+                    s1 / steadies[1].wall_ms, s1 / steadies[2].wall_ms,
+                    s1 / steadies[3].wall_ms);
+        entry["steady"] = std::move(steady);
+        workloads.push_back(std::move(entry));
+
+        // The acceptance floor tracks the steady-state control loop on
+        // the >= 10^5-class workload: that is the near-real-time path.
+        if (std::string(scale.name) == "100k") {
+            speedup_4 = s1 / steadies[2].wall_ms;
+            speedup_8 = s1 / steadies[3].wall_ms;
+            // Monotone non-increasing wall clock across 1 -> 2 -> 4
+            // shards, with 10% measurement slack.
+            monotone_1_2_4 = steadies[1].wall_ms <= steadies[0].wall_ms * 1.10 &&
+                             steadies[2].wall_ms <= steadies[1].wall_ms * 1.10;
+        }
+    }
+    root["workloads"] = std::move(workloads);
+
+    // ---- boundary gap rows: coupled groups force reconciliation --------
+    {
+        workload::FederatedWorkloadOptions coupled;
+        coupled.groups = 8;
+        coupled.flows_per_group = 8;
+        coupled.cnodes_per_group = 25;
+        coupled.tight_groups = 2;
+        coupled.coupling_cost = 2.0;
+        coupled.coupling_capacity_factor = 0.5;  // hub is genuinely contended
+        const model::ProblemSpec spec = workload::make_federated_workload(coupled);
+
+        core::ParallelLrgpEngine mono(spec, {}, {.threads = 1, .incremental = true});
+        mono.runUntilConverged(max_iters);
+        const double mono_utility = mono.currentUtility();
+        std::printf("== coupled workload: %zu classes, shared hub ==\n", spec.classCount());
+        std::printf("  monolithic utility %.1f\n", mono_utility);
+
+        io::JsonArray rows;
+        for (int k : shard_counts) {
+            ShardRun run = run_sharded(spec, k, max_iters);
+            const double gap = (mono_utility - run.utility) / std::fabs(mono_utility);
+            std::printf("  K=%d: utility %.1f  gap %+.4f%%  boundary %zu+%zu  "
+                        "budget moved %.1f over %llu updates\n",
+                        k, run.utility, gap * 100.0, run.boundary_nodes, run.boundary_links,
+                        run.budget_moved, static_cast<unsigned long long>(run.budget_updates));
+            io::JsonObject row = run_to_json(run);
+            row["gap_vs_monolithic"] = gap;
+            rows.push_back(std::move(row));
+            if (k > 1) max_gap = std::max(max_gap, std::fabs(gap));
+        }
+        // Squeeze the shared hub: its per-shard budgets have to be
+        // re-split, so this exercises the boundary-price reconciliation
+        // path end to end (budget updates + shard wakeups).
+        model::NodeId hub_id;
+        double hub_capacity = 0.0;
+        for (std::size_t n = 0; n < spec.nodeCount(); ++n) {
+            const model::NodeSpec& node = spec.node(model::NodeId{static_cast<std::uint32_t>(n)});
+            if (node.name == "hub") {
+                hub_id = node.id;
+                hub_capacity = node.capacity;
+            }
+        }
+        core::ParallelLrgpEngine mono_squeeze(spec, {}, {.threads = 1, .incremental = true});
+        mono_squeeze.runUntilConverged(max_iters);
+        mono_squeeze.setNodeCapacity(hub_id, hub_capacity * 0.4);
+        mono_squeeze.runUntilConverged(max_iters);
+        const double mono_squeezed = mono_squeeze.currentUtility();
+
+        io::JsonArray squeeze_rows;
+        for (int k : shard_counts) {
+            shard::ShardedConfig config;
+            config.shards = k;
+            config.threads = 1;
+            shard::ShardedLrgpEngine engine(spec, {}, config);
+            engine.runUntilConverged(max_iters);
+            engine.setNodeCapacity(hub_id, hub_capacity * 0.4);
+            const bool reconverged = engine.runUntilConverged(max_iters).has_value();
+            const double gap = (mono_squeezed - engine.currentUtility()) / std::fabs(mono_squeezed);
+            std::printf("  hub squeeze K=%d: gap %+.4f%%  reconciles %llu  budget updates %llu  "
+                        "wakeups %llu  moved %.1f\n",
+                        k, gap * 100.0,
+                        static_cast<unsigned long long>(engine.reconcileStats().passes),
+                        static_cast<unsigned long long>(engine.reconcileStats().budget_updates),
+                        static_cast<unsigned long long>(engine.reconcileStats().shard_wakeups),
+                        engine.reconcileStats().budget_moved);
+            io::JsonObject row;
+            row["shards"] = k;
+            row["gap_vs_monolithic"] = gap;
+            row["reconverged"] = reconverged;
+            row["reconcile_passes"] = static_cast<double>(engine.reconcileStats().passes);
+            row["budget_updates"] = static_cast<double>(engine.reconcileStats().budget_updates);
+            row["shard_wakeups"] = static_cast<double>(engine.reconcileStats().shard_wakeups);
+            row["budget_moved"] = engine.reconcileStats().budget_moved;
+            squeeze_rows.push_back(std::move(row));
+            if (k > 1) max_gap = std::max(max_gap, std::fabs(gap));
+        }
+
+        io::JsonObject entry;
+        entry["classes"] = static_cast<int>(spec.classCount());
+        entry["monolithic_utility"] = mono_utility;
+        entry["rows"] = std::move(rows);
+        entry["hub_squeeze"] = std::move(squeeze_rows);
+        root["coupled"] = std::move(entry);
+    }
+
+    root["k1_bitwise_identical"] = k1_bitwise;
+    root["speedup_4"] = speedup_4;
+    root["speedup_8"] = speedup_8;
+    root["monotone_1_2_4"] = monotone_1_2_4;
+    root["max_gap"] = max_gap;
+
+    std::printf("\nsummary: K=8 speedup x%.2f (floor 3.0), max gap %.4f%% (limit 1%%), "
+                "K=1 bitwise %s\n",
+                speedup_8, max_gap * 100.0, k1_bitwise ? "yes" : "NO");
+
+    std::ofstream out("BENCH_shards.json");
+    out << io::JsonValue(std::move(root)).dump(true) << "\n";
+    std::printf("wrote BENCH_shards.json\n");
+    return k1_bitwise ? 0 : 1;
+}

@@ -33,6 +33,7 @@
 #include "model/analysis.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "shard/sharded_engine.hpp"
 #include "workload/random_workload.hpp"
 #include "workload/workloads.hpp"
 
@@ -42,8 +43,9 @@ namespace {
 
 struct CliOptions {
     std::string workload = "base";  // base | random
-    std::string engine = "serial";  // serial | compiled | incremental
+    std::string engine = "serial";  // serial | compiled | incremental | sharded
     int threads = 1;                // compiled/incremental worker threads
+    int shards = 4;                 // --engine sharded shard count
     workload::UtilityShape shape = workload::UtilityShape::kLog;
     int flow_replicas = 1;
     int cnode_replicas = 1;
@@ -68,11 +70,13 @@ void printUsage() {
     std::puts(
         "usage: lrgp_cli [options]\n"
         "  --workload base|random     workload family (default base)\n"
-        "  --engine serial|compiled|incremental\n"
-        "                             iteration driver (default serial); all three\n"
-        "                             produce bitwise-identical trajectories\n"
-        "  --threads N                compiled/incremental worker threads\n"
+        "  --engine serial|compiled|incremental|sharded\n"
+        "                             iteration driver (default serial); the first\n"
+        "                             three produce bitwise-identical trajectories,\n"
+        "                             and sharded matches them exactly at --shards 1\n"
+        "  --threads N                engine worker threads\n"
         "                             (default 1; 0 = hardware concurrency)\n"
+        "  --shards K                 sharded engine shard count (default 4)\n"
         "  --shape log|p025|p05|p075  class utility shape (default log)\n"
         "  --flow-replicas N          scale: replicate the 6-flow set (default 1)\n"
         "  --cnode-replicas N         scale: replicate consumer nodes (default 1)\n"
@@ -126,8 +130,16 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             if (!v) return std::nullopt;
             options.engine = v;
             if (options.engine != "serial" && options.engine != "compiled" &&
-                options.engine != "incremental") {
+                options.engine != "incremental" && options.engine != "sharded") {
                 std::fprintf(stderr, "error: unknown engine '%s'\n", v);
+                return std::nullopt;
+            }
+        } else if (arg == "--shards") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.shards = std::atoi(v);
+            if (options.shards < 1) {
+                std::fprintf(stderr, "error: --shards must be >= 1\n");
                 return std::nullopt;
             }
         } else if (arg == "--threads") {
@@ -273,24 +285,39 @@ int main(int argc, char** argv) {
     core::LrgpOptions lrgp_options;
     if (cli.fixed_gamma) lrgp_options.gamma = core::FixedGamma{*cli.fixed_gamma, *cli.fixed_gamma};
 
-    // All three drivers follow the same bitwise trajectory; --engine only
-    // chooses the hot path (object graph, flat arrays, or flat arrays
-    // with dirty-set skipping).
-    std::unique_ptr<core::LrgpOptimizer> serial;
-    std::unique_ptr<core::ParallelLrgpEngine> engine;
+    // The serial/compiled/incremental drivers follow the same bitwise
+    // trajectory; --engine only chooses the hot path (object graph, flat
+    // arrays, or flat arrays with dirty-set skipping).  "sharded" layers
+    // the hierarchical control plane on K incremental subengines and
+    // matches the others exactly at --shards 1.
+    std::unique_ptr<core::Engine> owner;
+    shard::ShardedLrgpEngine* sharded = nullptr;
+    core::ParallelLrgpEngine* parallel = nullptr;
     if (cli.engine == "serial") {
-        serial = std::make_unique<core::LrgpOptimizer>(spec, lrgp_options);
+        owner = std::make_unique<core::LrgpOptimizer>(spec, lrgp_options);
+    } else if (cli.engine == "sharded") {
+        auto built = std::make_unique<shard::ShardedLrgpEngine>(
+            spec, lrgp_options,
+            shard::ShardedConfig{.shards = cli.shards, .threads = cli.threads});
+        sharded = built.get();
+        owner = std::move(built);
+        std::printf("engine: sharded, %d shard%s; boundary %zu nodes / %zu links "
+                    "(%.1f%% of nodes)\n",
+                    sharded->shardCount(), sharded->shardCount() == 1 ? "" : "s",
+                    sharded->boundaryNodeCount(), sharded->boundaryLinkCount(),
+                    100.0 * sharded->boundaryNodeFraction());
     } else {
-        engine = std::make_unique<core::ParallelLrgpEngine>(
+        auto built = std::make_unique<core::ParallelLrgpEngine>(
             spec, lrgp_options,
             core::EngineConfig{.threads = cli.threads,
                                .incremental = cli.engine == "incremental"});
-        std::printf("engine: %s, %d thread%s\n", cli.engine.c_str(), engine->threadCount(),
-                    engine->threadCount() == 1 ? "" : "s");
+        parallel = built.get();
+        owner = std::move(built);
+        std::printf("engine: %s, %d thread%s\n", cli.engine.c_str(), parallel->threadCount(),
+                    parallel->threadCount() == 1 ? "" : "s");
     }
-    const auto current_utility = [&] {
-        return serial ? serial->currentUtility() : engine->currentUtility();
-    };
+    core::Engine& active = *owner;
+    const auto current_utility = [&] { return active.currentUtility(); };
 
     std::unique_ptr<obs::Registry> obs_registry;
     std::unique_ptr<obs::IterationTracer> obs_tracer;
@@ -303,22 +330,19 @@ int main(int argc, char** argv) {
         obs_registry = std::make_unique<obs::Registry>();
         obs_tracer = std::make_unique<obs::IterationTracer>(
             obs::TracerOptions{.sample_every = std::max<std::uint64_t>(1, cli.obs_sample)});
-        if (serial) serial->attachObservability(obs_registry.get(), obs_tracer.get());
-        else engine->attachObservability(obs_registry.get(), obs_tracer.get());
+        active.attachObservability(obs_registry.get(), obs_tracer.get());
     }
 
     std::vector<core::IterationRecord> records;
     records.reserve(static_cast<std::size_t>(cli.iterations));
-    for (int i = 0; i < cli.iterations; ++i)
-        records.push_back(serial ? serial->step() : engine->step());
+    for (int i = 0; i < cli.iterations; ++i) records.push_back(active.step());
 
-    const std::size_t converged =
-        (serial ? serial->convergence() : engine->convergence()).convergedAt();
+    const std::size_t converged = active.convergence().convergedAt();
     std::printf("LRGP: utility %.0f after %d iterations (converged at %zu)\n",
                 current_utility(), cli.iterations, converged);
 
-    if (engine && engine->incremental()) {
-        const core::IncrementalStats inc = engine->incrementalStats();
+    if (parallel && parallel->incremental()) {
+        const core::IncrementalStats inc = parallel->incrementalStats();
         std::printf("incremental: %llu rate solves run / %llu skipped, "
                     "%llu node admissions run / %llu cached (%llu rank reuses), "
                     "%llu link sums, %llu utility-sum reuses\n",
@@ -329,6 +353,22 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(inc.rank_cache_hits),
                     static_cast<unsigned long long>(inc.dirty_links),
                     static_cast<unsigned long long>(inc.utility_cache_hits));
+    }
+
+    if (sharded) {
+        for (const auto& s : sharded->summaries()) {
+            std::printf("shard %d: %zu flows, %zu classes, %zu nodes (%zu boundary), "
+                        "%zu links (%zu boundary), %d iterations%s\n",
+                        s.shard, s.flows, s.classes, s.nodes, s.boundary_nodes, s.links,
+                        s.boundary_links, s.iterations, s.converged ? ", converged" : "");
+        }
+        const shard::ReconcileStats& rs = sharded->reconcileStats();
+        std::printf("reconcile: %llu passes, %llu price exchanges, %llu budget updates, "
+                    "%llu shard wakeups, %.1f capacity units moved\n",
+                    static_cast<unsigned long long>(rs.passes),
+                    static_cast<unsigned long long>(rs.price_exchanges),
+                    static_cast<unsigned long long>(rs.budget_updates),
+                    static_cast<unsigned long long>(rs.shard_wakeups), rs.budget_moved);
     }
 
     if (cli.two_stage) {
@@ -352,8 +392,7 @@ int main(int argc, char** argv) {
                     100.0 * (current_utility() - sa.best_utility) / sa.best_utility);
     }
 
-    const auto summary =
-        model::summarize(spec, serial ? serial->allocation() : engine->allocation());
+    const auto summary = model::summarize(spec, active.allocation());
     std::printf("classes: %d fully admitted, %d partial, %d denied; Jain fairness %.3f\n",
                 summary.classes_fully_admitted, summary.classes_partially_admitted,
                 summary.classes_denied, summary.jain_fairness);

@@ -1,19 +1,27 @@
 #!/usr/bin/env python3
-"""CI perf-regression guard for the compiled/incremental LRGP engines.
+"""CI perf-regression guard for the LRGP engine benchmarks.
 
-Compares a freshly generated BENCH_lrgp.json (from bench/bench_compiled)
-against the committed baseline and fails on a >25% regression in any
-tracked ns/iteration column.
+Compares freshly generated bench JSON files against their committed
+baselines and fails on a >25% regression in any tracked column.  Each
+file carries a "bench" tag that selects its metric set:
+
+  bench_compiled (BENCH_lrgp.json)   ns/iteration columns, engine
+                                     speedups, bitwise-identity flag
+  bench_shards   (BENCH_shards.json) sharded-engine steady-state control
+                                     loop speedups, optimality gap,
+                                     K=1 bitwise parity, shard-count
+                                     wall-clock monotonicity
 
 Absolute wall times are machine-dependent: a committed baseline measured
 on one box says little about a shared CI runner.  Setting
 LRGP_PERF_ALLOW_UNKNOWN_HW=1 downgrades *absolute* regressions to
 warnings.  Relative speedups are ratios of two measurements taken in the
 same process on the same machine, so they stay enforced either way — as
-do the incremental engine's floor targets (converged-tail node phase
->= 3x, end-to-end >= 1.5x) and the bitwise-identity flag.
+do the hard floors (incremental converged-tail node phase >= 3x,
+end-to-end >= 1.5x; sharded steady-state 8-shard speedup >= 3x with
+optimality gap <= 1%) and the bitwise-identity flags.
 
-usage: check_perf_regression.py <committed_baseline.json> <fresh.json>
+usage: check_perf_regression.py <committed_baseline.json> <fresh.json> [more pairs...]
 exit status: 0 ok, 1 regression/violation, 2 usage or unreadable input
 """
 
@@ -23,8 +31,8 @@ import sys
 
 REGRESSION_LIMIT = 0.25  # fail when fresh is >25% worse than the baseline
 
-# Absolute ns/iteration columns: lower is better.  Dotted paths index
-# into nested objects.
+# Absolute ns/iteration columns (bench_compiled): lower is better.
+# Dotted paths index into nested objects.
 ABSOLUTE_NS_METRICS = [
     "serial_ns_per_iter",
     "compiled_1t_ns_per_iter",
@@ -49,6 +57,13 @@ SPEEDUP_FLOORS = {
     "incremental.e2e_tail_speedup": 1.5,
 }
 
+# Sharded control plane (bench_shards): steady-state re-convergence
+# speedups are same-machine ratios, so they carry both a hard floor (the
+# acceptance target) and the 25% no-regression band vs the baseline.
+SHARD_RELATIVE_METRICS = ["speedup_4", "speedup_8"]
+SHARD_SPEEDUP_FLOORS = {"speedup_8": 3.0}
+SHARD_MAX_GAP = 0.01  # worst tolerated optimality gap vs the monolithic solver
+
 
 def lookup(doc, dotted):
     node = doc
@@ -59,73 +74,156 @@ def lookup(doc, dotted):
     return node
 
 
-def main(argv):
-    if len(argv) != 3:
-        sys.stderr.write(__doc__)
-        return 2
-    try:
-        with open(argv[1]) as f:
-            baseline = json.load(f)
-        with open(argv[2]) as f:
-            fresh = json.load(f)
-    except (OSError, ValueError) as err:
-        print(f"error: {err}", file=sys.stderr)
-        return 2
+class Guard:
+    """Accumulates ok/warn/fail lines for one baseline-vs-fresh pair."""
 
-    allow_unknown_hw = os.environ.get("LRGP_PERF_ALLOW_UNKNOWN_HW", "") not in ("", "0")
-    failures = []
-    warnings = []
+    def __init__(self, allow_unknown_hw):
+        self.allow_unknown_hw = allow_unknown_hw
+        self.failures = []
+        self.warnings = []
 
-    def check(kind, metric, ok, message):
+    def check(self, kind, metric, ok, message):
         if ok:
             print(f"  ok    {metric}: {message}")
-        elif kind == "absolute" and allow_unknown_hw:
-            warnings.append(f"{metric}: {message}")
+        elif kind == "absolute" and self.allow_unknown_hw:
+            self.warnings.append(f"{metric}: {message}")
             print(f"  WARN  {metric}: {message} (absolute check relaxed: unknown hardware)")
         else:
-            failures.append(f"{metric}: {message}")
+            self.failures.append(f"{metric}: {message}")
             print(f"  FAIL  {metric}: {message}")
 
-    if fresh.get("bitwise_identical") is not True:
-        failures.append("bitwise_identical: fresh run did not certify bitwise identity")
+    def fail(self, metric, message):
+        self.failures.append(f"{metric}: {message}")
+        print(f"  FAIL  {metric}: {message}")
 
-    print(f"perf guard: baseline {argv[1]} vs fresh {argv[2]}")
-    if allow_unknown_hw:
-        print("  note: LRGP_PERF_ALLOW_UNKNOWN_HW set — absolute ns/iter regressions warn only")
+    def skip(self, metric, where):
+        self.warnings.append(f"{metric}: missing in {where} — skipped")
+        print(f"  skip  {metric}: not present in both files")
+
+    def compare_absolute(self, baseline, fresh, metric):
+        base, now = lookup(baseline, metric), lookup(fresh, metric)
+        if base is None or now is None:
+            self.skip(metric, "baseline" if base is None else "fresh")
+            return
+        limit = base * (1.0 + REGRESSION_LIMIT)
+        self.check("absolute", metric, now <= limit,
+                   f"{now:.2f} vs baseline {base:.2f} (limit {limit:.2f})")
+
+    def compare_relative(self, baseline, fresh, metric):
+        base, now = lookup(baseline, metric), lookup(fresh, metric)
+        if base is None or now is None:
+            self.skip(metric, "baseline" if base is None else "fresh")
+            return
+        floor = base / (1.0 + REGRESSION_LIMIT)
+        self.check("relative", metric, now >= floor,
+                   f"{now:.2f}x vs baseline {base:.2f}x (floor {floor:.2f}x)")
+
+
+def check_compiled(guard, baseline, fresh):
+    if fresh.get("bitwise_identical") is not True:
+        guard.fail("bitwise_identical", "fresh run did not certify bitwise identity")
 
     for metric in ABSOLUTE_NS_METRICS:
-        base, now = lookup(baseline, metric), lookup(fresh, metric)
-        if base is None or now is None:
-            warnings.append(f"{metric}: missing in {'baseline' if base is None else 'fresh'} — skipped")
-            print(f"  skip  {metric}: not present in both files")
-            continue
-        limit = base * (1.0 + REGRESSION_LIMIT)
-        check("absolute", metric, now <= limit,
-              f"{now:.0f} ns/iter vs baseline {base:.0f} (limit {limit:.0f})")
-
+        guard.compare_absolute(baseline, fresh, metric)
     for metric in RELATIVE_SPEEDUP_METRICS:
-        base, now = lookup(baseline, metric), lookup(fresh, metric)
-        if base is None or now is None:
-            warnings.append(f"{metric}: missing in {'baseline' if base is None else 'fresh'} — skipped")
-            print(f"  skip  {metric}: not present in both files")
-            continue
-        floor = base / (1.0 + REGRESSION_LIMIT)
-        check("relative", metric, now >= floor,
-              f"{now:.2f}x vs baseline {base:.2f}x (floor {floor:.2f}x)")
-
+        guard.compare_relative(baseline, fresh, metric)
     for metric, floor in SPEEDUP_FLOORS.items():
         now = lookup(fresh, metric)
         if now is None:
-            failures.append(f"{metric}: missing from fresh results (floor {floor}x unverified)")
-            print(f"  FAIL  {metric}: missing from fresh results")
+            guard.fail(metric, f"missing from fresh results (floor {floor}x unverified)")
             continue
-        check("relative", metric, now >= floor, f"{now:.2f}x vs hard floor {floor:.2f}x")
+        guard.check("relative", metric, now >= floor, f"{now:.2f}x vs hard floor {floor:.2f}x")
 
-    if warnings:
-        print(f"{len(warnings)} warning(s).")
-    if failures:
-        print(f"{len(failures)} perf regression(s) detected:", file=sys.stderr)
-        for failure in failures:
+
+def check_shards(guard, baseline, fresh):
+    # Acceptance flags certified by the fresh run itself.
+    if fresh.get("k1_bitwise_identical") is not True:
+        guard.fail("k1_bitwise_identical",
+                   "one shard did not reproduce the monolithic trajectory bitwise")
+    if fresh.get("monotone_1_2_4") is not True:
+        guard.fail("monotone_1_2_4",
+                   "steady-state wall clock not monotone non-increasing over 1 -> 2 -> 4 shards")
+
+    gap = fresh.get("max_gap")
+    if gap is None:
+        guard.fail("max_gap", "missing from fresh results")
+    else:
+        guard.check("relative", "max_gap", abs(gap) <= SHARD_MAX_GAP,
+                    f"{gap:.4%} optimality gap vs limit {SHARD_MAX_GAP:.0%}")
+
+    for metric, floor in SHARD_SPEEDUP_FLOORS.items():
+        now = lookup(fresh, metric)
+        if now is None:
+            guard.fail(metric, f"missing from fresh results (floor {floor}x unverified)")
+            continue
+        guard.check("relative", metric, now >= floor, f"{now:.2f}x vs hard floor {floor:.2f}x")
+
+    for metric in SHARD_RELATIVE_METRICS:
+        guard.compare_relative(baseline, fresh, metric)
+
+    # Per-workload steady-state wall clocks, matched by (workload, shard
+    # count) so full-scale runs and row reordering don't misalign pairs.
+    base_workloads = {w.get("name"): w for w in baseline.get("workloads", [])}
+    for workload in fresh.get("workloads", []):
+        name = workload.get("name")
+        base_workload = base_workloads.get(name)
+        if base_workload is None:
+            guard.skip(f"workloads[{name}]", "baseline")
+            continue
+        base_rows = {row.get("shards"): row
+                     for row in base_workload.get("steady", {}).get("rows", [])}
+        for row in workload.get("steady", {}).get("rows", []):
+            shards = row.get("shards")
+            metric = f"workloads[{name}].steady[shards={shards}].wall_ms"
+            base_row = base_rows.get(shards)
+            if base_row is None or "wall_ms" not in base_row or "wall_ms" not in row:
+                guard.skip(metric, "baseline")
+                continue
+            base, now = base_row["wall_ms"], row["wall_ms"]
+            limit = base * (1.0 + REGRESSION_LIMIT)
+            guard.check("absolute", metric, now <= limit,
+                        f"{now:.2f} ms vs baseline {base:.2f} (limit {limit:.2f})")
+
+
+def check_pair(guard, baseline_path, fresh_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    kind = fresh.get("bench", "bench_compiled")
+    print(f"perf guard [{kind}]: baseline {baseline_path} vs fresh {fresh_path}")
+    if baseline.get("bench", "bench_compiled") != kind:
+        guard.fail("bench", f"baseline is {baseline.get('bench')!r}, fresh is {kind!r}")
+        return
+    if kind == "bench_shards":
+        check_shards(guard, baseline, fresh)
+    else:
+        check_compiled(guard, baseline, fresh)
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        sys.stderr.write(__doc__)
+        return 2
+
+    allow_unknown_hw = os.environ.get("LRGP_PERF_ALLOW_UNKNOWN_HW", "") not in ("", "0")
+    guard = Guard(allow_unknown_hw)
+    if allow_unknown_hw:
+        print("note: LRGP_PERF_ALLOW_UNKNOWN_HW set — absolute regressions warn only")
+
+    for i in range(1, len(argv), 2):
+        try:
+            check_pair(guard, argv[i], argv[i + 1])
+        except (OSError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+
+    if guard.warnings:
+        print(f"{len(guard.warnings)} warning(s).")
+    if guard.failures:
+        print(f"{len(guard.failures)} perf regression(s) detected:", file=sys.stderr)
+        for failure in guard.failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     print("perf guard passed.")

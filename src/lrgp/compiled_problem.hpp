@@ -63,6 +63,9 @@ public:
     void setNodeCapacity(model::NodeId id, double capacity) {
         node_capacity.at(id.index()) = capacity;
     }
+    void setLinkCapacity(model::LinkId id, double capacity) {
+        link_capacity.at(id.index()) = capacity;
+    }
     void setClassMaxConsumers(model::ClassId id, int max_consumers) {
         class_max_consumers.at(id.index()) = max_consumers;
     }

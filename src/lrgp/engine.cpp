@@ -1,0 +1,31 @@
+#include "lrgp/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
+
+namespace lrgp::core {
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, model::ProblemSpec spec,
+                                    LrgpOptions options, int threads) {
+    switch (kind) {
+        case EngineKind::kSerial:
+            return std::make_unique<LrgpOptimizer>(std::move(spec), options);
+        case EngineKind::kCompiled: {
+            EngineConfig config;
+            config.threads = threads;
+            return std::make_unique<ParallelLrgpEngine>(std::move(spec), options, config);
+        }
+        case EngineKind::kIncremental: {
+            EngineConfig config;
+            config.threads = threads;
+            config.incremental = true;
+            return std::make_unique<ParallelLrgpEngine>(std::move(spec), options, config);
+        }
+    }
+    throw std::invalid_argument("make_engine: unknown engine kind");
+}
+
+}  // namespace lrgp::core

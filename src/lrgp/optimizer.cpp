@@ -189,6 +189,12 @@ void LrgpOptimizer::setNodeCapacity(model::NodeId node, double capacity) {
     noteConvergenceReset();
 }
 
+void LrgpOptimizer::setLinkCapacity(model::LinkId link, double capacity) {
+    spec_.setLinkCapacity(link, capacity);
+    detector_.reset();
+    noteConvergenceReset();
+}
+
 void LrgpOptimizer::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
     spec_.setClassMaxConsumers(cls, max_consumers);
     // A shrunk ceiling must evict immediately so the allocation stays

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "lrgp/convergence.hpp"
+#include "lrgp/engine.hpp"
 #include "lrgp/greedy_allocator.hpp"
 #include "lrgp/price_controllers.hpp"
 #include "lrgp/prices.hpp"
@@ -27,65 +28,51 @@
 
 namespace lrgp::core {
 
-struct LrgpOptions {
-    GammaPolicy gamma = AdaptiveGamma{};        ///< node price stepsize policy
-    NodePriceRule node_price_rule = NodePriceRule::kBenefitCost;  ///< Eq. 12 vs ablation
-    double link_gamma = 1e-5;                   ///< Eq. 13 stepsize
-    utility::RateSolveOptions rate_solve;       ///< closed-form / numeric control
-    double initial_node_price = 0.0;
-    double initial_link_price = 0.0;
-    ConvergenceOptions convergence;
-};
-
-/// A snapshot of the optimizer state after one iteration.
-struct IterationRecord {
-    int iteration = 0;              ///< 1-based iteration count
-    double utility = 0.0;           ///< Eq. 1 evaluated on the new allocation
-    model::Allocation allocation;   ///< rates and populations after the iteration
-    PriceVector prices;             ///< prices after the iteration
-};
-
 /// Drives LRGP on a ProblemSpec.  Owns a copy of the problem so dynamic
 /// changes (removeFlow, setNodeCapacity) stay local to this optimizer.
-class LrgpOptimizer {
+/// (LrgpOptions and IterationRecord live in lrgp/engine.hpp.)
+class LrgpOptimizer : public Engine {
 public:
     explicit LrgpOptimizer(model::ProblemSpec spec, LrgpOptions options = {});
 
-    // Non-copyable/movable: the allocators hold pointers into spec_.
-    LrgpOptimizer(const LrgpOptimizer&) = delete;
-    LrgpOptimizer& operator=(const LrgpOptimizer&) = delete;
+    [[nodiscard]] const char* name() const noexcept override { return "serial"; }
 
     /// Runs one LRGP iteration and returns its record.
-    const IterationRecord& step();
+    const IterationRecord& step() override;
 
     /// Runs exactly `iterations` iterations; returns the final record.
-    const IterationRecord& run(int iterations);
+    const IterationRecord& run(int iterations) override;
 
     /// Runs until the convergence criterion fires or `max_iterations` is
     /// reached.  Returns the 1-based iteration of convergence, or nullopt.
-    std::optional<int> runUntilConverged(int max_iterations);
+    std::optional<int> runUntilConverged(int max_iterations) override;
 
     // -- dynamic workload changes (applied before the next iteration) ----
 
     /// Models the flow's source leaving the system: the flow stops
     /// consuming resources and its classes are evicted.
-    void removeFlow(model::FlowId flow);
+    void removeFlow(model::FlowId flow) override;
 
     /// Brings a removed flow back (resumes at r_min, zero consumers).
-    void restoreFlow(model::FlowId flow);
+    void restoreFlow(model::FlowId flow) override;
 
-    void setNodeCapacity(model::NodeId node, double capacity);
+    void setNodeCapacity(model::NodeId node, double capacity) override;
+
+    /// Shrinks/expands a link budget (Eq. 13's c_l).  The usage side of
+    /// the price update is rate-derived, so only the controller target
+    /// changes; the convergence detector restarts.
+    void setLinkCapacity(model::LinkId link, double capacity) override;
 
     /// Consumers arriving at / leaving a class (changes n^max).  Takes
     /// effect on the next iteration; the convergence detector restarts.
-    void setClassMaxConsumers(model::ClassId cls, int max_consumers);
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers) override;
 
     /// Warm start: seeds prices (and optionally populations) from a
     /// previous run so re-optimization after a small workload change
     /// starts near the old equilibrium instead of from scratch.  Sizes
     /// must match this problem; throws std::invalid_argument otherwise.
     void warmStart(const PriceVector& prices,
-                   const std::vector<int>* populations = nullptr);
+                   const std::vector<int>* populations = nullptr) override;
 
     // -- observability ----------------------------------------------------
 
@@ -94,19 +81,26 @@ public:
     /// counters, price-move counts and the utility gauge are recorded on
     /// every subsequent step().  Pass nullptrs to detach.  A no-op in
     /// builds without LRGP_OBS (metric names in docs/observability.md).
-    void attachObservability(obs::Registry* registry, obs::IterationTracer* tracer = nullptr);
+    void attachObservability(obs::Registry* registry,
+                             obs::IterationTracer* tracer = nullptr) override;
 
     // -- observers --------------------------------------------------------
 
-    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
-    [[nodiscard]] const model::Allocation& allocation() const noexcept { return allocation_; }
-    [[nodiscard]] const PriceVector& prices() const noexcept { return prices_; }
-    [[nodiscard]] double currentUtility() const;
-    [[nodiscard]] int iterationsRun() const noexcept { return iteration_; }
-    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
-    [[nodiscard]] const ConvergenceDetector& convergence() const noexcept { return detector_; }
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept override { return spec_; }
+    [[nodiscard]] const model::Allocation& allocation() const noexcept override {
+        return allocation_;
+    }
+    [[nodiscard]] const PriceVector& prices() const noexcept override { return prices_; }
+    [[nodiscard]] double currentUtility() const override;
+    [[nodiscard]] int iterationsRun() const noexcept override { return iteration_; }
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept override {
+        return trace_;
+    }
+    [[nodiscard]] const ConvergenceDetector& convergence() const noexcept override {
+        return detector_;
+    }
     /// Current adaptive/fixed gamma at `node` (for the Figure 2 ablation).
-    [[nodiscard]] double nodeGamma(model::NodeId node) const;
+    [[nodiscard]] double nodeGamma(model::NodeId node) const override;
 
 private:
     void noteConvergenceReset();

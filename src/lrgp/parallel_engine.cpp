@@ -148,6 +148,10 @@ ParallelLrgpEngine::~ParallelLrgpEngine() = default;
 
 int ParallelLrgpEngine::threadCount() const noexcept { return pool_->threadCount(); }
 
+const char* ParallelLrgpEngine::name() const noexcept {
+    return inc_ ? "incremental" : "compiled";
+}
+
 bool ParallelLrgpEngine::incremental() const noexcept { return inc_ != nullptr; }
 
 IncrementalStats ParallelLrgpEngine::incrementalStats() const noexcept {
@@ -816,6 +820,17 @@ void ParallelLrgpEngine::setNodeCapacity(model::NodeId node, double capacity) {
     // ranking stays valid: only the admission outcome depends on the
     // capacity.  This is the rank-reuse path (result-dirty only).
     if (inc_) inc_->node_result_dirty[node.index()] = 1;
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void ParallelLrgpEngine::setLinkCapacity(model::LinkId link, double capacity) {
+    spec_.setLinkCapacity(link, capacity);
+    compiled_.setLinkCapacity(link, capacity);
+    // Link usage is a pure function of the rates and the price controller
+    // update always runs, so no dirty bits are needed: the controller
+    // reads the new capacity on the next iteration and publishes a moved
+    // bit if the price reacts.
     detector_.reset();
     noteConvergenceReset();
 }

@@ -95,48 +95,56 @@ struct IncrementalStats {
     std::uint64_t utility_cache_hits = 0;  ///< iterations reusing the cached Eq. 1 sum
 };
 
-class ParallelLrgpEngine {
+class ParallelLrgpEngine : public Engine {
 public:
     explicit ParallelLrgpEngine(model::ProblemSpec spec, LrgpOptions options = {},
                                 EngineConfig config = {});
-    ~ParallelLrgpEngine();
+    ~ParallelLrgpEngine() override;
 
-    ParallelLrgpEngine(const ParallelLrgpEngine&) = delete;
-    ParallelLrgpEngine& operator=(const ParallelLrgpEngine&) = delete;
+    [[nodiscard]] const char* name() const noexcept override;
 
     /// Runs one LRGP iteration and returns its record.
-    const IterationRecord& step();
+    const IterationRecord& step() override;
 
     /// Runs exactly `iterations` iterations; returns the final record.
-    const IterationRecord& run(int iterations);
+    const IterationRecord& run(int iterations) override;
 
     /// Runs until the convergence criterion fires or `max_iterations` is
     /// reached.  Returns the 1-based iteration of convergence, or nullopt.
-    std::optional<int> runUntilConverged(int max_iterations);
+    std::optional<int> runUntilConverged(int max_iterations) override;
 
     // -- dynamic workload changes (same contracts as LrgpOptimizer) ------
-    void removeFlow(model::FlowId flow);
-    void restoreFlow(model::FlowId flow);
-    void setNodeCapacity(model::NodeId node, double capacity);
-    void setClassMaxConsumers(model::ClassId cls, int max_consumers);
-    void warmStart(const PriceVector& prices, const std::vector<int>* populations = nullptr);
+    void removeFlow(model::FlowId flow) override;
+    void restoreFlow(model::FlowId flow) override;
+    void setNodeCapacity(model::NodeId node, double capacity) override;
+    void setLinkCapacity(model::LinkId link, double capacity) override;
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers) override;
+    void warmStart(const PriceVector& prices,
+                   const std::vector<int>* populations = nullptr) override;
 
     // -- observability ----------------------------------------------------
 
     /// Same contract as LrgpOptimizer::attachObservability, plus TaskPool
     /// fan-out counters.  Metric mutation from worker threads uses relaxed
     /// atomics, so attaching does not perturb the determinism contract.
-    void attachObservability(obs::Registry* registry, obs::IterationTracer* tracer = nullptr);
+    void attachObservability(obs::Registry* registry,
+                             obs::IterationTracer* tracer = nullptr) override;
 
     // -- observers --------------------------------------------------------
-    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
-    [[nodiscard]] const model::Allocation& allocation() const noexcept { return allocation_; }
-    [[nodiscard]] const PriceVector& prices() const noexcept { return prices_; }
-    [[nodiscard]] double currentUtility() const;
-    [[nodiscard]] int iterationsRun() const noexcept { return iteration_; }
-    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
-    [[nodiscard]] const ConvergenceDetector& convergence() const noexcept { return detector_; }
-    [[nodiscard]] double nodeGamma(model::NodeId node) const;
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept override { return spec_; }
+    [[nodiscard]] const model::Allocation& allocation() const noexcept override {
+        return allocation_;
+    }
+    [[nodiscard]] const PriceVector& prices() const noexcept override { return prices_; }
+    [[nodiscard]] double currentUtility() const override;
+    [[nodiscard]] int iterationsRun() const noexcept override { return iteration_; }
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept override {
+        return trace_;
+    }
+    [[nodiscard]] const ConvergenceDetector& convergence() const noexcept override {
+        return detector_;
+    }
+    [[nodiscard]] double nodeGamma(model::NodeId node) const override;
     [[nodiscard]] int threadCount() const noexcept;
     [[nodiscard]] const PhaseTimes& phaseTimes() const noexcept { return phase_times_; }
 

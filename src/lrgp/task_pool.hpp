@@ -44,6 +44,23 @@ public:
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t, std::size_t, int)>& fn);
 
+    /// Deterministic ordered fan-out/merge: runs task(i, worker) for
+    /// every i in [0, n) across the pool (same static partition as
+    /// parallelFor), then invokes merge(i) serially on the calling
+    /// thread in ascending index order 0, 1, ..., n-1.  Tasks must write
+    /// only per-index state (slots the merge step reads); merge runs
+    /// strictly after every task finished, so the combined result is
+    /// byte-identical regardless of worker count or scheduling.  Used by
+    /// the sharded engine's reconciler to merge per-shard results in
+    /// shard-id order.
+    template <class Task, class Merge>
+    void forEachMergeOrdered(std::size_t n, Task&& task, Merge&& merge) {
+        parallelFor(n, [&task](std::size_t begin, std::size_t end, int worker) {
+            for (std::size_t i = begin; i < end; ++i) task(i, worker);
+        });
+        for (std::size_t i = 0; i < n; ++i) merge(i);
+    }
+
     /// Optional fan-out counters (dispatches, chunks, depth histogram);
     /// nullptr (the default) keeps parallelFor() uninstrumented.
     void setInstruments(const obs::PoolInstruments* instruments) noexcept {

@@ -50,6 +50,12 @@ void ProblemSpec::setNodeCapacity(NodeId id, double capacity) {
     nodes_.at(id.index()).capacity = capacity;
 }
 
+void ProblemSpec::setLinkCapacity(LinkId id, double capacity) {
+    if (!(capacity > 0.0))
+        throw std::invalid_argument("ProblemSpec: link capacity must be positive");
+    links_.at(id.index()).capacity = capacity;
+}
+
 void ProblemSpec::setClassMaxConsumers(ClassId id, int max_consumers) {
     if (max_consumers < 0)
         throw std::invalid_argument("ProblemSpec: max_consumers must be non-negative");

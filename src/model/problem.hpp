@@ -114,6 +114,7 @@ public:
 
     /// Adjusts a node capacity in place (workload-change experiments).
     void setNodeCapacity(NodeId id, double capacity);
+    void setLinkCapacity(LinkId id, double capacity);
 
     /// Adjusts a class's consumer ceiling in place — consumers arriving
     /// at (or leaving) a node change n^max, and the optimizer reacts on

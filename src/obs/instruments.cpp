@@ -121,6 +121,39 @@ IncrementalInstruments IncrementalInstruments::resolve(Registry& registry) {
     return instruments;
 }
 
+ShardInstruments ShardInstruments::resolve(Registry& registry, int shards) {
+    ShardInstruments instruments;
+    instruments.steps = &registry.counter("lrgp_shard_steps_total",
+                                          "Merged sharded-engine super-steps completed");
+    instruments.member_iterations = &registry.counter(
+        "lrgp_shard_member_iterations_total", "Member-engine iterations summed over shards");
+    instruments.reconciles = &registry.counter(
+        "lrgp_shard_reconciles_total", "Boundary-price reconciliation passes completed");
+    instruments.price_exchanges = &registry.counter(
+        "lrgp_shard_price_exchanges_total",
+        "Boundary (resource, shard) price samples exchanged by the reconciler");
+    instruments.budget_updates = &registry.counter(
+        "lrgp_shard_budget_updates_total", "Per-shard capacity budget updates applied");
+    instruments.wakeups = &registry.counter(
+        "lrgp_shard_wakeups_total", "Converged shards resumed by a boundary budget change");
+    instruments.shard_count = &registry.gauge("lrgp_shard_count", "Configured shard count K");
+    instruments.boundary_nodes = &registry.gauge(
+        "lrgp_shard_boundary_nodes", "Nodes shared by >= 2 shards after partitioning");
+    instruments.boundary_links = &registry.gauge(
+        "lrgp_shard_boundary_links", "Links shared by >= 2 shards after partitioning");
+    instruments.budget_moved = &registry.gauge(
+        "lrgp_shard_budget_moved_units", "Cumulative capacity units moved between shards");
+    instruments.reconcile_seconds = &registry.histogram(
+        "lrgp_shard_reconcile_seconds", default_time_buckets(),
+        "Wall time per boundary-price reconciliation pass");
+    const std::string iter_help = "Member-engine iterations by shard";
+    instruments.iterations_by_shard.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s)
+        instruments.iterations_by_shard.push_back(&registry.counter(
+            "lrgp_shard_iterations_total", iter_help, {{"shard", std::to_string(s)}}));
+    return instruments;
+}
+
 AllocatorInstruments AllocatorInstruments::resolve(Registry& registry) {
     AllocatorInstruments instruments;
     instruments.greedy_allocations =

@@ -6,6 +6,8 @@
 // documented in docs/observability.md.
 #pragma once
 
+#include <vector>
+
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
@@ -88,6 +90,27 @@ struct IncrementalInstruments {
     Counter* utility_cache_hits = nullptr; ///< lrgp_inc_utility_cache_hits_total (Eq. 1 sum reused)
 
     static IncrementalInstruments resolve(Registry& registry);
+};
+
+/// Sharded-engine instruments (shard::ShardedLrgpEngine): partition
+/// shape, lockstep/gated progress, and the boundary-price reconciler.
+struct ShardInstruments {
+    Counter* steps = nullptr;              ///< lrgp_shard_steps_total (merged super-steps)
+    Counter* member_iterations = nullptr;  ///< lrgp_shard_member_iterations_total
+    Counter* reconciles = nullptr;         ///< lrgp_shard_reconciles_total
+    Counter* price_exchanges = nullptr;    ///< lrgp_shard_price_exchanges_total
+    Counter* budget_updates = nullptr;     ///< lrgp_shard_budget_updates_total
+    Counter* wakeups = nullptr;            ///< lrgp_shard_wakeups_total
+    Gauge* shard_count = nullptr;          ///< lrgp_shard_count
+    Gauge* boundary_nodes = nullptr;       ///< lrgp_shard_boundary_nodes
+    Gauge* boundary_links = nullptr;       ///< lrgp_shard_boundary_links
+    Gauge* budget_moved = nullptr;         ///< lrgp_shard_budget_moved_units
+    Histogram* reconcile_seconds = nullptr;  ///< lrgp_shard_reconcile_seconds
+    /// lrgp_shard_iterations_total{shard="0".."K-1"}: per-shard member
+    /// iterations, sized at resolve time from the engine's shard count.
+    std::vector<Counter*> iterations_by_shard;
+
+    static ShardInstruments resolve(Registry& registry, int shards);
 };
 
 /// Allocator-level instruments, shared by every engine that drives the

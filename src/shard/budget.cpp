@@ -1,0 +1,120 @@
+#include "shard/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrgp::shard {
+
+namespace {
+
+/// Clamps `raw` to floors and rescales the unpinned mass so the total is
+/// exactly `capacity`.  Terminates in at most m rounds (each round pins
+/// at least one more entry); if everything pins, the floors themselves
+/// are scaled (over-subscribed capacity).
+std::vector<double> project(double capacity, std::vector<double> raw,
+                            const std::vector<double>& floors) {
+    const std::size_t m = raw.size();
+    std::vector<bool> pinned(m, false);
+    for (std::size_t round = 0; round <= m; ++round) {
+        double pinned_sum = 0.0, free_sum = 0.0;
+        std::size_t free_count = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (pinned[i]) {
+                pinned_sum += floors[i];
+            } else {
+                free_sum += raw[i];
+                ++free_count;
+            }
+        }
+        if (free_count == 0) break;
+        const double target = capacity - pinned_sum;
+        if (target <= 0.0) break;  // floors alone exceed capacity
+        bool newly_pinned = false;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (pinned[i]) continue;
+            raw[i] = free_sum > 0.0 ? raw[i] * (target / free_sum)
+                                    : target / static_cast<double>(free_count);
+            if (raw[i] < floors[i]) {
+                pinned[i] = true;
+                newly_pinned = true;
+            }
+        }
+        if (!newly_pinned) {
+            for (std::size_t i = 0; i < m; ++i)
+                if (pinned[i]) raw[i] = floors[i];
+            return raw;
+        }
+    }
+    // Over-subscribed: every shard sits at its floor; scale the floors.
+    double floor_sum = 0.0;
+    for (double f : floors) floor_sum += f;
+    const double scale = floor_sum > 0.0 ? capacity / floor_sum : 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        raw[i] = floor_sum > 0.0 ? floors[i] * scale
+                                 : capacity / static_cast<double>(m);
+    return raw;
+}
+
+}  // namespace
+
+std::vector<double> split_with_floors(double capacity, const std::vector<double>& floors,
+                                      const std::vector<double>& weights) {
+    if (floors.size() != weights.size())
+        throw std::invalid_argument("split_with_floors: size mismatch");
+    if (floors.empty()) return {};
+    if (!(capacity > 0.0)) throw std::invalid_argument("split_with_floors: capacity must be > 0");
+    const std::size_t m = floors.size();
+    double floor_sum = 0.0, weight_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        floor_sum += floors[i];
+        weight_sum += weights[i];
+    }
+    std::vector<double> out(m);
+    if (floor_sum >= capacity) {
+        const double scale = floor_sum > 0.0 ? capacity / floor_sum : 0.0;
+        for (std::size_t i = 0; i < m; ++i)
+            out[i] = floor_sum > 0.0 ? floors[i] * scale
+                                     : capacity / static_cast<double>(m);
+        return out;
+    }
+    const double surplus = capacity - floor_sum;
+    for (std::size_t i = 0; i < m; ++i)
+        out[i] = floors[i] + (weight_sum > 0.0 ? surplus * weights[i] / weight_sum
+                                               : surplus / static_cast<double>(m));
+    return out;
+}
+
+RebalanceResult rebalance_budgets(double capacity, const std::vector<double>& budget,
+                                  const std::vector<double>& floors,
+                                  const std::vector<double>& prices, double step) {
+    const std::size_t m = budget.size();
+    if (floors.size() != m || prices.size() != m)
+        throw std::invalid_argument("rebalance_budgets: size mismatch");
+    if (!(step >= 0.0 && step <= 1.0))
+        throw std::invalid_argument("rebalance_budgets: step must be in [0, 1]");
+    RebalanceResult result;
+    result.budget = budget;
+    if (m < 2 || step == 0.0) return result;
+
+    double pmax = 0.0, weighted = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        pmax = std::max(pmax, prices[i]);
+        weighted += budget[i] * prices[i];
+        total += budget[i];
+    }
+    if (!(pmax > 0.0) || !(total > 0.0)) return result;  // nobody constrained
+    const double pbar = weighted / total;
+
+    std::vector<double> raw(m);
+    for (std::size_t i = 0; i < m; ++i)
+        raw[i] = budget[i] * (1.0 + step * (prices[i] - pbar) / pmax);
+    result.budget = project(capacity, std::move(raw), floors);
+
+    double moved = 0.0;
+    for (std::size_t i = 0; i < m; ++i) moved += std::abs(result.budget[i] - budget[i]);
+    result.moved = moved / 2.0;
+    return result;
+}
+
+}  // namespace lrgp::shard

@@ -1,0 +1,268 @@
+#include "shard/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrgp::shard {
+
+namespace {
+
+/// The incident resources of one flow: route-node hops plus the source
+/// node (deduplicated), and route-link hops.
+struct FlowIncidence {
+    std::vector<std::uint32_t> nodes;
+    std::vector<std::uint32_t> links;
+};
+
+std::vector<FlowIncidence> build_incidence(const model::ProblemSpec& spec) {
+    std::vector<FlowIncidence> out(spec.flowCount());
+    for (const model::FlowSpec& f : spec.flows()) {
+        FlowIncidence& inc = out[f.id.index()];
+        inc.nodes.reserve(f.nodes.size() + 1);
+        for (const model::FlowNodeHop& hop : f.nodes) inc.nodes.push_back(hop.node.index());
+        inc.nodes.push_back(f.source.index());
+        std::sort(inc.nodes.begin(), inc.nodes.end());
+        inc.nodes.erase(std::unique(inc.nodes.begin(), inc.nodes.end()), inc.nodes.end());
+        inc.links.reserve(f.links.size());
+        for (const model::FlowLinkHop& hop : f.links) inc.links.push_back(hop.link.index());
+    }
+    return out;
+}
+
+/// Per-resource shard occupancy: count[r * K + s] flows of shard s touch
+/// resource r, plus the number of distinct shards touching r.  Supports
+/// O(1) evaluation and application of single-flow moves.
+struct Occupancy {
+    int K;
+    std::vector<std::uint32_t> count;    ///< resource-major, K per resource
+    std::vector<std::uint16_t> distinct;
+
+    Occupancy(std::size_t resources, int shards)
+        : K(shards), count(resources * static_cast<std::size_t>(shards), 0),
+          distinct(resources, 0) {}
+
+    void add(std::uint32_t r, int s) {
+        if (count[r * static_cast<std::size_t>(K) + s]++ == 0) ++distinct[r];
+    }
+    void remove(std::uint32_t r, int s) {
+        if (--count[r * static_cast<std::size_t>(K) + s] == 0) --distinct[r];
+    }
+    /// Change in max(0, distinct-1) if one flow at r moves s -> t.
+    [[nodiscard]] int moveDelta(std::uint32_t r, int s, int t) const {
+        const std::size_t base = r * static_cast<std::size_t>(K);
+        int d = distinct[r];
+        const int nd = d - (count[base + s] == 1 ? 1 : 0) + (count[base + t] == 0 ? 1 : 0);
+        return std::max(0, nd - 1) - std::max(0, d - 1);
+    }
+};
+
+/// Union-find over flow indices with path halving; union by lower root
+/// so the representative is deterministic (the smallest flow id wins).
+struct FlowComponents {
+    std::vector<std::uint32_t> parent;
+
+    explicit FlowComponents(std::size_t n) : parent(n) {
+        for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+    }
+    std::uint32_t find(std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+    void merge(std::uint32_t a, std::uint32_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        if (a < b)
+            parent[b] = a;
+        else
+            parent[a] = b;
+    }
+};
+
+}  // namespace
+
+Partition make_partition(const model::ProblemSpec& spec, const PartitionOptions& options) {
+    const int K = options.shards;
+    if (K < 1) throw std::invalid_argument("make_partition: shards must be >= 1");
+    if (options.balance_slack < 0.0)
+        throw std::invalid_argument("make_partition: balance_slack must be >= 0");
+
+    const std::size_t F = spec.flowCount();
+    Partition part;
+    part.shards = K;
+    part.shard_of_flow.assign(F, 0);
+
+    const std::vector<FlowIncidence> incidence = build_incidence(spec);
+
+    std::vector<std::size_t> flow_classes(F, 0);
+    std::size_t total_classes = 0;
+    for (std::size_t f = 0; f < F; ++f) {
+        flow_classes[f] = spec.classesOfFlow(model::FlowId{static_cast<std::uint32_t>(f)}).size();
+        total_classes += flow_classes[f];
+    }
+    const double perfect = static_cast<double>(total_classes) / static_cast<double>(K);
+    const std::size_t cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(perfect * (1.0 + options.balance_slack))));
+
+    Occupancy nodes(spec.nodeCount(), K);
+    Occupancy links(spec.linkCount(), K);
+    std::vector<std::size_t> load(K, 0);  // classes per shard
+
+    if (K > 1) {
+        // --- affinity seeding -----------------------------------------
+        // Connected components over the flow/resource incidence graph.
+        FlowComponents components(F);
+        {
+            std::vector<std::uint32_t> first_node(spec.nodeCount(), UINT32_MAX);
+            std::vector<std::uint32_t> first_link(spec.linkCount(), UINT32_MAX);
+            for (std::size_t f = 0; f < F; ++f) {
+                const auto fid = static_cast<std::uint32_t>(f);
+                for (std::uint32_t n : incidence[f].nodes) {
+                    if (first_node[n] == UINT32_MAX)
+                        first_node[n] = fid;
+                    else
+                        components.merge(first_node[n], fid);
+                }
+                for (std::uint32_t l : incidence[f].links) {
+                    if (first_link[l] == UINT32_MAX)
+                        first_link[l] = fid;
+                    else
+                        components.merge(first_link[l], fid);
+                }
+            }
+        }
+        // Component roster: flows grouped by root, components ordered by
+        // descending class count (ties: smaller root id) so the biggest
+        // regions claim the emptiest shards first.
+        std::vector<std::vector<std::uint32_t>> comp_flows(F);
+        std::vector<std::size_t> comp_classes(F, 0);
+        for (std::size_t f = 0; f < F; ++f) {
+            const std::uint32_t root = components.find(static_cast<std::uint32_t>(f));
+            comp_flows[root].push_back(static_cast<std::uint32_t>(f));
+            comp_classes[root] += flow_classes[f];
+        }
+        std::vector<std::uint32_t> roots;
+        for (std::size_t r = 0; r < F; ++r)
+            if (!comp_flows[r].empty()) roots.push_back(static_cast<std::uint32_t>(r));
+        std::sort(roots.begin(), roots.end(), [&](std::uint32_t a, std::uint32_t b) {
+            if (comp_classes[a] != comp_classes[b]) return comp_classes[a] > comp_classes[b];
+            return a < b;
+        });
+
+        const auto least_loaded = [&]() {
+            int best = 0;
+            for (int s = 1; s < K; ++s)
+                if (load[s] < load[best]) best = s;
+            return best;
+        };
+        const auto place = [&](std::uint32_t f, int s) {
+            part.shard_of_flow[f] = s;
+            load[s] += flow_classes[f];
+            for (std::uint32_t n : incidence[f].nodes) nodes.add(n, s);
+            for (std::uint32_t l : incidence[f].links) links.add(l, s);
+        };
+
+        for (std::uint32_t root : roots) {
+            if (comp_classes[root] <= cap) {
+                // Whole component onto the least-loaded shard (lowest id
+                // on ties): disjoint regions never produce boundary.
+                const int s = least_loaded();
+                for (std::uint32_t f : comp_flows[root]) place(f, s);
+                continue;
+            }
+            // Component larger than the balance cap: split flow-by-flow,
+            // preferring the admissible shard that already touches most
+            // of this flow's resources (ties: lower load, lower id).
+            for (std::uint32_t f : comp_flows[root]) {
+                int best = -1;
+                std::size_t best_affinity = 0;
+                for (int s = 0; s < K; ++s) {
+                    if (load[s] + flow_classes[f] > cap) continue;
+                    std::size_t affinity = 0;
+                    for (std::uint32_t n : incidence[f].nodes)
+                        if (nodes.count[n * static_cast<std::size_t>(K) + s] > 0) ++affinity;
+                    for (std::uint32_t l : incidence[f].links)
+                        if (links.count[l * static_cast<std::size_t>(K) + s] > 0) ++affinity;
+                    if (best < 0 || affinity > best_affinity ||
+                        (affinity == best_affinity && load[s] < load[best]))
+                        best = s, best_affinity = affinity;
+                }
+                place(f, best >= 0 ? best : least_loaded());
+            }
+        }
+    } else {
+        for (std::size_t f = 0; f < F; ++f) {
+            load[0] += flow_classes[f];
+            for (std::uint32_t n : incidence[f].nodes) nodes.add(n, 0);
+            for (std::uint32_t l : incidence[f].links) links.add(l, 0);
+        }
+    }
+
+    for (int pass = 0; pass < options.refine_passes && K > 1; ++pass) {
+        bool moved_any = false;
+        for (std::size_t f = 0; f < F; ++f) {
+            const int s = part.shard_of_flow[f];
+            int best_t = s;
+            int best_delta = 0;
+            for (int t = 0; t < K; ++t) {
+                if (t == s) continue;
+                if (load[t] + flow_classes[f] > cap) continue;
+                int delta = 0;
+                for (std::uint32_t n : incidence[f].nodes) delta += nodes.moveDelta(n, s, t);
+                for (std::uint32_t l : incidence[f].links) delta += links.moveDelta(l, s, t);
+                // Strictly better boundary, or same boundary and strictly
+                // better balance than both the current shard and the best
+                // candidate so far (ascending t breaks remaining ties).
+                const bool better =
+                    delta < best_delta ||
+                    (delta == best_delta &&
+                     load[t] + flow_classes[f] < load[best_t == s ? s : best_t]);
+                if (better && (delta < 0 || load[t] + flow_classes[f] < load[s]))
+                    best_t = t, best_delta = delta;
+            }
+            if (best_t != s) {
+                for (std::uint32_t n : incidence[f].nodes) {
+                    nodes.remove(n, s);
+                    nodes.add(n, best_t);
+                }
+                for (std::uint32_t l : incidence[f].links) {
+                    links.remove(l, s);
+                    links.add(l, best_t);
+                }
+                load[s] -= flow_classes[f];
+                load[best_t] += flow_classes[f];
+                part.shard_of_flow[f] = best_t;
+                moved_any = true;
+            }
+        }
+        if (!moved_any) break;
+    }
+
+    part.flows_of_shard.resize(K);
+    for (std::size_t f = 0; f < F; ++f)
+        part.flows_of_shard[part.shard_of_flow[f]].push_back(
+            model::FlowId{static_cast<std::uint32_t>(f)});
+    part.classes_of_shard.assign(load.begin(), load.end());
+
+    part.shards_of_node.resize(spec.nodeCount());
+    part.shards_of_link.resize(spec.linkCount());
+    for (std::size_t n = 0; n < spec.nodeCount(); ++n) {
+        for (int s = 0; s < K; ++s)
+            if (nodes.count[n * static_cast<std::size_t>(K) + s] > 0)
+                part.shards_of_node[n].push_back(s);
+        if (part.shards_of_node[n].size() >= 2) ++part.boundary_nodes;
+    }
+    for (std::size_t l = 0; l < spec.linkCount(); ++l) {
+        for (int s = 0; s < K; ++s)
+            if (links.count[l * static_cast<std::size_t>(K) + s] > 0)
+                part.shards_of_link[l].push_back(s);
+        if (part.shards_of_link[l].size() >= 2) ++part.boundary_links;
+    }
+    return part;
+}
+
+}  // namespace lrgp::shard

@@ -1,0 +1,74 @@
+// Deterministic flow partitioner for the sharded LRGP engine.
+//
+// Flows (and with them their consumer classes, which belong to exactly
+// one flow) are assigned to K shards in two stages:
+//
+//   1. affinity seeding: flows are grouped into connected components
+//      (two flows connect when they share a node or link); components
+//      are placed whole onto the least-loaded shard in descending
+//      class-count order, so disjoint problem regions never straddle a
+//      shard.  A component too large for the balance cap is split
+//      flow-by-flow, each flow going to the admissible shard already
+//      touching most of its resources, which keeps dense neighbourhoods
+//      together even inside one giant component;
+//   2. boundary-minimizing greedy refinement: bounded passes over the
+//      flows in ascending id order, moving a flow to the shard that
+//      most reduces the total boundary incidence
+//          sum over resources r of max(0, |shards touching r| - 1),
+//      subject to a class-count balance cap; ties break toward the
+//      lower-loaded (then lower-id) target, and zero-gain moves are
+//      taken only when they strictly improve balance, so every pass
+//      monotonically improves (boundary, imbalance) and the result is
+//      reproducible for a given problem and option set.
+//
+// A node is incident to a shard when one of the shard's flows routes
+// through it or originates at it; a link when one of the shard's flows
+// routes over it.  Resources touched by >= 2 shards are *boundary*
+// resources: their capacity has to be split into per-shard budgets and
+// reconciled via boundary prices (see sharded_engine.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace lrgp::shard {
+
+struct PartitionOptions {
+    int shards = 1;
+    /// Greedy refinement sweeps over all flows (0 = hash seeding only).
+    int refine_passes = 3;
+    /// A shard may hold at most ceil(totalClasses / shards) * (1 + slack)
+    /// classes; refinement never moves a flow into a shard beyond that.
+    double balance_slack = 0.25;
+};
+
+struct Partition {
+    int shards = 1;
+    std::vector<int> shard_of_flow;                      ///< by flow index
+    std::vector<std::vector<model::FlowId>> flows_of_shard;  ///< ascending ids
+    std::vector<std::size_t> classes_of_shard;           ///< class count per shard
+    /// Sorted distinct shards incident to each node/link; empty for
+    /// resources no flow touches (the sharded engine assigns those
+    /// orphans to shard 0 so K=1 reproduces the problem exactly).
+    std::vector<std::vector<int>> shards_of_node;
+    std::vector<std::vector<int>> shards_of_link;
+    std::size_t boundary_nodes = 0;  ///< nodes with >= 2 incident shards
+    std::size_t boundary_links = 0;
+
+    [[nodiscard]] bool isBoundaryNode(model::NodeId n) const {
+        return shards_of_node[n.index()].size() >= 2;
+    }
+    [[nodiscard]] bool isBoundaryLink(model::LinkId l) const {
+        return shards_of_link[l.index()].size() >= 2;
+    }
+};
+
+/// Partitions `spec`'s flows into options.shards shards.  Deterministic:
+/// depends only on the spec's entity ids/routes and the options.
+[[nodiscard]] Partition make_partition(const model::ProblemSpec& spec,
+                                       const PartitionOptions& options);
+
+}  // namespace lrgp::shard

@@ -1,0 +1,681 @@
+#include "shard/sharded_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/scoped_timer.hpp"
+#include "shard/budget.hpp"
+
+namespace lrgp::shard {
+
+namespace {
+
+/// Position of shard `s` in a sorted incident-shard list.
+std::size_t shardRank(const std::vector<int>& shards, int s) {
+    const auto it = std::lower_bound(shards.begin(), shards.end(), s);
+    if (it == shards.end() || *it != s)
+        throw std::logic_error("ShardedLrgpEngine: shard not incident to boundary resource");
+    return static_cast<std::size_t>(it - shards.begin());
+}
+
+bool contains(const std::vector<int>& shards, int s) {
+    return std::binary_search(shards.begin(), shards.end(), s);
+}
+
+}  // namespace
+
+ShardedLrgpEngine::ShardedLrgpEngine(model::ProblemSpec spec, core::LrgpOptions options,
+                                     ShardedConfig config)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      config_(config),
+      detector_(options_.convergence) {
+    if (config_.shards < 1)
+        throw std::invalid_argument("ShardedLrgpEngine: shards must be >= 1");
+    if (config_.reconcile_interval < 1)
+        throw std::invalid_argument("ShardedLrgpEngine: reconcile_interval must be >= 1");
+    if (!(config_.reconcile_step >= 0.0 && config_.reconcile_step <= 1.0))
+        throw std::invalid_argument("ShardedLrgpEngine: reconcile_step must be in [0, 1]");
+    if (!(config_.reconcile_step_decay > 0.0 && config_.reconcile_step_decay <= 1.0))
+        throw std::invalid_argument("ShardedLrgpEngine: reconcile_step_decay must be in (0, 1]");
+    if (!(config_.min_rebalance_fraction >= 0.0))
+        throw std::invalid_argument("ShardedLrgpEngine: min_rebalance_fraction must be >= 0");
+    effective_step_ = config_.reconcile_step;
+
+    PartitionOptions popts;
+    popts.shards = config_.shards;
+    popts.refine_passes = config_.refine_passes;
+    popts.balance_slack = config_.balance_slack;
+    partition_ = make_partition(spec_, popts);
+    shard_of_flow_ = partition_.shard_of_flow;
+
+    buildMembers(spec_);
+
+    int threads = config_.threads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = std::min(config_.shards, static_cast<int>(hw == 0 ? 1 : hw));
+    }
+    if (threads < 1) throw std::invalid_argument("ShardedLrgpEngine: threads must be >= 0");
+    pool_ = std::make_unique<core::TaskPool>(threads);
+
+    allocation_ = model::Allocation::minimal(spec_);
+    prices_ = core::PriceVector::zeros(spec_.nodeCount(), spec_.linkCount());
+    for (double& p : prices_.node) p = options_.initial_node_price;
+    for (double& p : prices_.link) p = options_.initial_link_price;
+    // Seed the merged mirrors from the members' pre-step state so the
+    // observers agree with the shards before the first iteration.
+    for (std::size_t s = 0; s < members_.size(); ++s) mergeMember(s);
+}
+
+ShardedLrgpEngine::~ShardedLrgpEngine() = default;
+
+void ShardedLrgpEngine::buildMembers(const model::ProblemSpec& spec) {
+    const int shard_count = partition_.shards;
+    const std::size_t n_nodes = spec.nodeCount();
+    const std::size_t n_links = spec.linkCount();
+    const std::size_t n_flows = spec.flowCount();
+    const std::size_t n_classes = spec.classCount();
+
+    node_boundary_index_.assign(n_nodes, kAbsent);
+    link_boundary_index_.assign(n_links, kAbsent);
+    flow_local_.assign(n_flows, kAbsent);
+    class_local_.assign(n_classes, kAbsent);
+
+    // ---- boundary budgets ----------------------------------------------
+    // Node floors are the worst-case flow base usage sum(F * r_max) of the
+    // shard's flows at the node: a shard whose greedy admission respects
+    // its budget then keeps usage <= budget, and summing budgets (= the
+    // capacity) yields the global Eq. 5 constraint.  Link floors are the
+    // minimum feasible usage sum(L * r_min).  Surplus splits by demand
+    // weight: sum(G * n_max * r_max) for nodes, sum(L * r_max) for links.
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+        const auto& shards = partition_.shards_of_node[n];
+        if (shards.size() < 2) continue;
+        const model::NodeId id{static_cast<std::uint32_t>(n)};
+        BoundaryBudget entry;
+        entry.id = static_cast<std::uint32_t>(n);
+        entry.capacity = spec.nodes()[n].capacity;
+        entry.shards = shards;
+        std::vector<double> floors(shards.size(), 0.0);
+        std::vector<double> weights(shards.size(), 0.0);
+        // Floors guarantee the minimum allocation (every flow at r_min)
+        // stays feasible inside its slice; rate_max floors would pin the
+        // whole capacity on contended resources and leave the
+        // reconciliation nothing to move.
+        for (model::FlowId f : spec.flowsAtNode(id)) {
+            const std::size_t i = shardRank(shards, shard_of_flow_[f.index()]);
+            floors[i] += spec.flowNodeCost(id, f) * spec.flow(f).rate_min;
+        }
+        for (model::ClassId c : spec.classesAtNode(id)) {
+            const auto& cls = spec.consumerClass(c);
+            const std::size_t i = shardRank(shards, shard_of_flow_[cls.flow.index()]);
+            weights[i] += cls.consumer_cost * static_cast<double>(cls.max_consumers) *
+                          spec.flow(cls.flow).rate_max;
+        }
+        // A shard incident only through zero-F hops would get a zero
+        // budget, which ProblemBuilder rejects; keep every slice positive.
+        const double min_floor = entry.capacity * 1e-6;
+        for (double& f : floors) f = std::max(f, min_floor);
+        entry.floor = floors;
+        entry.budget = split_with_floors(entry.capacity, floors, weights);
+        node_boundary_index_[n] = static_cast<std::uint32_t>(boundary_node_budgets_.size());
+        boundary_node_budgets_.push_back(std::move(entry));
+    }
+    for (std::size_t l = 0; l < n_links; ++l) {
+        const auto& shards = partition_.shards_of_link[l];
+        if (shards.size() < 2) continue;
+        const model::LinkId id{static_cast<std::uint32_t>(l)};
+        BoundaryBudget entry;
+        entry.id = static_cast<std::uint32_t>(l);
+        entry.capacity = spec.links()[l].capacity;
+        entry.shards = shards;
+        std::vector<double> floors(shards.size(), 0.0);
+        std::vector<double> weights(shards.size(), 0.0);
+        for (model::FlowId f : spec.flowsOnLink(id)) {
+            const std::size_t i = shardRank(shards, shard_of_flow_[f.index()]);
+            const double cost = spec.linkCost(id, f);
+            floors[i] += cost * spec.flow(f).rate_min;
+            weights[i] += cost * spec.flow(f).rate_max;
+        }
+        const double min_floor = entry.capacity * 1e-6;
+        for (double& f : floors) f = std::max(f, min_floor);
+        entry.floor = floors;
+        entry.budget = split_with_floors(entry.capacity, floors, weights);
+        link_boundary_index_[l] = static_cast<std::uint32_t>(boundary_link_budgets_.size());
+        boundary_link_budgets_.push_back(std::move(entry));
+    }
+
+    // ---- per-shard subproblems ------------------------------------------
+    members_.resize(static_cast<std::size_t>(shard_count));
+    for (int s = 0; s < shard_count; ++s) {
+        Member member;
+        member.node_local.assign(n_nodes, kAbsent);
+        member.link_local.assign(n_links, kAbsent);
+
+        // Membership: a node belongs to the shard when one of its flows
+        // routes through / originates at it; a link when one of its flows
+        // routes over it.  Orphan resources no flow touches go to shard 0
+        // (so K=1 reproduces the problem exactly), and link endpoints are
+        // pulled in so the sub-spec validates (they carry no usage).
+        std::vector<char> node_in(n_nodes, 0);
+        std::vector<char> link_in(n_links, 0);
+        for (model::FlowId f : partition_.flows_of_shard[static_cast<std::size_t>(s)]) {
+            const auto& flow = spec.flow(f);
+            node_in[flow.source.index()] = 1;
+            for (const auto& hop : flow.nodes) node_in[hop.node.index()] = 1;
+            for (const auto& hop : flow.links) link_in[hop.link.index()] = 1;
+        }
+        if (s == 0) {
+            for (std::size_t n = 0; n < n_nodes; ++n)
+                if (partition_.shards_of_node[n].empty()) node_in[n] = 1;
+            for (std::size_t l = 0; l < n_links; ++l)
+                if (partition_.shards_of_link[l].empty()) link_in[l] = 1;
+        }
+        for (std::size_t l = 0; l < n_links; ++l) {
+            if (!link_in[l]) continue;
+            node_in[spec.links()[l].from.index()] = 1;
+            node_in[spec.links()[l].to.index()] = 1;
+        }
+
+        model::ProblemBuilder builder;
+        for (std::size_t n = 0; n < n_nodes; ++n) {
+            if (!node_in[n]) continue;
+            const auto& node = spec.nodes()[n];
+            double capacity = node.capacity;
+            const std::uint32_t bi = node_boundary_index_[n];
+            if (bi != kAbsent && contains(boundary_node_budgets_[bi].shards, s))
+                capacity = boundary_node_budgets_[bi]
+                               .budget[shardRank(boundary_node_budgets_[bi].shards, s)];
+            const model::NodeId local = builder.addNode(node.name, capacity);
+            member.node_local[n] = local.value;
+            member.nodes.push_back(static_cast<std::uint32_t>(n));
+            const auto& owners = partition_.shards_of_node[n];
+            if ((owners.size() == 1 && owners[0] == s) || (owners.empty() && s == 0))
+                member.own_nodes.emplace_back(local.value, static_cast<std::uint32_t>(n));
+        }
+        for (std::size_t l = 0; l < n_links; ++l) {
+            if (!link_in[l]) continue;
+            const auto& link = spec.links()[l];
+            double capacity = link.capacity;
+            const std::uint32_t bi = link_boundary_index_[l];
+            if (bi != kAbsent && contains(boundary_link_budgets_[bi].shards, s))
+                capacity = boundary_link_budgets_[bi]
+                               .budget[shardRank(boundary_link_budgets_[bi].shards, s)];
+            const model::LinkId local =
+                builder.addLink(link.name, model::NodeId{member.node_local[link.from.index()]},
+                                model::NodeId{member.node_local[link.to.index()]}, capacity);
+            member.link_local[l] = local.value;
+            member.links.push_back(static_cast<std::uint32_t>(l));
+            const auto& owners = partition_.shards_of_link[l];
+            if ((owners.size() == 1 && owners[0] == s) || (owners.empty() && s == 0))
+                member.own_links.emplace_back(local.value, static_cast<std::uint32_t>(l));
+        }
+        for (model::FlowId f : partition_.flows_of_shard[static_cast<std::size_t>(s)]) {
+            const auto& flow = spec.flow(f);
+            const model::FlowId local =
+                builder.addFlow(flow.name, model::NodeId{member.node_local[flow.source.index()]},
+                                flow.rate_min, flow.rate_max);
+            flow_local_[f.index()] = local.value;
+            member.flows.push_back(f.value);
+            for (const auto& hop : flow.nodes)
+                builder.routeThroughNode(local, model::NodeId{member.node_local[hop.node.index()]},
+                                         hop.flow_node_cost);
+            for (const auto& hop : flow.links)
+                builder.routeOverLink(local, model::LinkId{member.link_local[hop.link.index()]},
+                                      hop.link_cost);
+        }
+        for (std::size_t c = 0; c < n_classes; ++c) {
+            const auto& cls = spec.classes()[c];
+            if (shard_of_flow_[cls.flow.index()] != s) continue;
+            const model::ClassId local = builder.addClass(
+                cls.name, model::FlowId{flow_local_[cls.flow.index()]},
+                model::NodeId{member.node_local[cls.node.index()]}, cls.max_consumers,
+                cls.consumer_cost, cls.utility);
+            class_local_[c] = local.value;
+            member.classes.push_back(static_cast<std::uint32_t>(c));
+        }
+
+        if (!member.flows.empty()) {
+            model::ProblemSpec sub = builder.build();
+            for (std::size_t i = 0; i < member.flows.size(); ++i)
+                if (!spec.flows()[member.flows[i]].active)
+                    sub.setFlowActive(model::FlowId{static_cast<std::uint32_t>(i)}, false);
+            core::EngineConfig engine_config;
+            engine_config.threads = 1;
+            engine_config.incremental = config_.incremental;
+            member.engine = std::make_unique<core::ParallelLrgpEngine>(std::move(sub), options_,
+                                                                       engine_config);
+        }
+        members_[static_cast<std::size_t>(s)] = std::move(member);
+    }
+}
+
+void ShardedLrgpEngine::mergeMember(std::size_t s) {
+    Member& member = members_[s];
+    if (!member.engine) return;
+    const model::Allocation& alloc = member.engine->allocation();
+    const core::PriceVector& prices = member.engine->prices();
+    for (std::size_t i = 0; i < member.flows.size(); ++i)
+        allocation_.rates[member.flows[i]] = alloc.rates[i];
+    for (std::size_t i = 0; i < member.classes.size(); ++i)
+        allocation_.populations[member.classes[i]] = alloc.populations[i];
+    for (const auto& [local, global] : member.own_nodes) prices_.node[global] = prices.node[local];
+    for (const auto& [local, global] : member.own_links) prices_.link[global] = prices.link[local];
+}
+
+void ShardedLrgpEngine::mergeBoundaryPrices() {
+    for (const BoundaryBudget& entry : boundary_node_budgets_) {
+        double num = 0.0, den = 0.0;
+        for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+            const Member& member = members_[static_cast<std::size_t>(entry.shards[i])];
+            num += entry.budget[i] * member.engine->prices().node[member.node_local[entry.id]];
+            den += entry.budget[i];
+        }
+        prices_.node[entry.id] = den > 0.0 ? num / den : 0.0;
+    }
+    for (const BoundaryBudget& entry : boundary_link_budgets_) {
+        double num = 0.0, den = 0.0;
+        for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+            const Member& member = members_[static_cast<std::size_t>(entry.shards[i])];
+            num += entry.budget[i] * member.engine->prices().link[member.link_local[entry.id]];
+            den += entry.budget[i];
+        }
+        prices_.link[entry.id] = den > 0.0 ? num / den : 0.0;
+    }
+}
+
+void ShardedLrgpEngine::publishRecord() {
+    mergeBoundaryPrices();
+    iteration_ = maxMemberIterations();
+    double utility = 0.0;
+    for (const Member& member : members_) utility += member.last_utility;
+    last_record_.iteration = iteration_;
+    last_record_.utility = utility;
+    last_record_.allocation = allocation_;
+    last_record_.prices = prices_;
+    trace_.append(utility);
+    detector_.addSample(utility);
+    if constexpr (obs::kEnabled) {
+        exportIterationCounters();
+        if (tracer_ != nullptr && tracer_->sampling())
+            tracer_->counterSample("sharded_utility", 0, tracer_->nowMicros(), utility);
+    }
+}
+
+void ShardedLrgpEngine::exportIterationCounters() {
+    if (!obs_attached_) return;
+    std::uint64_t delta_total = 0;
+    for (std::size_t s = 0; s < members_.size(); ++s) {
+        Member& member = members_[s];
+        const std::uint64_t iters =
+            member.engine ? static_cast<std::uint64_t>(member.engine->iterationsRun()) : 0;
+        const std::uint64_t delta = iters - member.obs_iterations;
+        member.obs_iterations = iters;
+        if (s < instr_.iterations_by_shard.size()) instr_.iterations_by_shard[s]->add(delta);
+        delta_total += delta;
+    }
+    instr_.steps->add(1);
+    instr_.member_iterations->add(delta_total);
+}
+
+const core::IterationRecord& ShardedLrgpEngine::step() {
+    pool_->forEachMergeOrdered(
+        members_.size(),
+        [this](std::size_t s, int) {
+            Member& member = members_[s];
+            if (!member.engine) return;
+            member.last_utility = member.engine->step().utility;
+        },
+        [this](std::size_t s) { mergeMember(s); });
+    publishRecord();
+    if (++steps_since_reconcile_ >= config_.reconcile_interval) {
+        bool moved = false;
+        reconcile(moved);
+        steps_since_reconcile_ = 0;
+    }
+    return last_record_;
+}
+
+const core::IterationRecord& ShardedLrgpEngine::run(int iterations) {
+    if (iterations <= 0)
+        throw std::invalid_argument("ShardedLrgpEngine::run: iterations must be positive");
+    for (int i = 0; i < iterations; ++i) step();
+    return last_record_;
+}
+
+std::optional<int> ShardedLrgpEngine::runUntilConverged(int max_iterations) {
+    if (max_iterations <= 0)
+        throw std::invalid_argument("ShardedLrgpEngine::runUntilConverged: bad max_iterations");
+    int advanced = 0;
+    while (advanced < max_iterations) {
+        const int round = std::min(config_.reconcile_interval, max_iterations - advanced);
+        pool_->forEachMergeOrdered(
+            members_.size(),
+            [this, round](std::size_t s, int) {
+                Member& member = members_[s];
+                if (!member.engine) return;
+                if (config_.pause_converged && member.engine->convergence().converged()) return;
+                for (int i = 0; i < round; ++i) {
+                    member.last_utility = member.engine->step().utility;
+                    if (config_.pause_converged && member.engine->convergence().converged()) break;
+                }
+            },
+            [this](std::size_t s) { mergeMember(s); });
+        publishRecord();
+        bool moved = false;
+        reconcile(moved);
+        steps_since_reconcile_ = 0;
+        advanced += round;
+        if (allMembersConverged() && !moved) {
+            // For K=1 this is exactly the monolithic engine's return value
+            // (the shard's detector saw the same utility trajectory).
+            if (members_.size() == 1 && members_[0].engine)
+                return static_cast<int>(members_[0].engine->convergence().convergedAt());
+            return iteration_;
+        }
+    }
+    return std::nullopt;
+}
+
+void ShardedLrgpEngine::reconcile(bool& moved) {
+    moved = false;
+    std::uint64_t t0 = 0;
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) t0 = obs::monotonic_ns();
+    }
+    std::uint64_t exchanges = 0, updates = 0, wakeups = 0;
+    double pass_moved = 0.0;
+
+    const auto process = [&](std::vector<BoundaryBudget>& entries, bool is_node) {
+        std::vector<double> local_prices;
+        for (BoundaryBudget& entry : entries) {
+            const std::size_t m = entry.shards.size();
+            local_prices.resize(m);
+            for (std::size_t i = 0; i < m; ++i) {
+                const Member& member = members_[static_cast<std::size_t>(entry.shards[i])];
+                local_prices[i] =
+                    is_node ? member.engine->prices().node[member.node_local[entry.id]]
+                            : member.engine->prices().link[member.link_local[entry.id]];
+            }
+            exchanges += m;
+            RebalanceResult result = rebalance_budgets(entry.capacity, entry.budget, entry.floor,
+                                                       local_prices, effective_step_);
+            if (result.moved <= config_.min_rebalance_fraction * entry.capacity) continue;
+            for (std::size_t i = 0; i < m; ++i) {
+                if (result.budget[i] == entry.budget[i]) continue;
+                Member& member = members_[static_cast<std::size_t>(entry.shards[i])];
+                if (member.engine->convergence().converged()) ++wakeups;
+                if (is_node)
+                    member.engine->setNodeCapacity(model::NodeId{member.node_local[entry.id]},
+                                                   result.budget[i]);
+                else
+                    member.engine->setLinkCapacity(model::LinkId{member.link_local[entry.id]},
+                                                   result.budget[i]);
+                ++updates;
+            }
+            entry.budget = std::move(result.budget);
+            pass_moved += result.moved;
+            moved = true;
+        }
+    };
+    process(boundary_node_budgets_, true);
+    process(boundary_link_budgets_, false);
+
+    // Geometric step decay guarantees termination: once moves shrink
+    // below the hysteresis threshold, converged shards stay paused.
+    if (moved) effective_step_ *= config_.reconcile_step_decay;
+
+    stats_.passes += 1;
+    stats_.price_exchanges += exchanges;
+    stats_.budget_updates += updates;
+    stats_.shard_wakeups += wakeups;
+    stats_.budget_moved += pass_moved;
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) {
+            instr_.reconciles->add(1);
+            instr_.price_exchanges->add(exchanges);
+            instr_.budget_updates->add(updates);
+            instr_.wakeups->add(wakeups);
+            instr_.budget_moved->set(stats_.budget_moved);
+            instr_.reconcile_seconds->observe(static_cast<double>(obs::monotonic_ns() - t0) *
+                                              1e-9);
+        }
+    }
+}
+
+bool ShardedLrgpEngine::reconcileNow() {
+    bool moved = false;
+    reconcile(moved);
+    steps_since_reconcile_ = 0;
+    return moved;
+}
+
+bool ShardedLrgpEngine::allMembersConverged() const {
+    for (const Member& member : members_) {
+        if (!member.engine) continue;  // empty shards have nothing to converge
+        if (!member.engine->convergence().converged()) return false;
+    }
+    return true;
+}
+
+int ShardedLrgpEngine::maxMemberIterations() const {
+    int iterations = 0;
+    for (const Member& member : members_)
+        if (member.engine) iterations = std::max(iterations, member.engine->iterationsRun());
+    return iterations;
+}
+
+// -- dynamic workload changes ---------------------------------------------
+
+void ShardedLrgpEngine::removeFlow(model::FlowId flow) {
+    if (flow.index() >= spec_.flowCount())
+        throw std::invalid_argument("ShardedLrgpEngine::removeFlow: unknown flow");
+    const auto s = static_cast<std::size_t>(shard_of_flow_[flow.index()]);
+    members_[s].engine->removeFlow(model::FlowId{flow_local_[flow.index()]});
+    spec_.setFlowActive(flow, false);
+    mergeMember(s);
+    detector_.reset();
+    effective_step_ = config_.reconcile_step;
+}
+
+void ShardedLrgpEngine::restoreFlow(model::FlowId flow) {
+    if (flow.index() >= spec_.flowCount())
+        throw std::invalid_argument("ShardedLrgpEngine::restoreFlow: unknown flow");
+    const auto s = static_cast<std::size_t>(shard_of_flow_[flow.index()]);
+    members_[s].engine->restoreFlow(model::FlowId{flow_local_[flow.index()]});
+    spec_.setFlowActive(flow, true);
+    mergeMember(s);
+    detector_.reset();
+    effective_step_ = config_.reconcile_step;
+}
+
+void ShardedLrgpEngine::setNodeCapacity(model::NodeId node, double capacity) {
+    if (node.index() >= spec_.nodeCount())
+        throw std::invalid_argument("ShardedLrgpEngine::setNodeCapacity: unknown node");
+    spec_.setNodeCapacity(node, capacity);  // validates capacity > 0
+    const std::uint32_t bi = node_boundary_index_[node.index()];
+    if (bi == kAbsent) {
+        const auto& owners = partition_.shards_of_node[node.index()];
+        Member& member = members_[static_cast<std::size_t>(owners.empty() ? 0 : owners[0])];
+        if (member.engine)
+            member.engine->setNodeCapacity(model::NodeId{member.node_local[node.index()]},
+                                           capacity);
+    } else {
+        // Re-split the new capacity proportionally to the current budgets
+        // (they encode the reconciled demand balance), keeping the floors.
+        BoundaryBudget& entry = boundary_node_budgets_[bi];
+        entry.capacity = capacity;
+        entry.budget = split_with_floors(capacity, entry.floor, entry.budget);
+        for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+            Member& member = members_[static_cast<std::size_t>(entry.shards[i])];
+            member.engine->setNodeCapacity(model::NodeId{member.node_local[entry.id]},
+                                           entry.budget[i]);
+        }
+    }
+    detector_.reset();
+    effective_step_ = config_.reconcile_step;
+}
+
+void ShardedLrgpEngine::setLinkCapacity(model::LinkId link, double capacity) {
+    if (link.index() >= spec_.linkCount())
+        throw std::invalid_argument("ShardedLrgpEngine::setLinkCapacity: unknown link");
+    spec_.setLinkCapacity(link, capacity);
+    const std::uint32_t bi = link_boundary_index_[link.index()];
+    if (bi == kAbsent) {
+        const auto& owners = partition_.shards_of_link[link.index()];
+        Member& member = members_[static_cast<std::size_t>(owners.empty() ? 0 : owners[0])];
+        if (member.engine)
+            member.engine->setLinkCapacity(model::LinkId{member.link_local[link.index()]},
+                                           capacity);
+    } else {
+        BoundaryBudget& entry = boundary_link_budgets_[bi];
+        entry.capacity = capacity;
+        entry.budget = split_with_floors(capacity, entry.floor, entry.budget);
+        for (std::size_t i = 0; i < entry.shards.size(); ++i) {
+            Member& member = members_[static_cast<std::size_t>(entry.shards[i])];
+            member.engine->setLinkCapacity(model::LinkId{member.link_local[entry.id]},
+                                           entry.budget[i]);
+        }
+    }
+    detector_.reset();
+    effective_step_ = config_.reconcile_step;
+}
+
+void ShardedLrgpEngine::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
+    if (cls.index() >= spec_.classCount())
+        throw std::invalid_argument("ShardedLrgpEngine::setClassMaxConsumers: unknown class");
+    const auto s =
+        static_cast<std::size_t>(shard_of_flow_[spec_.classes()[cls.index()].flow.index()]);
+    members_[s].engine->setClassMaxConsumers(model::ClassId{class_local_[cls.index()]},
+                                             max_consumers);
+    spec_.setClassMaxConsumers(cls, max_consumers);
+    mergeMember(s);
+    detector_.reset();
+    effective_step_ = config_.reconcile_step;
+}
+
+void ShardedLrgpEngine::warmStart(const core::PriceVector& prices,
+                                  const std::vector<int>* populations) {
+    if (prices.node.size() != spec_.nodeCount() || prices.link.size() != spec_.linkCount())
+        throw std::invalid_argument("ShardedLrgpEngine::warmStart: price vector size mismatch");
+    if (populations != nullptr && populations->size() != spec_.classCount())
+        throw std::invalid_argument("ShardedLrgpEngine::warmStart: population size mismatch");
+    for (Member& member : members_) {
+        if (!member.engine) continue;
+        core::PriceVector local = core::PriceVector::zeros(member.nodes.size(),
+                                                           member.links.size());
+        for (std::size_t i = 0; i < member.nodes.size(); ++i)
+            local.node[i] = prices.node[member.nodes[i]];
+        for (std::size_t i = 0; i < member.links.size(); ++i)
+            local.link[i] = prices.link[member.links[i]];
+        if (populations != nullptr) {
+            std::vector<int> pops(member.classes.size());
+            for (std::size_t i = 0; i < member.classes.size(); ++i)
+                pops[i] = (*populations)[member.classes[i]];
+            member.engine->warmStart(local, &pops);
+        } else {
+            member.engine->warmStart(local, nullptr);
+        }
+    }
+    prices_ = prices;
+    if (populations != nullptr) allocation_.populations = *populations;
+    detector_.reset();
+    effective_step_ = config_.reconcile_step;
+}
+
+// -- observability ----------------------------------------------------------
+
+void ShardedLrgpEngine::attachObservability(obs::Registry* registry,
+                                            obs::IterationTracer* tracer) {
+    if constexpr (obs::kEnabled) {
+        if (registry != nullptr) {
+            instr_ = obs::ShardInstruments::resolve(*registry, shardCount());
+            obs_attached_ = true;
+            instr_.shard_count->set(static_cast<double>(shardCount()));
+            instr_.boundary_nodes->set(static_cast<double>(partition_.boundary_nodes));
+            instr_.boundary_links->set(static_cast<double>(partition_.boundary_links));
+            instr_.budget_moved->set(stats_.budget_moved);
+        } else {
+            instr_ = obs::ShardInstruments{};
+            obs_attached_ = false;
+        }
+        tracer_ = tracer;
+    } else {
+        (void)registry;
+        (void)tracer;
+    }
+}
+
+// -- observers --------------------------------------------------------------
+
+double ShardedLrgpEngine::currentUtility() const {
+    return model::total_utility(spec_, allocation_);
+}
+
+double ShardedLrgpEngine::nodeGamma(model::NodeId node) const {
+    if (node.index() >= spec_.nodeCount())
+        throw std::invalid_argument("ShardedLrgpEngine::nodeGamma: unknown node");
+    const auto& owners = partition_.shards_of_node[node.index()];
+    const Member& member = members_[static_cast<std::size_t>(owners.empty() ? 0 : owners[0])];
+    if (!member.engine) return 0.0;  // orphan node in a flowless shard
+    return member.engine->nodeGamma(model::NodeId{member.node_local[node.index()]});
+}
+
+const core::ParallelLrgpEngine& ShardedLrgpEngine::shardEngine(int shard) const {
+    if (shard < 0 || shard >= shardCount())
+        throw std::out_of_range("ShardedLrgpEngine::shardEngine: shard out of range");
+    const Member& member = members_[static_cast<std::size_t>(shard)];
+    if (!member.engine)
+        throw std::invalid_argument("ShardedLrgpEngine::shardEngine: shard has no flows");
+    return *member.engine;
+}
+
+int ShardedLrgpEngine::shardOfFlow(model::FlowId flow) const {
+    if (flow.index() >= spec_.flowCount())
+        throw std::invalid_argument("ShardedLrgpEngine::shardOfFlow: unknown flow");
+    return shard_of_flow_[flow.index()];
+}
+
+model::FlowId ShardedLrgpEngine::localFlowId(model::FlowId flow) const {
+    if (flow.index() >= spec_.flowCount())
+        throw std::invalid_argument("ShardedLrgpEngine::localFlowId: unknown flow");
+    return model::FlowId{flow_local_[flow.index()]};
+}
+
+std::vector<ShardSummary> ShardedLrgpEngine::summaries() const {
+    std::vector<ShardSummary> out(members_.size());
+    for (std::size_t s = 0; s < members_.size(); ++s) {
+        const Member& member = members_[s];
+        ShardSummary& summary = out[s];
+        summary.shard = static_cast<int>(s);
+        summary.flows = member.flows.size();
+        summary.classes = member.classes.size();
+        summary.nodes = member.nodes.size();
+        summary.links = member.links.size();
+        for (std::uint32_t n : member.nodes)
+            if (partition_.shards_of_node[n].size() >= 2) ++summary.boundary_nodes;
+        for (std::uint32_t l : member.links)
+            if (partition_.shards_of_link[l].size() >= 2) ++summary.boundary_links;
+        summary.iterations = member.engine ? member.engine->iterationsRun() : 0;
+        summary.converged = member.engine ? member.engine->convergence().converged() : true;
+    }
+    return out;
+}
+
+double ShardedLrgpEngine::boundaryNodeFraction() const noexcept {
+    return spec_.nodeCount() == 0
+               ? 0.0
+               : static_cast<double>(partition_.boundary_nodes) /
+                     static_cast<double>(spec_.nodeCount());
+}
+
+std::unique_ptr<core::Engine> make_sharded_engine(model::ProblemSpec spec,
+                                                  core::LrgpOptions options,
+                                                  ShardedConfig config) {
+    return std::make_unique<ShardedLrgpEngine>(std::move(spec), std::move(options), config);
+}
+
+}  // namespace lrgp::shard

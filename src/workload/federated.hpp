@@ -1,0 +1,73 @@
+// Federated workloads for the sharded control plane (ROADMAP item 1).
+//
+// A federated workload is G disjoint groups, each modelling one
+// datacenter/region of the event-driven infrastructure: a producer node,
+// C consumer-hosting nodes, F flows routed through every c-node of the
+// group, and one consumer class per (flow, c-node) pair — F*C classes
+// per group, G*F*C total.  Groups share no resources unless coupling is
+// enabled, so the flow partitioner can rediscover them, and per-group
+// capacity headroom controls how fast each region's LRGP dynamics
+// settle:
+//
+//   * "loose" groups get capacity_factor * demand-bound capacity with
+//     factor > 1: every consumer is admitted at full rate within a few
+//     iterations and the region reaches a bitwise utility fixpoint;
+//   * the first `tight_groups` groups get factor << 1: the greedy
+//     admission keeps hitting the capacity wall, node prices oscillate
+//     under the adaptive gamma, and convergence takes many times longer.
+//
+// This shape is what makes the sharded engine's convergence gating pay:
+// the few tight groups keep only their own shards iterating, while a
+// monolithic engine pays the full per-iteration publication cost until
+// the slowest region settles.  Setting coupling_cost > 0 adds a shared
+// hub node that the first flow of every group routes through, forcing a
+// boundary resource that exercises budget reconciliation.
+//
+// Deterministic for a given option set: ranks and populations are
+// jittered with a splitmix64 stream keyed by (seed, group, flow, cnode).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/problem.hpp"
+#include "workload/workloads.hpp"
+
+namespace lrgp::workload {
+
+struct FederatedWorkloadOptions {
+    int groups = 8;
+    int flows_per_group = 4;
+    int cnodes_per_group = 4;
+    /// First `tight_groups` groups are capacity-starved.
+    int tight_groups = 1;
+    /// Node capacity as a fraction of the per-node demand bound
+    /// sum_flows (F + G * n_max) * r_max.
+    double tight_capacity_factor = 0.12;
+    double loose_capacity_factor = 1.6;
+    /// Rank multiplier for tight-group classes, so their convergence
+    /// transient is visible in the global utility (Section 4.3's 0.1%
+    /// amplitude criterion divides by the total).
+    double tight_rank_boost = 4.0;
+    int min_consumers = 10, max_consumers = 60;
+    double min_rank = 1.0, max_rank = 50.0;
+    double flow_node_cost = 3.0;  ///< F_{b,i}
+    double consumer_cost = 19.0;  ///< G_{b,j}
+    double rate_min = 10.0, rate_max = 1000.0;
+    UtilityShape shape = UtilityShape::kLog;
+    /// > 0 adds a shared "hub" node that flow 0 of every group routes
+    /// through at this F cost (no classes attach there); the hub becomes
+    /// a boundary resource under any multi-shard partition.
+    double coupling_cost = 0.0;
+    /// Hub capacity as a fraction of its own demand bound.
+    double coupling_capacity_factor = 1.0;
+    std::uint32_t seed = 1;
+};
+
+/// Total class count of the configuration (groups * flows * cnodes).
+[[nodiscard]] std::size_t federated_class_count(const FederatedWorkloadOptions& options);
+
+/// Builds the federated workload.  Deterministic for a given option set.
+[[nodiscard]] model::ProblemSpec make_federated_workload(const FederatedWorkloadOptions& options);
+
+}  // namespace lrgp::workload

@@ -22,6 +22,7 @@
 #include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "shard/sharded_engine.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -139,6 +140,49 @@ TEST(Golden, IncrementalPrometheusText) {
     inc.dirty_links->add(live.counterValue("lrgp_inc_dirty_links_total"));
     inc.utility_cache_hits->add(live.counterValue("lrgp_inc_utility_cache_hits_total"));
     check_golden("prometheus_inc_text", reg.prometheusText());
+}
+
+TEST(Golden, ShardPrometheusText) {
+    if constexpr (!obs::kEnabled) GTEST_SKIP() << "built without LRGP_OBS";
+    // Four flows through one congested hub node: the component exceeds
+    // the 2-shard balance cap, so the partitioner must split it and the
+    // hub becomes a boundary resource with a bitwise-deterministic
+    // budget-exchange trajectory.  The live registry also holds the
+    // reconcile wall-time histogram, which is not byte-stable, so the
+    // fixture re-exposes just the deterministic lrgp_shard_* series with
+    // the measured values.
+    model::ProblemBuilder b;
+    const model::NodeId source = b.addNode("P", 1e9);
+    const model::NodeId hub = b.addNode("H", 400.0);
+    for (int i = 0; i < 4; ++i) {
+        const model::FlowId f = b.addFlow("f" + std::to_string(i), source, 1.0, 100.0);
+        b.routeThroughNode(f, hub, 1.0);
+        const model::NodeId n = b.addNode("S" + std::to_string(i), 500.0);
+        b.routeThroughNode(f, n, 1.0);
+        b.addClass("c" + std::to_string(i), f, n, 6, 2.0,
+                   std::make_shared<utility::LogUtility>(10.0 + i));
+    }
+    obs::Registry live;
+    shard::ShardedLrgpEngine engine(b.build(), {}, {.shards = 2, .threads = 1});
+    engine.attachObservability(&live);
+    engine.run(24);
+
+    obs::Registry reg;
+    const obs::ShardInstruments sh = obs::ShardInstruments::resolve(reg, engine.shardCount());
+    sh.steps->add(live.counterValue("lrgp_shard_steps_total"));
+    sh.member_iterations->add(live.counterValue("lrgp_shard_member_iterations_total"));
+    sh.reconciles->add(live.counterValue("lrgp_shard_reconciles_total"));
+    sh.price_exchanges->add(live.counterValue("lrgp_shard_price_exchanges_total"));
+    sh.budget_updates->add(live.counterValue("lrgp_shard_budget_updates_total"));
+    sh.wakeups->add(live.counterValue("lrgp_shard_wakeups_total"));
+    sh.shard_count->set(live.findGauge("lrgp_shard_count")->value());
+    sh.boundary_nodes->set(live.findGauge("lrgp_shard_boundary_nodes")->value());
+    sh.boundary_links->set(live.findGauge("lrgp_shard_boundary_links")->value());
+    sh.budget_moved->set(live.findGauge("lrgp_shard_budget_moved_units")->value());
+    for (int s = 0; s < engine.shardCount(); ++s)
+        sh.iterations_by_shard[static_cast<std::size_t>(s)]->add(live.counterValue(
+            "lrgp_shard_iterations_total", {{"shard", std::to_string(s)}}));
+    check_golden("prometheus_shard_text", reg.prometheusText());
 }
 
 }  // namespace
