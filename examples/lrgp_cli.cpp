@@ -33,6 +33,7 @@
 #include "model/analysis.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "runtime/runtime.hpp"
 #include "shard/sharded_engine.hpp"
 #include "workload/random_workload.hpp"
 #include "workload/workloads.hpp"
@@ -43,9 +44,11 @@ namespace {
 
 struct CliOptions {
     std::string workload = "base";  // base | random
-    std::string engine = "serial";  // serial | compiled | incremental | sharded
+    std::string engine = "serial";  // serial | compiled | incremental | sharded | async
     int threads = 1;                // compiled/incremental worker threads
     int shards = 4;                 // --engine sharded shard count
+    int agents = 4;                 // --engine async agent-thread count
+    double seconds = 12.0;          // --engine async virtual run horizon
     workload::UtilityShape shape = workload::UtilityShape::kLog;
     int flow_replicas = 1;
     int cnode_replicas = 1;
@@ -70,13 +73,18 @@ void printUsage() {
     std::puts(
         "usage: lrgp_cli [options]\n"
         "  --workload base|random     workload family (default base)\n"
-        "  --engine serial|compiled|incremental|sharded\n"
+        "  --engine serial|compiled|incremental|sharded|async\n"
         "                             iteration driver (default serial); the first\n"
         "                             three produce bitwise-identical trajectories,\n"
-        "                             and sharded matches them exactly at --shards 1\n"
+        "                             sharded matches them exactly at --shards 1, and\n"
+        "                             async runs the live shard-agent runtime in\n"
+        "                             deterministic virtual time (--agents/--seconds)\n"
         "  --threads N                engine worker threads\n"
         "                             (default 1; 0 = hardware concurrency)\n"
         "  --shards K                 sharded engine shard count (default 4)\n"
+        "  --agents K                 async runtime agent threads (default 4)\n"
+        "  --seconds X                async runtime horizon in virtual seconds\n"
+        "                             (default 12)\n"
         "  --shape log|p025|p05|p075  class utility shape (default log)\n"
         "  --flow-replicas N          scale: replicate the 6-flow set (default 1)\n"
         "  --cnode-replicas N         scale: replicate consumer nodes (default 1)\n"
@@ -130,7 +138,8 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             if (!v) return std::nullopt;
             options.engine = v;
             if (options.engine != "serial" && options.engine != "compiled" &&
-                options.engine != "incremental" && options.engine != "sharded") {
+                options.engine != "incremental" && options.engine != "sharded" &&
+                options.engine != "async") {
                 std::fprintf(stderr, "error: unknown engine '%s'\n", v);
                 return std::nullopt;
             }
@@ -140,6 +149,22 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             options.shards = std::atoi(v);
             if (options.shards < 1) {
                 std::fprintf(stderr, "error: --shards must be >= 1\n");
+                return std::nullopt;
+            }
+        } else if (arg == "--agents") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.agents = std::atoi(v);
+            if (options.agents < 1) {
+                std::fprintf(stderr, "error: --agents must be >= 1\n");
+                return std::nullopt;
+            }
+        } else if (arg == "--seconds") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.seconds = std::atof(v);
+            if (!(options.seconds > 0.0)) {
+                std::fprintf(stderr, "error: --seconds must be > 0\n");
                 return std::nullopt;
             }
         } else if (arg == "--threads") {
@@ -284,6 +309,74 @@ int main(int argc, char** argv) {
 
     core::LrgpOptions lrgp_options;
     if (cli.fixed_gamma) lrgp_options.gamma = core::FixedGamma{*cli.fixed_gamma, *cli.fixed_gamma};
+
+    // The async runtime is time-based, not iteration-based, so it gets
+    // its own driver loop instead of the core::Engine path below.
+    if (cli.engine == "async") {
+        runtime::RuntimeOptions rt_options;
+        rt_options.agents = cli.agents;
+        rt_options.seed = cli.seed;
+        runtime::AsyncShardRuntime rt(spec, lrgp_options, rt_options);
+
+        std::unique_ptr<obs::Registry> registry;
+        if (!cli.obs_prefix.empty()) {
+            if (!obs::kEnabled) {
+                std::fprintf(stderr,
+                             "error: --obs-out requires a build with -DLRGP_OBS=ON\n");
+                return 2;
+            }
+            registry = std::make_unique<obs::Registry>();
+            rt.attachObservability(registry.get());
+        }
+
+        std::printf("engine: async, %d agent thread%s, %.1f virtual seconds "
+                    "(deterministic lockstep)\n",
+                    rt.agentCount(), rt.agentCount() == 1 ? "" : "s", cli.seconds);
+        rt.runFor(cli.seconds);
+
+        std::printf("async: utility %.0f after %.1f virtual seconds\n", rt.currentUtility(),
+                    cli.seconds);
+        for (const runtime::AgentSummary& s : rt.summaries()) {
+            std::printf("agent %d: %zu flows, %zu classes, %zu nodes, utility %.0f; "
+                        "%llu digests out / %llu in (%llu stale), %llu suspicions, "
+                        "%llu recoveries, %llu budget updates%s\n",
+                        s.agent, s.flows, s.classes, s.nodes, s.utility,
+                        static_cast<unsigned long long>(s.counters.digests_sent),
+                        static_cast<unsigned long long>(s.counters.digests_received),
+                        static_cast<unsigned long long>(s.counters.digests_rejected_stale),
+                        static_cast<unsigned long long>(s.counters.suspicions),
+                        static_cast<unsigned long long>(s.counters.recoveries),
+                        static_cast<unsigned long long>(s.counters.budget_updates),
+                        s.down ? " [down]" : "");
+        }
+        const runtime::RuntimeStats stats = rt.stats();
+        std::printf("transport: %llu messages sent, %llu dropped by faults, "
+                    "%llu by backpressure, %llu retries\n",
+                    static_cast<unsigned long long>(stats.messages_sent),
+                    static_cast<unsigned long long>(stats.dropped_fault),
+                    static_cast<unsigned long long>(stats.dropped_backpressure),
+                    static_cast<unsigned long long>(stats.totals.retries));
+        std::printf("resilience: %llu crashes, %llu restarts, %llu snapshot restores, "
+                    "%llu degradations\n",
+                    static_cast<unsigned long long>(stats.totals.crashes),
+                    static_cast<unsigned long long>(stats.totals.restarts),
+                    static_cast<unsigned long long>(stats.totals.snapshot_restores),
+                    static_cast<unsigned long long>(stats.totals.degradations));
+
+        if (registry) {
+            // No iteration trace here — the runtime reports through its
+            // lrgp_runtime_* metric series only.
+            const std::string prom_path = cli.obs_prefix + ".prom";
+            std::ofstream prom_out(prom_path);
+            if (!prom_out) {
+                std::fprintf(stderr, "error: cannot write %s\n", prom_path.c_str());
+                return 1;
+            }
+            registry->writePrometheus(prom_out);
+            std::printf("obs: %s (%zu series)\n", prom_path.c_str(), registry->size());
+        }
+        return 0;
+    }
 
     // The serial/compiled/incremental drivers follow the same bitwise
     // trajectory; --engine only chooses the hot path (object graph, flat

@@ -11,6 +11,10 @@ file carries a "bench" tag that selects its metric set:
                                      loop speedups, optimality gap,
                                      K=1 bitwise parity, shard-count
                                      wall-clock monotonicity
+  bench_async    (BENCH_async.json)  live async runtime: every fault
+                                     scenario reconverged, byte-identical
+                                     deterministic reruns, zero
+                                     deadlocks, virtual-time TTR bands
 
 Absolute wall times are machine-dependent: a committed baseline measured
 on one box says little about a shared CI runner.  Setting
@@ -185,6 +189,48 @@ def check_shards(guard, baseline, fresh):
                         f"{now:.2f} ms vs baseline {base:.2f} (limit {limit:.2f})")
 
 
+def check_async(guard, baseline, fresh):
+    # Acceptance flags certified by the fresh run itself.  These are
+    # virtual-time results, so they are hardware-independent and always
+    # enforced.
+    if fresh.get("all_reconverged") is not True:
+        guard.fail("all_reconverged",
+                   "some fault scenario failed to reconverge to within 1% of its "
+                   "pre-fault steady state")
+    if fresh.get("deterministic") is not True:
+        guard.fail("deterministic",
+                   "deterministic-mode reruns were not byte-identical (digest logs "
+                   "or utility traces diverged)")
+    if fresh.get("deadlocks") != 0:
+        guard.fail("deadlocks", f"{fresh.get('deadlocks')} deadlock(s) reported")
+
+    # Per-scenario time-to-reconverge, in virtual seconds: a ratio of
+    # virtual clocks, not wall clocks, so the 25% band holds on any
+    # machine.  A scenario whose baseline TTR is 0 (never left the 1%
+    # band) must stay at 0.
+    base_rows = {row.get("name"): row for row in baseline.get("scenarios", [])}
+    for row in fresh.get("scenarios", []):
+        name = row.get("name")
+        metric = f"scenarios[{name}].time_to_reconverge_seconds"
+        base_row = base_rows.get(name)
+        if base_row is None:
+            guard.skip(metric, "baseline")
+            continue
+        base = base_row.get("result", {}).get("time_to_reconverge_seconds")
+        now = row.get("result", {}).get("time_to_reconverge_seconds")
+        if base is None or now is None:
+            guard.skip(metric, "baseline" if base is None else "fresh")
+            continue
+        if now < 0:
+            guard.fail(metric, "scenario never reconverged")
+            continue
+        # Half a sample period of slack absorbs quantization when the
+        # baseline sits at or near zero.
+        limit = base * (1.0 + REGRESSION_LIMIT) + 0.5 * fresh.get("sample_period", 0.05)
+        guard.check("relative", metric, now <= limit,
+                    f"{now:.2f}s vs baseline {base:.2f}s (limit {limit:.2f}s)")
+
+
 def check_pair(guard, baseline_path, fresh_path):
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -198,6 +244,8 @@ def check_pair(guard, baseline_path, fresh_path):
         return
     if kind == "bench_shards":
         check_shards(guard, baseline, fresh)
+    elif kind == "bench_async":
+        check_async(guard, baseline, fresh)
     else:
         check_compiled(guard, baseline, fresh)
 

@@ -549,6 +549,12 @@ DistOptions DistLrgp::validated(DistOptions options) {
             throw std::invalid_argument(
                 "DistLrgp: reannounce_backoff_min must be <= reannounce_backoff_max");
     }
+    if (rb.price_max_age > 0.0 && rb.enabled() && rb.price_max_age < rb.heartbeat_timeout)
+        throw std::invalid_argument(
+            "DistLrgp: price_max_age (staleness horizon) must be >= heartbeat_timeout — "
+            "expiring prices faster than failures are detected leaves suspected resources "
+            "with no last-known price to degrade from; raise price_max_age or lower "
+            "heartbeat_timeout");
     options.fault_plan.validate();
 
     if (options.synchronous) {
@@ -662,6 +668,8 @@ void DistLrgp::validateFaultPlanAgents() const {
     }
     for (const auto& f : plan.partitions)
         for (const auto& member : f.island) check(member, "partition");
+    for (const auto& f : plan.asymmetric_partitions)
+        for (const auto& member : f.island) check(member, "asymmetric partition");
     for (const auto& f : plan.crashes) check(f.agent, "crash");
     for (const auto& f : plan.corruptions)
         if (f.from) check(*f.from, "price corruption");

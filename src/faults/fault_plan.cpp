@@ -51,6 +51,10 @@ void FaultPlan::validate() const {
         validateWindow(f.window, "PartitionWindow");
         require(!f.island.empty(), "PartitionWindow: island must not be empty");
     }
+    for (const AsymmetricPartitionWindow& f : asymmetric_partitions) {
+        validateWindow(f.window, "AsymmetricPartitionWindow");
+        require(!f.island.empty(), "AsymmetricPartitionWindow: island must not be empty");
+    }
     for (const CrashEvent& f : crashes) {
         require(f.at >= 0.0, "CrashEvent: crash time must be >= 0");
         require(f.restart_at > f.at, "CrashEvent: restart_at must be after the crash");
@@ -84,6 +88,19 @@ FaultDecision FaultInjector::onMessage(const MessageContext& ctx, sim::SimTime n
     for (const PartitionWindow& f : plan_.partitions) {
         if (!f.window.contains(now)) continue;
         if (inIsland(f.island, ctx.from) != inIsland(f.island, ctx.to)) {
+            decision.drop = true;
+            ++stats_.messages_dropped;
+            return decision;
+        }
+    }
+
+    // Asymmetric partitions drop deterministically too (no RNG draw, so
+    // adding one to a plan never shifts the stochastic stream): only the
+    // island -> outside direction is cut; the island still hears the
+    // rest of the overlay.
+    for (const AsymmetricPartitionWindow& f : plan_.asymmetric_partitions) {
+        if (!f.window.contains(now)) continue;
+        if (inIsland(f.island, ctx.from) && !inIsland(f.island, ctx.to)) {
             decision.drop = true;
             ++stats_.messages_dropped;
             return decision;

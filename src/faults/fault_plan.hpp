@@ -93,6 +93,16 @@ struct PartitionWindow {
     std::vector<AgentRef> island;
 };
 
+/// One-way partition: while the window is open, messages FROM island
+/// members TO the outside are dropped, while the reverse direction still
+/// flows — the island hears the rest of the overlay, but the overlay
+/// cannot hear the island (a misconfigured firewall or a half-open TCP
+/// peer).  Messages among island members and among outsiders still flow.
+struct AsymmetricPartitionWindow {
+    TimeWindow window;
+    std::vector<AgentRef> island;
+};
+
 /// Crashes `agent` at `at` with full state loss; it rejoins (state
 /// re-initialised, not restored) at `restart_at`, or never if infinite.
 struct CrashEvent {
@@ -118,12 +128,14 @@ struct FaultPlan {
     std::vector<DelaySpike> delay_spikes;
     std::vector<ReorderWindow> reorders;
     std::vector<PartitionWindow> partitions;
+    std::vector<AsymmetricPartitionWindow> asymmetric_partitions;
     std::vector<CrashEvent> crashes;
     std::vector<PriceCorruption> corruptions;
 
     [[nodiscard]] bool empty() const noexcept {
         return losses.empty() && delay_spikes.empty() && reorders.empty() &&
-               partitions.empty() && crashes.empty() && corruptions.empty();
+               partitions.empty() && asymmetric_partitions.empty() && crashes.empty() &&
+               corruptions.empty();
     }
 
     /// Throws std::invalid_argument on malformed entries (inverted

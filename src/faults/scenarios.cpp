@@ -55,6 +55,38 @@ std::vector<ChaosScenario> standard_scenarios(std::size_t flow_count, std::size_
         out.push_back(std::move(s));
     }
     {
+        // Periodic short partitions: the link to the last node flaps up
+        // and down through the window instead of failing once.  Four
+        // outage pulses, each 40% of a cycle, the line healthy between
+        // them — the failure detector must suspect and un-suspect
+        // repeatedly without oscillating the allocation apart.
+        ChaosScenario s;
+        s.name = "flapping_link";
+        s.description = "link to the last consumer node flaps (4 short partition pulses)";
+        const sim::SimTime cycle = duration / 4.0;
+        for (int pulse = 0; pulse < 4; ++pulse) {
+            const sim::SimTime up = t0 + static_cast<sim::SimTime>(pulse) * cycle;
+            s.plan.partitions.push_back(PartitionWindow{{up, up + 0.4 * cycle}, {last_node}});
+        }
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
+        // One-way partition: the last node hears everyone (rates keep
+        // arriving), but its own price/population reports never leave the
+        // island — peers see a silent node while the node itself sees a
+        // healthy overlay.
+        ChaosScenario s;
+        s.name = "asymmetric_partition";
+        s.description = "last consumer node hears peers but its reports are dropped";
+        s.plan.asymmetric_partitions.push_back(
+            AsymmetricPartitionWindow{{t0, t1}, {last_node}});
+        s.fault_start = t0;
+        s.fault_end = t1;
+        out.push_back(std::move(s));
+    }
+    {
         ChaosScenario s;
         s.name = "node_crash";
         s.description = "last consumer node crashes with state loss, restarts";

@@ -24,7 +24,11 @@ struct ChaosScenario {
 };
 
 /// Builds the standard catalog for a workload with the given agent
-/// counts.  Faults open at `t0` and heal within `duration` seconds.
+/// counts: loss burst, delay spike, reorder storm, partition, flapping
+/// link (periodic short partition pulses), asymmetric partition (the
+/// victim hears its peers but is not heard), node/source crash and
+/// price corruption.  Faults open at `t0` and heal within `duration`
+/// seconds.
 /// Targeted faults hit the *last* node and the *last* flow (in the
 /// Table 1 base workload: c-node S2 and flow f0_5, the largest utility
 /// contributor).  Link scenarios are included only when links exist.

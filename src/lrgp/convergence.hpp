@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 namespace lrgp::core {
 
@@ -42,6 +43,34 @@ public:
     [[nodiscard]] std::size_t convergedAt() const noexcept { return converged_at_; }
 
     void reset();
+
+    /// The full mutable state of the detector (options are construction-
+    /// time configuration).  Exported for engine snapshots: restoring it
+    /// on a detector built with the same options makes converged() /
+    /// convergedAt() fire on the same future sample as an uninterrupted
+    /// run.
+    struct State {
+        std::vector<double> window;  ///< oldest first
+        std::size_t samples_seen = 0;
+        bool converged = false;
+        std::size_t converged_at = 0;
+        double last_sample = 0.0;
+        std::size_t run_length = 0;
+    };
+
+    [[nodiscard]] State state() const {
+        return {{window_.begin(), window_.end()}, samples_seen_, converged_,
+                converged_at_,                    last_sample_,  run_length_};
+    }
+
+    void restoreState(const State& s) {
+        window_.assign(s.window.begin(), s.window.end());
+        samples_seen_ = s.samples_seen;
+        converged_ = s.converged;
+        converged_at_ = s.converged_at;
+        last_sample_ = s.last_sample;
+        run_length_ = s.run_length;
+    }
 
 private:
     ConvergenceOptions options_;

@@ -875,6 +875,102 @@ void ParallelLrgpEngine::warmStart(const PriceVector& prices,
     noteConvergenceReset();
 }
 
+EngineSnapshot ParallelLrgpEngine::snapshot() const {
+    EngineSnapshot s;
+    s.flow_count = spec_.flowCount();
+    s.class_count = spec_.classCount();
+    s.node_count = spec_.nodeCount();
+    s.link_count = spec_.linkCount();
+    s.iteration = iteration_;
+    s.last_utility = last_record_.utility;
+
+    s.flow_active.reserve(spec_.flowCount());
+    for (const model::FlowSpec& f : spec_.flows())
+        s.flow_active.push_back(f.active ? 1 : 0);
+    s.node_capacity.reserve(spec_.nodeCount());
+    for (const model::NodeSpec& b : spec_.nodes()) s.node_capacity.push_back(b.capacity);
+    s.link_capacity.reserve(spec_.linkCount());
+    for (const model::LinkSpec& l : spec_.links()) s.link_capacity.push_back(l.capacity);
+    s.class_max_consumers.reserve(spec_.classCount());
+    for (const model::ClassSpec& c : spec_.classes())
+        s.class_max_consumers.push_back(c.max_consumers);
+
+    s.rates = allocation_.rates;
+    s.populations.assign(allocation_.populations.begin(), allocation_.populations.end());
+    s.node_price = prices_.node;
+    s.link_price = prices_.link;
+
+    s.node_controllers.reserve(node_prices_.size());
+    for (const NodePriceController& c : node_prices_) s.node_controllers.push_back(c.state());
+    s.link_controllers.reserve(link_prices_.size());
+    for (const LinkPriceController& c : link_prices_) s.link_controllers.push_back(c.state());
+    s.detector = detector_.state();
+    return s;
+}
+
+void ParallelLrgpEngine::restore(const EngineSnapshot& s) {
+    if (s.flow_count != spec_.flowCount() || s.class_count != spec_.classCount() ||
+        s.node_count != spec_.nodeCount() || s.link_count != spec_.linkCount())
+        throw std::invalid_argument(
+            "ParallelLrgpEngine::restore: snapshot shape does not match the problem");
+    if (s.node_controllers.size() != node_prices_.size() ||
+        s.link_controllers.size() != link_prices_.size() ||
+        s.rates.size() != spec_.flowCount() || s.populations.size() != spec_.classCount() ||
+        s.node_price.size() != spec_.nodeCount() || s.link_price.size() != spec_.linkCount() ||
+        s.flow_active.size() != spec_.flowCount() ||
+        s.node_capacity.size() != spec_.nodeCount() ||
+        s.link_capacity.size() != spec_.linkCount() ||
+        s.class_max_consumers.size() != spec_.classCount())
+        throw std::invalid_argument("ParallelLrgpEngine::restore: malformed snapshot");
+
+    // Dynamic spec state: bring the local problem mirror in line with
+    // the one the snapshot was taken from.
+    for (std::size_t f = 0; f < s.flow_active.size(); ++f) {
+        const model::FlowId id{static_cast<std::uint32_t>(f)};
+        const bool active = s.flow_active[f] != 0;
+        if (spec_.flowActive(id) != active) {
+            spec_.setFlowActive(id, active);
+            compiled_.setFlowActive(id, active);
+        }
+    }
+    for (std::size_t b = 0; b < s.node_capacity.size(); ++b) {
+        const model::NodeId id{static_cast<std::uint32_t>(b)};
+        spec_.setNodeCapacity(id, s.node_capacity[b]);
+        compiled_.setNodeCapacity(id, s.node_capacity[b]);
+    }
+    for (std::size_t l = 0; l < s.link_capacity.size(); ++l) {
+        const model::LinkId id{static_cast<std::uint32_t>(l)};
+        spec_.setLinkCapacity(id, s.link_capacity[l]);
+        compiled_.setLinkCapacity(id, s.link_capacity[l]);
+    }
+    for (std::size_t c = 0; c < s.class_max_consumers.size(); ++c) {
+        const model::ClassId id{static_cast<std::uint32_t>(c)};
+        spec_.setClassMaxConsumers(id, s.class_max_consumers[c]);
+        compiled_.setClassMaxConsumers(id, s.class_max_consumers[c]);
+    }
+
+    allocation_.rates = s.rates;
+    allocation_.populations.assign(s.populations.begin(), s.populations.end());
+    prices_.node = s.node_price;
+    prices_.link = s.link_price;
+    for (std::size_t b = 0; b < node_prices_.size(); ++b)
+        node_prices_[b].restoreState(s.node_controllers[b]);
+    for (std::size_t l = 0; l < link_prices_.size(); ++l)
+        link_prices_[l].restoreState(s.link_controllers[l]);
+    detector_.restoreState(s.detector);
+
+    iteration_ = static_cast<int>(s.iteration);
+    last_record_.iteration = iteration_;
+    last_record_.utility = s.last_utility;
+    last_record_.allocation = allocation_;
+    last_record_.prices = prices_;
+
+    // Every cached phase output is gone (or stale): the next iteration
+    // is a full one.  Recomputation reproduces the cached values bitwise
+    // because their inputs were restored bitwise.
+    markAllDirty();
+}
+
 double ParallelLrgpEngine::currentUtility() const {
     return model::total_utility(spec_, allocation_);
 }

@@ -54,6 +54,7 @@
 
 #include "lrgp/compiled_problem.hpp"
 #include "lrgp/optimizer.hpp"
+#include "lrgp/snapshot.hpp"
 #include "lrgp/task_pool.hpp"
 
 namespace lrgp::core {
@@ -159,6 +160,22 @@ public:
 
     /// Cumulative dirty-set counts; all-zero when incremental() is false.
     [[nodiscard]] IncrementalStats incrementalStats() const noexcept;
+
+    // -- warm-state snapshots (crash recovery) ---------------------------
+
+    /// Captures the engine's warm state (allocation, prices, controller
+    /// and detector state, dynamic spec state).  See lrgp/snapshot.hpp.
+    [[nodiscard]] EngineSnapshot snapshot() const;
+
+    /// Restores a snapshot taken from an engine over the same problem
+    /// shape (same entity counts; options must match for bitwise resume).
+    /// After restore() the engine continues the snapshotted trajectory
+    /// bitwise-identically to an uninterrupted run: the first iteration
+    /// is a full one (everything is marked dirty), but every recomputed
+    /// value equals the one the caches held.  The utility trace is NOT
+    /// restored — it restarts from the restore point.  Throws
+    /// std::invalid_argument on a shape mismatch.
+    void restore(const EngineSnapshot& snapshot);
 
 private:
     struct Cand;

@@ -74,6 +74,30 @@ public:
     /// abruptly and a controller restart is desired.
     void reset(double price = 0.0);
 
+    /// The full mutable state of the controller (the gamma *policy* is
+    /// construction-time configuration and is not part of it).  Exported
+    /// for engine snapshots: restoreState() on a controller built with
+    /// the same policy resumes the exact update trajectory bitwise.
+    struct State {
+        double price = 0.0;
+        double adaptive_gamma = 0.0;
+        double last_delta = 0.0;
+        bool has_last_delta = false;
+        bool last_moved = false;
+    };
+
+    [[nodiscard]] State state() const noexcept {
+        return {price_, adaptive_gamma_, last_delta_, has_last_delta_, last_moved_};
+    }
+
+    void restoreState(const State& s) noexcept {
+        price_ = s.price;
+        adaptive_gamma_ = s.adaptive_gamma;
+        last_delta_ = s.last_delta;
+        has_last_delta_ = s.has_last_delta;
+        last_moved_ = s.last_moved;
+    }
+
 private:
     GammaPolicy policy_;
     double price_;
@@ -102,6 +126,19 @@ public:
     void reset(double price = 0.0) {
         price_ = price;
         last_moved_ = false;
+    }
+
+    /// Mutable state for engine snapshots (gamma is configuration).
+    struct State {
+        double price = 0.0;
+        bool last_moved = false;
+    };
+
+    [[nodiscard]] State state() const noexcept { return {price_, last_moved_}; }
+
+    void restoreState(const State& s) noexcept {
+        price_ = s.price;
+        last_moved_ = s.last_moved;
     }
 
 private:

@@ -1,0 +1,181 @@
+#include "lrgp/snapshot.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+namespace lrgp::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4C524750534E4150ull;  // "LRGPSNAP"
+constexpr std::uint32_t kVersion = 1;
+
+// The encoder/decoder pair below writes fixed-width little-endian
+// fields via memcpy, so doubles survive the round trip bit-for-bit.
+// (Every supported target is little-endian; the magic check would fail
+// loudly on a byte-swapped payload rather than mis-restore.)
+
+class Writer {
+public:
+    explicit Writer(std::string& out) : out_(out) {}
+
+    template <typename T>
+    void put(T value) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto offset = out_.size();
+        out_.resize(offset + sizeof(T));
+        std::memcpy(out_.data() + offset, &value, sizeof(T));
+    }
+
+    template <typename T>
+    void putVector(const std::vector<T>& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        put(static_cast<std::uint64_t>(v.size()));
+        const auto offset = out_.size();
+        out_.resize(offset + v.size() * sizeof(T));
+        if (!v.empty()) std::memcpy(out_.data() + offset, v.data(), v.size() * sizeof(T));
+    }
+
+private:
+    std::string& out_;
+};
+
+class Reader {
+public:
+    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+    template <typename T>
+    T get() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (bytes_.size() - pos_ < sizeof(T))
+            throw std::invalid_argument("EngineSnapshot: truncated payload");
+        T value;
+        std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    template <typename T>
+    std::vector<T> getVector() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto count = get<std::uint64_t>();
+        if (count > (bytes_.size() - pos_) / sizeof(T))
+            throw std::invalid_argument("EngineSnapshot: truncated payload");
+        std::vector<T> v(static_cast<std::size_t>(count));
+        if (count > 0) std::memcpy(v.data(), bytes_.data() + pos_, v.size() * sizeof(T));
+        pos_ += v.size() * sizeof(T);
+        return v;
+    }
+
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+private:
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EngineSnapshot::serialize() const {
+    std::string out;
+    Writer w(out);
+    w.put(kMagic);
+    w.put(kVersion);
+    w.put(flow_count);
+    w.put(class_count);
+    w.put(node_count);
+    w.put(link_count);
+    w.put(iteration);
+    w.put(last_utility);
+    w.putVector(flow_active);
+    w.putVector(node_capacity);
+    w.putVector(link_capacity);
+    w.putVector(class_max_consumers);
+    w.putVector(rates);
+    w.putVector(populations);
+    w.putVector(node_price);
+    w.putVector(link_price);
+
+    w.put(static_cast<std::uint64_t>(node_controllers.size()));
+    for (const auto& c : node_controllers) {
+        w.put(c.price);
+        w.put(c.adaptive_gamma);
+        w.put(c.last_delta);
+        w.put(static_cast<std::uint8_t>(c.has_last_delta));
+        w.put(static_cast<std::uint8_t>(c.last_moved));
+    }
+    w.put(static_cast<std::uint64_t>(link_controllers.size()));
+    for (const auto& c : link_controllers) {
+        w.put(c.price);
+        w.put(static_cast<std::uint8_t>(c.last_moved));
+    }
+
+    w.putVector(detector.window);
+    w.put(static_cast<std::uint64_t>(detector.samples_seen));
+    w.put(static_cast<std::uint8_t>(detector.converged));
+    w.put(static_cast<std::uint64_t>(detector.converged_at));
+    w.put(detector.last_sample);
+    w.put(static_cast<std::uint64_t>(detector.run_length));
+    return out;
+}
+
+EngineSnapshot EngineSnapshot::deserialize(std::string_view bytes) {
+    Reader r(bytes);
+    if (r.get<std::uint64_t>() != kMagic)
+        throw std::invalid_argument("EngineSnapshot: bad magic (not a snapshot payload)");
+    if (r.get<std::uint32_t>() != kVersion)
+        throw std::invalid_argument("EngineSnapshot: unsupported snapshot version");
+
+    EngineSnapshot s;
+    s.flow_count = r.get<std::uint64_t>();
+    s.class_count = r.get<std::uint64_t>();
+    s.node_count = r.get<std::uint64_t>();
+    s.link_count = r.get<std::uint64_t>();
+    s.iteration = r.get<std::int64_t>();
+    s.last_utility = r.get<double>();
+    s.flow_active = r.getVector<std::uint8_t>();
+    s.node_capacity = r.getVector<double>();
+    s.link_capacity = r.getVector<double>();
+    s.class_max_consumers = r.getVector<std::int32_t>();
+    s.rates = r.getVector<double>();
+    s.populations = r.getVector<std::int32_t>();
+    s.node_price = r.getVector<double>();
+    s.link_price = r.getVector<double>();
+
+    const auto node_ctl = r.get<std::uint64_t>();
+    if (node_ctl > bytes.size())
+        throw std::invalid_argument("EngineSnapshot: truncated payload");
+    s.node_controllers.reserve(static_cast<std::size_t>(node_ctl));
+    for (std::uint64_t i = 0; i < node_ctl; ++i) {
+        NodePriceController::State c;
+        c.price = r.get<double>();
+        c.adaptive_gamma = r.get<double>();
+        c.last_delta = r.get<double>();
+        c.has_last_delta = r.get<std::uint8_t>() != 0;
+        c.last_moved = r.get<std::uint8_t>() != 0;
+        s.node_controllers.push_back(c);
+    }
+    const auto link_ctl = r.get<std::uint64_t>();
+    if (link_ctl > bytes.size())
+        throw std::invalid_argument("EngineSnapshot: truncated payload");
+    s.link_controllers.reserve(static_cast<std::size_t>(link_ctl));
+    for (std::uint64_t i = 0; i < link_ctl; ++i) {
+        LinkPriceController::State c;
+        c.price = r.get<double>();
+        c.last_moved = r.get<std::uint8_t>() != 0;
+        s.link_controllers.push_back(c);
+    }
+
+    s.detector.window = r.getVector<double>();
+    s.detector.samples_seen = static_cast<std::size_t>(r.get<std::uint64_t>());
+    s.detector.converged = r.get<std::uint8_t>() != 0;
+    s.detector.converged_at = static_cast<std::size_t>(r.get<std::uint64_t>());
+    s.detector.last_sample = r.get<double>();
+    s.detector.run_length = static_cast<std::size_t>(r.get<std::uint64_t>());
+    if (!r.exhausted())
+        throw std::invalid_argument("EngineSnapshot: trailing bytes after payload");
+    return s;
+}
+
+}  // namespace lrgp::core

@@ -154,6 +154,55 @@ ShardInstruments ShardInstruments::resolve(Registry& registry, int shards) {
     return instruments;
 }
 
+RuntimeInstruments RuntimeInstruments::resolve(Registry& registry) {
+    RuntimeInstruments instruments;
+    instruments.digests_sent = &registry.counter("lrgp_runtime_digests_sent_total",
+                                                 "Digests handed to the transport");
+    instruments.digests_received = &registry.counter("lrgp_runtime_digests_received_total",
+                                                     "Digests polled from agent inboxes");
+    instruments.rejected_stale = &registry.counter(
+        "lrgp_runtime_digests_rejected_stale_total",
+        "Digests rejected on receipt: older than the staleness horizon, replayed or reordered");
+    const std::string drop_help = "Messages lost in the transport";
+    instruments.dropped_fault = &registry.counter("lrgp_runtime_messages_dropped_total",
+                                                  drop_help, {{"cause", "fault"}});
+    instruments.dropped_backpressure = &registry.counter(
+        "lrgp_runtime_messages_dropped_total", drop_help, {{"cause", "backpressure"}});
+    instruments.send_failures = &registry.counter(
+        "lrgp_runtime_send_failures_total",
+        "Sends rejected by a full per-peer in-flight window (backpressure)");
+    instruments.retries = &registry.counter(
+        "lrgp_runtime_retries_total",
+        "Retried sends: backoff digests to suspected peers and backpressure resends");
+    instruments.suspicions = &registry.counter(
+        "lrgp_runtime_suspicions_total", "Transitions of a peer into the suspected state");
+    instruments.recoveries = &registry.counter(
+        "lrgp_runtime_recoveries_total", "Suspected peers heard from again (unsuspected)");
+    instruments.crashes =
+        &registry.counter("lrgp_runtime_crashes_total", "Agent crash events taken");
+    instruments.restarts =
+        &registry.counter("lrgp_runtime_restarts_total", "Agent restarts completed");
+    instruments.snapshots = &registry.counter("lrgp_runtime_snapshots_total",
+                                              "Engine snapshots captured (checkpoints)");
+    instruments.snapshot_restores = &registry.counter(
+        "lrgp_runtime_snapshot_restores_total", "Restarts that restored an engine snapshot");
+    instruments.budget_updates = &registry.counter(
+        "lrgp_runtime_budget_updates_total", "Boundary budget assignment slices applied");
+    instruments.degradations = &registry.counter(
+        "lrgp_runtime_degradations_total",
+        "Boundary slices clamped to their floor while a sharing peer was suspected");
+    instruments.agents = &registry.gauge("lrgp_runtime_agents", "Configured shard agents");
+    instruments.utility =
+        &registry.gauge("lrgp_runtime_utility", "Global utility at the last sample");
+    instruments.digest_age = &registry.histogram(
+        "lrgp_runtime_digest_age_seconds", {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.6, 1.5},
+        "Age (runtime-clock seconds) of accepted digests at receipt");
+    instruments.queue_depth = &registry.histogram(
+        "lrgp_runtime_queue_depth", {0, 1, 2, 4, 8, 16, 32, 64},
+        "Inbox depth observed at each poll (before the drain)");
+    return instruments;
+}
+
 AllocatorInstruments AllocatorInstruments::resolve(Registry& registry) {
     AllocatorInstruments instruments;
     instruments.greedy_allocations =

@@ -113,6 +113,36 @@ struct ShardInstruments {
     static ShardInstruments resolve(Registry& registry, int shards);
 };
 
+/// Live asynchronous shard-agent runtime instruments
+/// (runtime::AsyncShardRuntime).  Counter totals are exported by the
+/// driver at the end of every runFor call; the histograms fill live
+/// from the agent threads (relaxed atomics).  Histogram values are
+/// runtime-clock seconds / inbox depths — deterministic quantities in
+/// virtual-time mode, so the Prometheus export stays golden-testable.
+struct RuntimeInstruments {
+    Counter* digests_sent = nullptr;      ///< lrgp_runtime_digests_sent_total
+    Counter* digests_received = nullptr;  ///< lrgp_runtime_digests_received_total
+    Counter* rejected_stale = nullptr;    ///< lrgp_runtime_digests_rejected_stale_total
+    Counter* dropped_fault = nullptr;     ///< lrgp_runtime_messages_dropped_total{cause="fault"}
+    Counter* dropped_backpressure = nullptr;  ///< ...{cause="backpressure"}
+    Counter* send_failures = nullptr;     ///< lrgp_runtime_send_failures_total
+    Counter* retries = nullptr;           ///< lrgp_runtime_retries_total
+    Counter* suspicions = nullptr;        ///< lrgp_runtime_suspicions_total
+    Counter* recoveries = nullptr;        ///< lrgp_runtime_recoveries_total
+    Counter* crashes = nullptr;           ///< lrgp_runtime_crashes_total
+    Counter* restarts = nullptr;          ///< lrgp_runtime_restarts_total
+    Counter* snapshots = nullptr;         ///< lrgp_runtime_snapshots_total
+    Counter* snapshot_restores = nullptr; ///< lrgp_runtime_snapshot_restores_total
+    Counter* budget_updates = nullptr;    ///< lrgp_runtime_budget_updates_total
+    Counter* degradations = nullptr;      ///< lrgp_runtime_degradations_total
+    Gauge* agents = nullptr;              ///< lrgp_runtime_agents
+    Gauge* utility = nullptr;             ///< lrgp_runtime_utility
+    Histogram* digest_age = nullptr;      ///< lrgp_runtime_digest_age_seconds
+    Histogram* queue_depth = nullptr;     ///< lrgp_runtime_queue_depth
+
+    static RuntimeInstruments resolve(Registry& registry);
+};
+
 /// Allocator-level instruments, shared by every engine that drives the
 /// greedy/rate allocators (serial, parallel, distributed).
 struct AllocatorInstruments {

@@ -1,0 +1,71 @@
+// Wire format of the live asynchronous shard-agent runtime.
+//
+// Agents exchange compact versioned *digests* — never raw engine state.
+// A digest carries the sender's local prices for the boundary resources
+// it shares with the recipient (the Eq. 12/13 scarcity signals), the
+// coordinator's budget assignments for resources it owns, and acks for
+// assignments the sender applied.  Versions and epochs make delivery
+// idempotent: receivers drop replayed or reordered digests (version) and
+// detect peer restarts (epoch), so the transport may lose, delay,
+// duplicate-deliver or reorder messages freely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lrgp::runtime {
+
+/// One boundary resource's local price as seen by the sender.
+struct PriceEntry {
+    bool node = true;      ///< node (true) or link (false) resource
+    std::uint32_t id = 0;  ///< global resource index
+    double price = 0.0;    ///< sender's local LRGP price
+};
+
+/// A coordinator's capacity slice for the *recipient* on one boundary
+/// resource.  (epoch, version) orders assignments across coordinator
+/// restarts; receivers apply only strictly newer pairs.
+struct BudgetAssignment {
+    bool node = true;
+    std::uint32_t id = 0;
+    std::uint64_t epoch = 0;    ///< coordinator's membership epoch
+    std::uint64_t version = 0;  ///< per-resource assignment version
+    double slice = 0.0;         ///< recipient's capacity slice
+};
+
+/// Piggybacked acknowledgement: the sender has applied assignment
+/// (epoch, version) for this resource.  Coordinators gate budget grants
+/// on these (shrink-before-grow keeps the capacity sum safe, see
+/// docs/async_runtime.md).
+struct BudgetAck {
+    bool node = true;
+    std::uint32_t id = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t version = 0;
+};
+
+/// One agent-to-agent digest.  Also the heartbeat: any received digest
+/// refreshes the sender's liveness at the receiver.
+struct Digest {
+    int from = 0;
+    std::uint64_t version = 0;  ///< per-sender monotonic sequence
+    std::uint64_t epoch = 0;    ///< sender's restart epoch
+    double send_time = 0.0;     ///< runtime clock at send
+    std::vector<PriceEntry> prices;
+    std::vector<BudgetAssignment> assignments;
+    std::vector<BudgetAck> acks;
+};
+
+/// A digest in flight (or delivered): transport bookkeeping around the
+/// payload.  `seq` is the per-sender send counter used to break delivery
+/// ties deterministically.
+struct Delivery {
+    int from = 0;
+    int to = 0;
+    std::uint64_t seq = 0;
+    double send_time = 0.0;
+    double deliver_time = 0.0;
+    Digest digest;
+};
+
+}  // namespace lrgp::runtime

@@ -1,0 +1,296 @@
+// Live asynchronous shard-agent runtime (ROADMAP item 4).
+//
+// AsyncShardRuntime runs one *agent thread* per shard of the overlay:
+// each agent owns an incremental ParallelLrgpEngine over its subproblem
+// (shard/subproblems.hpp) and coordinates boundary capacity with its
+// peers by exchanging compact versioned digests over a ChannelTransport
+// whose embedded fault injector loses, delays, reorders and partitions
+// messages *live* (runtime/transport.hpp).  This is the asynchronous,
+// failure-prone sibling of shard::ShardedLrgpEngine's lockstep loop —
+// same subproblems, same boundary-budget arithmetic, no barrier between
+// shards, faults in wall-clock (or virtual) time.
+//
+// Tolerance mechanisms (docs/async_runtime.md has the state machines):
+//  * heartbeat failure suspicion — any digest doubles as a heartbeat;
+//    a peer silent past heartbeat_timeout becomes *suspected*, and
+//    sends to it back off exponentially (with deterministic jitter)
+//    instead of flooding a dead peer;
+//  * graceful degradation — while any peer sharing a boundary resource
+//    is suspected, the agent clamps its slice of that resource to the
+//    guaranteed-feasible floor, trading utility for safety;
+//  * bounded staleness — digests older than staleness_horizon (and
+//    out-of-order or replayed ones, by version/epoch) are rejected;
+//  * crash recovery — agents snapshot their engine periodically
+//    (lrgp/snapshot.hpp); a fault-plan crash discards live state, and
+//    the restart restores the snapshot and bumps the agent's membership
+//    epoch so peers discard pre-crash digests still in flight;
+//  * safe budget reconciliation — the lowest incident agent coordinates
+//    each boundary resource and moves capacity toward the higher-priced
+//    shards (shard/budget.hpp) in a shrink-before-grow handshake:
+//    capacity grants are withheld until every live peer acknowledged
+//    the matching reductions, so the applied slices never sum above the
+//    global capacity even under loss, reordering or partitions.
+//
+// Execution modes:
+//  * deterministic (default) — virtual time: all agent threads step in
+//    lockstep ticks separated by a std::barrier, and time advances
+//    tick_period per tick.  Because the transport's delivery order is
+//    schedule-independent and latency_min > 0 keeps a tick's sends out
+//    of the same tick's receives, the whole run — utility trace, digest
+//    logs, every counter — is byte-identical across reruns and thread
+//    interleavings, while still exercising real threads, mutexes and
+//    barriers (the TSan suite runs exactly this mode).
+//  * real time (deterministic = false) — agents free-run on the wall
+//    clock with sleep-paced ticks; timing-dependent, for soak tests and
+//    live deployments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
+#include "metrics/time_series.hpp"
+#include "model/problem.hpp"
+#include "obs/instruments.hpp"
+#include "runtime/transport.hpp"
+#include "shard/subproblems.hpp"
+
+namespace lrgp::runtime {
+
+struct RuntimeOptions {
+    /// Shard agents (one thread each while running).
+    int agents = 2;
+    /// Virtual-time lockstep (byte-identical reruns) vs wall clock.
+    bool deterministic = true;
+
+    /// Agent loop period in seconds; every tick an agent drains its
+    /// inbox, steps its engine and sends due digests.
+    double tick_period = 0.005;
+    /// Engine iterations per tick.
+    int iters_per_tick = 1;
+    /// Digest (= heartbeat) spacing per live peer.
+    double digest_period = 0.01;
+
+    /// A peer silent for longer than this is suspected.  Must be >=
+    /// digest_period — suspecting peers faster than they heartbeat
+    /// would flap on every healthy gap.
+    double heartbeat_timeout = 0.25;
+    /// Digests older than this are rejected on receipt.  Must be >=
+    /// digest_period (the heartbeat interval): a shorter horizon would
+    /// reject every digest that shared a tick with a scheduling hiccup.
+    double staleness_horizon = 0.6;
+
+    /// Exponential backoff for sends to a suspected peer, in seconds.
+    /// backoff_factor must be > 1 or the backoff never backs off.
+    double backoff_min = 0.05;
+    double backoff_max = 0.8;
+    double backoff_factor = 2.0;
+    /// Deterministic jitter fraction in [0, 1): each backoff interval
+    /// is scaled by (1 + jitter * u), u drawn per agent.
+    double backoff_jitter = 0.2;
+
+    /// Transport latency bounds (TransportOptions); latency_min > 0.
+    double latency_min = 0.001;
+    double latency_max = 0.004;
+    /// Bounded inbox capacity per agent, divided into per-sender
+    /// in-flight windows of queue_capacity / (agents - 1) so that
+    /// backpressure decisions stay schedule-independent
+    /// (runtime/transport.hpp).
+    std::size_t queue_capacity = 64;
+
+    /// Engine snapshot spacing (crash-recovery checkpoint interval).
+    double snapshot_period = 0.5;
+    /// Utility sampling period of the driver (utilityTrace()).
+    double sample_period = 0.05;
+
+    /// Coordinator rebalance attempt spacing, in ticks.
+    int reconcile_ticks = 8;
+    /// Budget-exchange stepsize in [0, 1] (shard/budget.hpp).
+    double reconcile_step = 0.5;
+    /// Hysteresis: transfers below this fraction of a resource's
+    /// capacity — AND below this fraction of every individual slice —
+    /// are not worth a handshake.  (The per-slice clause lets a
+    /// collapsed slice regrow: its early steps are absolutely tiny but
+    /// relatively huge.)
+    double min_rebalance_fraction = 1e-3;
+    /// Price quarantine after a degraded slice is restored, in seconds.
+    /// A price measured against a floored capacity is meaningless for
+    /// rebalancing, and the engine's price controller needs time to
+    /// decay back once the real slice returns; while a slice is
+    /// degraded — and for this long after restore — its price is not
+    /// advertised and its coordinator defers rebalancing.
+    double price_settle = 0.5;
+
+    std::uint32_t seed = 1;
+    /// Live fault schedule.  Message faults match runtime agent i as
+    /// faults::AgentRef{kNode, i}; crash events match by index with any
+    /// kind (so the standard catalog's node/source crashes both hit
+    /// agent `index`).
+    faults::FaultPlan fault_plan;
+
+    /// Partitioner knobs (shard/partitioner.hpp).
+    int refine_passes = 3;
+    double balance_slack = 0.25;
+
+    /// Record per-agent digest logs (hexfloat, byte-stable in
+    /// deterministic mode; see AsyncShardRuntime::digestLog).
+    bool keep_digest_log = false;
+};
+
+/// Point-in-time snapshot of one agent's counters.
+struct AgentCounters {
+    std::uint64_t engine_iterations = 0;
+    std::uint64_t digests_sent = 0;
+    std::uint64_t digests_received = 0;
+    std::uint64_t digests_rejected_stale = 0;  ///< too old, replayed or reordered
+    std::uint64_t send_failures = 0;           ///< backpressure-rejected sends
+    std::uint64_t retries = 0;                 ///< backoff sends to suspected peers + resends
+    std::uint64_t suspicions = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t snapshot_restores = 0;
+    std::uint64_t budget_updates = 0;  ///< assignment slices applied to the engine
+    std::uint64_t degradations = 0;    ///< slices clamped to floor on suspicion
+};
+
+/// Per-agent shape and progress, for the CLI summary and tests.
+struct AgentSummary {
+    int agent = 0;
+    std::size_t flows = 0;
+    std::size_t classes = 0;
+    std::size_t nodes = 0;
+    std::size_t links = 0;
+    bool down = false;
+    std::uint64_t epoch = 0;
+    double utility = 0.0;
+    AgentCounters counters;
+};
+
+/// Aggregate runtime statistics (all agents + transport).
+struct RuntimeStats {
+    AgentCounters totals;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t dropped_fault = 0;
+    std::uint64_t dropped_backpressure = 0;
+    faults::FaultStats fault_stats;
+};
+
+class AsyncShardRuntime {
+public:
+    /// Partitions `spec` into `runtime.agents` shard subproblems and
+    /// builds the agents and transport.  Validates every option field
+    /// (throws std::invalid_argument with an actionable message) and
+    /// the fault plan against the agent count.  No threads run until
+    /// runFor().
+    AsyncShardRuntime(model::ProblemSpec spec, core::LrgpOptions options = {},
+                      RuntimeOptions runtime = {});
+    ~AsyncShardRuntime();
+
+    AsyncShardRuntime(const AsyncShardRuntime&) = delete;
+    AsyncShardRuntime& operator=(const AsyncShardRuntime&) = delete;
+
+    /// Advances the runtime `seconds` (virtual seconds in deterministic
+    /// mode, wall seconds otherwise): spawns one thread per agent, runs
+    /// them, samples the global utility every sample_period, and joins
+    /// every thread before returning.  Callable repeatedly; the clock
+    /// carries across calls.
+    void runFor(double seconds);
+
+    /// Runtime clock: virtual time advanced so far (deterministic) or
+    /// accumulated wall run time.
+    [[nodiscard]] double now() const noexcept { return base_time_; }
+
+    /// Latest sampled global utility (sum of the agents' published
+    /// utilities in agent order; crashed agents contribute zero).
+    [[nodiscard]] double currentUtility() const;
+
+    /// One utility sample every sample_period seconds.
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept { return trace_; }
+
+    [[nodiscard]] int agentCount() const noexcept { return static_cast<int>(agents_.size()); }
+    [[nodiscard]] bool agentDown(int agent) const;
+    [[nodiscard]] std::vector<AgentSummary> summaries() const;
+    /// Aggregate stats; only call between runFor invocations.
+    [[nodiscard]] RuntimeStats stats() const;
+
+    /// The agent's digest log (one line per sent digest, hexfloat
+    /// payloads).  Empty unless RuntimeOptions::keep_digest_log; only
+    /// read between runFor invocations.  In deterministic mode the log
+    /// is byte-identical across reruns of the same configuration.
+    [[nodiscard]] const std::string& digestLog(int agent) const;
+
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept { return spec_; }
+    [[nodiscard]] const RuntimeOptions& options() const noexcept { return runtime_; }
+
+    /// The agent's local subproblem engine (nullptr for an empty shard).
+    /// Quiescent inspection only — call between runFor invocations; the
+    /// engine is owned and mutated by the agent's thread during a run.
+    [[nodiscard]] const core::ParallelLrgpEngine* agentEngine(int agent) const;
+
+    /// Registers the lrgp_runtime_* series (docs/observability.md).
+    /// Counter totals are exported at the end of every runFor call;
+    /// histograms (digest age, inbox depth) fill live from the agent
+    /// threads.  Pass nullptr to detach; a no-op without LRGP_OBS.
+    void attachObservability(obs::Registry* registry);
+
+private:
+    struct Agent;
+    struct Resource;
+
+    [[nodiscard]] static RuntimeOptions validated(RuntimeOptions runtime);
+
+    void buildResources(const shard::SubproblemSet& sub);
+    void buildAgents(shard::SubproblemSet sub, const core::LrgpOptions& options);
+
+    void runVirtual(double seconds);
+    void runReal(double seconds);
+    void sampleUtility();
+    void exportCounters();
+
+    // -- agent tick pipeline (all called on the agent's own thread) ----
+    void tickAgent(Agent& agent, double now);
+    void crashAgent(Agent& agent);
+    void restartAgent(Agent& agent, double now);
+    void receiveDigests(Agent& agent, double now);
+    void applyDigest(Agent& agent, const Delivery& delivery, double now);
+    void detectFailures(Agent& agent, double now);
+    void suspectPeer(Agent& agent, int peer, double now);
+    void unsuspectPeer(Agent& agent, int peer, double now);
+    void applySlice(Agent& agent, std::size_t budget_index, double slice);
+    [[nodiscard]] double localPrice(const Agent& agent, std::size_t resource_index) const;
+    void setEngineCapacity(Agent& agent, std::size_t budget_index, double capacity);
+    [[nodiscard]] double jitteredBackoff(Agent& agent, double interval) const;
+    void coordinate(Agent& agent, double now);
+    void sendDigests(Agent& agent, double now);
+    [[nodiscard]] Digest buildDigest(Agent& agent, int to, double now);
+    void logDigest(Agent& agent, int to, const Digest& digest);
+    void maybeSnapshot(Agent& agent, double now);
+
+    model::ProblemSpec spec_;
+    RuntimeOptions runtime_;
+    std::vector<Resource> resources_;
+    /// Resource-table index per global node/link id (kAbsent = interior).
+    std::vector<std::uint32_t> node_resource_;
+    std::vector<std::uint32_t> link_resource_;
+    std::vector<std::unique_ptr<Agent>> agents_;
+    std::unique_ptr<ChannelTransport> transport_;
+
+    metrics::TimeSeries trace_;
+    double base_time_ = 0.0;    ///< runtime clock at the last runFor exit
+    double next_sample_ = 0.0;  ///< first sample strictly after time 0
+    std::atomic<double> published_total_{0.0};
+
+    obs::RuntimeInstruments instr_;
+    bool obs_attached_ = false;
+    AgentCounters exported_;  ///< counter totals already pushed to obs
+    std::uint64_t exported_sent_ = 0, exported_fault_ = 0, exported_backpressure_ = 0;
+};
+
+}  // namespace lrgp::runtime

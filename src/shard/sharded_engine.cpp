@@ -10,22 +10,6 @@
 
 namespace lrgp::shard {
 
-namespace {
-
-/// Position of shard `s` in a sorted incident-shard list.
-std::size_t shardRank(const std::vector<int>& shards, int s) {
-    const auto it = std::lower_bound(shards.begin(), shards.end(), s);
-    if (it == shards.end() || *it != s)
-        throw std::logic_error("ShardedLrgpEngine: shard not incident to boundary resource");
-    return static_cast<std::size_t>(it - shards.begin());
-}
-
-bool contains(const std::vector<int>& shards, int s) {
-    return std::binary_search(shards.begin(), shards.end(), s);
-}
-
-}  // namespace
-
 ShardedLrgpEngine::ShardedLrgpEngine(model::ProblemSpec spec, core::LrgpOptions options,
                                      ShardedConfig config)
     : spec_(std::move(spec)),
@@ -48,10 +32,16 @@ ShardedLrgpEngine::ShardedLrgpEngine(model::ProblemSpec spec, core::LrgpOptions 
     popts.shards = config_.shards;
     popts.refine_passes = config_.refine_passes;
     popts.balance_slack = config_.balance_slack;
-    partition_ = make_partition(spec_, popts);
-    shard_of_flow_ = partition_.shard_of_flow;
-
-    buildMembers(spec_);
+    SubproblemSet sub = build_subproblems(spec_, popts);
+    partition_ = std::move(sub.partition);
+    shard_of_flow_ = std::move(sub.shard_of_flow);
+    flow_local_ = std::move(sub.flow_local);
+    class_local_ = std::move(sub.class_local);
+    boundary_node_budgets_ = std::move(sub.node_budgets);
+    boundary_link_budgets_ = std::move(sub.link_budgets);
+    node_boundary_index_ = std::move(sub.node_boundary_index);
+    link_boundary_index_ = std::move(sub.link_boundary_index);
+    buildMembers(std::move(sub.members));
 
     int threads = config_.threads;
     if (threads == 0) {
@@ -72,184 +62,27 @@ ShardedLrgpEngine::ShardedLrgpEngine(model::ProblemSpec spec, core::LrgpOptions 
 
 ShardedLrgpEngine::~ShardedLrgpEngine() = default;
 
-void ShardedLrgpEngine::buildMembers(const model::ProblemSpec& spec) {
-    const int shard_count = partition_.shards;
-    const std::size_t n_nodes = spec.nodeCount();
-    const std::size_t n_links = spec.linkCount();
-    const std::size_t n_flows = spec.flowCount();
-    const std::size_t n_classes = spec.classCount();
-
-    node_boundary_index_.assign(n_nodes, kAbsent);
-    link_boundary_index_.assign(n_links, kAbsent);
-    flow_local_.assign(n_flows, kAbsent);
-    class_local_.assign(n_classes, kAbsent);
-
-    // ---- boundary budgets ----------------------------------------------
-    // Node floors are the worst-case flow base usage sum(F * r_max) of the
-    // shard's flows at the node: a shard whose greedy admission respects
-    // its budget then keeps usage <= budget, and summing budgets (= the
-    // capacity) yields the global Eq. 5 constraint.  Link floors are the
-    // minimum feasible usage sum(L * r_min).  Surplus splits by demand
-    // weight: sum(G * n_max * r_max) for nodes, sum(L * r_max) for links.
-    for (std::size_t n = 0; n < n_nodes; ++n) {
-        const auto& shards = partition_.shards_of_node[n];
-        if (shards.size() < 2) continue;
-        const model::NodeId id{static_cast<std::uint32_t>(n)};
-        BoundaryBudget entry;
-        entry.id = static_cast<std::uint32_t>(n);
-        entry.capacity = spec.nodes()[n].capacity;
-        entry.shards = shards;
-        std::vector<double> floors(shards.size(), 0.0);
-        std::vector<double> weights(shards.size(), 0.0);
-        // Floors guarantee the minimum allocation (every flow at r_min)
-        // stays feasible inside its slice; rate_max floors would pin the
-        // whole capacity on contended resources and leave the
-        // reconciliation nothing to move.
-        for (model::FlowId f : spec.flowsAtNode(id)) {
-            const std::size_t i = shardRank(shards, shard_of_flow_[f.index()]);
-            floors[i] += spec.flowNodeCost(id, f) * spec.flow(f).rate_min;
-        }
-        for (model::ClassId c : spec.classesAtNode(id)) {
-            const auto& cls = spec.consumerClass(c);
-            const std::size_t i = shardRank(shards, shard_of_flow_[cls.flow.index()]);
-            weights[i] += cls.consumer_cost * static_cast<double>(cls.max_consumers) *
-                          spec.flow(cls.flow).rate_max;
-        }
-        // A shard incident only through zero-F hops would get a zero
-        // budget, which ProblemBuilder rejects; keep every slice positive.
-        const double min_floor = entry.capacity * 1e-6;
-        for (double& f : floors) f = std::max(f, min_floor);
-        entry.floor = floors;
-        entry.budget = split_with_floors(entry.capacity, floors, weights);
-        node_boundary_index_[n] = static_cast<std::uint32_t>(boundary_node_budgets_.size());
-        boundary_node_budgets_.push_back(std::move(entry));
-    }
-    for (std::size_t l = 0; l < n_links; ++l) {
-        const auto& shards = partition_.shards_of_link[l];
-        if (shards.size() < 2) continue;
-        const model::LinkId id{static_cast<std::uint32_t>(l)};
-        BoundaryBudget entry;
-        entry.id = static_cast<std::uint32_t>(l);
-        entry.capacity = spec.links()[l].capacity;
-        entry.shards = shards;
-        std::vector<double> floors(shards.size(), 0.0);
-        std::vector<double> weights(shards.size(), 0.0);
-        for (model::FlowId f : spec.flowsOnLink(id)) {
-            const std::size_t i = shardRank(shards, shard_of_flow_[f.index()]);
-            const double cost = spec.linkCost(id, f);
-            floors[i] += cost * spec.flow(f).rate_min;
-            weights[i] += cost * spec.flow(f).rate_max;
-        }
-        const double min_floor = entry.capacity * 1e-6;
-        for (double& f : floors) f = std::max(f, min_floor);
-        entry.floor = floors;
-        entry.budget = split_with_floors(entry.capacity, floors, weights);
-        link_boundary_index_[l] = static_cast<std::uint32_t>(boundary_link_budgets_.size());
-        boundary_link_budgets_.push_back(std::move(entry));
-    }
-
-    // ---- per-shard subproblems ------------------------------------------
-    members_.resize(static_cast<std::size_t>(shard_count));
-    for (int s = 0; s < shard_count; ++s) {
+void ShardedLrgpEngine::buildMembers(std::vector<MemberSpec> specs) {
+    members_.resize(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        MemberSpec& ms = specs[s];
         Member member;
-        member.node_local.assign(n_nodes, kAbsent);
-        member.link_local.assign(n_links, kAbsent);
-
-        // Membership: a node belongs to the shard when one of its flows
-        // routes through / originates at it; a link when one of its flows
-        // routes over it.  Orphan resources no flow touches go to shard 0
-        // (so K=1 reproduces the problem exactly), and link endpoints are
-        // pulled in so the sub-spec validates (they carry no usage).
-        std::vector<char> node_in(n_nodes, 0);
-        std::vector<char> link_in(n_links, 0);
-        for (model::FlowId f : partition_.flows_of_shard[static_cast<std::size_t>(s)]) {
-            const auto& flow = spec.flow(f);
-            node_in[flow.source.index()] = 1;
-            for (const auto& hop : flow.nodes) node_in[hop.node.index()] = 1;
-            for (const auto& hop : flow.links) link_in[hop.link.index()] = 1;
-        }
-        if (s == 0) {
-            for (std::size_t n = 0; n < n_nodes; ++n)
-                if (partition_.shards_of_node[n].empty()) node_in[n] = 1;
-            for (std::size_t l = 0; l < n_links; ++l)
-                if (partition_.shards_of_link[l].empty()) link_in[l] = 1;
-        }
-        for (std::size_t l = 0; l < n_links; ++l) {
-            if (!link_in[l]) continue;
-            node_in[spec.links()[l].from.index()] = 1;
-            node_in[spec.links()[l].to.index()] = 1;
-        }
-
-        model::ProblemBuilder builder;
-        for (std::size_t n = 0; n < n_nodes; ++n) {
-            if (!node_in[n]) continue;
-            const auto& node = spec.nodes()[n];
-            double capacity = node.capacity;
-            const std::uint32_t bi = node_boundary_index_[n];
-            if (bi != kAbsent && contains(boundary_node_budgets_[bi].shards, s))
-                capacity = boundary_node_budgets_[bi]
-                               .budget[shardRank(boundary_node_budgets_[bi].shards, s)];
-            const model::NodeId local = builder.addNode(node.name, capacity);
-            member.node_local[n] = local.value;
-            member.nodes.push_back(static_cast<std::uint32_t>(n));
-            const auto& owners = partition_.shards_of_node[n];
-            if ((owners.size() == 1 && owners[0] == s) || (owners.empty() && s == 0))
-                member.own_nodes.emplace_back(local.value, static_cast<std::uint32_t>(n));
-        }
-        for (std::size_t l = 0; l < n_links; ++l) {
-            if (!link_in[l]) continue;
-            const auto& link = spec.links()[l];
-            double capacity = link.capacity;
-            const std::uint32_t bi = link_boundary_index_[l];
-            if (bi != kAbsent && contains(boundary_link_budgets_[bi].shards, s))
-                capacity = boundary_link_budgets_[bi]
-                               .budget[shardRank(boundary_link_budgets_[bi].shards, s)];
-            const model::LinkId local =
-                builder.addLink(link.name, model::NodeId{member.node_local[link.from.index()]},
-                                model::NodeId{member.node_local[link.to.index()]}, capacity);
-            member.link_local[l] = local.value;
-            member.links.push_back(static_cast<std::uint32_t>(l));
-            const auto& owners = partition_.shards_of_link[l];
-            if ((owners.size() == 1 && owners[0] == s) || (owners.empty() && s == 0))
-                member.own_links.emplace_back(local.value, static_cast<std::uint32_t>(l));
-        }
-        for (model::FlowId f : partition_.flows_of_shard[static_cast<std::size_t>(s)]) {
-            const auto& flow = spec.flow(f);
-            const model::FlowId local =
-                builder.addFlow(flow.name, model::NodeId{member.node_local[flow.source.index()]},
-                                flow.rate_min, flow.rate_max);
-            flow_local_[f.index()] = local.value;
-            member.flows.push_back(f.value);
-            for (const auto& hop : flow.nodes)
-                builder.routeThroughNode(local, model::NodeId{member.node_local[hop.node.index()]},
-                                         hop.flow_node_cost);
-            for (const auto& hop : flow.links)
-                builder.routeOverLink(local, model::LinkId{member.link_local[hop.link.index()]},
-                                      hop.link_cost);
-        }
-        for (std::size_t c = 0; c < n_classes; ++c) {
-            const auto& cls = spec.classes()[c];
-            if (shard_of_flow_[cls.flow.index()] != s) continue;
-            const model::ClassId local = builder.addClass(
-                cls.name, model::FlowId{flow_local_[cls.flow.index()]},
-                model::NodeId{member.node_local[cls.node.index()]}, cls.max_consumers,
-                cls.consumer_cost, cls.utility);
-            class_local_[c] = local.value;
-            member.classes.push_back(static_cast<std::uint32_t>(c));
-        }
-
-        if (!member.flows.empty()) {
-            model::ProblemSpec sub = builder.build();
-            for (std::size_t i = 0; i < member.flows.size(); ++i)
-                if (!spec.flows()[member.flows[i]].active)
-                    sub.setFlowActive(model::FlowId{static_cast<std::uint32_t>(i)}, false);
+        member.flows = std::move(ms.flows);
+        member.classes = std::move(ms.classes);
+        member.nodes = std::move(ms.nodes);
+        member.links = std::move(ms.links);
+        member.node_local = std::move(ms.node_local);
+        member.link_local = std::move(ms.link_local);
+        member.own_nodes = std::move(ms.own_nodes);
+        member.own_links = std::move(ms.own_links);
+        if (ms.spec.has_value()) {
             core::EngineConfig engine_config;
             engine_config.threads = 1;
             engine_config.incremental = config_.incremental;
-            member.engine = std::make_unique<core::ParallelLrgpEngine>(std::move(sub), options_,
-                                                                       engine_config);
+            member.engine = std::make_unique<core::ParallelLrgpEngine>(std::move(*ms.spec),
+                                                                       options_, engine_config);
         }
-        members_[static_cast<std::size_t>(s)] = std::move(member);
+        members_[s] = std::move(member);
     }
 }
 

@@ -46,6 +46,7 @@
 #include "lrgp/task_pool.hpp"
 #include "obs/instruments.hpp"
 #include "shard/partitioner.hpp"
+#include "shard/subproblems.hpp"
 
 namespace lrgp::shard {
 
@@ -178,18 +179,9 @@ private:
         std::uint64_t obs_iterations = 0;  ///< iterations already exported
     };
 
-    /// One boundary resource's budget state (shards sorted ascending).
-    struct BoundaryBudget {
-        std::uint32_t id = 0;
-        double capacity = 0.0;
-        std::vector<int> shards;
-        std::vector<double> budget;
-        std::vector<double> floor;
-    };
-
-    static constexpr std::uint32_t kAbsent = UINT32_MAX;
-
-    void buildMembers(const model::ProblemSpec& spec);
+    /// Wraps build_subproblems() member specs into engine-bearing
+    /// Members (EngineConfig: threads = 1, config_.incremental).
+    void buildMembers(std::vector<MemberSpec> specs);
     void mergeMember(std::size_t s);
     /// Budget-weighted mean of the incident shards' prices per boundary
     /// resource (interior prices are direct copies in mergeMember).

@@ -1,0 +1,89 @@
+// Shard subproblem construction, shared by the lockstep sharded engine
+// (shard/sharded_engine.hpp) and the live asynchronous shard-agent
+// runtime (runtime/runtime.hpp).
+//
+// build_subproblems() partitions a ProblemSpec's flows into K shards
+// (shard/partitioner.hpp) and materializes, per shard, a standalone
+// sub-ProblemSpec plus the local<->global entity maps needed to merge
+// per-shard results back into global ids.  Nodes and links touched by
+// >= 2 shards are *boundary* resources: their capacity is split into
+// per-shard budgets with guaranteed floors (shard/budget.hpp), so every
+// shard can run an unmodified LRGP engine over its slice while the sum
+// of slices respects the global Eq. 5 constraint.
+//
+// The construction is deterministic: same spec + same options give the
+// same partition, budgets and sub-specs, entity by entity, bit by bit.
+// Both consumers rely on this — the sharded engine for its bitwise
+// K=1 parity contract, the async runtime for deterministic virtual-time
+// replays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "model/problem.hpp"
+#include "shard/partitioner.hpp"
+
+namespace lrgp::shard {
+
+/// Sentinel for "entity has no local index in this shard".
+inline constexpr std::uint32_t kAbsent = UINT32_MAX;
+
+/// One boundary resource's budget state (incident shards sorted
+/// ascending; budget[i]/floor[i] belong to shards[i]).
+struct BoundaryBudget {
+    std::uint32_t id = 0;       ///< global node or link index
+    double capacity = 0.0;      ///< full global capacity
+    std::vector<int> shards;    ///< incident shards, ascending
+    std::vector<double> budget; ///< current per-shard capacity slice
+    std::vector<double> floor;  ///< minimum feasible slice per shard
+};
+
+/// One shard's subproblem and its local<->global entity maps.
+struct MemberSpec {
+    /// The shard's standalone sub-spec with boundary budgets applied as
+    /// capacities and inactive global flows deactivated; nullopt when
+    /// the shard has no flows (nothing to solve).
+    std::optional<model::ProblemSpec> spec;
+    std::vector<std::uint32_t> flows;   ///< local -> global index
+    std::vector<std::uint32_t> classes;
+    std::vector<std::uint32_t> nodes;
+    std::vector<std::uint32_t> links;
+    std::vector<std::uint32_t> node_local;  ///< global -> local (kAbsent absent)
+    std::vector<std::uint32_t> link_local;
+    /// (local, global) pairs of resources this shard alone owns; their
+    /// merged price is a direct copy.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> own_nodes;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> own_links;
+};
+
+/// Everything build_subproblems() derives from a spec + partition.
+struct SubproblemSet {
+    Partition partition;
+    std::vector<int> shard_of_flow;          ///< by global flow index
+    std::vector<std::uint32_t> flow_local;   ///< global -> local flow index
+    std::vector<std::uint32_t> class_local;  ///< global -> local class index
+    std::vector<BoundaryBudget> node_budgets;
+    std::vector<BoundaryBudget> link_budgets;
+    /// Budget-entry index per global resource (kAbsent = interior).
+    std::vector<std::uint32_t> node_boundary_index;
+    std::vector<std::uint32_t> link_boundary_index;
+    std::vector<MemberSpec> members;  ///< one per shard
+};
+
+/// Position of shard `s` in a sorted incident-shard list; throws
+/// std::logic_error when `s` is not incident (internal invariant).
+[[nodiscard]] std::size_t shard_rank(const std::vector<int>& shards, int s);
+
+/// Whether shard `s` appears in a sorted incident-shard list.
+[[nodiscard]] bool shard_incident(const std::vector<int>& shards, int s);
+
+/// Partitions `spec` and builds every shard's subproblem, boundary
+/// budgets and entity maps.  `spec` is only read; callers apply later
+/// dynamic changes to both the global spec and the member engines.
+[[nodiscard]] SubproblemSet build_subproblems(const model::ProblemSpec& spec,
+                                              PartitionOptions options);
+
+}  // namespace lrgp::shard

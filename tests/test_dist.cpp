@@ -176,6 +176,15 @@ TEST(DistOptions, ValidationRejectsInconsistentSettings) {
     bad_fraction.robustness.heartbeat_timeout = 0.25;
     bad_fraction.robustness.degrade_fraction = 1.5;
     EXPECT_THROW((DistLrgp{spec, bad_fraction}), std::invalid_argument);
+
+    // Staleness horizon shorter than the failure-detection timeout:
+    // prices would expire before a silent peer is even suspected,
+    // leaving nothing to degrade from.
+    DistOptions stale_before_suspect;
+    stale_before_suspect.synchronous = false;
+    stale_before_suspect.robustness.heartbeat_timeout = 0.25;
+    stale_before_suspect.robustness.price_max_age = 0.1;
+    EXPECT_THROW((DistLrgp{spec, stale_before_suspect}), std::invalid_argument);
 }
 
 TEST(DistAsync, RunForRejectsNegativeDuration) {

@@ -179,4 +179,50 @@ TEST(Scenarios, LinkScenarioGatedOnLinkCount) {
     EXPECT_EQ(with.size(), without.size() + 1);
 }
 
+TEST(FaultPlan, RejectsEmptyAsymmetricIsland) {
+    FaultPlan plan;
+    plan.asymmetric_partitions.push_back(AsymmetricPartitionWindow{{0.0, 1.0}, {}});
+    EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultInjector, AsymmetricPartitionDropsOnlyIslandToOutside) {
+    FaultPlan plan;
+    const AgentRef islander{AgentKind::kNode, 0};
+    plan.asymmetric_partitions.push_back(AsymmetricPartitionWindow{{0.0, 10.0}, {islander}});
+    FaultInjector injector(plan, 1);
+    const AgentRef outsider{AgentKind::kSource, 0};
+    const AgentRef other_outsider{AgentKind::kNode, 1};
+    // Island -> outside: dropped (the overlay cannot hear the island).
+    EXPECT_TRUE(injector.onMessage({islander, outsider, MessageKind::kNodeReport}, 1.0).drop);
+    // Outside -> island: flows (the island still hears the overlay).
+    EXPECT_FALSE(injector.onMessage({outsider, islander, MessageKind::kRate}, 1.0).drop);
+    // Outsider to outsider: unaffected.
+    EXPECT_FALSE(injector.onMessage({outsider, other_outsider, MessageKind::kRate}, 1.0).drop);
+    // Window closed: the island's reports flow again.
+    EXPECT_FALSE(injector.onMessage({islander, outsider, MessageKind::kNodeReport}, 11.0).drop);
+    EXPECT_EQ(injector.stats().messages_dropped, 1u);
+}
+
+TEST(Scenarios, CatalogIncludesFlappingAndAsymmetricScenarios) {
+    const auto scenarios = standard_scenarios(6, 4, 0);
+    bool has_flapping = false, has_asymmetric = false;
+    for (const ChaosScenario& s : scenarios) {
+        if (s.name == "flapping_link") {
+            has_flapping = true;
+            // Multiple short pulses, all inside [fault_start, fault_end].
+            EXPECT_GE(s.plan.partitions.size(), 2u);
+            for (const PartitionWindow& p : s.plan.partitions) {
+                EXPECT_GE(p.window.start, s.fault_start);
+                EXPECT_LE(p.window.end, s.fault_end);
+            }
+        }
+        if (s.name == "asymmetric_partition") {
+            has_asymmetric = true;
+            EXPECT_EQ(s.plan.asymmetric_partitions.size(), 1u);
+        }
+    }
+    EXPECT_TRUE(has_flapping);
+    EXPECT_TRUE(has_asymmetric);
+}
+
 }  // namespace

@@ -22,8 +22,10 @@
 #include "obs/instruments.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "runtime/runtime.hpp"
 #include "shard/sharded_engine.hpp"
 #include "test_helpers.hpp"
+#include "workload/workloads.hpp"
 
 namespace {
 
@@ -183,6 +185,45 @@ TEST(Golden, ShardPrometheusText) {
         sh.iterations_by_shard[static_cast<std::size_t>(s)]->add(live.counterValue(
             "lrgp_shard_iterations_total", {{"shard", std::to_string(s)}}));
     check_golden("prometheus_shard_text", reg.prometheusText());
+}
+
+TEST(Golden, RuntimePrometheusText) {
+    if constexpr (!obs::kEnabled) GTEST_SKIP() << "built without LRGP_OBS";
+    // Two async agents over the base workload in deterministic virtual
+    // lockstep: every lrgp_runtime_* counter and gauge lands on the same
+    // value on every run and every machine.  The live registry also
+    // holds the digest-age and inbox-depth histograms, which fill from
+    // thread-local observation order, so the fixture re-exposes just the
+    // deterministic counter/gauge series with the measured values.
+    obs::Registry live;
+    runtime::RuntimeOptions options;
+    options.agents = 2;
+    runtime::AsyncShardRuntime rt(workload::make_base_workload(), {}, options);
+    rt.attachObservability(&live);
+    rt.runFor(1.0);
+
+    obs::Registry reg;
+    const obs::RuntimeInstruments ri = obs::RuntimeInstruments::resolve(reg);
+    ri.digests_sent->add(live.counterValue("lrgp_runtime_digests_sent_total"));
+    ri.digests_received->add(live.counterValue("lrgp_runtime_digests_received_total"));
+    ri.rejected_stale->add(live.counterValue("lrgp_runtime_digests_rejected_stale_total"));
+    ri.dropped_fault->add(live.counterValue("lrgp_runtime_messages_dropped_total",
+                                            {{"cause", "fault"}}));
+    ri.dropped_backpressure->add(live.counterValue("lrgp_runtime_messages_dropped_total",
+                                                   {{"cause", "backpressure"}}));
+    ri.send_failures->add(live.counterValue("lrgp_runtime_send_failures_total"));
+    ri.retries->add(live.counterValue("lrgp_runtime_retries_total"));
+    ri.suspicions->add(live.counterValue("lrgp_runtime_suspicions_total"));
+    ri.recoveries->add(live.counterValue("lrgp_runtime_recoveries_total"));
+    ri.crashes->add(live.counterValue("lrgp_runtime_crashes_total"));
+    ri.restarts->add(live.counterValue("lrgp_runtime_restarts_total"));
+    ri.snapshots->add(live.counterValue("lrgp_runtime_snapshots_total"));
+    ri.snapshot_restores->add(live.counterValue("lrgp_runtime_snapshot_restores_total"));
+    ri.budget_updates->add(live.counterValue("lrgp_runtime_budget_updates_total"));
+    ri.degradations->add(live.counterValue("lrgp_runtime_degradations_total"));
+    ri.agents->set(live.findGauge("lrgp_runtime_agents")->value());
+    ri.utility->set(live.findGauge("lrgp_runtime_utility")->value());
+    check_golden("prometheus_runtime_text", reg.prometheusText());
 }
 
 }  // namespace

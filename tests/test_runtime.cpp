@@ -1,0 +1,447 @@
+// Live asynchronous shard-agent runtime suite (runtime/runtime.hpp):
+// option validation, deterministic virtual-time replay, live-fault
+// reconvergence for every shipped scenario, crash recovery from engine
+// snapshots, suspicion/degradation bookkeeping, and a wall-clock smoke
+// test.  Runs under the `async` ctest label in Release and under TSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "faults/scenarios.hpp"
+#include "metrics/recovery.hpp"
+#include "runtime/runtime.hpp"
+#include "shard/sharded_engine.hpp"
+#include "shard/subproblems.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+using runtime::AsyncShardRuntime;
+using runtime::RuntimeOptions;
+
+constexpr int kAgents = 4;
+constexpr double kFaultStart = 10.0;
+constexpr double kFaultDuration = 2.0;
+constexpr double kSamplePeriod = 0.05;
+constexpr double kHorizon = 24.0;
+
+RuntimeOptions base_runtime(faults::FaultPlan plan = {}) {
+    RuntimeOptions options;
+    options.agents = kAgents;
+    options.sample_period = kSamplePeriod;
+    options.fault_plan = std::move(plan);
+    return options;
+}
+
+/// The catalog against runtime agents: agent i is {kNode, i} for message
+/// faults and matches crash events by index.
+std::vector<faults::ChaosScenario> runtime_scenarios() {
+    return faults::standard_scenarios(kAgents, kAgents, 0, kFaultStart, kFaultDuration);
+}
+
+std::size_t fault_sample_index() {
+    // Samples land at k*kSamplePeriod (k = 1, 2, ...); index the last one
+    // strictly before the fault opens so the baseline window stays clean.
+    return static_cast<std::size_t>(kFaultStart / kSamplePeriod) - 1;
+}
+
+void expect_throws_mentioning(RuntimeOptions options, const std::string& needle) {
+    const auto spec = workload::make_base_workload();
+    try {
+        AsyncShardRuntime runtime(spec, {}, std::move(options));
+        FAIL() << "expected std::invalid_argument mentioning \"" << needle << "\"";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "actual message: " << e.what();
+    }
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveAgentCount) {
+    RuntimeOptions options = base_runtime();
+    options.agents = 0;
+    expect_throws_mentioning(options, "agents");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveTickPeriod) {
+    RuntimeOptions options = base_runtime();
+    options.tick_period = 0.0;
+    expect_throws_mentioning(options, "tick_period");
+    options.tick_period = -0.01;
+    expect_throws_mentioning(options, "tick_period");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveItersPerTick) {
+    RuntimeOptions options = base_runtime();
+    options.iters_per_tick = 0;
+    expect_throws_mentioning(options, "iters_per_tick");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveDigestPeriod) {
+    RuntimeOptions options = base_runtime();
+    options.digest_period = -1.0;
+    expect_throws_mentioning(options, "digest_period");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveHeartbeatTimeout) {
+    RuntimeOptions options = base_runtime();
+    options.heartbeat_timeout = 0.0;
+    expect_throws_mentioning(options, "heartbeat_timeout");
+}
+
+TEST(AsyncRuntimeOptions, RejectsHeartbeatTimeoutBelowDigestPeriod) {
+    // Suspecting peers faster than they heartbeat flaps on every gap.
+    RuntimeOptions options = base_runtime();
+    options.digest_period = 0.1;
+    options.heartbeat_timeout = 0.05;
+    expect_throws_mentioning(options, "heartbeat_timeout must be >= digest_period");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveStalenessHorizon) {
+    RuntimeOptions options = base_runtime();
+    options.staleness_horizon = 0.0;
+    expect_throws_mentioning(options, "staleness_horizon");
+}
+
+TEST(AsyncRuntimeOptions, RejectsStalenessHorizonBelowDigestPeriod) {
+    RuntimeOptions options = base_runtime();
+    options.digest_period = 0.1;
+    options.staleness_horizon = 0.05;
+    expect_throws_mentioning(options, "staleness_horizon must be >= digest_period");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveBackoffMin) {
+    RuntimeOptions options = base_runtime();
+    options.backoff_min = 0.0;
+    expect_throws_mentioning(options, "backoff_min");
+}
+
+TEST(AsyncRuntimeOptions, RejectsBackoffMaxBelowMin) {
+    RuntimeOptions options = base_runtime();
+    options.backoff_min = 0.5;
+    options.backoff_max = 0.1;
+    expect_throws_mentioning(options, "backoff_max");
+}
+
+TEST(AsyncRuntimeOptions, RejectsBackoffFactorAtOrBelowOne) {
+    // factor <= 1 never backs off: a dead peer keeps getting flooded.
+    RuntimeOptions options = base_runtime();
+    options.backoff_factor = 1.0;
+    expect_throws_mentioning(options, "backoff_factor");
+    options.backoff_factor = 0.5;
+    expect_throws_mentioning(options, "backoff_factor");
+}
+
+TEST(AsyncRuntimeOptions, RejectsJitterOutsideUnitInterval) {
+    RuntimeOptions options = base_runtime();
+    options.backoff_jitter = 1.0;
+    expect_throws_mentioning(options, "backoff_jitter");
+    options.backoff_jitter = -0.1;
+    expect_throws_mentioning(options, "backoff_jitter");
+}
+
+TEST(AsyncRuntimeOptions, RejectsZeroLatencyMin) {
+    // Zero latency would deliver inside the send tick and break the
+    // deterministic-mode contract.
+    RuntimeOptions options = base_runtime();
+    options.latency_min = 0.0;
+    expect_throws_mentioning(options, "latency_min");
+}
+
+TEST(AsyncRuntimeOptions, RejectsInvertedLatencyBounds) {
+    RuntimeOptions options = base_runtime();
+    options.latency_min = 0.01;
+    options.latency_max = 0.001;
+    expect_throws_mentioning(options, "latency_max");
+}
+
+TEST(AsyncRuntimeOptions, RejectsZeroQueueCapacity) {
+    RuntimeOptions options = base_runtime();
+    options.queue_capacity = 0;
+    expect_throws_mentioning(options, "queue_capacity");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveSnapshotPeriod) {
+    RuntimeOptions options = base_runtime();
+    options.snapshot_period = 0.0;
+    expect_throws_mentioning(options, "snapshot_period");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveSamplePeriod) {
+    RuntimeOptions options = base_runtime();
+    options.sample_period = -0.05;
+    expect_throws_mentioning(options, "sample_period");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNonPositiveReconcileTicks) {
+    RuntimeOptions options = base_runtime();
+    options.reconcile_ticks = 0;
+    expect_throws_mentioning(options, "reconcile_ticks");
+}
+
+TEST(AsyncRuntimeOptions, RejectsReconcileStepOutsideUnitInterval) {
+    RuntimeOptions options = base_runtime();
+    options.reconcile_step = 1.5;
+    expect_throws_mentioning(options, "reconcile_step");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNegativeMinRebalanceFraction) {
+    RuntimeOptions options = base_runtime();
+    options.min_rebalance_fraction = -1e-3;
+    expect_throws_mentioning(options, "min_rebalance_fraction");
+}
+
+TEST(AsyncRuntimeOptions, RejectsNegativePriceSettle) {
+    RuntimeOptions options = base_runtime();
+    options.price_settle = -0.1;
+    expect_throws_mentioning(options, "price_settle");
+}
+
+TEST(AsyncRuntimeOptions, RejectsFaultPlanReferencingUnknownAgent) {
+    RuntimeOptions options = base_runtime();
+    options.fault_plan.crashes.push_back(
+        faults::CrashEvent{{faults::AgentKind::kNode, 7}, 1.0, 2.0});
+    expect_throws_mentioning(options, "fault plan");
+
+    RuntimeOptions island = base_runtime();
+    island.fault_plan.partitions.push_back(faults::PartitionWindow{
+        {1.0, 2.0}, {{faults::AgentKind::kNode, static_cast<std::uint32_t>(kAgents)}}});
+    expect_throws_mentioning(island, "island");
+}
+
+TEST(AsyncRuntimeOptions, RejectsMalformedFaultPlan) {
+    RuntimeOptions options = base_runtime();
+    options.fault_plan.losses.push_back(
+        faults::LossBurst{{5.0, 2.0}, 0.5, std::nullopt, std::nullopt});  // inverted window
+    const auto spec = workload::make_base_workload();
+    EXPECT_THROW((AsyncShardRuntime{spec, {}, options}), std::invalid_argument);
+}
+
+TEST(AsyncRuntime, RunForRejectsNonPositiveDuration) {
+    const auto spec = workload::make_base_workload();
+    AsyncShardRuntime runtime(spec, {}, base_runtime());
+    EXPECT_THROW(runtime.runFor(0.0), std::invalid_argument);
+    EXPECT_THROW(runtime.runFor(-1.0), std::invalid_argument);
+}
+
+TEST(AsyncRuntime, PartitionsTheProblemAcrossAgents) {
+    const auto spec = workload::make_base_workload();
+    AsyncShardRuntime runtime(spec, {}, base_runtime());
+    ASSERT_EQ(runtime.agentCount(), kAgents);
+    std::size_t flows = 0;
+    for (const auto& summary : runtime.summaries()) {
+        flows += summary.flows;
+        EXPECT_FALSE(summary.down);
+        EXPECT_EQ(summary.epoch, 0u);
+    }
+    EXPECT_EQ(flows, spec.flowCount());
+}
+
+TEST(AsyncRuntime, BoundaryCapacityNeverOversubscribedAfterFaults) {
+    // Shrink-before-grow safety: after a run through partition +
+    // degradation + recovery, the slices the agents actually enacted in
+    // their engines must still sum to at most each boundary resource's
+    // global capacity.  (Mid-shrink the sum may be below capacity;
+    // above is a protocol violation.)
+    const auto spec = workload::make_base_workload();
+    RuntimeOptions options = base_runtime();
+    for (const auto& scenario : runtime_scenarios()) {
+        if (scenario.name != "partition") continue;
+        options.fault_plan = scenario.plan;
+    }
+    AsyncShardRuntime runtime(spec, {}, options);
+    runtime.runFor(kHorizon);
+
+    shard::PartitionOptions popts;
+    popts.shards = options.agents;
+    popts.refine_passes = options.refine_passes;
+    popts.balance_slack = options.balance_slack;
+    const shard::SubproblemSet sub = shard::build_subproblems(spec, popts);
+
+    for (const auto& budget : sub.node_budgets) {
+        double enacted = 0.0;
+        for (int s : budget.shards) {
+            const auto* engine = runtime.agentEngine(s);
+            ASSERT_NE(engine, nullptr) << "shard " << s;
+            const std::uint32_t local = sub.members[static_cast<std::size_t>(s)]
+                                            .node_local[budget.id];
+            ASSERT_NE(local, shard::kAbsent);
+            enacted += engine->problem().nodes()[local].capacity;
+        }
+        EXPECT_LE(enacted, budget.capacity * (1.0 + 1e-9)) << "node " << budget.id;
+    }
+}
+
+TEST(AsyncRuntime, FaultFreeRunTracksShardedEngineUtility) {
+    // The asynchronous agents, exchanging digests over a lossless (but
+    // latency-ful) transport, must settle near the same utility as the
+    // lockstep sharded engine over the same K-way partition.
+    const auto spec = workload::make_base_workload();
+    AsyncShardRuntime runtime(spec, {}, base_runtime());
+    runtime.runFor(12.0);
+
+    shard::ShardedConfig config;
+    config.shards = kAgents;
+    config.threads = 1;
+    shard::ShardedLrgpEngine sharded(spec, {}, config);
+    sharded.runUntilConverged(3000);
+
+    EXPECT_GT(runtime.currentUtility(), 0.0);
+    EXPECT_NEAR(runtime.currentUtility(), sharded.currentUtility(),
+                0.05 * sharded.currentUtility());
+}
+
+TEST(AsyncRuntime, DeterministicRunsAreByteIdentical) {
+    // The headline determinism guarantee: same configuration, two full
+    // virtual-time runs under a flapping partition — utility traces,
+    // per-agent digest logs and every counter must match byte for byte
+    // even though the agent threads race freely inside each tick.
+    const auto spec = workload::make_base_workload();
+    faults::FaultPlan plan;
+    for (const faults::ChaosScenario& s : runtime_scenarios())
+        if (s.name == "flapping_link") plan = s.plan;
+    ASSERT_FALSE(plan.empty());
+
+    RuntimeOptions options = base_runtime(plan);
+    options.keep_digest_log = true;
+
+    AsyncShardRuntime a(spec, {}, options);
+    AsyncShardRuntime b(spec, {}, options);
+    a.runFor(kHorizon);
+    b.runFor(kHorizon);
+
+    const auto& ta = a.utilityTrace();
+    const auto& tb = b.utilityTrace();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) ASSERT_EQ(ta[i], tb[i]) << "sample " << i;
+
+    for (int agent = 0; agent < kAgents; ++agent) {
+        EXPECT_FALSE(a.digestLog(agent).empty()) << "agent " << agent;
+        ASSERT_EQ(a.digestLog(agent), b.digestLog(agent)) << "agent " << agent;
+    }
+
+    const runtime::RuntimeStats sa = a.stats();
+    const runtime::RuntimeStats sb = b.stats();
+    EXPECT_EQ(sa.messages_sent, sb.messages_sent);
+    EXPECT_EQ(sa.dropped_fault, sb.dropped_fault);
+    EXPECT_EQ(sa.totals.digests_sent, sb.totals.digests_sent);
+    EXPECT_EQ(sa.totals.digests_received, sb.totals.digests_received);
+    EXPECT_EQ(sa.totals.digests_rejected_stale, sb.totals.digests_rejected_stale);
+    EXPECT_EQ(sa.totals.suspicions, sb.totals.suspicions);
+    EXPECT_EQ(sa.totals.recoveries, sb.totals.recoveries);
+    EXPECT_EQ(sa.totals.budget_updates, sb.totals.budget_updates);
+}
+
+TEST(AsyncChaos, EveryShippedScenarioReconvergesWithinOnePercent) {
+    // The acceptance criterion of the runtime: under every shipped fault
+    // scenario, injected live against the running agent threads, the
+    // overlay returns to within 1% of its fault-free utility in bounded
+    // time.  Completing each run also proves the shrink-before-grow
+    // budget handshake never deadlocks the agents.
+    const auto spec = workload::make_base_workload();
+    for (const faults::ChaosScenario& scenario : runtime_scenarios()) {
+        AsyncShardRuntime runtime(spec, {}, base_runtime(scenario.plan));
+        runtime.runFor(kHorizon);
+        const metrics::RecoveryReport report = metrics::analyze_recovery(
+            runtime.utilityTrace(), fault_sample_index(), kSamplePeriod);  // epsilon = 1%
+        EXPECT_TRUE(report.reconverged) << scenario.name << ": " << scenario.description;
+        EXPECT_LT(report.time_to_reconverge, kHorizon) << scenario.name;
+        EXPECT_GE(report.dip_integral, 0.0) << scenario.name;
+    }
+}
+
+TEST(AsyncRuntime, CrashRestartRecoversFromSnapshot) {
+    const auto spec = workload::make_base_workload();
+    faults::FaultPlan plan;
+    plan.crashes.push_back(faults::CrashEvent{{faults::AgentKind::kNode, kAgents - 1},
+                                              kFaultStart, kFaultStart + kFaultDuration});
+    AsyncShardRuntime runtime(spec, {}, base_runtime(plan));
+
+    runtime.runFor(kFaultStart + 1.0);  // inside the outage
+    EXPECT_TRUE(runtime.agentDown(kAgents - 1));
+    runtime.runFor(kHorizon - (kFaultStart + 1.0));
+    EXPECT_FALSE(runtime.agentDown(kAgents - 1));
+
+    const auto summaries = runtime.summaries();
+    const auto& victim = summaries[static_cast<std::size_t>(kAgents - 1)];
+    EXPECT_EQ(victim.counters.crashes, 1u);
+    EXPECT_EQ(victim.counters.restarts, 1u);
+    // The crash hit at t=10 with a 0.5s snapshot period: the restart
+    // must have restored a warm snapshot, not cold-started.
+    EXPECT_EQ(victim.counters.snapshot_restores, 1u);
+    EXPECT_GE(victim.counters.snapshots, 2u);
+    EXPECT_EQ(victim.epoch, 1u);  // membership epoch bumped on restart
+
+    const metrics::RecoveryReport report = metrics::analyze_recovery(
+        runtime.utilityTrace(), fault_sample_index(), kSamplePeriod);
+    EXPECT_TRUE(report.reconverged);
+}
+
+TEST(AsyncRuntime, PartitionTriggersSuspicionDegradationRecovery) {
+    const auto spec = workload::make_base_workload();
+    faults::FaultPlan plan;
+    for (const faults::ChaosScenario& s : runtime_scenarios())
+        if (s.name == "partition") plan = s.plan;
+    ASSERT_FALSE(plan.empty());
+
+    AsyncShardRuntime runtime(spec, {}, base_runtime(plan));
+    runtime.runFor(kHorizon);
+
+    const runtime::RuntimeStats stats = runtime.stats();
+    // The partitioned agent went silent past the heartbeat timeout ...
+    EXPECT_GT(stats.totals.suspicions, 0u);
+    // ... its peers clamped the shared boundary slices to their floors ...
+    EXPECT_GT(stats.totals.degradations, 0u);
+    // ... and everyone recovered once the partition healed.
+    EXPECT_EQ(stats.totals.recoveries, stats.totals.suspicions);
+    EXPECT_GT(stats.dropped_fault, 0u);
+    EXPECT_EQ(stats.totals.crashes, 0u);
+}
+
+TEST(AsyncRuntime, BackpressureIsVisibleToSenders) {
+    // A one-message in-flight window per channel with a network slower
+    // than the digest period: the next digest is due while the previous
+    // one is still in flight, so some sends must see kQueueFull — and
+    // unlike fault drops, the senders observe it.
+    const auto spec = workload::make_base_workload();
+    RuntimeOptions options = base_runtime();
+    options.queue_capacity = 1;
+    options.latency_min = 0.015;
+    options.latency_max = 0.02;
+    AsyncShardRuntime runtime(spec, {}, options);
+    runtime.runFor(2.0);
+    const runtime::RuntimeStats stats = runtime.stats();
+    EXPECT_GT(stats.totals.send_failures, 0u);
+    EXPECT_EQ(stats.totals.send_failures, stats.dropped_backpressure);
+}
+
+TEST(AsyncRuntime, ClockAndTraceAccumulateAcrossRuns) {
+    const auto spec = workload::make_base_workload();
+    AsyncShardRuntime runtime(spec, {}, base_runtime());
+    runtime.runFor(0.5);
+    const std::size_t after_first = runtime.utilityTrace().size();
+    runtime.runFor(0.5);
+    EXPECT_NEAR(runtime.now(), 1.0, 1e-9);
+    EXPECT_EQ(runtime.utilityTrace().size(), 2 * after_first);
+    EXPECT_EQ(runtime.utilityTrace().size(),
+              static_cast<std::size_t>(std::lround(1.0 / kSamplePeriod)));
+}
+
+TEST(AsyncRuntime, RealTimeModeSmoke) {
+    // Wall-clock mode: agents free-run with sleep-paced ticks.  Half a
+    // second of real time must produce samples and a positive utility.
+    const auto spec = workload::make_base_workload();
+    RuntimeOptions options = base_runtime();
+    options.deterministic = false;
+    AsyncShardRuntime runtime(spec, {}, options);
+    runtime.runFor(0.5);
+    EXPECT_GE(runtime.utilityTrace().size(), 5u);
+    EXPECT_GT(runtime.currentUtility(), 0.0);
+    const runtime::RuntimeStats stats = runtime.stats();
+    EXPECT_GT(stats.totals.engine_iterations, 0u);
+    EXPECT_GT(stats.totals.digests_received, 0u);
+}
+
+}  // namespace
