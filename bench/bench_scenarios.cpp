@@ -1,0 +1,257 @@
+// Production scenario matrix: every pinned (topology x traffic x
+// utility) catalog cell replayed end to end, with the measurements the
+// perf guard pins:
+//
+//   1. utility-vs-best-known per cell — the incremental engine tracking
+//      the dynamic-op schedule must land within a few percent of a
+//      fresh serial solve of the end-state problem;
+//   2. recovery metrics around each cell's principal disturbance
+//      (metrics::analyze_recovery — dip integral, time to reconverge);
+//   3. dataplane drop rates per cell — headroom cells deliver the plan,
+//      the overdrive twin binds capacity and drops >= 20% (the PR 4
+//      finding, here pinned as `overdrive_contract`);
+//   4. determinism — a full rebuild+rerun of two pinned cells must
+//      reproduce the problem JSON, the manifest and the utility trace
+//      byte for byte;
+//   5. a cross-engine differential spot check — serial, compiled,
+//      incremental and sharded K=1 agree bitwise on a static cell,
+//      sharded K=4 within 1%, the async runtime within tolerance on a
+//      churn cell.  (The exhaustive matrix lives in `ctest -L
+//      scenario`; the bench carries one row so the guard sees it.)
+//
+// Writes BENCH_scenarios.json.  LRGP_SCENARIO_DATAPLANE=0 skips the
+// packet-level runs for a quick smoke.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/json.hpp"
+#include "io/problem_json.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+// Cells whose rebuilt+rerun bytes are compared; one static, one churn.
+const char* kDeterminismCells[] = {"fat_tree_heavy_tail_shifted_log",
+                                   "small_world_churn_sigmoid"};
+constexpr const char* kDifferentialCell = "fat_tree_heavy_tail_shifted_log";
+constexpr const char* kAsyncCell = "fat_tree_churn_step";
+constexpr const char* kOverdriveCell = "fat_tree_heavy_tail_shifted_log_overdrive";
+constexpr const char* kHeadroomTwin = "fat_tree_heavy_tail_shifted_log";
+
+std::string trace_bytes(const metrics::TimeSeries& trace) {
+    std::string bytes;
+    bytes.reserve(trace.size() * sizeof(double));
+    for (const double sample : trace.samples())
+        bytes.append(reinterpret_cast<const char*>(&sample), sizeof(double));
+    return bytes;
+}
+
+bool allocations_bitwise_equal(const model::Allocation& a, const model::Allocation& b) {
+    if (a.rates.size() != b.rates.size() || a.populations.size() != b.populations.size())
+        return false;
+    for (std::size_t i = 0; i < a.rates.size(); ++i)
+        if (a.rates[i] != b.rates[i]) return false;
+    for (std::size_t i = 0; i < a.populations.size(); ++i)
+        if (a.populations[i] != b.populations[i]) return false;
+    return true;
+}
+
+io::JsonObject cell_json(const scenario::ScenarioSpec& spec,
+                         const scenario::ScenarioRunReport& report) {
+    io::JsonObject o;
+    o["name"] = spec.options.name;
+    o["topology"] = spec.options.topology;
+    o["traffic"] = spec.options.traffic;
+    o["utility_mix"] = spec.options.utility;
+    o["overdrive"] = spec.options.overdrive;
+    o["seed"] = static_cast<double>(spec.options.seed);
+    o["nodes"] = static_cast<double>(spec.problem.nodeCount());
+    o["links"] = static_cast<double>(spec.problem.linkCount());
+    o["flows"] = static_cast<double>(spec.problem.flowCount());
+    o["classes"] = static_cast<double>(spec.problem.classCount());
+    o["ops"] = static_cast<double>(spec.schedule.size());
+    o["engine"] = report.engine;
+    o["final_utility"] = report.final_utility;
+    o["best_known_utility"] = report.best_known_utility;
+    o["utility_vs_best"] = report.utility_vs_best;
+    o["converged"] = report.converged;
+    o["iterations"] = static_cast<double>(report.iterations);
+    o["ops_applied"] = static_cast<double>(report.ops_applied);
+    if (report.has_recovery) {
+        io::JsonObject r;
+        r["reconverged"] = report.recovery.reconverged;
+        // -1 marks "never" (JSON has no infinity).
+        r["time_to_reconverge_seconds"] =
+            report.recovery.reconverged ? report.recovery.time_to_reconverge : -1.0;
+        r["dip_integral_utility_seconds"] = report.recovery.dip_integral;
+        r["max_dip"] = report.recovery.max_dip;
+        o["recovery"] = std::move(r);
+    }
+    if (report.has_dataplane) {
+        io::JsonObject d;
+        d["drop_rate"] = report.drop_rate;
+        d["planned_mean"] = report.planned_mean;
+        d["achieved_mean"] = report.achieved_mean;
+        d["achieved_vs_planned"] = report.achieved_vs_planned;
+        o["dataplane"] = std::move(d);
+    }
+    return o;
+}
+
+/// Rebuild the cell from scratch and rerun it: options in, bytes out.
+struct CellRun {
+    std::string problem_json;
+    std::string manifest;
+    std::string trace;
+    double final_utility = 0.0;
+};
+
+CellRun run_cell_bytes(const std::string& name, bool with_dataplane) {
+    const scenario::ScenarioSpec spec = scenario::build_scenario(scenario::find_scenario(name));
+    scenario::RunnerOptions options;
+    options.with_dataplane = with_dataplane;
+    const scenario::ScenarioRunReport report = scenario::run_scenario(spec, options);
+    CellRun run;
+    run.problem_json = io::problem_to_json_string(spec.problem, true);
+    run.manifest = spec.manifestString();
+    run.trace = trace_bytes(report.utility_trace);
+    run.final_utility = report.final_utility;
+    return run;
+}
+
+}  // namespace
+
+int main() {
+    const bool with_dataplane = bench::env_u64("LRGP_SCENARIO_DATAPLANE", 1) != 0;
+    const auto& catalog = scenario::scenario_catalog();
+
+    std::printf("Scenario matrix: %zu pinned cells%s\n\n", catalog.size(),
+                with_dataplane ? "" : " (dataplane skipped)");
+    std::printf("%-42s %9s %8s %7s %7s\n", "cell", "util/best", "ttr[s]", "drops",
+                "ach/plan");
+
+    io::JsonArray rows;
+    bool all_tracked = true;
+    double overdrive_drop_rate = -1.0;
+    double headroom_drop_rate = -1.0;
+    double headroom_achieved_vs_planned = -1.0;
+    for (const scenario::ScenarioOptions& cell : catalog) {
+        const scenario::ScenarioSpec spec = scenario::build_scenario(cell);
+        scenario::RunnerOptions options;
+        options.with_dataplane = with_dataplane;
+        const scenario::ScenarioRunReport report = scenario::run_scenario(spec, options);
+        all_tracked = all_tracked && report.utility_vs_best >= 0.95;
+        if (cell.name == kOverdriveCell) overdrive_drop_rate = report.drop_rate;
+        if (cell.name == kHeadroomTwin) {
+            headroom_drop_rate = report.drop_rate;
+            headroom_achieved_vs_planned = report.achieved_vs_planned;
+        }
+        std::printf("%-42s %9.4f %8.2f %7.3f %7.3f\n", cell.name.c_str(),
+                    report.utility_vs_best,
+                    report.has_recovery && report.recovery.reconverged
+                        ? report.recovery.time_to_reconverge
+                        : -1.0,
+                    report.has_dataplane ? report.drop_rate : -1.0,
+                    report.has_dataplane ? report.achieved_vs_planned : -1.0);
+        rows.emplace_back(cell_json(spec, report));
+    }
+
+    // Determinism: rebuild + rerun two pinned cells, compare bytes.
+    bool deterministic = true;
+    for (const char* name : kDeterminismCells) {
+        const CellRun a = run_cell_bytes(name, with_dataplane);
+        const CellRun b = run_cell_bytes(name, with_dataplane);
+        const bool same = a.problem_json == b.problem_json && a.manifest == b.manifest &&
+                          a.trace == b.trace;
+        deterministic = deterministic && same;
+        std::printf("\ndeterministic rerun %-38s %s", name,
+                    same ? "byte-identical" : "DIVERGED");
+    }
+
+    // Cross-engine differential spot check on a static cell.
+    const scenario::ScenarioSpec diff_spec =
+        scenario::build_scenario(scenario::find_scenario(kDifferentialCell));
+    auto run_engine = [&](const std::string& engine, int shards) {
+        scenario::RunnerOptions options;
+        options.engine = engine;
+        options.shards = shards;
+        return scenario::run_scenario(diff_spec, options);
+    };
+    const auto serial = run_engine("serial", 1);
+    const auto compiled = run_engine("compiled", 1);
+    const auto incremental = run_engine("incremental", 1);
+    const auto sharded1 = run_engine("sharded", 1);
+    const auto sharded4 = run_engine("sharded", 4);
+    const bool bitwise =
+        allocations_bitwise_equal(serial.final_allocation, compiled.final_allocation) &&
+        allocations_bitwise_equal(serial.final_allocation, incremental.final_allocation) &&
+        allocations_bitwise_equal(incremental.final_allocation, sharded1.final_allocation);
+    const double sharded_gap =
+        serial.final_utility > 0.0
+            ? std::fabs(serial.final_utility - sharded4.final_utility) / serial.final_utility
+            : 0.0;
+    std::printf("\n\ndifferential %s: serial/compiled/incremental/sharded-K1 %s, "
+                "sharded-K4 gap %.4f%%\n",
+                kDifferentialCell, bitwise ? "bitwise-identical" : "DIVERGED",
+                100.0 * sharded_gap);
+
+    // Async runtime on a churn cell: reconverges near best-known.
+    scenario::RunnerOptions async_options;
+    async_options.engine = "async";
+    const auto async_report = scenario::run_scenario(
+        scenario::build_scenario(scenario::find_scenario(kAsyncCell)), async_options);
+    std::printf("async %s: utility/best %.4f\n", kAsyncCell, async_report.utility_vs_best);
+
+    const bool overdrive_holds =
+        !with_dataplane ||
+        (overdrive_drop_rate >= 0.20 && headroom_drop_rate <= 0.02 &&
+         headroom_achieved_vs_planned >= 0.98);
+    if (with_dataplane)
+        std::printf("overdrive contract: overdrive drops %.3f vs headroom %.3f "
+                    "(achieved/planned %.3f) -> %s\n",
+                    overdrive_drop_rate, headroom_drop_rate, headroom_achieved_vs_planned,
+                    overdrive_holds ? "holds" : "VIOLATED");
+
+    io::JsonObject root;
+    root["bench"] = std::string("bench_scenarios");
+    root["cells"] = static_cast<double>(catalog.size());
+    root["with_dataplane"] = with_dataplane;
+    root["scenarios"] = std::move(rows);
+    root["all_cells_within_5pct_of_best"] = all_tracked;
+    root["deterministic"] = deterministic;
+    {
+        io::JsonObject diff;
+        diff["cell"] = std::string(kDifferentialCell);
+        diff["bitwise_serial_compiled_incremental_sharded1"] = bitwise;
+        diff["sharded4_gap_fraction"] = sharded_gap;
+        diff["async_cell"] = std::string(kAsyncCell);
+        diff["async_utility_vs_best"] = async_report.utility_vs_best;
+        root["differential"] = std::move(diff);
+    }
+    if (with_dataplane) {
+        io::JsonObject contract;
+        contract["overdrive_cell"] = std::string(kOverdriveCell);
+        contract["headroom_twin"] = std::string(kHeadroomTwin);
+        contract["overdrive_drop_rate"] = overdrive_drop_rate;
+        contract["headroom_drop_rate"] = headroom_drop_rate;
+        contract["headroom_achieved_vs_planned"] = headroom_achieved_vs_planned;
+        contract["holds"] = overdrive_holds;
+        root["overdrive_contract"] = std::move(contract);
+    }
+
+    std::ofstream out("BENCH_scenarios.json");
+    out << io::JsonValue(std::move(root)).dump(true) << "\n";
+    std::printf("wrote BENCH_scenarios.json\n");
+    return all_tracked && deterministic && bitwise && sharded_gap <= 0.01 && overdrive_holds
+               ? 0
+               : 1;
+}

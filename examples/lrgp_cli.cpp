@@ -34,6 +34,8 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "runtime/runtime.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "shard/sharded_engine.hpp"
 #include "workload/random_workload.hpp"
 #include "workload/workloads.hpp"
@@ -58,6 +60,8 @@ struct CliOptions {
     bool two_stage = false;
     bool run_sa = false;
     std::uint64_t sa_steps = 100'000;
+    std::string scenario;          // --scenario NAME: replay a catalog cell
+    bool list_scenarios = false;   // --list-scenarios: print the catalog and exit
     std::string csv_path;
     std::string save_path;   // write the problem as JSON and continue
     std::string load_path;   // read the problem from JSON instead of generating
@@ -73,6 +77,11 @@ void printUsage() {
     std::puts(
         "usage: lrgp_cli [options]\n"
         "  --workload base|random     workload family (default base)\n"
+        "  --scenario NAME            replay a pinned scenario-catalog cell through\n"
+        "                             the chosen --engine (dynamic-op schedule,\n"
+        "                             best-known comparison; --enact adds the\n"
+        "                             packet-level dataplane closed loop)\n"
+        "  --list-scenarios           print the scenario catalog and exit\n"
         "  --engine serial|compiled|incremental|sharded|async\n"
         "                             iteration driver (default serial); the first\n"
         "                             three produce bitwise-identical trajectories,\n"
@@ -133,6 +142,12 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
                 std::fprintf(stderr, "error: unknown workload '%s'\n", v);
                 return std::nullopt;
             }
+        } else if (arg == "--scenario") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.scenario = v;
+        } else if (arg == "--list-scenarios") {
+            options.list_scenarios = true;
         } else if (arg == "--engine") {
             const char* v = next();
             if (!v) return std::nullopt;
@@ -284,6 +299,92 @@ int main(int argc, char** argv) {
     const auto parsed = parseArgs(argc, argv);
     if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
     const CliOptions& cli = *parsed;
+
+    if (cli.list_scenarios) {
+        std::printf("%-44s %-12s %-12s %-12s %5s\n", "cell", "topology", "traffic",
+                    "utility", "seed");
+        for (const scenario::ScenarioOptions& cell : scenario::scenario_catalog())
+            std::printf("%-44s %-12s %-12s %-12s %5llu\n", cell.name.c_str(),
+                        cell.topology.c_str(), cell.traffic.c_str(), cell.utility.c_str(),
+                        static_cast<unsigned long long>(cell.seed));
+        return 0;
+    }
+
+    if (!cli.scenario.empty()) {
+        const scenario::ScenarioSpec sc = [&] {
+            try {
+                return scenario::build_scenario(scenario::find_scenario(cli.scenario));
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(2);
+            }
+        }();
+        std::printf("scenario %s: %s x %s x %s%s, seed %llu\n", sc.options.name.c_str(),
+                    sc.options.topology.c_str(), sc.options.traffic.c_str(),
+                    sc.options.utility.c_str(), sc.options.overdrive ? " (overdrive)" : "",
+                    static_cast<unsigned long long>(sc.options.seed));
+        std::printf("problem: %zu flows, %zu classes, %zu nodes, %zu links; "
+                    "%zu scheduled ops over %.1fs\n",
+                    sc.problem.flowCount(), sc.problem.classCount(), sc.problem.nodeCount(),
+                    sc.problem.linkCount(), sc.schedule.size(), sc.options.duration);
+
+        if (!cli.save_path.empty()) {
+            std::ofstream out(cli.save_path);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write %s\n", cli.save_path.c_str());
+                return 1;
+            }
+            out << io::problem_to_json_string(sc.problem);
+            std::printf("scenario problem written to %s\n", cli.save_path.c_str());
+        }
+
+        scenario::RunnerOptions ropts;
+        ropts.engine = cli.engine;
+        ropts.shards = cli.engine == "async" ? cli.agents : cli.shards;
+        ropts.threads = cli.threads;
+        ropts.with_dataplane = cli.enact;
+        core::LrgpOptions lrgp_options;
+        if (cli.fixed_gamma)
+            lrgp_options.gamma = core::FixedGamma{*cli.fixed_gamma, *cli.fixed_gamma};
+        ropts.lrgp = lrgp_options;
+
+        const scenario::ScenarioRunReport report = [&] {
+            try {
+                return scenario::run_scenario(sc, ropts);
+            } catch (const std::invalid_argument& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(2);
+            }
+        }();
+        std::printf("replay (%s): %zu ops applied, %zu utility samples\n",
+                    report.engine.c_str(), report.ops_applied, report.utility_trace.size());
+        std::printf("utility: final %.1f vs best-known %.1f (%.2f%%)%s\n",
+                    report.final_utility, report.best_known_utility,
+                    100.0 * report.utility_vs_best, report.converged ? ", converged" : "");
+        if (report.has_recovery)
+            std::printf("recovery: dip %.1f U*s, reconverged %s (ttr %.2fs)\n",
+                        report.recovery.dip_integral,
+                        report.recovery.reconverged ? "yes" : "NO",
+                        report.recovery.reconverged ? report.recovery.time_to_reconverge : -1.0);
+        if (report.has_dataplane)
+            std::printf("dataplane: achieved/planned %.3f (%.1f / %.1f), drop rate %.4f\n",
+                        report.achieved_vs_planned, report.achieved_mean, report.planned_mean,
+                        report.drop_rate);
+
+        if (!cli.obs_prefix.empty()) {
+            obs::Registry registry;
+            scenario::export_observability(sc, report, registry);
+            const std::string prom_path = cli.obs_prefix + ".prom";
+            std::ofstream prom_out(prom_path);
+            if (!prom_out) {
+                std::fprintf(stderr, "error: cannot write %s\n", prom_path.c_str());
+                return 1;
+            }
+            registry.writePrometheus(prom_out);
+            std::printf("obs: %s (%zu series)\n", prom_path.c_str(), registry.size());
+        }
+        return 0;
+    }
 
     model::ProblemSpec spec = [&] {
         if (cli.load_path.empty()) return buildWorkload(cli);

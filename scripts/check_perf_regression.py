@@ -15,6 +15,14 @@ file carries a "bench" tag that selects its metric set:
                                      scenario reconverged, byte-identical
                                      deterministic reruns, zero
                                      deadlocks, virtual-time TTR bands
+  bench_scenarios (BENCH_scenarios.json)
+                                     production scenario matrix: every
+                                     catalog cell within 5% of best-known,
+                                     byte-identical reruns, cross-engine
+                                     bitwise parity, sharded K=4 gap <= 1%,
+                                     the overdrive-vs-headroom dataplane
+                                     contract, per-cell utility-vs-best and
+                                     recovery TTR bands
 
 Absolute wall times are machine-dependent: a committed baseline measured
 on one box says little about a shared CI runner.  Setting
@@ -231,6 +239,84 @@ def check_async(guard, baseline, fresh):
                     f"{now:.2f}s vs baseline {base:.2f}s (limit {limit:.2f}s)")
 
 
+SCENARIO_MAX_SHARDED_GAP = 0.01  # sharded K=4 vs best-known utility
+SCENARIO_MIN_ASYNC_VS_BEST = 0.90  # async churn replay vs best-known
+
+
+def check_scenarios(guard, baseline, fresh):
+    # Acceptance flags certified by the fresh run itself.  Everything in
+    # this bench is a deterministic replay (virtual ticks, seeded traffic,
+    # seeded dataplane), so all checks are hardware-independent and always
+    # enforced.
+    if fresh.get("deterministic") is not True:
+        guard.fail("deterministic",
+                   "pinned-cell reruns were not byte-identical (problem JSON, "
+                   "manifest or utility trace diverged)")
+    if fresh.get("all_cells_within_5pct_of_best") is not True:
+        guard.fail("all_cells_within_5pct_of_best",
+                   "some catalog cell finished below 95% of its best-known utility")
+
+    differential = fresh.get("differential", {})
+    if differential.get("bitwise_serial_compiled_incremental_sharded1") is not True:
+        guard.fail("differential.bitwise",
+                   "serial/compiled/incremental/sharded-K1 final allocations diverged")
+    gap = differential.get("sharded4_gap_fraction")
+    if gap is None:
+        guard.fail("differential.sharded4_gap_fraction", "missing from fresh results")
+    else:
+        guard.check("relative", "differential.sharded4_gap_fraction",
+                    abs(gap) <= SCENARIO_MAX_SHARDED_GAP,
+                    f"{gap:.4%} gap vs limit {SCENARIO_MAX_SHARDED_GAP:.0%}")
+    async_vs_best = differential.get("async_utility_vs_best")
+    if async_vs_best is None:
+        guard.fail("differential.async_utility_vs_best", "missing from fresh results")
+    else:
+        guard.check("relative", "differential.async_utility_vs_best",
+                    async_vs_best >= SCENARIO_MIN_ASYNC_VS_BEST,
+                    f"{async_vs_best:.4f} vs floor {SCENARIO_MIN_ASYNC_VS_BEST:.2f}")
+
+    # The PR 4 overdrive regression: only meaningful when the dataplane
+    # ran (LRGP_SCENARIO_DATAPLANE=0 smoke runs skip it).
+    if fresh.get("with_dataplane"):
+        if fresh.get("overdrive_contract", {}).get("holds") is not True:
+            guard.fail("overdrive_contract.holds",
+                       "overdriven plant no longer sheds >= 20% while the headroom "
+                       "twin delivers within 2%")
+
+    # Per-cell utility-vs-best and recovery TTR bands against the
+    # committed baseline (both are ratios/virtual clocks — machine-free).
+    base_cells = {row.get("name"): row for row in baseline.get("scenarios", [])}
+    for row in fresh.get("scenarios", []):
+        name = row.get("name")
+        base_row = base_cells.get(name)
+        if base_row is None:
+            guard.skip(f"scenarios[{name}]", "baseline")
+            continue
+        metric = f"scenarios[{name}].utility_vs_best"
+        base, now = base_row.get("utility_vs_best"), row.get("utility_vs_best")
+        if base is None or now is None:
+            guard.skip(metric, "baseline" if base is None else "fresh")
+        else:
+            floor = base / (1.0 + REGRESSION_LIMIT)
+            guard.check("relative", metric, now >= floor,
+                        f"{now:.4f} vs baseline {base:.4f} (floor {floor:.4f})")
+        base_ttr = base_row.get("recovery", {}).get("time_to_reconverge_seconds")
+        now_ttr = row.get("recovery", {}).get("time_to_reconverge_seconds")
+        if base_ttr is None or now_ttr is None:
+            continue  # static cell: no recovery analysis on either side
+        metric = f"scenarios[{name}].time_to_reconverge_seconds"
+        if now_ttr < 0:
+            guard.fail(metric, "cell never reconverged")
+            continue
+        if base_ttr < 0:
+            guard.skip(metric, "baseline (never reconverged)")
+            continue
+        # Half a replay tick of slack absorbs sample quantization.
+        limit = base_ttr * (1.0 + REGRESSION_LIMIT) + 0.025
+        guard.check("relative", metric, now_ttr <= limit,
+                    f"{now_ttr:.2f}s vs baseline {base_ttr:.2f}s (limit {limit:.2f}s)")
+
+
 def check_pair(guard, baseline_path, fresh_path):
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -246,6 +332,8 @@ def check_pair(guard, baseline_path, fresh_path):
         check_shards(guard, baseline, fresh)
     elif kind == "bench_async":
         check_async(guard, baseline, fresh)
+    elif kind == "bench_scenarios":
+        check_scenarios(guard, baseline, fresh)
     else:
         check_compiled(guard, baseline, fresh)
 

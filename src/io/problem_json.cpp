@@ -28,6 +28,14 @@ JsonValue utilityToJson(const utility::UtilityFunction& fn) {
         obj.emplace("scale", shifted->scale());
         return JsonValue(std::move(obj));
     }
+    if (const auto* sig = dynamic_cast<const utility::SigmoidUtility*>(&fn)) {
+        JsonObject obj;
+        obj.emplace("type", "sigmoid");
+        obj.emplace("weight", sig->weight());
+        obj.emplace("midpoint", sig->midpoint());
+        obj.emplace("steepness", sig->steepness());
+        return JsonValue(std::move(obj));
+    }
     if (const auto* scaled = dynamic_cast<const utility::ScaledUtility*>(&fn)) {
         JsonObject obj;
         obj.emplace("type", "scaled");
@@ -47,6 +55,10 @@ std::shared_ptr<const utility::UtilityFunction> utilityFromJson(const JsonValue&
     if (type == "shifted_log")
         return std::make_shared<utility::ShiftedLogUtility>(json.at("weight").asNumber(),
                                                             json.at("scale").asNumber());
+    if (type == "sigmoid")
+        return std::make_shared<utility::SigmoidUtility>(json.at("weight").asNumber(),
+                                                         json.at("midpoint").asNumber(),
+                                                         json.at("steepness").asNumber());
     if (type == "scaled")
         return std::make_shared<utility::ScaledUtility>(json.at("factor").asNumber(),
                                                         utilityFromJson(json.at("base")));

@@ -203,6 +203,33 @@ RuntimeInstruments RuntimeInstruments::resolve(Registry& registry) {
     return instruments;
 }
 
+ScenarioInstruments ScenarioInstruments::resolve(Registry& registry) {
+    ScenarioInstruments instruments;
+    instruments.ops_applied = &registry.counter("lrgp_scenario_ops_applied_total",
+                                                "Dynamic ops replayed into the engine");
+    instruments.ticks =
+        &registry.counter("lrgp_scenario_ticks_total", "Replay iterations stepped");
+    instruments.flows = &registry.gauge("lrgp_scenario_flows", "Flows in the scenario problem");
+    instruments.classes =
+        &registry.gauge("lrgp_scenario_classes", "Consumer classes in the scenario problem");
+    instruments.nodes = &registry.gauge("lrgp_scenario_nodes", "Nodes in the scenario problem");
+    instruments.links = &registry.gauge("lrgp_scenario_links", "Links in the scenario problem");
+    instruments.schedule_ops =
+        &registry.gauge("lrgp_scenario_schedule_ops", "Dynamic ops in the scenario schedule");
+    instruments.final_utility = &registry.gauge(
+        "lrgp_scenario_final_utility", "Utility after the post-replay convergence solve");
+    instruments.best_known_utility = &registry.gauge(
+        "lrgp_scenario_best_known_utility", "Fresh serial solve of the end-state problem");
+    instruments.utility_vs_best =
+        &registry.gauge("lrgp_scenario_utility_vs_best", "final_utility / best_known_utility");
+    instruments.drop_rate = &registry.gauge(
+        "lrgp_scenario_drop_rate", "Dataplane drop rate over the replay (dataplane runs only)");
+    instruments.achieved_vs_planned =
+        &registry.gauge("lrgp_scenario_achieved_vs_planned",
+                        "Trailing achieved / planned dataplane utility (dataplane runs only)");
+    return instruments;
+}
+
 AllocatorInstruments AllocatorInstruments::resolve(Registry& registry) {
     AllocatorInstruments instruments;
     instruments.greedy_allocations =

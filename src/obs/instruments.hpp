@@ -143,6 +143,27 @@ struct RuntimeInstruments {
     static RuntimeInstruments resolve(Registry& registry);
 };
 
+/// Scenario-replay instruments (scenario::run_scenario): the shape of
+/// the replayed cell and how well the engine tracked it.  Every value
+/// derives from the deterministic replay alone, so the Prometheus
+/// export is golden-testable byte-exact.
+struct ScenarioInstruments {
+    Counter* ops_applied = nullptr;   ///< lrgp_scenario_ops_applied_total
+    Counter* ticks = nullptr;         ///< lrgp_scenario_ticks_total (replay iterations)
+    Gauge* flows = nullptr;           ///< lrgp_scenario_flows
+    Gauge* classes = nullptr;         ///< lrgp_scenario_classes
+    Gauge* nodes = nullptr;           ///< lrgp_scenario_nodes
+    Gauge* links = nullptr;           ///< lrgp_scenario_links
+    Gauge* schedule_ops = nullptr;    ///< lrgp_scenario_schedule_ops
+    Gauge* final_utility = nullptr;   ///< lrgp_scenario_final_utility
+    Gauge* best_known_utility = nullptr;  ///< lrgp_scenario_best_known_utility
+    Gauge* utility_vs_best = nullptr;     ///< lrgp_scenario_utility_vs_best
+    Gauge* drop_rate = nullptr;           ///< lrgp_scenario_drop_rate (dataplane runs)
+    Gauge* achieved_vs_planned = nullptr; ///< lrgp_scenario_achieved_vs_planned
+
+    static ScenarioInstruments resolve(Registry& registry);
+};
+
 /// Allocator-level instruments, shared by every engine that drives the
 /// greedy/rate allocators (serial, parallel, distributed).
 struct AllocatorInstruments {

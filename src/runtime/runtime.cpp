@@ -338,6 +338,51 @@ void AsyncShardRuntime::buildAgents(shard::SubproblemSet sub, const core::LrgpOp
 }
 
 // ---------------------------------------------------------------------------
+// quiescent dynamic workload ops
+// ---------------------------------------------------------------------------
+
+void AsyncShardRuntime::applyFlowActive(model::FlowId flow, bool active) {
+    if (!flow.valid() || flow.index() >= spec_.flowCount())
+        throw std::invalid_argument("AsyncShardRuntime: flow id out of range");
+    spec_.setFlowActive(flow, active);
+    for (auto& agent : agents_) {
+        for (std::size_t i = 0; i < agent->flows.size(); ++i) {
+            if (agent->flows[i] != flow.value) continue;
+            const model::FlowId local{static_cast<std::uint32_t>(i)};
+            agent->pristine.setFlowActive(local, active);
+            if (agent->has_engine) {
+                if (active)
+                    agent->engine->restoreFlow(local);
+                else
+                    agent->engine->removeFlow(local);
+            }
+            return;
+        }
+    }
+    throw std::logic_error("AsyncShardRuntime: flow not owned by any agent");
+}
+
+void AsyncShardRuntime::removeFlow(model::FlowId flow) { applyFlowActive(flow, false); }
+
+void AsyncShardRuntime::restoreFlow(model::FlowId flow) { applyFlowActive(flow, true); }
+
+void AsyncShardRuntime::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
+    if (!cls.valid() || cls.index() >= spec_.classCount())
+        throw std::invalid_argument("AsyncShardRuntime: class id out of range");
+    spec_.setClassMaxConsumers(cls, max_consumers);
+    for (auto& agent : agents_) {
+        for (std::size_t i = 0; i < agent->classes.size(); ++i) {
+            if (agent->classes[i] != cls.value) continue;
+            const model::ClassId local{static_cast<std::uint32_t>(i)};
+            agent->pristine.setClassMaxConsumers(local, max_consumers);
+            if (agent->has_engine) agent->engine->setClassMaxConsumers(local, max_consumers);
+            return;
+        }
+    }
+    throw std::logic_error("AsyncShardRuntime: class not owned by any agent");
+}
+
+// ---------------------------------------------------------------------------
 // drivers
 // ---------------------------------------------------------------------------
 

@@ -234,6 +234,25 @@ public:
     /// engine is owned and mutated by the agent's thread during a run.
     [[nodiscard]] const core::ParallelLrgpEngine* agentEngine(int agent) const;
 
+    // -- quiescent dynamic workload ops (scenario churn) -----------------
+    //
+    // Apply between runFor() invocations only — no agent threads run
+    // then, so the owning agent's engine and its cold-restart copy can
+    // be mutated directly.  Only ops that leave boundary capacity
+    // budgets untouched are offered here; capacity changes would race
+    // the shrink-before-grow handshakes and are rejected by the
+    // scenario runner instead.  A crash before the next snapshot
+    // restores pre-op engine state from the previous checkpoint, so
+    // scenario suites do not combine churn with crash fault plans.
+
+    /// Marks the flow's source as departed on the owning agent (and in
+    /// the global mirror).  Throws std::invalid_argument on a bad id.
+    void removeFlow(model::FlowId flow);
+    /// Brings a removed flow back (resumes at r_min, zero consumers).
+    void restoreFlow(model::FlowId flow);
+    /// Changes a class's n^max on the owning agent.
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers);
+
     /// Registers the lrgp_runtime_* series (docs/observability.md).
     /// Counter totals are exported at the end of every runFor call;
     /// histograms (digest age, inbox depth) fill live from the agent
@@ -248,6 +267,7 @@ private:
 
     void buildResources(const shard::SubproblemSet& sub);
     void buildAgents(shard::SubproblemSet sub, const core::LrgpOptions& options);
+    void applyFlowActive(model::FlowId flow, bool active);
 
     void runVirtual(double seconds);
     void runReal(double seconds);

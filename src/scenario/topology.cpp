@@ -1,0 +1,197 @@
+#include "scenario/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace lrgp::scenario {
+
+std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> Overlay::adjacency() const {
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adj(nodeCount());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        adj[edges[e].a].emplace_back(edges[e].b, static_cast<std::uint32_t>(e));
+        adj[edges[e].b].emplace_back(edges[e].a, static_cast<std::uint32_t>(e));
+    }
+    for (auto& list : adj) std::sort(list.begin(), list.end());
+    return adj;
+}
+
+std::vector<std::size_t> Overlay::degrees() const {
+    std::vector<std::size_t> deg(nodeCount(), 0);
+    for (const OverlayEdge& e : edges) {
+        ++deg[e.a];
+        ++deg[e.b];
+    }
+    return deg;
+}
+
+bool Overlay::connected() const {
+    if (nodeCount() == 0) return false;
+    const auto adj = adjacency();
+    std::vector<bool> seen(nodeCount(), false);
+    std::vector<std::uint32_t> stack{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+        const std::uint32_t u = stack.back();
+        stack.pop_back();
+        for (const auto& [v, e] : adj[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                ++visited;
+                stack.push_back(v);
+            }
+        }
+    }
+    return visited == nodeCount();
+}
+
+// ------------------------------------------------------------------ fat tree
+
+Overlay make_fat_tree(const FatTreeOptions& options) {
+    const int k = options.k;
+    if (k < 2 || k % 2 != 0) throw std::invalid_argument("make_fat_tree: k must be even and >= 2");
+    const int half = k / 2;
+    const int cores = half * half;
+
+    Overlay overlay;
+    overlay.family = "fat_tree";
+    // Node layout: [0, cores) core, then per pod `half` aggregation
+    // followed by `half` edge switches.
+    overlay.node_weight.assign(static_cast<std::size_t>(cores + k * k), 1.0);
+    for (int c = 0; c < cores; ++c) overlay.node_weight[c] = 4.0;
+
+    for (int pod = 0; pod < k; ++pod) {
+        const int agg0 = cores + pod * k;
+        const int edge0 = agg0 + half;
+        for (int j = 0; j < half; ++j) {
+            overlay.node_weight[agg0 + j] = 2.0;
+            overlay.node_weight[edge0 + j] = 1.0;
+        }
+        // Edge switch <-> every aggregation switch in the pod.
+        for (int e = 0; e < half; ++e)
+            for (int a = 0; a < half; ++a)
+                overlay.edges.push_back({static_cast<std::uint32_t>(edge0 + e),
+                                         static_cast<std::uint32_t>(agg0 + a), 1.0});
+        // Aggregation switch j <-> cores [j*half, (j+1)*half).
+        for (int a = 0; a < half; ++a)
+            for (int c = a * half; c < (a + 1) * half; ++c)
+                overlay.edges.push_back({static_cast<std::uint32_t>(agg0 + a),
+                                         static_cast<std::uint32_t>(c), 2.0});
+    }
+    return overlay;
+}
+
+// ---------------------------------------------------------------- scale free
+
+Overlay make_scale_free(const ScaleFreeOptions& options) {
+    const int n = options.nodes;
+    const int m = options.attach;
+    if (n < 3) throw std::invalid_argument("make_scale_free: nodes must be >= 3");
+    if (m < 1 || m >= n)
+        throw std::invalid_argument("make_scale_free: attach must be in [1, nodes)");
+
+    Overlay overlay;
+    overlay.family = "scale_free";
+    overlay.node_weight.assign(static_cast<std::size_t>(n), 1.0);
+
+    std::mt19937_64 rng(options.seed);
+    // `targets` holds one entry per edge endpoint, so uniform sampling
+    // from it is degree-proportional (preferential attachment).
+    std::vector<std::uint32_t> targets;
+    const int seed_clique = m + 1;
+    for (int a = 0; a < seed_clique; ++a) {
+        for (int b = a + 1; b < seed_clique; ++b) {
+            overlay.edges.push_back({static_cast<std::uint32_t>(a),
+                                     static_cast<std::uint32_t>(b), 1.0});
+            targets.push_back(static_cast<std::uint32_t>(a));
+            targets.push_back(static_cast<std::uint32_t>(b));
+        }
+    }
+    for (int v = seed_clique; v < n; ++v) {
+        std::vector<std::uint32_t> chosen;
+        while (static_cast<int>(chosen.size()) < m) {
+            const std::uint32_t t =
+                targets[std::uniform_int_distribution<std::size_t>(0, targets.size() - 1)(rng)];
+            if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) chosen.push_back(t);
+        }
+        for (const std::uint32_t t : chosen) {
+            overlay.edges.push_back({static_cast<std::uint32_t>(v), t, 1.0});
+            targets.push_back(static_cast<std::uint32_t>(v));
+            targets.push_back(t);
+        }
+    }
+
+    const auto deg = overlay.degrees();
+    for (std::size_t i = 0; i < overlay.node_weight.size(); ++i)
+        overlay.node_weight[i] = std::sqrt(static_cast<double>(deg[i]));
+    for (OverlayEdge& e : overlay.edges)
+        e.weight = 0.5 * (overlay.node_weight[e.a] + overlay.node_weight[e.b]);
+    return overlay;
+}
+
+// --------------------------------------------------------------- small world
+
+std::size_t small_world_chord_count(const SmallWorldOptions& options) {
+    // Offsets 2 .. ring_degree/2 contribute one chord per node each.
+    const int per_side = options.ring_degree / 2;
+    if (per_side < 2) return 0;
+    return static_cast<std::size_t>(options.nodes) * static_cast<std::size_t>(per_side - 1);
+}
+
+Overlay make_small_world(const SmallWorldOptions& options) {
+    const int n = options.nodes;
+    const int kdeg = options.ring_degree;
+    if (n < 4) throw std::invalid_argument("make_small_world: nodes must be >= 4");
+    if (kdeg < 2 || kdeg % 2 != 0 || kdeg >= n)
+        throw std::invalid_argument("make_small_world: ring_degree must be even, >= 2, < nodes");
+    if (!(options.beta >= 0.0 && options.beta <= 1.0))
+        throw std::invalid_argument("make_small_world: beta must be in [0, 1]");
+
+    Overlay overlay;
+    overlay.family = "small_world";
+    overlay.node_weight.assign(static_cast<std::size_t>(n), 1.0);
+
+    std::mt19937_64 rng(options.seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+    // Edge-existence matrix to keep rewired targets distinct.
+    std::vector<bool> has(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), false);
+    auto link = [&](int a, int b) { has[a * n + b] = has[b * n + a] = true; };
+    auto linked = [&](int a, int b) { return has[a * n + b]; };
+
+    const int per_side = kdeg / 2;
+    // Ring edges (offset 1): never rewired, keep the overlay connected.
+    for (int i = 0; i < n; ++i) {
+        const int j = (i + 1) % n;
+        overlay.edges.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), 1.0});
+        link(i, j);
+    }
+    // Chord edges (offsets 2..per_side): rewire the far endpoint with
+    // probability beta to a uniform non-adjacent target.
+    for (int offset = 2; offset <= per_side; ++offset) {
+        for (int i = 0; i < n; ++i) {
+            int j = (i + offset) % n;
+            if (coin(rng) < options.beta) {
+                int candidate = -1;
+                for (int tries = 0; tries < 64; ++tries) {
+                    const int t = std::uniform_int_distribution<int>(0, n - 1)(rng);
+                    if (t != i && !linked(i, t)) {
+                        candidate = t;
+                        break;
+                    }
+                }
+                if (candidate >= 0) j = candidate;
+            }
+            if (!linked(i, j)) {
+                overlay.edges.push_back(
+                    {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j), 1.0});
+                link(i, j);
+            }
+        }
+    }
+    return overlay;
+}
+
+}  // namespace lrgp::scenario

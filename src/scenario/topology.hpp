@@ -1,0 +1,91 @@
+// Overlay topology families for the production scenario suite
+// (ROADMAP item 3; node-and-link-capacity allocation on complex
+// networks, arXiv 1702.06669).
+//
+// Each generator returns an undirected Overlay graph with per-node and
+// per-edge *relative* capacity weights.  The scenario composer
+// (scenario.hpp) turns overlays into ProblemSpecs: flows route over
+// BFS shortest-path trees, each traversed edge direction becomes a
+// model link, and the calibration pass rewrites every capacity from
+// the scenario's peak demand (headroom or overdrive mode) modulated by
+// these relative weights — so a fat-tree core stays fatter than its
+// edge switches after calibration.
+//
+// All generators are deterministic functions of their options: same
+// options (including seed) produce an identical Overlay, which the
+// 100-seed property sweep (test_scenario.cpp) asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrgp::scenario {
+
+/// One undirected overlay edge with a relative capacity weight.
+struct OverlayEdge {
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    double weight = 1.0;
+};
+
+/// An undirected capacitated overlay graph.
+struct Overlay {
+    std::string family;                 ///< "fat_tree" | "scale_free" | "small_world"
+    std::vector<double> node_weight;    ///< relative per-node capacity weights
+    std::vector<OverlayEdge> edges;
+
+    [[nodiscard]] std::size_t nodeCount() const noexcept { return node_weight.size(); }
+
+    /// Adjacency as (neighbor, edge index) lists, sorted by neighbor id —
+    /// the deterministic iteration order the BFS router depends on.
+    [[nodiscard]] std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> adjacency()
+        const;
+
+    /// Undirected degree per node.
+    [[nodiscard]] std::vector<std::size_t> degrees() const;
+
+    /// True when every node is reachable from node 0 (and the graph is
+    /// nonempty).  Every generator below guarantees this by construction.
+    [[nodiscard]] bool connected() const;
+};
+
+/// k-ary fat-tree: (k/2)^2 core switches and k pods of k/2 aggregation
+/// plus k/2 edge switches; flows source at edge switches.  k must be
+/// even and >= 2.  Core nodes carry weight 4, aggregation 2, edge 1;
+/// core-facing edges weight 2, pod-internal edges weight 1.
+struct FatTreeOptions {
+    int k = 4;
+};
+[[nodiscard]] Overlay make_fat_tree(const FatTreeOptions& options);
+
+/// Barabasi-Albert preferential attachment: starts from a complete
+/// graph on attach+1 nodes, then each new node attaches `attach` edges
+/// to distinct targets drawn proportionally to current degree.  Node
+/// weights grow with the square root of final degree, so hubs get more
+/// capacity headroom than leaves.
+struct ScaleFreeOptions {
+    int nodes = 24;
+    int attach = 2;          ///< edges per new node (m); 1 <= attach < nodes
+    std::uint64_t seed = 1;
+};
+[[nodiscard]] Overlay make_scale_free(const ScaleFreeOptions& options);
+
+/// Watts-Strogatz small world, ring-preserving variant: a ring lattice
+/// where each node connects to ring_degree/2 neighbors per side, then
+/// every *chord* edge (lattice offset >= 2) is rewired with probability
+/// beta to a uniform random non-adjacent target.  Ring edges (offset 1)
+/// are never rewired, so the overlay stays connected for any beta.
+struct SmallWorldOptions {
+    int nodes = 24;
+    int ring_degree = 4;     ///< even, >= 2, < nodes
+    double beta = 0.2;       ///< chord rewiring probability in [0, 1]
+    std::uint64_t seed = 1;
+};
+[[nodiscard]] Overlay make_small_world(const SmallWorldOptions& options);
+
+/// Number of chord edges a small-world overlay starts from (the upper
+/// bound on rewired edges, asserted by the property suite).
+[[nodiscard]] std::size_t small_world_chord_count(const SmallWorldOptions& options);
+
+}  // namespace lrgp::scenario

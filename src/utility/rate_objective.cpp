@@ -61,6 +61,53 @@ CombinedForm tryCombine(const std::vector<WeightedUtility>& terms) {
     return out;
 }
 
+/// Global maximizer for objectives carrying a non-concave (sigmoid/step)
+/// term.  The derivative can change sign several times, so the concave
+/// machinery (bound-derivative pruning, closed forms, monotone bisection)
+/// is invalid.  Instead: evaluate a fixed uniform grid, then refine the
+/// best grid cell with golden-section search, then compare against both
+/// endpoints.  Every step is a pure function of (terms, price, lo, hi),
+/// so all engines sharing this solver stay bitwise-identical.
+RateSolveResult scan_maximize(const std::vector<WeightedUtility>& terms, double price,
+                              double lo, double hi, const RateSolveOptions& opts) {
+    constexpr int kSamples = 64;
+    const double width = hi - lo;
+    auto f = [&](double r) { return rate_objective_value(terms, price, r); };
+
+    double best_r = lo;
+    double best_v = f(lo);
+    for (int i = 1; i <= kSamples; ++i) {
+        const double r = (i == kSamples) ? hi : lo + width * static_cast<double>(i) /
+                                                        static_cast<double>(kSamples);
+        const double v = f(r);
+        if (v > best_v) {
+            best_v = v;
+            best_r = r;
+        }
+    }
+
+    // Refine within one grid cell either side of the best sample; the
+    // restriction is unimodal-enough for golden section to converge to a
+    // local maximum at least as good as the grid winner.
+    const double cell = width / static_cast<double>(kSamples);
+    const double rlo = std::max(lo, best_r - cell);
+    const double rhi = std::min(hi, best_r + cell);
+    if (rhi > rlo) {
+        solver::RootOptions ropts;
+        ropts.tolerance = std::max(opts.tolerance, 1e-12);
+        const auto refined = solver::golden_section_maximize(f, rlo, rhi, ropts);
+        const double rv = f(refined.root);
+        if (rv > best_v) {
+            best_v = rv;
+            best_r = refined.root;
+        }
+    }
+
+    if (best_r <= lo) return {lo, RateSolveMethod::kBoundLow};
+    if (best_r >= hi) return {hi, RateSolveMethod::kBoundHigh};
+    return {best_r, RateSolveMethod::kNumeric};
+}
+
 }  // namespace
 
 double rate_objective_value(const std::vector<WeightedUtility>& terms, double price,
@@ -100,6 +147,16 @@ RateSolveResult solve_rate_objective(const std::vector<WeightedUtility>& terms, 
     if (!any_population) {
         return price > 0.0 ? RateSolveResult{lo, RateSolveMethod::kBoundLow}
                            : RateSolveResult{hi, RateSolveMethod::kBoundHigh};
+    }
+
+    // Non-concave terms (sigmoid/step classes) invalidate every concave
+    // shortcut below — route them through the deterministic global scan
+    // before touching the bound-derivative checks.
+    for (const auto& t : terms) {
+        if (t.population > 0.0 && !t.utility->concave()) {
+            if (lo >= hi) return {lo, RateSolveMethod::kBoundLow};
+            return scan_maximize(terms, price, lo, hi, opts);
+        }
     }
 
     // Strictly concave objective: check the derivative at the bounds first.

@@ -3,13 +3,19 @@
 //     maximize_r   sum_j n_j U_j(r)  -  r * price        on [lo, hi]
 //
 // where `price` = PL_i + PB_i is the total per-unit-rate price the flow
-// pays across the links and nodes it traverses.  Each U_j is strictly
-// concave, so the objective is strictly concave and the maximizer is
-// unique: either a bound, or the unique root of the derivative.
+// pays across the links and nodes it traverses.  When every U_j is
+// strictly concave (log/power classes) the objective is strictly
+// concave and the maximizer is unique: either a bound, or the unique
+// root of the derivative.  Sigmoid/step classes from the sensitivity
+// section are *not* concave; any active non-concave term routes the
+// solve through a deterministic global scan instead (fixed uniform grid
+// plus golden-section refinement), so the maximizer stays a pure
+// function of (terms, price, bounds) and all engines agree bitwise.
 //
-// The solver prefers closed forms (all-log or all-power-with-equal-
-// exponent populations combine into a single weighted inverse) and falls
-// back to safeguarded Newton/bisection otherwise.
+// On the concave path the solver prefers closed forms (all-log or
+// all-power-with-equal-exponent populations combine into a single
+// weighted inverse) and falls back to safeguarded Newton/bisection
+// otherwise.
 #pragma once
 
 #include <memory>

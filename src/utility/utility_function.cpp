@@ -91,6 +91,49 @@ std::unique_ptr<UtilityFunction> ShiftedLogUtility::clone() const {
     return std::make_unique<ShiftedLogUtility>(*this);
 }
 
+// ------------------------------------------------------------ SigmoidUtility
+
+namespace {
+
+// Overflow-safe logistic: never exponentiates a positive argument.
+double logistic(double x) {
+    if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+}
+
+}  // namespace
+
+SigmoidUtility::SigmoidUtility(double weight, double midpoint, double steepness)
+    : weight_(weight), midpoint_(midpoint), steepness_(steepness) {
+    if (!(weight > 0.0)) throw std::invalid_argument("SigmoidUtility: weight must be positive");
+    if (!(midpoint > 0.0))
+        throw std::invalid_argument("SigmoidUtility: midpoint must be positive");
+    if (!(steepness > 0.0))
+        throw std::invalid_argument("SigmoidUtility: steepness must be positive");
+    s0_ = logistic(-steepness_ * midpoint_);
+}
+
+double SigmoidUtility::value(double rate) const {
+    const double s = logistic(steepness_ * (rate - midpoint_));
+    return weight_ * (s - s0_) / (1.0 - s0_);
+}
+
+double SigmoidUtility::derivative(double rate) const {
+    const double s = logistic(steepness_ * (rate - midpoint_));
+    return weight_ * steepness_ * s * (1.0 - s) / (1.0 - s0_);
+}
+
+std::string SigmoidUtility::describe() const {
+    std::ostringstream os;
+    os << weight_ << " * sigmoid(r; mid=" << midpoint_ << ", k=" << steepness_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<UtilityFunction> SigmoidUtility::clone() const {
+    return std::make_unique<SigmoidUtility>(*this);
+}
+
 // ------------------------------------------------------------- ScaledUtility
 
 ScaledUtility::ScaledUtility(double factor, std::shared_ptr<const UtilityFunction> base)

@@ -42,6 +42,13 @@ public:
     [[nodiscard]] virtual std::string describe() const = 0;
 
     [[nodiscard]] virtual std::unique_ptr<UtilityFunction> clone() const = 0;
+
+    /// True when the family is strictly concave on (0, inf).  The rate
+    /// allocator's stationarity solve (bound-derivative checks, closed
+    /// forms, monotone bisection) is only valid for concave terms; any
+    /// flow whose active classes include a non-concave utility is routed
+    /// through a deterministic global scan instead.
+    [[nodiscard]] virtual bool concave() const noexcept { return true; }
 };
 
 /// U(r) = weight * log(1 + r).  U'(r) = weight / (1 + r).
@@ -106,6 +113,40 @@ private:
     double scale_;
 };
 
+/// Normalized logistic utility (the paper's sensitivity-section "sigmoid"
+/// and, at high steepness, "step" classes):
+///
+///   U(r) = weight * (s(r) - s(0)) / (1 - s(0)),   s(x) = 1/(1+e^(-steepness*(x-midpoint)))
+///
+/// U(0) = 0, U is increasing and C^1, and saturates at `weight` as
+/// r -> inf.  It is convex below the midpoint and concave above it, so
+/// concave() is false and the rate allocator solves flows carrying it by
+/// a deterministic global scan.  A "step" utility is the same family with
+/// a large steepness (the logistic stays differentiable, which the
+/// allocator requires, while approximating a hard threshold at midpoint).
+class SigmoidUtility final : public UtilityFunction {
+public:
+    /// Throws std::invalid_argument unless weight > 0, midpoint > 0 and
+    /// steepness > 0.
+    SigmoidUtility(double weight, double midpoint, double steepness);
+
+    [[nodiscard]] double value(double rate) const override;
+    [[nodiscard]] double derivative(double rate) const override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
+    [[nodiscard]] bool concave() const noexcept override { return false; }
+
+    [[nodiscard]] double weight() const noexcept { return weight_; }
+    [[nodiscard]] double midpoint() const noexcept { return midpoint_; }
+    [[nodiscard]] double steepness() const noexcept { return steepness_; }
+
+private:
+    double weight_;
+    double midpoint_;
+    double steepness_;
+    double s0_;  ///< s(0), cached so value() stays a two-exp evaluation
+};
+
 /// Wraps another utility with a positive multiplicative factor:
 /// U(r) = factor * base(r).  Used to express rank * f(r) for arbitrary f.
 class ScaledUtility final : public UtilityFunction {
@@ -118,6 +159,8 @@ public:
     [[nodiscard]] std::optional<double> inverseDerivative(double marginal) const override;
     [[nodiscard]] std::string describe() const override;
     [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
+
+    [[nodiscard]] bool concave() const noexcept override { return base_->concave(); }
 
     [[nodiscard]] double factor() const noexcept { return factor_; }
     [[nodiscard]] const UtilityFunction& base() const noexcept { return *base_; }

@@ -80,6 +80,20 @@ TEST(ProblemJson, ScaledUtilityRoundTrips) {
     EXPECT_DOUBLE_EQ(restored.classes()[0].utility->value(4.0), 2.5 * 4.0 * 2.0);
 }
 
+TEST(ProblemJson, SigmoidUtilityRoundTrips) {
+    model::ProblemBuilder b;
+    const auto n = b.addNode("N", 1e5);
+    const auto f = b.addFlow("f", n, 1.0, 10.0);
+    b.routeThroughNode(f, n, 1.0);
+    b.addClass("c", f, n, 5, 1.0, std::make_shared<utility::SigmoidUtility>(9.0, 4.0, 2.5));
+    const auto spec = b.build();
+    const auto restored = io::problem_from_json_string(io::problem_to_json_string(spec));
+    const auto& u = *restored.classes()[0].utility;
+    EXPECT_FALSE(u.concave());
+    for (double r : {0.0, 1.0, 4.0, 8.0})
+        EXPECT_DOUBLE_EQ(u.value(r), spec.classes()[0].utility->value(r));
+}
+
 TEST(ProblemJson, OptimizationEquivalentAfterRoundTrip) {
     // The restored problem must optimize to exactly the same trajectory.
     const auto spec = workload::make_base_workload();

@@ -148,4 +148,69 @@ TEST_P(RateObjectiveSweep, SolutionIsAMaximizer) {
 INSTANTIATE_TEST_SUITE_P(Prices, RateObjectiveSweep,
                          ::testing::Values(0.0, 1.0, 13.9, 50.0, 140.0, 700.0, 1272.7, 5000.0));
 
+// ---- non-concave terms route through the global scan path --------------
+
+using lrgp::utility::SigmoidUtility;
+
+TEST(RateObjectiveNonConcave, SigmoidMatchesBruteForceGrid) {
+    // One sigmoid class: the objective has a unique interior maximum for
+    // moderate prices, but the bound-derivative shortcuts of the concave
+    // path would misclassify it (derivative at lo is ~0).
+    for (double price : {0.0, 0.5, 2.0, 8.0}) {
+        std::vector<WeightedUtility> terms{{6.0, std::make_shared<SigmoidUtility>(10.0, 5.0, 1.5)}};
+        const auto r = solve_rate_objective(terms, price, 0.5, 12.0);
+        // Brute force on a fine grid; the solver must be at least as good.
+        double best = -1e300;
+        for (double g = 0.5; g <= 12.0; g += 1e-4)
+            best = std::max(best, lrgp::utility::rate_objective_value(terms, price, g));
+        EXPECT_GE(lrgp::utility::rate_objective_value(terms, price, r.rate), best - 1e-6)
+            << "price=" << price;
+    }
+}
+
+TEST(RateObjectiveNonConcave, HugePriceClampsLowZeroPriceClampsHigh) {
+    std::vector<WeightedUtility> terms{{4.0, std::make_shared<SigmoidUtility>(8.0, 3.0, 2.0)}};
+    const auto low = solve_rate_objective(terms, 1e6, 1.0, 10.0);
+    EXPECT_DOUBLE_EQ(low.rate, 1.0);
+    const auto high = solve_rate_objective(terms, 0.0, 1.0, 10.0);
+    EXPECT_DOUBLE_EQ(high.rate, 10.0);
+}
+
+TEST(RateObjectiveNonConcave, MixedConcaveAndSigmoidTermsMaximize) {
+    // A shifted-log class plus a step-like sigmoid: the sum is neither
+    // concave nor unimodal in general; the scan must still find a global
+    // maximizer up to grid resolution.
+    std::vector<WeightedUtility> terms{
+        {10.0, std::make_shared<LogUtility>(4.0)},
+        {8.0, std::make_shared<SigmoidUtility>(15.0, 7.0, 6.0)}};
+    for (double price : {1.0, 5.0, 20.0, 60.0}) {
+        const auto r = solve_rate_objective(terms, price, 0.5, 10.0);
+        double best = -1e300;
+        for (double g = 0.5; g <= 10.0; g += 1e-4)
+            best = std::max(best, lrgp::utility::rate_objective_value(terms, price, g));
+        EXPECT_GE(lrgp::utility::rate_objective_value(terms, price, r.rate), best - 1e-5)
+            << "price=" << price;
+    }
+}
+
+TEST(RateObjectiveNonConcave, ZeroPopulationSigmoidKeepsClosedForm) {
+    // A dormant sigmoid class must not force the scan path.
+    std::vector<WeightedUtility> terms{
+        {400.0, std::make_shared<LogUtility>(20.0)},
+        {0.0, std::make_shared<SigmoidUtility>(10.0, 5.0, 1.0)}};
+    const auto r = solve_rate_objective(terms, 10.0, 10.0, 1000.0);
+    EXPECT_EQ(r.method, lrgp::utility::RateSolveMethod::kClosedForm);
+    EXPECT_NEAR(r.rate, 400.0 * 20.0 / 10.0 - 1.0, 1e-6);
+}
+
+TEST(RateObjectiveNonConcave, DeterministicAcrossCalls) {
+    std::vector<WeightedUtility> terms{
+        {5.0, std::make_shared<SigmoidUtility>(12.0, 4.0, 3.0)},
+        {7.0, std::make_shared<LogUtility>(2.0)}};
+    const auto a = solve_rate_objective(terms, 3.0, 1.0, 9.0);
+    const auto b = solve_rate_objective(terms, 3.0, 1.0, 9.0);
+    EXPECT_EQ(a.rate, b.rate);  // bitwise: same scan, same arithmetic
+    EXPECT_EQ(a.method, b.method);
+}
+
 }  // namespace

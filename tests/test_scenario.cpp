@@ -1,0 +1,335 @@
+// Property suite for the production scenario generators (ROADMAP item 3):
+// catalog shape, the 100-seed determinism sweep (byte-identical problem
+// JSON + manifest), topology sanity per family, feasibility floors on
+// initial and end-state problems, overdrive twin problem equality, and
+// churn-schedule validity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/problem_json.hpp"
+#include "model/allocation.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/topology.hpp"
+
+namespace {
+
+using lrgp::scenario::build_scenario;
+using lrgp::scenario::DynamicOp;
+using lrgp::scenario::find_scenario;
+using lrgp::scenario::OpKind;
+using lrgp::scenario::Overlay;
+using lrgp::scenario::scenario_catalog;
+using lrgp::scenario::ScenarioOptions;
+using lrgp::scenario::ScenarioSpec;
+
+// ------------------------------------------------------------------ catalog
+
+TEST(ScenarioCatalog, HasAtLeastTwelveUniquelyNamedCells) {
+    const auto& catalog = scenario_catalog();
+    EXPECT_GE(catalog.size(), 12u);
+    std::set<std::string> names;
+    for (const ScenarioOptions& cell : catalog) {
+        EXPECT_FALSE(cell.name.empty());
+        EXPECT_TRUE(names.insert(cell.name).second) << "duplicate cell " << cell.name;
+    }
+}
+
+TEST(ScenarioCatalog, CoversEveryFamilyAxis) {
+    std::set<std::string> topologies, traffics, utilities;
+    bool any_overdrive = false;
+    for (const ScenarioOptions& cell : scenario_catalog()) {
+        topologies.insert(cell.topology);
+        traffics.insert(cell.traffic);
+        utilities.insert(cell.utility);
+        any_overdrive = any_overdrive || cell.overdrive;
+    }
+    EXPECT_EQ(topologies, (std::set<std::string>{"fat_tree", "scale_free", "small_world"}));
+    EXPECT_EQ(traffics,
+              (std::set<std::string>{"diurnal", "flash_crowd", "heavy_tail", "churn"}));
+    EXPECT_EQ(utilities, (std::set<std::string>{"shifted_log", "sigmoid", "step"}));
+    EXPECT_TRUE(any_overdrive);
+}
+
+TEST(ScenarioCatalog, FindScenarioRoundTripsAndRejectsUnknown) {
+    for (const ScenarioOptions& cell : scenario_catalog()) {
+        const ScenarioOptions found = find_scenario(cell.name);
+        EXPECT_EQ(found.topology, cell.topology);
+        EXPECT_EQ(found.seed, cell.seed);
+    }
+    try {
+        (void)find_scenario("no_such_cell");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        // The error lists the known names so CLI users can self-serve.
+        EXPECT_NE(std::string(e.what()).find("fat_tree_heavy_tail_shifted_log"),
+                  std::string::npos);
+    }
+}
+
+TEST(ScenarioCatalog, EveryCellBuilds) {
+    for (const ScenarioOptions& cell : scenario_catalog()) {
+        const ScenarioSpec spec = build_scenario(cell);
+        EXPECT_GT(spec.problem.flowCount(), 0u) << cell.name;
+        EXPECT_GT(spec.problem.classCount(), 0u) << cell.name;
+        EXPECT_TRUE(spec.overlay.connected()) << cell.name;
+        // The schedule must be sorted: the runner applies ops in order.
+        EXPECT_TRUE(std::is_sorted(
+            spec.schedule.begin(), spec.schedule.end(),
+            [](const DynamicOp& a, const DynamicOp& b) { return a.time < b.time; }))
+            << cell.name;
+        for (const DynamicOp& op : spec.schedule) {
+            EXPECT_GE(op.time, 0.0) << cell.name;
+            EXPECT_LE(op.time, cell.duration) << cell.name;
+        }
+    }
+}
+
+TEST(ScenarioBuild, RejectsUnknownFamilies) {
+    ScenarioOptions bad;
+    bad.topology = "torus";
+    EXPECT_THROW((void)build_scenario(bad), std::invalid_argument);
+    bad = ScenarioOptions{};
+    bad.traffic = "steady_state";
+    EXPECT_THROW((void)build_scenario(bad), std::invalid_argument);
+    bad = ScenarioOptions{};
+    bad.utility = "linear";
+    EXPECT_THROW((void)build_scenario(bad), std::invalid_argument);
+}
+
+// ------------------------------------------------- 100-seed determinism sweep
+
+TEST(ScenarioDeterminism, HundredSeedSweepIsByteIdentical) {
+    // Rotate through every (topology, traffic, utility) axis while the
+    // seed climbs, so the sweep exercises each generator's RNG paths.
+    const char* topologies[] = {"fat_tree", "scale_free", "small_world"};
+    const char* traffics[] = {"diurnal", "flash_crowd", "heavy_tail", "churn"};
+    const char* utilities[] = {"shifted_log", "sigmoid", "step"};
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        ScenarioOptions options;
+        options.topology = topologies[seed % 3];
+        options.traffic = traffics[seed % 4];
+        options.utility = utilities[seed % 5 % 3];
+        options.overdrive = (seed % 7) == 0;
+        options.seed = seed;
+        const ScenarioSpec a = build_scenario(options);
+        const ScenarioSpec b = build_scenario(options);
+        ASSERT_EQ(lrgp::io::problem_to_json_string(a.problem),
+                  lrgp::io::problem_to_json_string(b.problem))
+            << "seed " << seed;
+        ASSERT_EQ(a.manifestString(), b.manifestString()) << "seed " << seed;
+        ASSERT_EQ(a.schedule.size(), b.schedule.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+            ASSERT_EQ(a.schedule[i].time, b.schedule[i].time);
+            ASSERT_EQ(a.schedule[i].kind, b.schedule[i].kind);
+            ASSERT_EQ(a.schedule[i].target, b.schedule[i].target);
+            ASSERT_EQ(a.schedule[i].value, b.schedule[i].value);
+        }
+    }
+}
+
+TEST(ScenarioDeterminism, DifferentSeedsDiverge) {
+    ScenarioOptions options;
+    options.topology = "scale_free";
+    options.seed = 7;
+    const ScenarioSpec a = build_scenario(options);
+    options.seed = 8;
+    const ScenarioSpec b = build_scenario(options);
+    EXPECT_NE(lrgp::io::problem_to_json_string(a.problem),
+              lrgp::io::problem_to_json_string(b.problem));
+}
+
+// ----------------------------------------------------------- topology sanity
+
+TEST(ScenarioTopology, AllFamiliesConnectedAcrossSeeds) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        EXPECT_TRUE(lrgp::scenario::make_scale_free({24, 2, seed}).connected()) << seed;
+        EXPECT_TRUE(lrgp::scenario::make_small_world({24, 4, 0.2, seed}).connected()) << seed;
+        EXPECT_TRUE(lrgp::scenario::make_small_world({24, 6, 1.0, seed}).connected()) << seed;
+    }
+    EXPECT_TRUE(lrgp::scenario::make_fat_tree({4}).connected());
+    EXPECT_TRUE(lrgp::scenario::make_fat_tree({6}).connected());
+}
+
+TEST(ScenarioTopology, FatTreeShapeAndWeights) {
+    // k=4: 4 core + 4 pods x (2 agg + 2 edge) = 20 nodes, 32 edges.
+    const Overlay overlay = lrgp::scenario::make_fat_tree({4});
+    ASSERT_EQ(overlay.nodeCount(), 20u);
+    EXPECT_EQ(overlay.edges.size(), 32u);
+    const auto deg = overlay.degrees();
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(overlay.node_weight[c], 4.0);  // core
+        EXPECT_EQ(deg[c], 4u);                          // one agg per pod
+    }
+    for (int pod = 0; pod < 4; ++pod) {
+        const int agg0 = 4 + pod * 4;
+        for (int j = 0; j < 2; ++j) {
+            EXPECT_DOUBLE_EQ(overlay.node_weight[agg0 + j], 2.0);      // agg
+            EXPECT_EQ(deg[agg0 + j], 4u);                              // 2 edge + 2 core
+            EXPECT_DOUBLE_EQ(overlay.node_weight[agg0 + 2 + j], 1.0);  // edge
+            EXPECT_EQ(deg[agg0 + 2 + j], 2u);                          // 2 agg
+        }
+    }
+    EXPECT_THROW((void)lrgp::scenario::make_fat_tree({3}), std::invalid_argument);
+    EXPECT_THROW((void)lrgp::scenario::make_fat_tree({0}), std::invalid_argument);
+}
+
+TEST(ScenarioTopology, ScaleFreeDegreeTail) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const Overlay overlay = lrgp::scenario::make_scale_free({40, 2, seed});
+        ASSERT_EQ(overlay.nodeCount(), 40u);
+        // m edges per newcomer on top of the seed clique.
+        EXPECT_EQ(overlay.edges.size(), 3u + 37u * 2u);
+        const auto deg = overlay.degrees();
+        std::size_t max_deg = 0;
+        for (std::size_t d : deg) {
+            EXPECT_GE(d, 2u);  // every node keeps at least its attach edges
+            max_deg = std::max(max_deg, d);
+        }
+        // Preferential attachment must actually produce hubs: the hub
+        // degree has to beat what a degree-regular graph would allow.
+        EXPECT_GE(max_deg, 6u) << "seed " << seed;
+        // Hubs get more relative capacity than leaves (sqrt(degree)).
+        const auto hub = std::max_element(deg.begin(), deg.end()) - deg.begin();
+        const auto leaf = std::min_element(deg.begin(), deg.end()) - deg.begin();
+        EXPECT_GT(overlay.node_weight[hub], overlay.node_weight[leaf]);
+        EXPECT_NEAR(overlay.node_weight[hub], std::sqrt(static_cast<double>(deg[hub])), 1e-12);
+    }
+    EXPECT_THROW((void)lrgp::scenario::make_scale_free({2, 1, 1}), std::invalid_argument);
+    EXPECT_THROW((void)lrgp::scenario::make_scale_free({10, 10, 1}), std::invalid_argument);
+}
+
+TEST(ScenarioTopology, SmallWorldRingPreservedAndRewiringBounded) {
+    const lrgp::scenario::SmallWorldOptions options{24, 4, 0.5, 9};
+    const Overlay overlay = lrgp::scenario::make_small_world(options);
+    ASSERT_EQ(overlay.nodeCount(), 24u);
+    // The offset-1 ring is never rewired: every (i, i+1 mod n) pair is
+    // present, so the overlay is connected for any beta.
+    std::set<std::pair<std::uint32_t, std::uint32_t>> edge_set;
+    for (const auto& e : overlay.edges)
+        edge_set.insert({std::min(e.a, e.b), std::max(e.a, e.b)});
+    for (std::uint32_t i = 0; i < 24; ++i) {
+        const std::uint32_t j = (i + 1) % 24;
+        EXPECT_TRUE(edge_set.count({std::min(i, j), std::max(i, j)})) << "ring edge " << i;
+    }
+    // Edge count: the n ring edges plus at most chord_count chords
+    // (duplicate-target rewires are dropped, never doubled).
+    const std::size_t chords = lrgp::scenario::small_world_chord_count(options);
+    EXPECT_EQ(chords, 24u);
+    EXPECT_GE(overlay.edges.size(), 24u);
+    EXPECT_LE(overlay.edges.size(), 24u + chords);
+}
+
+TEST(ScenarioTopology, SmallWorldBetaZeroIsPureLattice) {
+    const Overlay overlay = lrgp::scenario::make_small_world({24, 4, 0.0, 1});
+    // No rewiring: exactly n * ring_degree / 2 edges, all within the
+    // lattice neighborhood (ring distance <= ring_degree/2).
+    EXPECT_EQ(overlay.edges.size(), 24u * 4u / 2u);
+    for (const auto& e : overlay.edges) {
+        const int d = std::abs(static_cast<int>(e.a) - static_cast<int>(e.b));
+        EXPECT_LE(std::min(d, 24 - d), 2) << "chord (" << e.a << "," << e.b << ")";
+    }
+    EXPECT_THROW((void)lrgp::scenario::make_small_world({24, 4, 1.5, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)lrgp::scenario::make_small_world({24, 3, 0.2, 1}),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioTopology, AdjacencyIsSortedByNeighbor) {
+    const Overlay overlay = lrgp::scenario::make_scale_free({24, 2, 5});
+    for (const auto& list : overlay.adjacency())
+        EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+}
+
+// -------------------------------------------------------- feasibility floors
+
+TEST(ScenarioFeasibility, MinimalAllocationFeasibleOnEveryCell) {
+    // Calibration must never produce a problem whose rate floors already
+    // violate capacity — neither initially nor after the full schedule.
+    for (const ScenarioOptions& cell : scenario_catalog()) {
+        const ScenarioSpec spec = build_scenario(cell);
+        const auto initial = lrgp::model::Allocation::minimal(spec.problem);
+        EXPECT_TRUE(lrgp::model::check_feasibility(spec.problem, initial).feasible())
+            << cell.name << " (initial)";
+        const auto end_spec = lrgp::scenario::end_state_problem(spec);
+        const auto final_floor = lrgp::model::Allocation::minimal(end_spec);
+        EXPECT_TRUE(lrgp::model::check_feasibility(end_spec, final_floor).feasible())
+            << cell.name << " (end state)";
+    }
+}
+
+TEST(ScenarioFeasibility, OverdriveTwinSharesThePlannersProblem) {
+    // Overdrive no longer rewrites the problem: the planner's view is
+    // byte-identical to the headroom twin; only the physical scale that
+    // the runner applies to the dataplane differs.
+    const ScenarioSpec headroom = build_scenario(find_scenario("fat_tree_heavy_tail_shifted_log"));
+    const ScenarioSpec overdrive =
+        build_scenario(find_scenario("fat_tree_heavy_tail_shifted_log_overdrive"));
+    EXPECT_EQ(lrgp::io::problem_to_json_string(headroom.problem),
+              lrgp::io::problem_to_json_string(overdrive.problem));
+    EXPECT_DOUBLE_EQ(headroom.physical_capacity_scale, 1.0);
+    EXPECT_DOUBLE_EQ(overdrive.physical_capacity_scale, overdrive.options.overdrive_factor);
+    EXPECT_LT(overdrive.physical_capacity_scale, 1.0);
+}
+
+// ------------------------------------------------------------ churn validity
+
+TEST(ScenarioChurn, ScheduleNeverDoubleRemovesOrRestoresActive) {
+    for (const ScenarioOptions& cell : scenario_catalog()) {
+        if (cell.traffic != "churn") continue;
+        const ScenarioSpec spec = build_scenario(cell);
+        ASSERT_FALSE(spec.schedule.empty()) << cell.name;
+        std::vector<bool> removed(spec.problem.flowCount(), false);
+        for (const DynamicOp& op : spec.schedule) {
+            switch (op.kind) {
+                case OpKind::kRemoveFlow:
+                    ASSERT_LT(op.target, removed.size()) << cell.name;
+                    EXPECT_FALSE(removed[op.target])
+                        << cell.name << ": flow " << op.target << " removed twice";
+                    removed[op.target] = true;
+                    break;
+                case OpKind::kRestoreFlow:
+                    ASSERT_LT(op.target, removed.size()) << cell.name;
+                    EXPECT_TRUE(removed[op.target])
+                        << cell.name << ": flow " << op.target << " restored while active";
+                    removed[op.target] = false;
+                    break;
+                case OpKind::kSetClassMaxConsumers:
+                    ASSERT_LT(op.target, spec.problem.classCount()) << cell.name;
+                    EXPECT_GE(op.value, 0.0);
+                    break;
+                case OpKind::kSetNodeCapacity:
+                case OpKind::kSetLinkCapacity:
+                    // Churn cells run on the async runtime too, which
+                    // cannot mirror capacity ops — the composer must not
+                    // emit them for churn traffic.
+                    FAIL() << cell.name << ": capacity op in a churn schedule";
+            }
+        }
+        // Churn must end balanced enough that the end-state problem keeps
+        // at least one active flow to optimize.
+        const std::size_t still_removed =
+            static_cast<std::size_t>(std::count(removed.begin(), removed.end(), true));
+        EXPECT_LT(still_removed, removed.size()) << cell.name;
+    }
+}
+
+TEST(ScenarioChurn, PrincipalDisturbanceMarksDynamicCellsOnly) {
+    for (const ScenarioOptions& cell : scenario_catalog()) {
+        const ScenarioSpec spec = build_scenario(cell);
+        if (cell.traffic == "heavy_tail") {
+            EXPECT_TRUE(spec.schedule.empty()) << cell.name;
+            EXPECT_LT(spec.principal_disturbance, 0.0) << cell.name;
+        } else {
+            EXPECT_FALSE(spec.schedule.empty()) << cell.name;
+            EXPECT_GE(spec.principal_disturbance, 0.0) << cell.name;
+            EXPECT_LE(spec.principal_disturbance, cell.duration) << cell.name;
+        }
+    }
+}
+
+}  // namespace

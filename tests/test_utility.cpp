@@ -138,4 +138,61 @@ INSTANTIATE_TEST_SUITE_P(
                       std::static_pointer_cast<UtilityFunction>(std::make_shared<ScaledUtility>(
                           3.0, std::make_shared<LogUtility>(7.0)))));
 
+// ---- sigmoid / step utilities (non-concave sensitivity classes) --------
+
+TEST(SigmoidUtility, NormalizedLogistic) {
+    using lrgp::utility::SigmoidUtility;
+    SigmoidUtility u(12.0, 5.0, 2.0);
+    // U(0) = 0 by normalization; saturates at the weight.
+    EXPECT_DOUBLE_EQ(u.value(0.0), 0.0);
+    // Saturates at the weight (exactly, once the exponential underflows).
+    EXPECT_LE(u.value(100.0), 12.0);
+    EXPECT_NEAR(u.value(100.0), 12.0, 1e-6);
+    EXPECT_LT(u.value(8.0), 12.0);
+    // Monotone increasing, steepest around the midpoint.
+    double prev = u.value(0.0);
+    for (double r = 0.5; r <= 12.0; r += 0.5) {
+        EXPECT_GT(u.value(r), prev);
+        prev = u.value(r);
+    }
+    EXPECT_GT(u.derivative(5.0), u.derivative(1.0));
+    EXPECT_GT(u.derivative(5.0), u.derivative(9.0));
+}
+
+TEST(SigmoidUtility, DerivativeMatchesFiniteDifference) {
+    using lrgp::utility::SigmoidUtility;
+    SigmoidUtility u(7.0, 4.0, 1.5);
+    for (double r : {0.5, 2.0, 4.0, 6.5, 10.0}) {
+        const double h = 1e-6 * (1.0 + r);
+        const double fd = (u.value(r + h) - u.value(r - h)) / (2.0 * h);
+        EXPECT_NEAR(u.derivative(r), fd, 1e-5 * (std::abs(fd) + 1e-9));
+    }
+}
+
+TEST(SigmoidUtility, ReportsNonConcaveAndScaledForwards) {
+    using lrgp::utility::SigmoidUtility;
+    const auto s = std::make_shared<SigmoidUtility>(10.0, 3.0, 2.0);
+    EXPECT_FALSE(s->concave());
+    EXPECT_TRUE(LogUtility(5.0).concave());
+    EXPECT_TRUE(PowerUtility(5.0, 0.5).concave());
+    EXPECT_FALSE(ScaledUtility(2.0, s).concave());
+    EXPECT_TRUE(ScaledUtility(2.0, std::make_shared<LogUtility>(5.0)).concave());
+}
+
+TEST(SigmoidUtility, CloneAndDescribe) {
+    using lrgp::utility::SigmoidUtility;
+    SigmoidUtility u(9.0, 2.5, 4.0);
+    const auto clone = u.clone();
+    EXPECT_DOUBLE_EQ(clone->value(3.0), u.value(3.0));
+    EXPECT_FALSE(clone->concave());
+    EXPECT_NE(u.describe().find("sigmoid"), std::string::npos);
+}
+
+TEST(SigmoidUtility, RejectsBadParameters) {
+    using lrgp::utility::SigmoidUtility;
+    EXPECT_THROW(SigmoidUtility(0.0, 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(SigmoidUtility(1.0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(SigmoidUtility(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
 }  // namespace
