@@ -215,6 +215,7 @@ int main() {
                               : "WARNING: measured and allocation-level recovery disagree!");
 
     io::JsonObject root;
+    root["bench"] = std::string("bench_dataplane");
     {
         io::JsonObject workload_info;
         workload_info["flows"] = static_cast<double>(spec.flowCount());

@@ -14,6 +14,7 @@
 //   lrgp_cli --workload random --seed 7 --two-stage
 //   lrgp_cli --gamma 0.01 --csv trace.csv
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,7 @@
 
 #include "baseline/annealing.hpp"
 #include "dataplane/dataplane.hpp"
+#include "fastpath/fastpath.hpp"
 #include "io/problem_json.hpp"
 #include "lrgp/enactment.hpp"
 #include "lrgp/optimizer.hpp"
@@ -71,6 +73,8 @@ struct CliOptions {
     bool enact = false;            // replay the trace through the dataplane
     double enact_deadband = 0.05;  // EnactmentOptions::rate_deadband
     double enact_interval = 5.0;   // EnactmentOptions::min_interval (seconds)
+    std::string dataplane = "sim";  // --enact plant: sim (event) or fast (batched)
+    int dataplane_workers = 1;      // fastpath worker threads (0 = hw concurrency)
 };
 
 void printUsage() {
@@ -114,6 +118,12 @@ void printUsage() {
         "                             enactment (default 0.05; implies --enact)\n"
         "  --enact-interval X         periodic enactment refresh in seconds of\n"
         "                             system time (default 5; implies --enact)\n"
+        "  --dataplane sim|fast       plant for --enact: the event-driven\n"
+        "                             simulator (default) or the batched\n"
+        "                             run-to-completion fastpath (implies --enact)\n"
+        "  --dataplane-workers N      fastpath worker threads (default 1;\n"
+        "                             0 = hardware concurrency); the result is\n"
+        "                             byte-identical for any N\n"
         "  --save FILE                write the workload as JSON, then optimize it\n"
         "  --load FILE                optimize a JSON workload (overrides --workload)\n"
         "  --classes                  print the per-class service table\n"
@@ -256,6 +266,16 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             if (!v) return std::nullopt;
             options.enact_deadband = std::atof(v);
             options.enact = true;
+        } else if (arg == "--dataplane") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            options.dataplane = v;
+            options.enact = true;
+        } else if (arg == "--dataplane-workers") {
+            const char* v = next();
+            if (v == nullptr) return std::nullopt;
+            options.dataplane_workers = std::atoi(v);
+            options.enact = true;
         } else if (arg == "--enact-interval") {
             const char* v = next();
             if (!v) return std::nullopt;
@@ -270,6 +290,14 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
     }
     if (options.iterations <= 0 || options.flow_replicas < 1 || options.cnode_replicas < 1) {
         std::fprintf(stderr, "error: non-positive numeric option\n");
+        return std::nullopt;
+    }
+    if (options.dataplane != "sim" && options.dataplane != "fast") {
+        std::fprintf(stderr, "error: --dataplane must be sim or fast\n");
+        return std::nullopt;
+    }
+    if (options.dataplane_workers < 0) {
+        std::fprintf(stderr, "error: --dataplane-workers must be >= 0\n");
         return std::nullopt;
     }
     if (options.enact && (options.enact_deadband < 0.0 || options.enact_interval <= 0.0)) {
@@ -599,40 +627,76 @@ int main(int argc, char** argv) {
         // one 50 ms control tick offered to the hysteresis policy; enacted
         // allocations drive simulated traffic, and the final 5 seconds of
         // settled traffic measure how much of the planned utility the
-        // dataplane actually delivers.
+        // dataplane actually delivers.  --dataplane picks the plant: the
+        // event-driven simulator or the batched fastpath (identical cost
+        // model, so the report means the same thing either way).
         constexpr double kTick = 0.05;
-        dataplane::Dataplane dp(spec, dataplane::DataplaneOptions{});
-        core::EnactmentOptions eopts;
-        eopts.rate_deadband = cli.enact_deadband;
-        // A converged LRGP trace still jitters admissions by a consumer
-        // or two; don't reconfigure the dataplane for that.
-        eopts.population_deadband = 2;
-        eopts.min_interval = cli.enact_interval;
-        core::EnactmentController enactor(
-            eopts, [&](const model::Allocation& allocation) { dp.enact(allocation); });
-        for (const auto& record : records) {
-            const double t = kTick * record.iteration;
-            dp.notePlanned(record.allocation);
-            enactor.offer(t, record.allocation);
-            dp.runUntil(t);
+        const auto replay = [&](auto& plant, const char* label) {
+            core::EnactmentOptions eopts;
+            eopts.rate_deadband = cli.enact_deadband;
+            // A converged LRGP trace still jitters admissions by a
+            // consumer or two; don't reconfigure the dataplane for that.
+            eopts.population_deadband = 2;
+            eopts.min_interval = cli.enact_interval;
+            core::EnactmentController enactor(
+                eopts, [&](const model::Allocation& allocation) { plant.enact(allocation); });
+            const auto begin = std::chrono::steady_clock::now();
+            for (const auto& record : records) {
+                const double t = kTick * record.iteration;
+                plant.notePlanned(record.allocation);
+                enactor.offer(t, record.allocation);
+                plant.runUntil(t);
+            }
+            const double settle = 10.0;
+            plant.runUntil(kTick * static_cast<double>(records.size()) + settle);
+            const double wall =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+                    .count();
+            const auto stats = plant.collectStats();
+            const std::size_t window =
+                std::min<std::size_t>(10, plant.achievedUtilityTrace().size());
+            const double achieved = plant.achievedUtilityTrace().trailingMean(window);
+            const double planned = plant.plannedUtilityTrace().trailingMean(window);
+            std::printf("enactment: %zu of %zu offers enacted (%zu suppressed by deadband"
+                        " %.2f / interval %.1fs)\n",
+                        enactor.enactments(), enactor.offers(), enactor.suppressions(),
+                        cli.enact_deadband, cli.enact_interval);
+            std::printf("%s: planned %.0f, achieved %.0f (gap %+.2f%%), drop rate %.4f, "
+                        "%llu messages delivered\n",
+                        label, planned, achieved,
+                        planned > 0.0 ? 100.0 * (planned - achieved) / planned : 0.0,
+                        stats.drop_rate,
+                        static_cast<unsigned long long>(stats.total_delivered));
+            return wall;
+        };
+        if (cli.dataplane == "fast") {
+            fastpath::FastpathOptions fpopts;
+            fpopts.workers = cli.dataplane_workers;
+            fastpath::Fastpath fp(spec, fpopts);
+            const double wall = replay(fp, "fastpath");
+            // Per-worker throughput: how the message work (emission +
+            // gate servings) split across the pool.  The split depends
+            // on the partition; the traffic does not.
+            const auto& per_worker = fp.workerMessages();
+            std::uint64_t total = 0;
+            for (const std::uint64_t n : per_worker) total += n;
+            std::printf("fastpath: %d worker(s), %.0f msgs/sec wall (%llu messages, "
+                        "%llu quanta, %llu batches)\n",
+                        fp.workerCount(), wall > 0.0 ? static_cast<double>(total) / wall : 0.0,
+                        static_cast<unsigned long long>(total),
+                        static_cast<unsigned long long>(fp.quantaProcessed()),
+                        static_cast<unsigned long long>(fp.batchesProcessed()));
+            for (std::size_t w = 0; w < per_worker.size(); ++w) {
+                std::printf("  worker %zu: %llu messages (%.1f%%)\n", w,
+                            static_cast<unsigned long long>(per_worker[w]),
+                            total > 0 ? 100.0 * static_cast<double>(per_worker[w]) /
+                                            static_cast<double>(total)
+                                      : 0.0);
+            }
+        } else {
+            dataplane::Dataplane dp(spec, dataplane::DataplaneOptions{});
+            replay(dp, "dataplane");
         }
-        const double settle = 10.0;
-        dp.runUntil(kTick * static_cast<double>(records.size()) + settle);
-        const auto stats = dp.collectStats();
-        const std::size_t window =
-            std::min<std::size_t>(10, dp.achievedUtilityTrace().size());
-        const double achieved = dp.achievedUtilityTrace().trailingMean(window);
-        const double planned = dp.plannedUtilityTrace().trailingMean(window);
-        std::printf("enactment: %zu of %zu offers enacted (%zu suppressed by deadband %.2f"
-                    " / interval %.1fs)\n",
-                    enactor.enactments(), enactor.offers(), enactor.suppressions(),
-                    cli.enact_deadband, cli.enact_interval);
-        std::printf("dataplane: planned %.0f, achieved %.0f (gap %+.2f%%), drop rate %.4f, "
-                    "%llu messages delivered\n",
-                    planned, achieved,
-                    planned > 0.0 ? 100.0 * (planned - achieved) / planned : 0.0,
-                    stats.drop_rate,
-                    static_cast<unsigned long long>(stats.total_delivered));
     }
 
     if (cli.verbose_classes) {

@@ -23,6 +23,19 @@ file carries a "bench" tag that selects its metric set:
                                      the overdrive-vs-headroom dataplane
                                      contract, per-cell utility-vs-best and
                                      recovery TTR bands
+  bench_dataplane (BENCH_dataplane.json)
+                                     event dataplane closed loop: recovery
+                                     consistency flag, per-(scenario, seed)
+                                     planned-vs-achieved utility gap,
+                                     drop-rate and virtual-time latency
+                                     bands vs the baseline
+  bench_fastpath (BENCH_fastpath.json)
+                                     batched fastpath vs the event oracle:
+                                     byte-identical stats across worker
+                                     counts, fidelity utility gap <= 2%,
+                                     same-machine speedup floors (>= 5x at
+                                     1 worker, >= 20x at 8) plus 25%
+                                     no-regression bands on both
 
 Absolute wall times are machine-dependent: a committed baseline measured
 on one box says little about a shared CI runner.  Setting
@@ -31,7 +44,8 @@ warnings.  Relative speedups are ratios of two measurements taken in the
 same process on the same machine, so they stay enforced either way — as
 do the hard floors (incremental converged-tail node phase >= 3x,
 end-to-end >= 1.5x; sharded steady-state 8-shard speedup >= 3x with
-optimality gap <= 1%) and the bitwise-identity flags.
+optimality gap <= 1%; fastpath >= 5x the sim's msgs/sec at 1 worker and
+>= 20x at 8) and the bitwise-identity flags.
 
 usage: check_perf_regression.py <committed_baseline.json> <fresh.json> [more pairs...]
 exit status: 0 ok, 1 regression/violation, 2 usage or unreadable input
@@ -317,6 +331,109 @@ def check_scenarios(guard, baseline, fresh):
                     f"{now_ttr:.2f}s vs baseline {base_ttr:.2f}s (limit {limit:.2f}s)")
 
 
+DATAPLANE_GAP_SLACK = 0.01   # tolerated widening of |utility_gap_fraction|
+DATAPLANE_DROP_SLACK = 0.01  # tolerated drop-rate increase vs baseline
+
+
+def check_dataplane(guard, baseline, fresh):
+    # The closed loop is a deterministic replay (seeded traffic, virtual
+    # clocks), so every check here is hardware-independent.
+    if fresh.get("all_consistent") is not True:
+        guard.fail("all_consistent",
+                   "measured and allocation-level recovery disagree in some run")
+
+    base_cells = {}
+    for scenario in baseline.get("scenarios", []):
+        for seed_row in scenario.get("seeds", []):
+            base_cells[(scenario.get("name"), seed_row.get("seed"))] = seed_row
+    for scenario in fresh.get("scenarios", []):
+        name = scenario.get("name")
+        for row in scenario.get("seeds", []):
+            seed = row.get("seed")
+            cell = f"scenarios[{name}][seed={seed}]"
+            base_row = base_cells.get((name, seed))
+            if base_row is None:
+                guard.skip(cell, "baseline")
+                continue
+            base_gap = base_row.get("utility_gap_fraction")
+            now_gap = row.get("utility_gap_fraction")
+            if base_gap is not None and now_gap is not None:
+                limit = abs(base_gap) + DATAPLANE_GAP_SLACK
+                guard.check("relative", f"{cell}.utility_gap_fraction",
+                            abs(now_gap) <= limit,
+                            f"|{now_gap:.4f}| vs baseline |{base_gap:.4f}| "
+                            f"(limit {limit:.4f})")
+            base_drop = base_row.get("drop_rate")
+            now_drop = row.get("drop_rate")
+            if base_drop is not None and now_drop is not None:
+                limit = base_drop + DATAPLANE_DROP_SLACK
+                guard.check("relative", f"{cell}.drop_rate", now_drop <= limit,
+                            f"{now_drop:.4f} vs baseline {base_drop:.4f} "
+                            f"(limit {limit:.4f})")
+            base_p99 = base_row.get("latency_p99_seconds")
+            now_p99 = row.get("latency_p99_seconds")
+            if base_p99 is not None and now_p99 is not None:
+                # Virtual-time latency: deterministic, but quantized by
+                # the histogram buckets — allow the standard band.
+                limit = base_p99 * (1.0 + REGRESSION_LIMIT)
+                guard.check("relative", f"{cell}.latency_p99_seconds",
+                            now_p99 <= limit,
+                            f"{now_p99:.4f}s vs baseline {base_p99:.4f}s "
+                            f"(limit {limit:.4f}s)")
+
+
+FASTPATH_MAX_UTILITY_GAP = 0.02  # fidelity: fastpath vs event-sim oracle
+FASTPATH_SPEEDUP_FLOORS = {"speedup_1": 5.0, "speedup_8": 20.0}
+
+
+def check_fastpath(guard, baseline, fresh):
+    # Acceptance flags certified by the fresh run itself.
+    if fresh.get("deterministic") is not True:
+        guard.fail("deterministic",
+                   "fastpath statsJson diverged across worker counts")
+
+    gap = lookup(fresh, "fidelity.utility_gap_vs_sim")
+    if gap is None:
+        guard.fail("fidelity.utility_gap_vs_sim", "missing from fresh results")
+    else:
+        guard.check("relative", "fidelity.utility_gap_vs_sim",
+                    abs(gap) <= FASTPATH_MAX_UTILITY_GAP,
+                    f"{gap:.4%} vs limit {FASTPATH_MAX_UTILITY_GAP:.0%}")
+    sim_drop = lookup(fresh, "fidelity.sim_drop_rate")
+    fast_drop = lookup(fresh, "fidelity.fast_drop_rate")
+    if sim_drop is not None and fast_drop is not None:
+        guard.check("relative", "fidelity.fast_drop_rate",
+                    fast_drop <= sim_drop + DATAPLANE_DROP_SLACK,
+                    f"{fast_drop:.4f} vs sim {sim_drop:.4f} "
+                    f"(slack {DATAPLANE_DROP_SLACK})")
+
+    # Same-machine msgs/sec ratios: hard floors plus the 25% band.
+    for metric, floor in FASTPATH_SPEEDUP_FLOORS.items():
+        now = lookup(fresh, metric)
+        if now is None:
+            guard.fail(metric, f"missing from fresh results (floor {floor}x unverified)")
+            continue
+        guard.check("relative", metric, now >= floor,
+                    f"{now:.2f}x vs hard floor {floor:.2f}x")
+        guard.compare_relative(baseline, fresh, metric)
+
+    # Raw per-worker throughput vs the committed baseline is absolute
+    # (machine-dependent): relaxed under LRGP_PERF_ALLOW_UNKNOWN_HW.
+    base_rows = {row.get("workers"): row
+                 for row in lookup(baseline, "throughput.workers") or []}
+    for row in lookup(fresh, "throughput.workers") or []:
+        workers = row.get("workers")
+        metric = f"throughput.workers[{workers}].msgs_per_sec"
+        base_row = base_rows.get(workers)
+        if base_row is None or "msgs_per_sec" not in base_row or "msgs_per_sec" not in row:
+            guard.skip(metric, "baseline")
+            continue
+        base, now = base_row["msgs_per_sec"], row["msgs_per_sec"]
+        floor = base / (1.0 + REGRESSION_LIMIT)
+        guard.check("absolute", metric, now >= floor,
+                    f"{now:.0f} msgs/s vs baseline {base:.0f} (floor {floor:.0f})")
+
+
 def check_pair(guard, baseline_path, fresh_path):
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -334,6 +451,10 @@ def check_pair(guard, baseline_path, fresh_path):
         check_async(guard, baseline, fresh)
     elif kind == "bench_scenarios":
         check_scenarios(guard, baseline, fresh)
+    elif kind == "bench_dataplane":
+        check_dataplane(guard, baseline, fresh)
+    elif kind == "bench_fastpath":
+        check_fastpath(guard, baseline, fresh)
     else:
         check_compiled(guard, baseline, fresh)
 

@@ -1,0 +1,17 @@
+#include "dataplane/cost_model.hpp"
+
+namespace lrgp::dataplane {
+
+double node_message_cost(const model::ProblemSpec& spec, model::NodeId node, model::FlowId flow,
+                         const std::vector<int>& populations) {
+    double cost = spec.flowNodeCost(node, flow);
+    for (const model::ClassId j : spec.classesAtNode(node)) {
+        const model::ClassSpec& cls = spec.consumerClass(j);
+        if (cls.flow == flow) {
+            cost += cls.consumer_cost * static_cast<double>(populations[j.index()]);
+        }
+    }
+    return cost;
+}
+
+}  // namespace lrgp::dataplane

@@ -1,0 +1,33 @@
+// The paper's per-message resource cost model, shared by the
+// discrete-event dataplane (dataplane::Dataplane) and the batched
+// fastpath (fastpath::Fastpath) so both plants charge exactly the same
+// work per message:
+//
+//   * link l, flow i:  L_{l,i}            (bandwidth units / message)
+//   * node b, flow i:  F_{b,i} + sum over classes j of flow i admitted
+//                      at b of G_{b,j} * n_j   (CPU units / message)
+//
+// Keeping this in one place is what makes the fastpath/sim differential
+// oracle meaningful: any divergence between the two engines is a
+// queueing/batching artifact, never a cost-model fork.
+#pragma once
+
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace lrgp::dataplane {
+
+/// L_{l,i}: cost of one flow-i message crossing link l.
+[[nodiscard]] inline double link_message_cost(const model::ProblemSpec& spec, model::LinkId link,
+                                              model::FlowId flow) {
+    return spec.linkCost(link, flow);
+}
+
+/// F_{b,i} + sum_j G_{b,j} n_j over classes j of flow i at node b:
+/// cost of one flow-i message processed at node b under the admitted
+/// populations `populations` (indexed by ClassId, as in Allocation).
+[[nodiscard]] double node_message_cost(const model::ProblemSpec& spec, model::NodeId node,
+                                       model::FlowId flow, const std::vector<int>& populations);
+
+}  // namespace lrgp::dataplane

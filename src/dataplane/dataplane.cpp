@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dataplane/cost_model.hpp"
+
 namespace lrgp::dataplane {
 
 Dataplane::Dataplane(const model::ProblemSpec& spec, DataplaneOptions options)
@@ -48,7 +50,7 @@ Dataplane::Dataplane(const model::ProblemSpec& spec, DataplaneOptions options)
         link_servers_.emplace_back(
             simulator_, spec_.link(link).capacity, options_.queue_capacity,
             [this, link](const DataMessage& message) {
-                return spec_.linkCost(link, model::FlowId{message.flow});
+                return link_message_cost(spec_, link, model::FlowId{message.flow});
             },
             [this](const DataMessage& message) { forwardAfterLink(message); });
     }
@@ -155,15 +157,7 @@ void Dataplane::fanOutToNodes(const DataMessage& message) {
 }
 
 double Dataplane::nodeMessageCost(model::NodeId node, const DataMessage& message) const {
-    const model::FlowId flow{message.flow};
-    double cost = spec_.flowNodeCost(node, flow);
-    for (const model::ClassId j : spec_.classesAtNode(node)) {
-        const model::ClassSpec& cls = spec_.consumerClass(j);
-        if (cls.flow == flow) {
-            cost += cls.consumer_cost * static_cast<double>(enacted_.populations[j.index()]);
-        }
-    }
-    return cost;
+    return node_message_cost(spec_, node, model::FlowId{message.flow}, enacted_.populations);
 }
 
 void Dataplane::deliverAtNode(model::NodeId node, const DataMessage& message) {

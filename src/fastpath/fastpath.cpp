@@ -1,0 +1,602 @@
+#include "fastpath/fastpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dataplane/cost_model.hpp"
+#include "fastpath/batch.hpp"
+#include "model/allocation.hpp"
+
+namespace lrgp::fastpath {
+
+namespace {
+constexpr double kTimeEps = 1e-9;
+}  // namespace
+
+Fastpath::Fastpath(const model::ProblemSpec& spec, FastpathOptions options)
+    : spec_(spec),
+      options_(options),
+      plan_(CompiledPlan::lower(spec)),
+      scheduler_(spec.flowCount(), options.credit_depth, options.quantum_budget),
+      pool_(options.workers),
+      latency_(metrics::default_latency_bounds()) {
+    if (options_.queue_capacity < 1)
+        throw std::invalid_argument("Fastpath: queue_capacity must be >= 1");
+    if (!(options_.propagation_delay >= 0.0))
+        throw std::invalid_argument("Fastpath: propagation_delay must be >= 0");
+    if (!(options_.quantum > 0.0)) throw std::invalid_argument("Fastpath: quantum must be > 0");
+    if (!(options_.sample_period > 0.0))
+        throw std::invalid_argument("Fastpath: sample_period must be > 0");
+    if (options_.batch_size < 1) throw std::invalid_argument("Fastpath: batch_size must be >= 1");
+    const double ratio = options_.sample_period / options_.quantum;
+    sample_every_ = static_cast<std::uint64_t>(std::llround(ratio));
+    if (sample_every_ < 1 ||
+        std::abs(static_cast<double>(sample_every_) * options_.quantum -
+                 options_.sample_period) > kTimeEps) {
+        throw std::invalid_argument(
+            "Fastpath: sample_period must be an integer multiple of quantum");
+    }
+
+    const std::size_t flows = spec_.flowCount();
+    enacted_.rates.assign(flows, 0.0);
+    enacted_.populations.assign(spec_.classCount(), 0);
+    planned_ = enacted_;
+    delivered_.assign(spec_.classCount(), 0);
+    window_.assign(spec_.classCount(), 0);
+
+    rng_.resize(flows);
+    for (std::size_t i = 0; i < flows; ++i) {
+        const std::uint64_t seed = options_.seed + i;
+        rng_[i] = seed == 0 ? 0x9E3779B97F4A7C15ull : seed;  // as TrafficSource
+    }
+    next_arrival_.assign(flows, -1.0);
+    offered_override_.assign(flows, -1.0);
+    active_.resize(flows);
+    for (std::size_t i = 0; i < flows; ++i) active_[i] = spec_.flows()[i].active ? 1 : 0;
+    emitted_.assign(flows, 0);
+    shaped_.assign(flows, 0);
+    quantum_emitted_.assign(flows, 0);
+
+    link_incoming_.assign(plan_.linkSlotCount(), 0);
+    link_incoming_next_.assign(plan_.linkSlotCount(), 0);
+    link_backlog_.assign(plan_.linkSlotCount(), 0);
+    link_slot_deficit_.assign(plan_.linkSlotCount(), 0.0);
+    link_slot_wait_.assign(plan_.linkSlotCount(), 0.0);
+    node_incoming_.assign(plan_.nodeSlotCount(), 0);
+    node_incoming_next_.assign(plan_.nodeSlotCount(), 0);
+    node_backlog_.assign(plan_.nodeSlotCount(), 0);
+    node_slot_cost_.assign(plan_.nodeSlotCount(), 0.0);
+    node_slot_deficit_.assign(plan_.nodeSlotCount(), 0.0);
+    node_slot_wait_.assign(plan_.nodeSlotCount(), 0.0);
+    node_slot_delivered_.assign(plan_.nodeSlotCount(), 0);
+
+    link_state_.resize(spec_.linkCount());
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        link_state_[l].capacity = spec_.links()[l].capacity;
+    node_state_.resize(spec_.nodeCount());
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        node_state_[b].capacity = spec_.nodes()[b].capacity;
+
+    // Static latency floor per flow: every hop handoff plus the link
+    // chain's unloaded service times (node service is population-
+    // dependent and added at serve time).
+    static_path_latency_.assign(flows, 0.0);
+    for (std::size_t i = 0; i < flows; ++i) {
+        const std::uint32_t chain = plan_.chainLength(i);
+        double base = static_cast<double>(chain + 1) * options_.propagation_delay;
+        for (std::uint32_t s = plan_.flow_link_begin[i]; s < plan_.flow_link_begin[i + 1]; ++s) {
+            const double cap = link_state_[plan_.link_slot_link[s]].capacity;
+            if (cap > 0.0) base += plan_.link_slot_cost[s] / cap;
+        }
+        static_path_latency_[i] = base;
+    }
+    refreshNodeCosts();
+
+    worker_messages_.assign(static_cast<std::size_t>(pool_.threadCount()), 0);
+    scratch_demand_.resize(pool_.threadCount());
+    scratch_served_.resize(pool_.threadCount());
+    scratch_backlog_.resize(pool_.threadCount());
+}
+
+double Fastpath::uniform(std::size_t flow) {
+    std::uint64_t& state = rng_[flow];
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return (static_cast<double>(state >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+}
+
+double Fastpath::offeredRate(std::size_t flow) const {
+    return offered_override_[flow] >= 0.0 ? offered_override_[flow] : scheduler_.rate(flow);
+}
+
+void Fastpath::rescheduleArrival(std::size_t flow) {
+    const double rate = offeredRate(flow);
+    if (!active_[flow] || !(rate > 0.0)) {
+        next_arrival_[flow] = -1.0;
+        return;
+    }
+    const double gap = options_.arrivals == dataplane::ArrivalProcess::kDeterministic
+                           ? 1.0 / rate
+                           : -std::log(uniform(flow)) / rate;
+    next_arrival_[flow] = now() + gap;
+}
+
+void Fastpath::refreshNodeCosts() {
+    for (std::size_t i = 0; i < plan_.flow_count; ++i) {
+        const model::FlowId flow{static_cast<std::uint32_t>(i)};
+        for (std::uint32_t s = plan_.flow_node_begin[i]; s < plan_.flow_node_begin[i + 1]; ++s) {
+            node_slot_cost_[s] = dataplane::node_message_cost(
+                spec_, model::NodeId{plan_.node_slot_node[s]}, flow, enacted_.populations);
+        }
+    }
+}
+
+void Fastpath::enact(const model::Allocation& allocation) {
+    if (allocation.rates.size() != spec_.flowCount() ||
+        allocation.populations.size() != spec_.classCount()) {
+        throw std::invalid_argument("Fastpath::enact: allocation does not match problem");
+    }
+    for (std::size_t i = 0; i < allocation.rates.size(); ++i) {
+        if (allocation.rates[i] == scheduler_.rate(i)) continue;  // keep emission phase
+        scheduler_.setRate(i, allocation.rates[i]);
+        if (offered_override_[i] < 0.0) rescheduleArrival(i);
+    }
+    enacted_ = allocation;
+    ++enactments_;
+    refreshNodeCosts();
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) obs_.enactments->add();
+    }
+}
+
+void Fastpath::notePlanned(const model::Allocation& allocation) {
+    if (allocation.rates.size() != spec_.flowCount() ||
+        allocation.populations.size() != spec_.classCount()) {
+        throw std::invalid_argument("Fastpath::notePlanned: allocation does not match problem");
+    }
+    planned_ = allocation;
+    planned_noted_ = true;
+}
+
+void Fastpath::setFlowActive(model::FlowId flow, bool active) {
+    const std::size_t i = flow.index();
+    if (active_.at(i) == static_cast<std::uint8_t>(active ? 1 : 0)) return;
+    active_[i] = active ? 1 : 0;
+    rescheduleArrival(i);
+}
+
+void Fastpath::setOfferedRate(model::FlowId flow, double rate) {
+    const std::size_t i = flow.index();
+    offered_override_.at(i) = rate < 0.0 ? -1.0 : rate;
+    rescheduleArrival(i);
+}
+
+void Fastpath::setNodeCapacity(model::NodeId node, double capacity) {
+    node_state_.at(node.index()).capacity = capacity;
+}
+
+void Fastpath::runUntil(sim::SimTime until) {
+    while (static_cast<double>(quanta_ + 1) * options_.quantum <= until + kTimeEps) {
+        stepQuantum();
+    }
+}
+
+void Fastpath::stepQuantum() {
+    const double t_begin = static_cast<double>(quanta_) * options_.quantum;
+    const double t_end = static_cast<double>(quanta_ + 1) * options_.quantum;
+    scheduler_.beginQuantum();
+    sourcePhase(t_begin, t_end);
+    gatePhase();
+    // Store-and-forward: what the gates forwarded this quantum becomes
+    // next quantum's incoming (the drained front buffers are all zero).
+    std::swap(link_incoming_, link_incoming_next_);
+    std::swap(node_incoming_, node_incoming_next_);
+    ++quanta_;
+    mergePhase();
+    if (quanta_ % sample_every_ == 0) takeSample();
+}
+
+void Fastpath::sourcePhase(double /*t_begin*/, double t_end) {
+    pool_.parallelFor(plan_.flow_count, [this, t_end](std::size_t begin, std::size_t end,
+                                                      int worker) {
+        std::uint64_t handled = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            scheduler_.refill(i, options_.quantum);
+            quantum_emitted_[i] = 0;
+            if (next_arrival_[i] < 0.0) continue;
+            const bool deterministic =
+                options_.arrivals == dataplane::ArrivalProcess::kDeterministic;
+            std::uint64_t passed = 0;
+            while (next_arrival_[i] >= 0.0 && next_arrival_[i] < t_end) {
+                if (scheduler_.tryAdmit(i)) {
+                    ++passed;
+                } else {
+                    ++shaped_[i];
+                }
+                const double rate = offeredRate(i);
+                if (!(rate > 0.0)) {
+                    next_arrival_[i] = -1.0;
+                    break;
+                }
+                next_arrival_[i] += deterministic ? 1.0 / rate : -std::log(uniform(i)) / rate;
+            }
+            if (passed == 0) continue;
+            emitted_[i] += passed;
+            quantum_emitted_[i] = passed;
+            handled += passed;
+            // Into the first gate: head of the link chain, or straight
+            // to the node fan-out for chainless flows.
+            if (plan_.chainLength(i) > 0) {
+                link_incoming_[plan_.flow_link_begin[i]] += passed;
+            } else {
+                for (std::uint32_t t = plan_.flow_node_begin[i]; t < plan_.flow_node_begin[i + 1];
+                     ++t) {
+                    node_incoming_[t] += passed;
+                }
+            }
+        }
+        worker_messages_[static_cast<std::size_t>(worker)] += handled;
+    });
+}
+
+void Fastpath::gatePhase() {
+    const std::vector<GateGroup>& groups = plan_.groups;
+    pool_.parallelFor(groups.size(),
+                      [this, &groups](std::size_t begin, std::size_t end, int worker) {
+                          for (std::size_t g = begin; g < end; ++g) {
+                              serveGroup(groups[g], worker);
+                          }
+                      });
+}
+
+void Fastpath::serveGroup(const GateGroup& group, int worker) {
+    EntityState& ent = group.is_node ? node_state_[group.entity] : link_state_[group.entity];
+    const std::size_t n = group.slots_end - group.slots_begin;
+    auto& demand = scratch_demand_[static_cast<std::size_t>(worker)];
+    auto& served = scratch_served_[static_cast<std::size_t>(worker)];
+    auto& backlog_before = scratch_backlog_[static_cast<std::size_t>(worker)];
+    demand.assign(n, 0);
+    served.assign(n, 0);
+    backlog_before.assign(n, 0);
+
+    std::vector<std::uint64_t>& incoming = group.is_node ? node_incoming_ : link_incoming_;
+    std::vector<std::uint64_t>& backlog = group.is_node ? node_backlog_ : link_backlog_;
+
+    // Gather: drain this quantum's arrivals plus the standing backlog
+    // into per-slot demand, in fixed slot (flow) order.
+    double total_cost = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t slot = plan_.group_slots[group.slots_begin + k];
+        const std::uint64_t in = incoming[slot];
+        incoming[slot] = 0;
+        ent.arrivals += in;
+        backlog_before[k] = backlog[slot];
+        ent.queue_depth -= backlog[slot];  // re-added (capped) below
+        backlog[slot] = 0;
+        demand[k] = backlog_before[k] + in;
+        const double cost =
+            group.is_node ? node_slot_cost_[slot] : plan_.link_slot_cost[slot];
+        if (cost > 0.0) total_cost += static_cast<double>(demand[k]) * cost;
+    }
+
+    // Spend the per-quantum budget (capacity * quantum plus the carry
+    // from backlogged quanta): serve everything when it fits, otherwise
+    // demand-proportional shares — each slot's fractional ideal share
+    // accrues in a per-slot deficit counter until it buys a whole
+    // message, so over time every flow gets its arrival-proportional
+    // share (the event dataplane's FIFO behaviour) regardless of slot
+    // order.  The sub-message overdraft this allows is repaid through
+    // the (then negative) budget carry.  Integer messages throughout.
+    std::vector<double>& deficit = group.is_node ? node_slot_deficit_ : link_slot_deficit_;
+    double budget = ent.budget_carry + ent.capacity * options_.quantum;
+    if (total_cost <= budget) {
+        for (std::size_t k = 0; k < n; ++k) {
+            served[k] = demand[k];
+            deficit[plan_.group_slots[group.slots_begin + k]] = 0.0;
+        }
+        budget -= total_cost;
+    } else {
+        const double frac = budget > 0.0 ? budget / total_cost : 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint32_t slot = plan_.group_slots[group.slots_begin + k];
+            const double cost =
+                group.is_node ? node_slot_cost_[slot] : plan_.link_slot_cost[slot];
+            if (cost <= 0.0) {
+                served[k] = demand[k];  // free messages never contend
+                continue;
+            }
+            const double ideal = static_cast<double>(demand[k]) * frac + deficit[slot];
+            auto grant = static_cast<std::uint64_t>(ideal);  // floor, ideal >= 0
+            if (grant > demand[k]) grant = demand[k];
+            deficit[slot] = std::min(ideal - static_cast<double>(grant), 1.0);
+            served[k] = grant;
+            budget -= static_cast<double>(grant) * cost;
+        }
+    }
+
+    // Scatter: forward served cohorts, queue what fits, drop the rest.
+    double served_cost = 0.0;
+    std::uint64_t handled = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t slot = plan_.group_slots[group.slots_begin + k];
+        const double cost = group.is_node ? node_slot_cost_[slot] : plan_.link_slot_cost[slot];
+        const std::uint64_t out = served[k];
+        ent.served += out;
+        handled += out;
+        served_cost += static_cast<double>(out) * cost;
+        const double queue_wait =
+            ent.capacity > 0.0
+                ? static_cast<double>(backlog_before[k]) * cost / ent.capacity
+                : 0.0;
+        if (group.is_node) {
+            std::uint32_t active_classes = 0;
+            for (std::uint32_t c = plan_.node_slot_class_begin[slot];
+                 c < plan_.node_slot_class_begin[slot + 1]; ++c) {
+                const std::uint32_t j = plan_.node_slot_classes[c];
+                if (enacted_.populations[j] <= 0) continue;
+                ++active_classes;
+                if (out > 0) {
+                    delivered_[j] += out;
+                    window_[j] += out;
+                }
+            }
+            node_slot_delivered_[slot] = out * active_classes;
+            node_slot_wait_[slot] =
+                queue_wait + (ent.capacity > 0.0 ? cost / ent.capacity : 0.0);
+        } else {
+            const std::uint32_t flow = plan_.link_slot_flow[slot];
+            link_slot_wait_[slot] = queue_wait;
+            if (out > 0) {
+                if (slot + 1 < plan_.flow_link_begin[flow + 1]) {
+                    link_incoming_next_[slot + 1] += out;  // next hop, same chain
+                } else {
+                    for (std::uint32_t t = plan_.flow_node_begin[flow];
+                         t < plan_.flow_node_begin[flow + 1]; ++t) {
+                        node_incoming_next_[t] += out;  // fan-out: one copy per node
+                    }
+                }
+            }
+        }
+    }
+
+    // Queue what fits, drop the rest.  The entity's queue_capacity is
+    // shared across its slots; under overload the room is split
+    // proportionally to each slot's unserved count (floor + rotating
+    // remainder), emulating the event dataplane's FIFO admission —
+    // arrival-order interleaving admits each flow in proportion to its
+    // arrivals, never in slot order.
+    std::uint64_t total_unserved = 0;
+    for (std::size_t k = 0; k < n; ++k) total_unserved += demand[k] - served[k];
+    ent.queue_depth = 0;
+    if (total_unserved <= options_.queue_capacity) {
+        for (std::size_t k = 0; k < n; ++k) {
+            backlog[plan_.group_slots[group.slots_begin + k]] = demand[k] - served[k];
+        }
+        ent.queue_depth = total_unserved;
+    } else {
+        const double ratio = static_cast<double>(options_.queue_capacity) /
+                             static_cast<double>(total_unserved);
+        std::uint64_t kept_total = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint64_t unserved = demand[k] - served[k];
+            const auto kept =
+                static_cast<std::uint64_t>(static_cast<double>(unserved) * ratio);
+            backlog[plan_.group_slots[group.slots_begin + k]] = kept;
+            kept_total += kept;
+        }
+        // Rotate the start of the remainder hand-out with the quantum
+        // counter so no slot is structurally favoured; still a pure
+        // function of (quantum, slot order) — worker-independent.
+        std::uint64_t leftover = options_.queue_capacity - kept_total;
+        while (leftover > 0) {
+            bool granted = false;
+            for (std::size_t off = 0; off < n && leftover > 0; ++off) {
+                const std::size_t k = (static_cast<std::size_t>(quanta_) + off) % n;
+                const std::uint32_t slot = plan_.group_slots[group.slots_begin + k];
+                if (backlog[slot] < demand[k] - served[k]) {
+                    ++backlog[slot];
+                    --leftover;
+                    granted = true;
+                }
+            }
+            if (!granted) break;  // unreachable: headroom exceeds leftover
+        }
+        ent.queue_depth = options_.queue_capacity - leftover;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t slot = plan_.group_slots[group.slots_begin + k];
+        ent.dropped += demand[k] - served[k] - backlog[slot];
+    }
+    if (ent.capacity > 0.0) ent.busy_seconds += served_cost / ent.capacity;
+    // Work conservation: an idle server does not bank capacity, a
+    // backlogged one keeps its sub-message remainder for next quantum.
+    // Debt (the deficit scheme's sub-message overdraft) is always
+    // carried — forgiving it on a momentarily drained queue would let
+    // the entity serve above capacity indefinitely.
+    ent.budget_carry = (ent.queue_depth > 0 || budget < 0.0) ? budget : 0.0;
+    ent.peak_queue = std::max(ent.peak_queue, ent.queue_depth);
+    worker_messages_[static_cast<std::size_t>(worker)] += handled;
+}
+
+void Fastpath::mergePhase() {
+    // Serial, fixed order: every floating-point/histogram side effect
+    // that would otherwise depend on worker interleaving lands here.
+    for (std::size_t i = 0; i < plan_.flow_count; ++i) {
+        const std::uint64_t q = quantum_emitted_[i];
+        if (q == 0) continue;
+        batches_ += batch_count(q, options_.batch_size);
+        if constexpr (obs::kEnabled) {
+            if (obs_attached_) {
+                const std::uint64_t full = q / options_.batch_size;
+                const std::uint64_t rem = q % options_.batch_size;
+                if (full > 0)
+                    obs_.batch_fill->observe(static_cast<double>(options_.batch_size), full);
+                if (rem > 0) obs_.batch_fill->observe(static_cast<double>(rem));
+            }
+        }
+    }
+    for (std::size_t s = 0; s < node_slot_delivered_.size(); ++s) {
+        const std::uint64_t copies = node_slot_delivered_[s];
+        if (copies == 0) continue;
+        // Cohort delivery latency estimate: the static path floor plus
+        // this quantum's queue-delay estimates along the flow's chain
+        // and at the delivering node.  Serial, fixed slot order.
+        const std::uint32_t flow = plan_.node_slot_flow[s];
+        double estimate = static_path_latency_[flow] + node_slot_wait_[s];
+        for (std::uint32_t ls = plan_.flow_link_begin[flow];
+             ls < plan_.flow_link_begin[flow + 1]; ++ls) {
+            estimate += link_slot_wait_[ls];
+        }
+        latency_.observe(estimate, copies);
+        if constexpr (obs::kEnabled) {
+            if (obs_attached_) obs_.latency->observe(estimate, copies);
+        }
+        node_slot_delivered_[s] = 0;
+    }
+}
+
+void Fastpath::takeSample() {
+    double achieved = 0.0;
+    for (std::size_t j = 0; j < window_.size(); ++j) {
+        const int population = enacted_.populations[j];
+        if (population <= 0) continue;
+        const double rate = static_cast<double>(window_[j]) / options_.sample_period;
+        achieved += static_cast<double>(population) * spec_.classes()[j].utility->value(rate);
+    }
+    const model::Allocation& plan = planned_noted_ ? planned_ : enacted_;
+    const double planned = model::total_utility(spec_, plan);
+    achieved_trace_.append(achieved);
+    planned_trace_.append(planned);
+    std::fill(window_.begin(), window_.end(), std::uint64_t{0});
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) {
+            obs_.achieved_utility->set(achieved);
+            obs_.planned_utility->set(planned);
+            const auto report = [](obs::Counter* counter, std::uint64_t total,
+                                   std::uint64_t& reported) {
+                if (total > reported) {
+                    counter->add(total - reported);
+                    reported = total;
+                }
+            };
+            std::uint64_t emitted = 0, shaped = 0;
+            for (std::size_t i = 0; i < emitted_.size(); ++i) {
+                emitted += emitted_[i];
+                shaped += shaped_[i];
+            }
+            std::uint64_t delivered = 0;
+            for (const std::uint64_t d : delivered_) delivered += d;
+            std::uint64_t dropped_link = 0, dropped_node = 0;
+            for (const EntityState& e : link_state_) dropped_link += e.dropped;
+            for (const EntityState& e : node_state_) dropped_node += e.dropped;
+            report(obs_.emitted, emitted, obs_emitted_reported_);
+            report(obs_.shaped, shaped, obs_shaped_reported_);
+            report(obs_.delivered, delivered, obs_delivered_reported_);
+            report(obs_.dropped_link, dropped_link, obs_dropped_link_reported_);
+            report(obs_.dropped_node, dropped_node, obs_dropped_node_reported_);
+            report(obs_.batches, batches_, obs_batches_reported_);
+            report(obs_.quanta, quanta_, obs_quanta_reported_);
+        }
+    }
+}
+
+dataplane::DataplaneStats Fastpath::collectStats() const {
+    dataplane::DataplaneStats stats;
+    stats.elapsed = now();
+    stats.events_scheduled = quanta_;  // the calendar analog: steps taken
+    stats.enactments = enactments_;
+
+    const double elapsed = stats.elapsed > 0.0 ? stats.elapsed : 1.0;
+
+    for (std::size_t i = 0; i < plan_.flow_count; ++i) {
+        dataplane::FlowStats f;
+        f.name = spec_.flows()[i].name;
+        f.active = active_[i] != 0;
+        f.enacted_rate = scheduler_.rate(i);
+        f.offered_rate = offeredRate(i);
+        f.emitted = emitted_[i];
+        f.shaped = shaped_[i];
+        stats.total_emitted += f.emitted;
+        stats.total_shaped += f.shaped;
+        stats.flows.push_back(std::move(f));
+    }
+    for (std::size_t j = 0; j < spec_.classCount(); ++j) {
+        dataplane::ClassStats c;
+        c.name = spec_.classes()[j].name;
+        c.population = enacted_.populations[j];
+        c.delivered = delivered_[j];
+        c.achieved_rate = static_cast<double>(delivered_[j]) / elapsed;
+        stats.total_delivered += c.delivered;
+        stats.classes.push_back(std::move(c));
+    }
+
+    std::uint64_t total_arrivals = 0;
+    std::uint64_t total_dropped = 0;
+    const auto entity = [&](const EntityState& state, std::string name) {
+        dataplane::EntityStats e;
+        e.name = std::move(name);
+        e.capacity = state.capacity;
+        e.arrivals = state.arrivals;
+        e.served = state.served;
+        e.dropped = state.dropped;
+        e.queue_depth = state.queue_depth;
+        e.peak_queue = state.peak_queue;
+        e.utilization = state.busy_seconds / elapsed;
+        total_arrivals += e.arrivals;
+        total_dropped += e.dropped;
+        return e;
+    };
+    for (std::size_t l = 0; l < link_state_.size(); ++l) {
+        stats.links.push_back(entity(link_state_[l], spec_.links()[l].name));
+        stats.dropped_link += link_state_[l].dropped;
+    }
+    for (std::size_t b = 0; b < node_state_.size(); ++b) {
+        stats.nodes.push_back(entity(node_state_[b], spec_.nodes()[b].name));
+        stats.dropped_node += node_state_[b].dropped;
+    }
+    stats.drop_rate = total_arrivals > 0 ? static_cast<double>(total_dropped) /
+                                               static_cast<double>(total_arrivals)
+                                         : 0.0;
+
+    stats.latency.count = latency_.count();
+    stats.latency.mean = latency_.mean();
+    stats.latency.p50 = latency_.quantile(0.50);
+    stats.latency.p90 = latency_.quantile(0.90);
+    stats.latency.p99 = latency_.quantile(0.99);
+    stats.latency.max = latency_.maxObserved();
+
+    stats.utility.planned = model::total_utility(spec_, planned_noted_ ? planned_ : enacted_);
+    stats.utility.enacted = model::total_utility(spec_, enacted_);
+    stats.utility.achieved_window = achieved_trace_.empty() ? 0.0 : achieved_trace_.back();
+    double cumulative = 0.0;
+    for (std::size_t j = 0; j < spec_.classCount(); ++j) {
+        const int population = enacted_.populations[j];
+        if (population <= 0) continue;
+        const double rate = static_cast<double>(delivered_[j]) / elapsed;
+        cumulative += static_cast<double>(population) * spec_.classes()[j].utility->value(rate);
+    }
+    stats.utility.achieved_cumulative = cumulative;
+    return stats;
+}
+
+std::string Fastpath::statsJson(bool pretty) const {
+    return dataplane::stats_to_json(collectStats()).dump(pretty);
+}
+
+void Fastpath::attachObservability(obs::Registry* registry) {
+    (void)registry;  // unused when compiled without LRGP_OBS
+    if constexpr (obs::kEnabled) {
+        if (registry != nullptr) {
+            obs_ = obs::FastpathInstruments::resolve(*registry);
+            obs_attached_ = true;
+            obs_.workers->set(static_cast<double>(pool_.threadCount()));
+            return;
+        }
+    }
+    obs_ = obs::FastpathInstruments{};
+    obs_attached_ = false;
+}
+
+}  // namespace lrgp::fastpath

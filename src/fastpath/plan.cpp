@@ -1,0 +1,76 @@
+#include "fastpath/plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dataplane/cost_model.hpp"
+
+namespace lrgp::fastpath {
+
+CompiledPlan CompiledPlan::lower(const model::ProblemSpec& spec) {
+    CompiledPlan plan;
+    plan.flow_count = spec.flowCount();
+    plan.link_count = spec.linkCount();
+    plan.node_count = spec.nodeCount();
+    plan.class_count = spec.classCount();
+
+    plan.flow_link_begin.reserve(plan.flow_count + 1);
+    plan.flow_node_begin.reserve(plan.flow_count + 1);
+    plan.flow_link_begin.push_back(0);
+    plan.flow_node_begin.push_back(0);
+    for (std::size_t i = 0; i < plan.flow_count; ++i) {
+        const model::FlowSpec& flow = spec.flows()[i];
+        const model::FlowId flow_id{static_cast<std::uint32_t>(i)};
+        for (const model::FlowLinkHop& hop : flow.links) {
+            plan.link_slot_link.push_back(hop.link.index());
+            plan.link_slot_flow.push_back(flow_id.index());
+            plan.link_slot_cost.push_back(dataplane::link_message_cost(spec, hop.link, flow_id));
+        }
+        for (const model::FlowNodeHop& hop : flow.nodes) {
+            plan.node_slot_node.push_back(hop.node.index());
+            plan.node_slot_flow.push_back(flow_id.index());
+            plan.node_slot_class_begin.push_back(0);  // filled below
+            for (const model::ClassId j : spec.classesAtNode(hop.node)) {
+                if (spec.consumerClass(j).flow == flow_id) {
+                    plan.node_slot_classes.push_back(j.index());
+                }
+            }
+            plan.node_slot_class_begin.back() =
+                static_cast<std::uint32_t>(plan.node_slot_classes.size());
+        }
+        plan.flow_link_begin.push_back(static_cast<std::uint32_t>(plan.link_slot_link.size()));
+        plan.flow_node_begin.push_back(static_cast<std::uint32_t>(plan.node_slot_node.size()));
+    }
+    // node_slot_class_begin was filled with per-slot *end* offsets; turn
+    // it into the CSR begin array by shifting one slot right.
+    plan.node_slot_class_begin.insert(plan.node_slot_class_begin.begin(), 0);
+
+    // One group per entity, covering all its slots.  Slots accumulate
+    // ascending (= flow order, route order within a flow); entities emit
+    // in id order (std::map), links before nodes — all fixed at
+    // lowering time, so serve order never depends on worker count.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> link_buckets;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> node_buckets;
+    for (std::uint32_t s = 0; s < plan.linkSlotCount(); ++s) {
+        link_buckets[plan.link_slot_link[s]].push_back(s);
+    }
+    for (std::uint32_t s = 0; s < plan.nodeSlotCount(); ++s) {
+        node_buckets[plan.node_slot_node[s]].push_back(s);
+    }
+    const auto emit = [&plan](bool is_node, const auto& buckets) {
+        for (const auto& [entity, slots] : buckets) {
+            GateGroup group;
+            group.is_node = is_node;
+            group.entity = entity;
+            group.slots_begin = static_cast<std::uint32_t>(plan.group_slots.size());
+            plan.group_slots.insert(plan.group_slots.end(), slots.begin(), slots.end());
+            group.slots_end = static_cast<std::uint32_t>(plan.group_slots.size());
+            plan.groups.push_back(group);
+        }
+    };
+    emit(false, link_buckets);
+    emit(true, node_buckets);
+    return plan;
+}
+
+}  // namespace lrgp::fastpath

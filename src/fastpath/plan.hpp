@@ -1,0 +1,86 @@
+// Route lowering for the batched fastpath: a ProblemSpec's flow routes
+// compiled into a flat gate graph, BESS-style.
+//
+// Every (flow, link-hop) pair becomes a *link slot* and every
+// (flow, node-hop) pair a *node slot* — the per-flow lanes through a
+// shared entity's gate.  Slots are grouped per entity into GateGroups:
+// one group per link and per node, covering all of that entity's slots.
+// The engine is store-and-forward — a gate's served cohorts land in the
+// *next* quantum's incoming queues — so all groups are served in a
+// single parallelFor per quantum and still touch disjoint state:
+//
+//   * an entity has exactly one group, so its per-quantum budget,
+//     queue and counter state has exactly one writer — the capacity
+//     constraint is spent once per quantum, proportionally across all
+//     the entity's slots (matching the event dataplane's FIFO share);
+//   * every slot has exactly one upstream gate (or the source phase),
+//     so the double-buffered incoming queues have one writer per slot
+//     per phase.
+//
+// That makes the quantum a single parallelFor over groups with plain
+// (non-atomic) state everywhere — the structural core of the fastpath's
+// determinism argument (docs/fastpath.md).
+//
+// All ordering is fixed at lowering time (links before nodes, entities
+// by id, slots by flow id), so the serve order — and with it every
+// floating-point accumulation — is independent of worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace lrgp::fastpath {
+
+/// One entity's gate: a contiguous run of slot ids in
+/// CompiledPlan::group_slots, served by a single worker per quantum.
+struct GateGroup {
+    bool is_node = false;       ///< false: `entity` is a LinkId, true: a NodeId
+    std::uint32_t entity = 0;   ///< link or node index
+    std::uint32_t slots_begin = 0;  ///< into CompiledPlan::group_slots
+    std::uint32_t slots_end = 0;
+};
+
+/// The compiled gate graph.  Pure data, CSR layout throughout; built
+/// once per (problem) and shared read-only by every worker.
+struct CompiledPlan {
+    std::size_t flow_count = 0;
+    std::size_t link_count = 0;
+    std::size_t node_count = 0;
+    std::size_t class_count = 0;
+
+    // -- link slots: flow i's hops are [flow_link_begin[i],
+    //    flow_link_begin[i+1]) in route order -------------------------
+    std::vector<std::uint32_t> flow_link_begin;  ///< flow_count + 1
+    std::vector<std::uint32_t> link_slot_link;   ///< LinkId per link slot
+    std::vector<std::uint32_t> link_slot_flow;   ///< owning FlowId per link slot
+    std::vector<double> link_slot_cost;          ///< L_{l,i}, static
+
+    // -- node slots: flow i's fan-out targets are [flow_node_begin[i],
+    //    flow_node_begin[i+1]) ---------------------------------------
+    std::vector<std::uint32_t> flow_node_begin;  ///< flow_count + 1
+    std::vector<std::uint32_t> node_slot_node;   ///< NodeId per node slot
+    std::vector<std::uint32_t> node_slot_flow;   ///< owning FlowId per node slot
+    /// Consumer classes of the slot's flow attached at the slot's node:
+    /// [node_slot_class_begin[s], node_slot_class_begin[s+1]) indexes
+    /// node_slot_classes (ClassId values).
+    std::vector<std::uint32_t> node_slot_class_begin;  ///< node slots + 1
+    std::vector<std::uint32_t> node_slot_classes;
+
+    // -- gate schedule: one group per entity with slots ---------------
+    std::vector<GateGroup> groups;           ///< links (by id), then nodes (by id)
+    std::vector<std::uint32_t> group_slots;  ///< slot ids, ascending per group
+
+    [[nodiscard]] std::size_t linkSlotCount() const noexcept { return link_slot_link.size(); }
+    [[nodiscard]] std::size_t nodeSlotCount() const noexcept { return node_slot_node.size(); }
+    [[nodiscard]] std::uint32_t chainLength(std::size_t flow) const {
+        return flow_link_begin[flow + 1] - flow_link_begin[flow];
+    }
+
+    /// Lowers `spec`'s routes into the gate graph.  Deterministic: a
+    /// byte-identical plan for equal specs.
+    [[nodiscard]] static CompiledPlan lower(const model::ProblemSpec& spec);
+};
+
+}  // namespace lrgp::fastpath

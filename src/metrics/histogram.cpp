@@ -31,6 +31,20 @@ void BucketHistogram::observe(double x) {
     sum_ += x;
 }
 
+void BucketHistogram::observe(double x, std::uint64_t n) {
+    if (n == 0) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())] += n;
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    count_ += n;
+    sum_ += x * static_cast<double>(n);
+}
+
 double BucketHistogram::quantile(double q) const {
     if (!(q >= 0.0) || !(q <= 1.0))
         throw std::invalid_argument("BucketHistogram::quantile: q outside [0, 1]");

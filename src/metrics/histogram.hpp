@@ -23,6 +23,12 @@ public:
 
     void observe(double x);
 
+    /// Weighted insert: `n` identical observations of `x` in one call.
+    /// Equivalent to calling observe(x) n times (the fastpath records a
+    /// whole message cohort's latency estimate at once); n == 0 is a
+    /// no-op.
+    void observe(double x, std::uint64_t n);
+
     [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
     [[nodiscard]] double sum() const noexcept { return sum_; }
     [[nodiscard]] double mean() const noexcept {

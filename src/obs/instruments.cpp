@@ -99,6 +99,40 @@ DataplaneInstruments DataplaneInstruments::resolve(Registry& registry) {
     return instruments;
 }
 
+FastpathInstruments FastpathInstruments::resolve(Registry& registry) {
+    FastpathInstruments instruments;
+    instruments.quanta =
+        &registry.counter("lrgp_fastpath_quanta_total", "Fixed time quanta processed");
+    instruments.batches = &registry.counter("lrgp_fastpath_batches_total",
+                                            "Message batches pushed through the gate graph");
+    instruments.emitted = &registry.counter("lrgp_fastpath_messages_emitted_total",
+                                            "Messages emitted past the traffic scheduler");
+    instruments.shaped = &registry.counter(
+        "lrgp_fastpath_messages_shaped_total", "Messages the per-flow credit policer shaped away");
+    instruments.delivered = &registry.counter(
+        "lrgp_fastpath_messages_delivered_total", "Per-class message deliveries at node gates");
+    const std::string drop_help = "Messages dropped at a full gate queue";
+    instruments.dropped_node = &registry.counter("lrgp_fastpath_messages_dropped_total",
+                                                 drop_help, {{"where", "node"}});
+    instruments.dropped_link = &registry.counter("lrgp_fastpath_messages_dropped_total",
+                                                 drop_help, {{"where", "link"}});
+    instruments.enactments = &registry.counter("lrgp_fastpath_enactments_total",
+                                               "Allocations pushed into the fastpath");
+    instruments.workers =
+        &registry.gauge("lrgp_fastpath_workers", "Worker threads serving the gate graph");
+    instruments.planned_utility = &registry.gauge(
+        "lrgp_fastpath_planned_utility", "Optimizer-planned utility at the last sample");
+    instruments.achieved_utility = &registry.gauge(
+        "lrgp_fastpath_achieved_utility", "Measured utility over the last sample window");
+    instruments.batch_fill = &registry.histogram(
+        "lrgp_fastpath_batch_fill_messages", {1, 2, 4, 8, 16, 32},
+        "Messages per batch entering the gate graph (batch_size caps the fill)");
+    instruments.latency = &registry.histogram(
+        "lrgp_fastpath_delivery_latency_seconds", default_time_buckets(),
+        "Estimated end-to-end latency per delivered cohort (simulated seconds)");
+    return instruments;
+}
+
 IncrementalInstruments IncrementalInstruments::resolve(Registry& registry) {
     IncrementalInstruments instruments;
     instruments.dirty_flows = &registry.counter(

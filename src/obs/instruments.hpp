@@ -76,6 +76,28 @@ struct DataplaneInstruments {
     static DataplaneInstruments resolve(Registry& registry);
 };
 
+/// Batched fastpath dataplane instruments (fastpath::Fastpath).
+/// Counters are exported as deltas at sampler instants and the
+/// histograms fill from the serial merge phase, so the Prometheus text
+/// is byte-stable across worker counts (golden-tested).
+struct FastpathInstruments {
+    Counter* quanta = nullptr;        ///< lrgp_fastpath_quanta_total
+    Counter* batches = nullptr;       ///< lrgp_fastpath_batches_total
+    Counter* emitted = nullptr;       ///< lrgp_fastpath_messages_emitted_total
+    Counter* shaped = nullptr;        ///< lrgp_fastpath_messages_shaped_total
+    Counter* delivered = nullptr;     ///< lrgp_fastpath_messages_delivered_total
+    Counter* dropped_node = nullptr;  ///< lrgp_fastpath_messages_dropped_total{where="node"}
+    Counter* dropped_link = nullptr;  ///< lrgp_fastpath_messages_dropped_total{where="link"}
+    Counter* enactments = nullptr;    ///< lrgp_fastpath_enactments_total
+    Gauge* workers = nullptr;         ///< lrgp_fastpath_workers
+    Gauge* planned_utility = nullptr;   ///< lrgp_fastpath_planned_utility
+    Gauge* achieved_utility = nullptr;  ///< lrgp_fastpath_achieved_utility
+    Histogram* batch_fill = nullptr;    ///< lrgp_fastpath_batch_fill_messages
+    Histogram* latency = nullptr;       ///< lrgp_fastpath_delivery_latency_seconds
+
+    static FastpathInstruments resolve(Registry& registry);
+};
+
 /// Dirty-set bookkeeping of the incremental engine
 /// (ParallelLrgpEngine with EngineConfig::incremental).  Counters, not
 /// gauges: per-iteration dirty-set sizes are the deltas, and the totals

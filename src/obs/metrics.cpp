@@ -78,6 +78,15 @@ void Histogram::observe(double x) noexcept {
     sum_.fetch_add(x, std::memory_order_relaxed);
 }
 
+void Histogram::observe(double x, std::uint64_t n) noexcept {
+    if (n == 0) return;
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(x * static_cast<double>(n), std::memory_order_relaxed);
+}
+
 std::vector<double> default_time_buckets() {
     std::vector<double> bounds;
     for (double decade = 1e-6; decade < 10.0; decade *= 10.0)

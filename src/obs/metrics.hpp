@@ -69,6 +69,9 @@ public:
     Histogram& operator=(const Histogram&) = delete;
 
     void observe(double x) noexcept;
+    /// Weighted insert: `n` identical observations of `x` (a whole
+    /// fastpath message cohort at once); n == 0 is a no-op.
+    void observe(double x, std::uint64_t n) noexcept;
 
     [[nodiscard]] const std::vector<double>& upperBounds() const noexcept { return bounds_; }
     /// Count in bucket `i` (observations <= bounds_[i]); `bucketCount(size())`

@@ -1,0 +1,401 @@
+// Batched fastpath dataplane: gate-graph lowering, the weighted
+// traffic scheduler, steady-state fidelity against the paper's cost
+// model, worker-count determinism, and the differential oracle — the
+// event-driven dataplane and the fastpath running the same workloads
+// must agree on achieved utility and drop rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "dataplane/dataplane.hpp"
+#include "fastpath/batch.hpp"
+#include "fastpath/fastpath.hpp"
+#include "fastpath/plan.hpp"
+#include "fastpath/scheduler.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+#include "utility/utility_function.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+/// Same small overlay as test_dataplane.cpp: two consumer-hosting
+/// nodes, one link, two flows (one chainless), three classes.
+model::ProblemSpec makeSmallSpec() {
+    model::ProblemBuilder b;
+    const model::NodeId s0 = b.addNode("S0", 100.0);
+    const model::NodeId s1 = b.addNode("S1", 80.0);
+    const model::LinkId l0 = b.addLink("l0", s0, s1, 50.0);
+    const model::FlowId f0 = b.addFlow("f0", s0, 1.0, 10.0);
+    b.routeThroughNode(f0, s0, 1.0);
+    b.routeThroughNode(f0, s1, 1.0);
+    b.routeOverLink(f0, l0, 1.0);
+    const model::FlowId f1 = b.addFlow("f1", s1, 1.0, 8.0);
+    b.routeThroughNode(f1, s1, 2.0);
+    b.addClass("c0", f0, s0, 3, 0.5, std::make_shared<utility::LogUtility>(20.0));
+    b.addClass("c1", f0, s1, 2, 1.0, std::make_shared<utility::LogUtility>(10.0));
+    b.addClass("c2", f1, s1, 4, 0.5, std::make_shared<utility::LogUtility>(15.0));
+    return b.build();
+}
+
+model::Allocation smallAllocation() {
+    model::Allocation alloc;
+    alloc.rates = {4.0, 2.0};
+    alloc.populations = {2, 1, 3};
+    return alloc;
+}
+
+// ------------------------------------------------------- gate lowering
+
+TEST(CompiledPlan, LowersRoutesIntoPerEntityGateGraph) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    const auto plan = fastpath::CompiledPlan::lower(spec);
+
+    ASSERT_EQ(plan.flow_count, 2u);
+    EXPECT_EQ(plan.chainLength(0), 1u);  // f0 crosses l0
+    EXPECT_EQ(plan.chainLength(1), 0u);  // f1 is chainless
+    EXPECT_EQ(plan.linkSlotCount(), 1u);
+    EXPECT_EQ(plan.nodeSlotCount(), 3u);  // f0 -> {S0, S1}, f1 -> {S1}
+
+    // One gate per entity: l0, then S0, then S1 (S1 serves f0 and f1
+    // through one budget).
+    ASSERT_EQ(plan.groups.size(), 3u);
+    EXPECT_FALSE(plan.groups[0].is_node);
+    EXPECT_EQ(plan.groups[0].entity, 0u);
+    EXPECT_TRUE(plan.groups[1].is_node);
+    EXPECT_EQ(plan.groups[1].entity, 0u);
+    EXPECT_TRUE(plan.groups[2].is_node);
+    EXPECT_EQ(plan.groups[2].entity, 1u);
+    EXPECT_EQ(plan.groups[2].slots_end - plan.groups[2].slots_begin, 2u);
+
+    // Class mapping: f0@S0 -> c0, f0@S1 -> c1, f1@S1 -> c2.
+    EXPECT_EQ(plan.node_slot_classes.size(), 3u);
+    const std::uint32_t f0_s1_slot = plan.flow_node_begin[0] + 1;
+    ASSERT_EQ(plan.node_slot_class_begin[f0_s1_slot + 1] -
+                  plan.node_slot_class_begin[f0_s1_slot],
+              1u);
+    EXPECT_EQ(plan.node_slot_classes[plan.node_slot_class_begin[f0_s1_slot]], 1u);
+}
+
+TEST(CompiledPlan, EverySlotBelongsToExactlyOneGate) {
+    const model::ProblemSpec spec =
+        workload::make_scaled_workload({workload::UtilityShape::kLog, 2, 2});
+    const auto plan = fastpath::CompiledPlan::lower(spec);
+    std::vector<int> link_owner(plan.linkSlotCount(), 0);
+    std::vector<int> node_owner(plan.nodeSlotCount(), 0);
+    for (const fastpath::GateGroup& group : plan.groups) {
+        for (std::uint32_t k = group.slots_begin; k < group.slots_end; ++k) {
+            const std::uint32_t slot = plan.group_slots[k];
+            if (group.is_node) {
+                EXPECT_EQ(plan.node_slot_node[slot], group.entity);
+                ++node_owner[slot];
+            } else {
+                EXPECT_EQ(plan.link_slot_link[slot], group.entity);
+                ++link_owner[slot];
+            }
+            // Slots ascend within a group: fixed serve order.
+            if (k > group.slots_begin) {
+                EXPECT_LT(plan.group_slots[k - 1], slot);
+            }
+        }
+    }
+    for (const int owners : link_owner) EXPECT_EQ(owners, 1);
+    for (const int owners : node_owner) EXPECT_EQ(owners, 1);
+}
+
+// --------------------------------------------------- traffic scheduler
+
+TEST(TrafficScheduler, CreditsRefillAtEnactedRateAndCapCarryAtDepth) {
+    fastpath::TrafficScheduler sched(1, 8.0);
+    sched.setRate(0, 10.0);
+    sched.refill(0, 0.5);  // 5 credits
+    int admitted = 0;
+    while (sched.tryAdmit(0)) ++admitted;
+    EXPECT_EQ(admitted, 5);
+    // The quantum's own accrual is fully spendable even past the
+    // depth: a continuous policer passes rate*dt messages during dt,
+    // so quantum batching must not clamp sustained throughput.
+    sched.refill(0, 10.0);  // 100 credits, all admissible
+    admitted = 0;
+    while (sched.tryAdmit(0)) ++admitted;
+    EXPECT_EQ(admitted, 100);
+    // But unspent credits carry over capped at the depth: an idle flow
+    // may burst at most depth + rate*dt in one quantum.
+    sched.refill(0, 10.0);  // 100 credits, left unspent
+    sched.refill(0, 0.1);   // carry capped at 8, plus 1 accrued
+    admitted = 0;
+    while (sched.tryAdmit(0)) ++admitted;
+    EXPECT_EQ(admitted, 9);
+}
+
+TEST(TrafficScheduler, DeterministicArrivalsAtRefillRateNeverShaped) {
+    fastpath::TrafficScheduler sched(1, 8.0);
+    sched.setRate(0, 20.0);
+    // 1 credit per quantum, 1 arrival per quantum: rounding noise must
+    // never shape (the TokenBucket 1 - 1e-9 slack, batched).
+    for (int q = 0; q < 1000; ++q) {
+        sched.refill(0, 0.05);
+        EXPECT_TRUE(sched.tryAdmit(0)) << "quantum " << q;
+    }
+}
+
+TEST(TrafficScheduler, WeightedBudgetSplitsByRateWithLargestRemainder) {
+    fastpath::TrafficScheduler sched(3, 100.0, 10.0);
+    sched.setRate(0, 30.0);
+    sched.setRate(1, 60.0);
+    sched.setRate(2, 10.0);
+    sched.beginQuantum();
+    EXPECT_EQ(sched.quota(0), 3u);
+    EXPECT_EQ(sched.quota(1), 6u);
+    EXPECT_EQ(sched.quota(2), 1u);
+    // Credits are plentiful; the quota is the binding limit.
+    for (int i = 0; i < 3; ++i) sched.refill(i, 10.0);
+    int admitted = 0;
+    for (int k = 0; k < 50; ++k) {
+        if (sched.tryAdmit(1)) ++admitted;
+    }
+    EXPECT_EQ(admitted, 6);
+}
+
+// ------------------------------------------------- steady-state plant
+
+TEST(Fastpath, SteadyStateMatchesPlannedUtilityWithinTwoPercent) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    fastpath::Fastpath fp(spec);
+    const model::Allocation alloc = smallAllocation();
+    ASSERT_TRUE(model::check_feasibility(spec, alloc).feasible());
+    fp.notePlanned(alloc);
+    fp.enact(alloc);
+    fp.runUntil(60.0);
+
+    const dataplane::DataplaneStats stats = fp.collectStats();
+    EXPECT_EQ(stats.dropped_link, 0u);
+    EXPECT_EQ(stats.dropped_node, 0u);
+    EXPECT_EQ(stats.drop_rate, 0.0);
+    EXPECT_EQ(stats.total_shaped, 0u);
+    ASSERT_GT(stats.utility.planned, 0.0);
+    const double gap = std::abs(stats.utility.achieved_cumulative - stats.utility.planned) /
+                       stats.utility.planned;
+    EXPECT_LE(gap, 0.02) << "achieved " << stats.utility.achieved_cumulative << " vs planned "
+                         << stats.utility.planned;
+    EXPECT_GT(stats.latency.count, 0u);
+    EXPECT_LT(stats.latency.p99, 1.0);
+    EXPECT_EQ(stats.events_scheduled, fp.quantaProcessed());
+    EXPECT_GT(fp.batchesProcessed(), 0u);
+}
+
+TEST(Fastpath, SchedulerShapesOverdrivenProducer) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    fastpath::Fastpath fp(spec);
+    fp.enact(smallAllocation());
+    fp.setOfferedRate(model::FlowId{0}, 8.0);  // enacted is 4.0
+    fp.runUntil(50.0);
+
+    const dataplane::DataplaneStats stats = fp.collectStats();
+    const dataplane::FlowStats& f0 = stats.flows[0];
+    EXPECT_GT(f0.shaped, 0u);
+    EXPECT_NEAR(static_cast<double>(f0.emitted) / 50.0, 4.0, 0.4);
+    EXPECT_EQ(stats.dropped_link, 0u);
+    EXPECT_EQ(stats.dropped_node, 0u);
+}
+
+TEST(Fastpath, OverloadedNodeDropsLikeTheEventDataplane) {
+    // Shrink S1 so the enacted plan overdrives it; both plants must
+    // shed a comparable fraction of traffic.
+    const model::ProblemSpec spec = makeSmallSpec();
+    const model::Allocation alloc = smallAllocation();
+    const double scaled_capacity = 10.0;  // S1 wants ~ 26 units/s
+
+    dataplane::Dataplane dp(spec);
+    dp.setNodeCapacity(model::NodeId{1}, scaled_capacity);
+    dp.enact(alloc);
+    dp.runUntil(60.0);
+    const auto sim = dp.collectStats();
+
+    fastpath::Fastpath fp(spec);
+    fp.setNodeCapacity(model::NodeId{1}, scaled_capacity);
+    fp.enact(alloc);
+    fp.runUntil(60.0);
+    const auto fast = fp.collectStats();
+
+    EXPECT_GT(sim.dropped_node, 0u);
+    EXPECT_GT(fast.dropped_node, 0u);
+    EXPECT_NEAR(fast.drop_rate, sim.drop_rate, 0.05)
+        << "fastpath " << fast.drop_rate << " vs sim " << sim.drop_rate;
+}
+
+TEST(Fastpath, ValidatesOptionsAndAllocations) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    fastpath::FastpathOptions bad;
+    bad.sample_period = 0.07;  // not a multiple of quantum 0.05
+    EXPECT_THROW(fastpath::Fastpath(spec, bad), std::invalid_argument);
+    bad = {};
+    bad.batch_size = 0;
+    EXPECT_THROW(fastpath::Fastpath(spec, bad), std::invalid_argument);
+
+    fastpath::Fastpath fp(spec);
+    model::Allocation wrong;
+    wrong.rates = {1.0};
+    wrong.populations = {0, 0, 0};
+    EXPECT_THROW(fp.enact(wrong), std::invalid_argument);
+    EXPECT_THROW(fp.notePlanned(wrong), std::invalid_argument);
+}
+
+TEST(Fastpath, BatchAccountingMatchesEmittedMessages) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    fastpath::FastpathOptions options;
+    options.batch_size = 4;
+    fastpath::Fastpath fp(spec, options);
+    fp.enact(smallAllocation());
+    fp.runUntil(20.0);
+    const auto stats = fp.collectStats();
+    // Every emitted message rides in exactly one batch of <= batch_size;
+    // per-quantum tails mean at least ceil(total/batch) batches overall.
+    EXPECT_GE(fp.batchesProcessed(),
+              fastpath::batch_count(stats.total_emitted, options.batch_size));
+    EXPECT_LE(fp.batchesProcessed(), stats.total_emitted);
+}
+
+// ---------------------------------------------------- worker determinism
+
+TEST(Fastpath, StatsJsonByteIdenticalAcrossWorkerCounts) {
+    const model::ProblemSpec spec =
+        workload::make_scaled_workload({workload::UtilityShape::kLog, 2, 1});
+    model::Allocation alloc = model::Allocation::minimal(spec);
+    for (double& r : alloc.rates) r = 40.0;
+    for (std::size_t j = 0; j < alloc.populations.size(); ++j) {
+        alloc.populations[j] = spec.classes()[j].max_consumers > 0 ? 1 : 0;
+    }
+
+    std::string reference;
+    for (const int workers : {1, 2, 4}) {
+        fastpath::FastpathOptions options;
+        options.workers = workers;
+        options.arrivals = dataplane::ArrivalProcess::kPoisson;
+        fastpath::Fastpath fp(spec, options);
+        fp.notePlanned(alloc);
+        fp.enact(alloc);
+        fp.setOfferedRate(model::FlowId{0}, 90.0);  // shaped traffic too
+        fp.runUntil(30.0);
+        const std::string json = fp.statsJson();
+        if (reference.empty()) {
+            reference = json;
+        } else {
+            EXPECT_EQ(json, reference) << "workers=" << workers << " diverged";
+        }
+        // The per-worker split covers all emission + gate work.
+        EXPECT_EQ(static_cast<std::size_t>(fp.workerCount()), fp.workerMessages().size());
+    }
+    ASSERT_FALSE(reference.empty());
+}
+
+TEST(Fastpath, RerunIsByteIdentical) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    const auto run = [&spec] {
+        fastpath::FastpathOptions options;
+        options.workers = 2;
+        fastpath::Fastpath fp(spec, options);
+        fp.enact(smallAllocation());
+        fp.runUntil(25.0);
+        return fp.statsJson();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+// ------------------------------------------- differential oracle (PR 8)
+
+struct PlantResult {
+    double achieved = 0.0;
+    double planned = 0.0;
+    double drop_rate = 0.0;
+};
+
+/// Enacts `alloc` into one plant over `spec`'s physically-scaled
+/// overlay and reports the long-run achieved utility + drop rate.
+/// Achieved is the *cumulative* measure (utility of the mean delivered
+/// rates): the window-sampled trace differs between the plants by the
+/// Jensen gap — the event engine's bursty FIFO makes window rates
+/// noisier, and concave utilities penalize that variance — while the
+/// rates actually delivered must agree.
+template <class Plant, class Options>
+PlantResult runPlant(const scenario::ScenarioSpec& spec, const model::Allocation& alloc,
+                     Options options, double horizon) {
+    Plant plant(spec.problem, options);
+    if (spec.physical_capacity_scale < 1.0) {
+        for (std::size_t b = 0; b < spec.problem.nodeCount(); ++b) {
+            const model::NodeId node{static_cast<std::uint32_t>(b)};
+            plant.setNodeCapacity(node,
+                                  spec.problem.node(node).capacity *
+                                      spec.physical_capacity_scale);
+        }
+    }
+    plant.notePlanned(alloc);
+    plant.enact(alloc);
+    plant.runUntil(horizon);
+    const auto stats = plant.collectStats();
+    PlantResult result;
+    result.achieved = stats.utility.achieved_cumulative;
+    result.planned = stats.utility.planned;
+    result.drop_rate = stats.drop_rate;
+    return result;
+}
+
+TEST(FastpathDifferential, HeadroomCellAgreesWithSimOracle) {
+    const scenario::ScenarioSpec spec =
+        scenario::build_scenario(scenario::find_scenario("fat_tree_heavy_tail_shifted_log"));
+    scenario::RunnerOptions ropts;
+    ropts.engine = "incremental";
+    const auto report = scenario::run_scenario(spec, ropts);
+    ASSERT_FALSE(report.final_allocation.rates.empty());
+
+    const double horizon = 40.0;
+    const auto sim = runPlant<dataplane::Dataplane>(spec, report.final_allocation,
+                                                    dataplane::DataplaneOptions{}, horizon);
+    fastpath::FastpathOptions fopts;
+    fopts.workers = 4;
+    const auto fast =
+        runPlant<fastpath::Fastpath>(spec, report.final_allocation, fopts, horizon);
+
+    // Headroom: both plants deliver the plan, and they agree.
+    ASSERT_GT(sim.planned, 0.0);
+    EXPECT_LE(sim.drop_rate, 0.02);
+    EXPECT_LE(fast.drop_rate, 0.02);
+    EXPECT_GE(sim.achieved / sim.planned, 0.98);
+    EXPECT_GE(fast.achieved / fast.planned, 0.98);
+    EXPECT_NEAR(fast.achieved / sim.achieved, 1.0, 0.02)
+        << "fastpath " << fast.achieved << " vs sim " << sim.achieved;
+}
+
+TEST(FastpathDifferential, OverdriveCellAgreesWithSimOracle) {
+    const scenario::ScenarioSpec spec = scenario::build_scenario(
+        scenario::find_scenario("fat_tree_heavy_tail_shifted_log_overdrive"));
+    ASSERT_LT(spec.physical_capacity_scale, 1.0);
+    scenario::RunnerOptions ropts;
+    ropts.engine = "incremental";
+    const auto report = scenario::run_scenario(spec, ropts);
+    ASSERT_FALSE(report.final_allocation.rates.empty());
+
+    const double horizon = 40.0;
+    const auto sim = runPlant<dataplane::Dataplane>(spec, report.final_allocation,
+                                                    dataplane::DataplaneOptions{}, horizon);
+    fastpath::FastpathOptions fopts;
+    fopts.workers = 4;
+    const auto fast =
+        runPlant<fastpath::Fastpath>(spec, report.final_allocation, fopts, horizon);
+
+    // Overdrive: both plants shed >= 20% and agree on how much.
+    EXPECT_GE(sim.drop_rate, 0.20);
+    EXPECT_GE(fast.drop_rate, 0.20);
+    EXPECT_NEAR(fast.drop_rate, sim.drop_rate, 0.05);
+    ASSERT_GT(sim.achieved, 0.0);
+    EXPECT_NEAR(fast.achieved / sim.achieved, 1.0, 0.02)
+        << "fastpath " << fast.achieved << " vs sim " << sim.achieved;
+}
+
+}  // namespace

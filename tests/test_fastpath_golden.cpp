@@ -1,0 +1,107 @@
+// Golden fixture for the lrgp_fastpath_* Prometheus exposition: a
+// pinned deterministic fastpath run (small spec, fixed seed, two
+// workers) exports its instrument bundle, compared byte-exact against
+// tests/golden/fastpath_prometheus.golden.  Because the engine is
+// bitwise deterministic across worker counts, the text is stable
+// across runs, machines, and thread pools.
+//
+// To regenerate after an intentional change:
+//   ./lrgp_fastpath_golden_tests --update-golden   (or LRGP_UPDATE_GOLDEN=1)
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "fastpath/fastpath.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+#include "obs/metrics.hpp"
+#include "utility/utility_function.hpp"
+
+namespace {
+
+using namespace lrgp;
+
+bool g_update_golden = false;
+
+std::string golden_path(const std::string& name) {
+    return std::string(LRGP_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+    const std::string path = golden_path(name);
+    if (g_update_golden) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << path
+                    << " — run with --update-golden to create it";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+    if (expected != actual) {
+        std::istringstream a(expected), b(actual);
+        std::string la, lb;
+        int line = 1;
+        while (std::getline(a, la) && std::getline(b, lb) && la == lb) ++line;
+        FAIL() << name << " differs from " << path << " at line " << line << "\n  golden: " << la
+               << "\n  actual: " << lb
+               << "\nIf the change is intentional, rerun with --update-golden.";
+    }
+}
+
+/// Same pinned overlay as the fastpath unit suite.
+model::ProblemSpec makeSmallSpec() {
+    model::ProblemBuilder b;
+    const model::NodeId s0 = b.addNode("S0", 100.0);
+    const model::NodeId s1 = b.addNode("S1", 80.0);
+    const model::LinkId l0 = b.addLink("l0", s0, s1, 50.0);
+    const model::FlowId f0 = b.addFlow("f0", s0, 1.0, 10.0);
+    b.routeThroughNode(f0, s0, 1.0);
+    b.routeThroughNode(f0, s1, 1.0);
+    b.routeOverLink(f0, l0, 1.0);
+    const model::FlowId f1 = b.addFlow("f1", s1, 1.0, 8.0);
+    b.routeThroughNode(f1, s1, 2.0);
+    b.addClass("c0", f0, s0, 3, 0.5, std::make_shared<utility::LogUtility>(20.0));
+    b.addClass("c1", f0, s1, 2, 1.0, std::make_shared<utility::LogUtility>(10.0));
+    b.addClass("c2", f1, s1, 4, 0.5, std::make_shared<utility::LogUtility>(15.0));
+    return b.build();
+}
+
+TEST(FastpathGolden, PrometheusText) {
+    const model::ProblemSpec spec = makeSmallSpec();
+    fastpath::FastpathOptions options;
+    options.workers = 2;
+    fastpath::Fastpath fp(spec, options);
+    obs::Registry reg;
+    fp.attachObservability(&reg);
+
+    model::Allocation alloc;
+    alloc.rates = {4.0, 2.0};
+    alloc.populations = {2, 1, 3};
+    fp.notePlanned(alloc);
+    fp.enact(alloc);
+    fp.setOfferedRate(model::FlowId{0}, 8.0);  // exercise the shaped counter
+    fp.runUntil(30.0);
+
+    check_golden("fastpath_prometheus", reg.prometheusText());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--update-golden") g_update_golden = true;
+    if (const char* env = std::getenv("LRGP_UPDATE_GOLDEN"); env != nullptr && *env != '\0')
+        g_update_golden = true;
+    return RUN_ALL_TESTS();
+}
