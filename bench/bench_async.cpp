@@ -175,6 +175,7 @@ int main() {
 
     io::JsonObject root;
     root["bench"] = std::string("bench_async");
+    root["machine"] = bench::machine_json();
     root["agents"] = static_cast<double>(kAgents);
     {
         io::JsonObject workload_info;

@@ -164,6 +164,8 @@ int main() {
                               : "WARNING: some hardened scenario failed to reconverge!");
 
     io::JsonObject root;
+    root["bench"] = std::string("bench_chaos");
+    root["machine"] = bench::machine_json();
     {
         io::JsonObject workload_info;
         workload_info["flows"] = static_cast<double>(spec.flowCount());

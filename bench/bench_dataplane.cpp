@@ -216,6 +216,7 @@ int main() {
 
     io::JsonObject root;
     root["bench"] = std::string("bench_dataplane");
+    root["machine"] = bench::machine_json();
     {
         io::JsonObject workload_info;
         workload_info["flows"] = static_cast<double>(spec.flowCount());

@@ -82,6 +82,7 @@ int main() {
 
     io::JsonObject root;
     root["bench"] = std::string("bench_fastpath");
+    root["machine"] = bench::machine_json();
 
     // ---------------------------------------------------- fidelity
     // The bench_dataplane headroom workload: the optimum leaves

@@ -223,6 +223,7 @@ int main() {
 
     io::JsonObject root;
     root["bench"] = std::string("bench_scenarios");
+    root["machine"] = bench::machine_json();
     root["cells"] = static_cast<double>(catalog.size());
     root["with_dataplane"] = with_dataplane;
     root["scenarios"] = std::move(rows);

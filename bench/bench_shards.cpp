@@ -182,6 +182,7 @@ int main() {
 
     io::JsonObject root;
     root["bench"] = "bench_shards";
+    root["machine"] = bench::machine_json();
     root["hardware_threads"] = hw;
     root["single_core_environment"] = (hw == 1);
     root["max_iterations"] = max_iters;

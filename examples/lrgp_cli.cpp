@@ -39,6 +39,8 @@
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
 #include "shard/sharded_engine.hpp"
+#include "simd/batch_engine.hpp"
+#include "simd/vector_engine.hpp"
 #include "workload/random_workload.hpp"
 #include "workload/workloads.hpp"
 
@@ -48,7 +50,9 @@ namespace {
 
 struct CliOptions {
     std::string workload = "base";  // base | random
-    std::string engine = "serial";  // serial | compiled | incremental | sharded | async
+    std::string engine = "serial";  // serial | compiled | incremental | sharded |
+                                    // vector | vector_exact | async
+    int batch_instances = 0;        // --batch-instances N: lockstep multi-instance run
     int threads = 1;                // compiled/incremental worker threads
     int shards = 4;                 // --engine sharded shard count
     int agents = 4;                 // --engine async agent-thread count
@@ -86,13 +90,16 @@ void printUsage() {
         "                             best-known comparison; --enact adds the\n"
         "                             packet-level dataplane closed loop)\n"
         "  --list-scenarios           print the scenario catalog and exit\n"
-        "  --engine serial|compiled|incremental|sharded|async\n"
+        "  --engine serial|compiled|incremental|sharded|vector|vector_exact|async\n"
         "                             iteration driver (default serial); the first\n"
         "                             three produce bitwise-identical trajectories,\n"
         "                             sharded matches them exactly at --shards 1, and\n"
         "                             async runs the live shard-agent runtime in\n"
         "                             deterministic virtual time (--agents/--seconds)\n"
         "  --threads N                engine worker threads\n"
+        "  --batch-instances N        run N (2..8) capacity-scaled copies of the\n"
+        "                             workload in SIMD lockstep (one instance per\n"
+        "                             vector lane) and print a per-instance table\n"
         "                             (default 1; 0 = hardware concurrency)\n"
         "  --shards K                 sharded engine shard count (default 4)\n"
         "  --agents K                 async runtime agent threads (default 4)\n"
@@ -164,8 +171,18 @@ std::optional<CliOptions> parseArgs(int argc, char** argv) {
             options.engine = v;
             if (options.engine != "serial" && options.engine != "compiled" &&
                 options.engine != "incremental" && options.engine != "sharded" &&
+                options.engine != "vector" && options.engine != "vector_exact" &&
                 options.engine != "async") {
                 std::fprintf(stderr, "error: unknown engine '%s'\n", v);
+                return std::nullopt;
+            }
+        } else if (arg == "--batch-instances") {
+            const char* v = next();
+            if (!v) return std::nullopt;
+            options.batch_instances = std::atoi(v);
+            if (options.batch_instances < 2 ||
+                options.batch_instances > static_cast<int>(simd::kWidth)) {
+                std::fprintf(stderr, "error: --batch-instances wants 2..%zu\n", simd::kWidth);
                 return std::nullopt;
             }
         } else if (arg == "--shards") {
@@ -512,11 +529,53 @@ int main(int argc, char** argv) {
     // arrays, or flat arrays with dirty-set skipping).  "sharded" layers
     // the hierarchical control plane on K incremental subengines and
     // matches the others exactly at --shards 1.
+    // --batch-instances: N capacity-scaled copies of the workload advance
+    // in SIMD lockstep, one instance per vector lane; each lane's
+    // trajectory is bitwise the serial optimizer's on that instance.
+    if (cli.batch_instances >= 2) {
+        const std::size_t n = static_cast<std::size_t>(cli.batch_instances);
+        std::vector<model::ProblemSpec> specs;
+        std::vector<double> scales;
+        specs.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            const double scale = 0.7 + 0.6 * static_cast<double>(k) /
+                                           static_cast<double>(n > 1 ? n - 1 : 1);
+            scales.push_back(scale);
+            model::ProblemSpec copy = spec;
+            for (const model::NodeSpec& node : spec.nodes())
+                copy.setNodeCapacity(node.id, node.capacity * scale);
+            specs.push_back(std::move(copy));
+        }
+        try {
+            simd::BatchedVectorEngine batch(std::move(specs), lrgp_options);
+            batch.run(cli.iterations);
+            std::printf("engine: batched vector (%s), %d instances in lockstep\n",
+                        batch.variant(), cli.batch_instances);
+            std::printf("%-9s %-10s %-18s %s\n", "instance", "cap-scale", "utility",
+                        "converged");
+            for (std::size_t k = 0; k < n; ++k)
+                std::printf("%-9zu %-10.2f %-18.6f %s\n", k, scales[k], batch.utility(k),
+                            batch.converged(k) ? "yes" : "no");
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+        return 0;
+    }
+
     std::unique_ptr<core::Engine> owner;
     shard::ShardedLrgpEngine* sharded = nullptr;
     core::ParallelLrgpEngine* parallel = nullptr;
     if (cli.engine == "serial") {
         owner = std::make_unique<core::LrgpOptimizer>(spec, lrgp_options);
+    } else if (cli.engine == "vector" || cli.engine == "vector_exact") {
+        simd::VectorEngineConfig config;
+        config.mode = cli.engine == "vector" ? simd::VectorMode::kTolerance
+                                             : simd::VectorMode::kExact;
+        auto built = std::make_unique<simd::VectorLrgpEngine>(spec, lrgp_options, config);
+        std::printf("engine: %s (%s kernels, detected %s)\n", built->name(), built->variant(),
+                    simd::detected_isa());
+        owner = std::move(built);
     } else if (cli.engine == "sharded") {
         auto built = std::make_unique<shard::ShardedLrgpEngine>(
             spec, lrgp_options,

@@ -10,6 +10,7 @@
 #include "obs/instruments.hpp"
 #include "runtime/runtime.hpp"
 #include "shard/sharded_engine.hpp"
+#include "simd/vector_engine.hpp"
 
 namespace lrgp::scenario {
 
@@ -25,6 +26,12 @@ std::unique_ptr<core::Engine> makeSyncEngine(const ScenarioSpec& scenario,
     if (options.engine == "incremental")
         return core::make_engine(core::EngineKind::kIncremental, scenario.problem, options.lrgp,
                                  options.threads);
+    if (options.engine == "vector" || options.engine == "vector_exact") {
+        simd::VectorEngineConfig config;
+        config.mode = options.engine == "vector" ? simd::VectorMode::kTolerance
+                                                 : simd::VectorMode::kExact;
+        return simd::make_vector_engine(scenario.problem, options.lrgp, config);
+    }
     if (options.engine == "sharded") {
         shard::ShardedConfig config;
         config.shards = options.shards;

@@ -35,7 +35,7 @@
 namespace lrgp::scenario {
 
 struct RunnerOptions {
-    /// serial | compiled | incremental | sharded | async.
+    /// serial | compiled | incremental | sharded | vector | vector_exact | async.
     std::string engine = "incremental";
     int shards = 4;    ///< sharded shard count / async agent count
     int threads = 1;   ///< compiled/incremental worker threads

@@ -76,11 +76,15 @@ void ShardedLrgpEngine::buildMembers(std::vector<MemberSpec> specs) {
         member.own_nodes = std::move(ms.own_nodes);
         member.own_links = std::move(ms.own_links);
         if (ms.spec.has_value()) {
-            core::EngineConfig engine_config;
-            engine_config.threads = 1;
-            engine_config.incremental = config_.incremental;
-            member.engine = std::make_unique<core::ParallelLrgpEngine>(std::move(*ms.spec),
-                                                                       options_, engine_config);
+            if (config_.member_factory) {
+                member.engine = config_.member_factory(std::move(*ms.spec), options_);
+            } else {
+                core::EngineConfig engine_config;
+                engine_config.threads = 1;
+                engine_config.incremental = config_.incremental;
+                member.engine = std::make_unique<core::ParallelLrgpEngine>(
+                    std::move(*ms.spec), options_, engine_config);
+            }
         }
         members_[s] = std::move(member);
     }
@@ -457,7 +461,7 @@ double ShardedLrgpEngine::nodeGamma(model::NodeId node) const {
     return member.engine->nodeGamma(model::NodeId{member.node_local[node.index()]});
 }
 
-const core::ParallelLrgpEngine& ShardedLrgpEngine::shardEngine(int shard) const {
+const core::Engine& ShardedLrgpEngine::shardEngine(int shard) const {
     if (shard < 0 || shard >= shardCount())
         throw std::out_of_range("ShardedLrgpEngine::shardEngine: shard out of range");
     const Member& member = members_[static_cast<std::size_t>(shard)];

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -77,6 +78,12 @@ struct ShardedConfig {
     bool incremental = true;
     /// runUntilConverged() pauses shards whose local detector fired.
     bool pause_converged = true;
+    /// Builds each shard's member engine from its subproblem.  Unset, a
+    /// single-threaded ParallelLrgpEngine (incremental per `incremental`)
+    /// is used; set it to compose other core::Engine implementations
+    /// under the shard layer (e.g. simd::vector_member_factory).
+    std::function<std::unique_ptr<core::Engine>(model::ProblemSpec, core::LrgpOptions)>
+        member_factory;
 };
 
 /// Per-shard shape and progress, for the CLI summary and tests.
@@ -149,7 +156,7 @@ public:
     // -- shard-specific observers ----------------------------------------
     [[nodiscard]] int shardCount() const noexcept { return static_cast<int>(members_.size()); }
     [[nodiscard]] const Partition& partition() const noexcept { return partition_; }
-    [[nodiscard]] const core::ParallelLrgpEngine& shardEngine(int shard) const;
+    [[nodiscard]] const core::Engine& shardEngine(int shard) const;
     [[nodiscard]] int shardOfFlow(model::FlowId flow) const;
     [[nodiscard]] model::FlowId localFlowId(model::FlowId flow) const;
     [[nodiscard]] std::vector<ShardSummary> summaries() const;
@@ -164,7 +171,7 @@ public:
 
 private:
     struct Member {
-        std::unique_ptr<core::ParallelLrgpEngine> engine;
+        std::unique_ptr<core::Engine> engine;
         std::vector<std::uint32_t> flows;    ///< local -> global index
         std::vector<std::uint32_t> classes;
         std::vector<std::uint32_t> nodes;

@@ -1,0 +1,360 @@
+#include "simd/batch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lrgp/greedy_allocator.hpp"
+
+namespace lrgp::simd {
+
+namespace {
+
+// Structure arrays (and the shared cost matrices) must be identical
+// across lanes; per-lane freedom lives in weights/bounds/capacities.
+template <typename T>
+void require_same(const std::vector<T>& a, const std::vector<T>& b, const char* what) {
+    if (a != b)
+        throw std::invalid_argument(std::string("BatchedVectorEngine: instances differ in ") +
+                                    what);
+}
+
+}  // namespace
+
+BatchedVectorEngine::BatchedVectorEngine(std::vector<model::ProblemSpec> specs,
+                                         core::LrgpOptions options)
+    : kernels_(&active_kernels()), options_(options), specs_(std::move(specs)) {
+    if (specs_.empty() || specs_.size() > kWidth)
+        throw std::invalid_argument("BatchedVectorEngine: need 1..kWidth instances");
+    if (!options_.rate_solve.allow_closed_form)
+        throw std::invalid_argument(
+            "BatchedVectorEngine: closed forms must stay enabled in batched mode");
+    instances_ = specs_.size();
+
+    compiled_.reserve(instances_);
+    for (const model::ProblemSpec& s : specs_) compiled_.emplace_back(s);
+    const core::CompiledProblem& c0 = compiled_[0];
+    for (std::size_t f = 0; f < c0.flowCount(); ++f)
+        if (c0.flow_family[f] == core::SolveFamily::kGeneric)
+            throw std::invalid_argument(
+                "BatchedVectorEngine: generic utility families are not batchable");
+    for (std::size_t k = 0; k < instances_; ++k) {
+        const core::CompiledProblem& c = compiled_[k];
+        for (std::uint8_t a : c.flow_active)
+            if (!a)
+                throw std::invalid_argument(
+                    "BatchedVectorEngine: all flows must be active (no dynamic ops)");
+        if (k == 0) continue;
+        require_same(c.flow_link_begin, c0.flow_link_begin, "route topology");
+        require_same(c.link_hop_link, c0.link_hop_link, "route topology");
+        require_same(c.link_hop_cost, c0.link_hop_cost, "link cost matrix L");
+        require_same(c.flow_node_begin, c0.flow_node_begin, "route topology");
+        require_same(c.node_hop_node, c0.node_hop_node, "route topology");
+        require_same(c.node_hop_fcost, c0.node_hop_fcost, "node flow-cost matrix F");
+        require_same(c.hop_class_begin, c0.hop_class_begin, "class placement");
+        require_same(c.hop_class_class, c0.hop_class_class, "class placement");
+        require_same(c.hop_class_gcost, c0.hop_class_gcost, "consumer cost matrix G");
+        require_same(c.flow_class_begin, c0.flow_class_begin, "class placement");
+        require_same(c.flow_class_class, c0.flow_class_class, "class placement");
+        require_same(c.class_flow, c0.class_flow, "class placement");
+        require_same(c.class_node, c0.class_node, "class placement");
+        require_same(c.class_gcost, c0.class_gcost, "consumer cost matrix G");
+        require_same(c.node_class_begin, c0.node_class_begin, "class placement");
+        require_same(c.node_class_class, c0.node_class_class, "class placement");
+        require_same(c.link_flow_begin, c0.link_flow_begin, "route topology");
+        require_same(c.link_flow_flow, c0.link_flow_flow, "route topology");
+        require_same(c.link_flow_cost, c0.link_flow_cost, "link cost matrix L");
+        require_same(c.flow_family, c0.flow_family, "utility families");
+    }
+
+    const std::size_t F = c0.flowCount();
+    const std::size_t C = c0.classCount();
+    const std::size_t N = c0.nodeCount();
+    const std::size_t L = c0.linkCount();
+    const auto lane = [&](std::size_t k) -> const core::CompiledProblem& {
+        return compiled_[k < instances_ ? k : 0];
+    };
+
+    flow_param8_.resize(F * kWidth);
+    rate_min8_.resize(F * kWidth);
+    rate_max8_.resize(F * kWidth);
+    for (std::size_t f = 0; f < F; ++f) {
+        for (std::size_t k = 0; k < kWidth; ++k) {
+            const core::CompiledProblem& c = lane(k);
+            flow_param8_[f * kWidth + k] = c.flow_family[f] == core::SolveFamily::kLog
+                                               ? 1.0
+                                               : c.flow_family_param[f];
+            rate_min8_[f * kWidth + k] = c.flow_rate_min[f];
+            rate_max8_[f * kWidth + k] = c.flow_rate_max[f];
+        }
+    }
+    const std::size_t fc_entries = c0.flow_class_class.size();
+    fc_weight8_.resize(fc_entries * kWidth);
+    fc_dweight8_.resize(fc_entries * kWidth);
+    for (std::size_t e = 0; e < fc_entries; ++e) {
+        const std::uint32_t cls = c0.flow_class_class[e];
+        for (std::size_t k = 0; k < kWidth; ++k) {
+            fc_weight8_[e * kWidth + k] = lane(k).class_weight[cls];
+            fc_dweight8_[e * kWidth + k] = lane(k).class_dweight[cls];
+        }
+    }
+    const std::size_t nc_entries = c0.node_class_class.size();
+    nc_weight8_.resize(nc_entries * kWidth);
+    nc_gcost_entry_.resize(nc_entries);
+    nc_flow_entry_.resize(nc_entries);
+    for (std::size_t e = 0; e < nc_entries; ++e) {
+        const std::uint32_t cls = c0.node_class_class[e];
+        for (std::size_t k = 0; k < kWidth; ++k)
+            nc_weight8_[e * kWidth + k] = lane(k).class_weight[cls];
+        nc_gcost_entry_[e] = c0.class_gcost[cls];
+        nc_flow_entry_[e] = c0.class_flow[cls];
+    }
+    capacity8_node_.resize(N * kWidth);
+    for (std::size_t b = 0; b < N; ++b)
+        for (std::size_t k = 0; k < kWidth; ++k)
+            capacity8_node_[b * kWidth + k] = lane(k).node_capacity[b];
+    capacity8_link_.resize(L * kWidth);
+    for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t k = 0; k < kWidth; ++k)
+            capacity8_link_[l * kWidth + k] = lane(k).link_capacity[l];
+    max_consumers8_.resize(C * kWidth);
+    for (std::size_t j = 0; j < C; ++j)
+        for (std::size_t k = 0; k < kWidth; ++k)
+            max_consumers8_[j * kWidth + k] = lane(k).class_max_consumers[j];
+
+    node_price8_.assign(N * kWidth, options_.initial_node_price);
+    link_price8_.assign(L * kWidth, options_.initial_link_price);
+    pop8_.assign(C * kWidth, 0.0);
+    rates8_ = rate_min8_;
+    trans8_.assign(F * kWidth, 0.0);
+    usage8_.assign(L * kWidth, 0.0);
+    term8_.assign(C * kWidth, 0.0);
+    out_unit8_.assign(static_cast<std::size_t>(c0.max_classes_at_node) * kWidth, 0.0);
+    out_value8_.assign(out_unit8_.size(), 0.0);
+    out_ratio8_.assign(out_unit8_.size(), 0.0);
+    cands_.resize(c0.max_classes_at_node);
+
+    node_prices_.resize(kWidth);
+    link_prices_.resize(kWidth);
+    for (std::size_t k = 0; k < kWidth; ++k) {
+        node_prices_[k].reserve(N);
+        for (std::size_t b = 0; b < N; ++b)
+            node_prices_[k].emplace_back(options_.gamma, options_.initial_node_price,
+                                         options_.node_price_rule);
+        link_prices_[k].reserve(L);
+        for (std::size_t l = 0; l < L; ++l)
+            link_prices_[k].emplace_back(options_.link_gamma, options_.initial_link_price);
+    }
+    detectors_.assign(kWidth, core::ConvergenceDetector(options_.convergence));
+    traces_.resize(kWidth);
+    utilities_.assign(kWidth, 0.0);
+    allocations_.reserve(instances_);
+    prices_.reserve(instances_);
+    for (std::size_t k = 0; k < instances_; ++k) {
+        allocations_.push_back(model::Allocation::minimal(specs_[k]));
+        core::PriceVector p = core::PriceVector::zeros(N, L);
+        std::fill(p.node.begin(), p.node.end(), options_.initial_node_price);
+        std::fill(p.link.begin(), p.link.end(), options_.initial_link_price);
+        prices_.push_back(std::move(p));
+    }
+}
+
+const char* BatchedVectorEngine::variant() const noexcept { return kernels_->name; }
+
+void BatchedVectorEngine::checkLane(std::size_t k) const {
+    if (k >= instances_) throw std::out_of_range("BatchedVectorEngine: lane out of range");
+}
+
+void BatchedVectorEngine::step() {
+    const core::CompiledProblem& c0 = compiled_[0];
+    const std::size_t F = c0.flowCount();
+    const std::size_t C = c0.classCount();
+    const std::size_t N = c0.nodeCount();
+    const std::size_t L = c0.linkCount();
+
+    // Phase 1: all lanes' closed-form solves in lockstep.
+    BatchRateView rv;
+    rv.flow_count = F;
+    rv.flow_family = reinterpret_cast<const std::uint8_t*>(c0.flow_family.data());
+    rv.flow_param8 = flow_param8_.data();
+    rv.rate_min8 = rate_min8_.data();
+    rv.rate_max8 = rate_max8_.data();
+    rv.fl_begin = c0.flow_link_begin.data();
+    rv.fl_link = c0.link_hop_link.data();
+    rv.fl_cost = c0.link_hop_cost.data();
+    rv.fn_begin = c0.flow_node_begin.data();
+    rv.fn_node = c0.node_hop_node.data();
+    rv.fn_fcost = c0.node_hop_fcost.data();
+    rv.hc_begin = c0.hop_class_begin.data();
+    rv.hc_cls = c0.hop_class_class.data();
+    rv.hc_gcost = c0.hop_class_gcost.data();
+    rv.fc_begin = c0.flow_class_begin.data();
+    rv.fc_cls = c0.flow_class_class.data();
+    rv.fc_weight8 = fc_weight8_.data();
+    rv.fc_dweight8 = fc_dweight8_.data();
+    rv.node_price8 = node_price8_.data();
+    rv.link_price8 = link_price8_.data();
+    rv.pop8 = pop8_.data();
+    rv.rates8 = rates8_.data();
+    KernelTallies tallies;
+    kernels_->batch_rate_phase(rv, 0, F, tallies);
+
+    // Per-lane scalar transcendentals (identical libm calls to the
+    // serial engine; the batch kernel only writes the rates).
+    for (std::size_t f = 0; f < F; ++f) {
+        const bool pw = c0.flow_family[f] == core::SolveFamily::kPower;
+        for (std::size_t k = 0; k < kWidth; ++k) {
+            const double r = rates8_[f * kWidth + k];
+            const double param = flow_param8_[f * kWidth + k];
+            trans8_[f * kWidth + k] = pw ? std::pow(r, param) : std::log1p(r / param);
+        }
+    }
+
+    // Phase 2: lockstep candidate scoring, scalar rank/admit per lane.
+    BatchNodeView nv;
+    nv.nc_begin = c0.node_class_begin.data();
+    nv.nc_cls = c0.node_class_class.data();
+    nv.nc_gcost = nc_gcost_entry_.data();
+    nv.nc_weight8 = nc_weight8_.data();
+    nv.nc_flow = nc_flow_entry_.data();
+    nv.rates8 = rates8_.data();
+    nv.trans8 = trans8_.data();
+    nv.out_unit8 = out_unit8_.data();
+    nv.out_value8 = out_value8_.data();
+    nv.out_ratio8 = out_ratio8_.data();
+
+    for (std::size_t b = 0; b < N; ++b) {
+        const std::size_t rb = c0.node_class_begin[b];
+        const std::size_t re = c0.node_class_begin[b + 1];
+        kernels_->batch_node_cands(nv, rb, re);
+        for (std::size_t k = 0; k < kWidth; ++k) {
+            double base_usage = 0.0;
+            for (std::size_t e = c0.node_flow_begin[b]; e < c0.node_flow_begin[b + 1]; ++e)
+                base_usage +=
+                    c0.node_flow_fcost[e] * rates8_[c0.node_flow_flow[e] * kWidth + k];
+
+            std::uint32_t count = 0;
+            for (std::size_t j = 0; j < re - rb; ++j) {
+                const std::uint32_t cls = c0.node_class_class[rb + j];
+                pop8_[cls * kWidth + k] = 0.0;
+                term8_[cls * kWidth + k] = 0.0;
+                const int mc = max_consumers8_[cls * kWidth + k];
+                if (mc == 0) continue;
+                const double unit_cost = out_unit8_[j * kWidth + k];
+                if (!(unit_cost > 0.0)) continue;
+                cands_[count++] = {out_ratio8_[j * kWidth + k], unit_cost,
+                                   out_value8_[j * kWidth + k], mc, cls};
+            }
+            std::sort(cands_.begin(), cands_.begin() + count, core::BenefitCostOrder{});
+
+            const double capacity = capacity8_node_[b * kWidth + k];
+            double remaining = capacity - base_usage;
+            std::optional<double> best_unmet_bc;
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const Cand& cand = cands_[i];
+                int admitted = 0;
+                if (remaining > 0.0) {
+                    admitted =
+                        static_cast<int>(std::min(std::floor(remaining / cand.unit_cost),
+                                                  static_cast<double>(cand.max_consumers)));
+                }
+                remaining -= admitted * cand.unit_cost;
+                pop8_[cand.cls * kWidth + k] = static_cast<double>(admitted);
+                term8_[cand.cls * kWidth + k] = admitted > 0 ? admitted * cand.value : 0.0;
+                if (admitted < cand.max_consumers && !best_unmet_bc)
+                    best_unmet_bc = cand.ratio;
+            }
+            node_price8_[b * kWidth + k] =
+                node_prices_[k][b].update(best_unmet_bc, capacity - remaining, capacity);
+        }
+    }
+
+    // Phase 3: lockstep usage sums, scalar controllers per lane.
+    BatchLinkView lv;
+    lv.lf_begin = c0.link_flow_begin.data();
+    lv.lf_flow = c0.link_flow_flow.data();
+    lv.lf_cost = c0.link_flow_cost.data();
+    lv.rates8 = rates8_.data();
+    lv.usage8 = usage8_.data();
+    kernels_->batch_link_usage(lv, 0, L);
+    for (std::size_t l = 0; l < L; ++l)
+        for (std::size_t k = 0; k < kWidth; ++k)
+            link_price8_[l * kWidth + k] =
+                link_prices_[k][l].update(usage8_[l * kWidth + k],
+                                          capacity8_link_[l * kWidth + k]);
+
+    // Eq. 1 per lane, serial class order.
+    double out8[kWidth];
+    kernels_->batch_sum_serial(term8_.data(), C, out8);
+    ++iteration_;
+    for (std::size_t k = 0; k < kWidth; ++k) {
+        utilities_[k] = out8[k];
+        traces_[k].append(out8[k]);
+        detectors_[k].addSample(out8[k]);
+    }
+
+    // Publish the real lanes' state in AoS form for the observers.
+    for (std::size_t k = 0; k < instances_; ++k) {
+        model::Allocation& alloc = allocations_[k];
+        for (std::size_t f = 0; f < F; ++f) alloc.rates[f] = rates8_[f * kWidth + k];
+        for (std::size_t j = 0; j < C; ++j)
+            alloc.populations[j] = static_cast<int>(pop8_[j * kWidth + k]);
+        for (std::size_t b = 0; b < N; ++b) prices_[k].node[b] = node_price8_[b * kWidth + k];
+        for (std::size_t l = 0; l < L; ++l) prices_[k].link[l] = link_price8_[l * kWidth + k];
+    }
+}
+
+void BatchedVectorEngine::run(int iterations) {
+    if (iterations <= 0)
+        throw std::invalid_argument("BatchedVectorEngine::run: iterations must be > 0");
+    for (int i = 0; i < iterations; ++i) step();
+}
+
+std::optional<int> BatchedVectorEngine::runUntilAllConverged(int max_iterations) {
+    if (max_iterations <= 0)
+        throw std::invalid_argument("BatchedVectorEngine::runUntilAllConverged: bad max");
+    for (int i = 0; i < max_iterations; ++i) {
+        step();
+        bool all = true;
+        for (std::size_t k = 0; k < instances_; ++k) all = all && detectors_[k].converged();
+        if (all) {
+            std::size_t last = 0;
+            for (std::size_t k = 0; k < instances_; ++k)
+                last = std::max(last, detectors_[k].convergedAt());
+            return static_cast<int>(last);
+        }
+    }
+    return std::nullopt;
+}
+
+double BatchedVectorEngine::utility(std::size_t k) const {
+    checkLane(k);
+    return utilities_[k];
+}
+
+bool BatchedVectorEngine::converged(std::size_t k) const {
+    checkLane(k);
+    return detectors_[k].converged();
+}
+
+const model::Allocation& BatchedVectorEngine::allocation(std::size_t k) const {
+    checkLane(k);
+    return allocations_[k];
+}
+
+const core::PriceVector& BatchedVectorEngine::prices(std::size_t k) const {
+    checkLane(k);
+    return prices_[k];
+}
+
+const metrics::TimeSeries& BatchedVectorEngine::utilityTrace(std::size_t k) const {
+    checkLane(k);
+    return traces_[k];
+}
+
+const model::ProblemSpec& BatchedVectorEngine::problem(std::size_t k) const {
+    checkLane(k);
+    return specs_[k];
+}
+
+}  // namespace lrgp::simd

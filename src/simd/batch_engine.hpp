@@ -1,0 +1,115 @@
+// Batched multi-instance LRGP: up to kWidth independent problem
+// instances advanced in lockstep, one instance per SIMD lane.
+//
+// All instances must share one topology (the same CSR structure and the
+// same shared cost matrices G/F/L); per-instance degrees of freedom are
+// the class weights, the rate bounds, the family parameters, the
+// node/link capacities and the per-class consumer ceilings.  Every
+// per-entity quantity is stored lane-major (entry e of instance k at
+// [e * kWidth + k]) and every floating-point reduction runs per lane in
+// serial entity order, so each lane's trajectory is bitwise-identical
+// to running that instance alone through the serial optimizer.
+//
+// Restrictions (std::invalid_argument otherwise):
+//   * 1..kWidth instances, identical topology and shared costs;
+//   * closed-form utility families only (no kGeneric flows) and
+//     RateSolveOptions::allow_closed_form left enabled;
+//   * no dynamic workload ops (remove/restore/capacity edits) — batched
+//     runs are for parameter sweeps, not live reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lrgp/compiled_problem.hpp"
+#include "lrgp/engine.hpp"
+#include "metrics/time_series.hpp"
+#include "model/allocation.hpp"
+#include "model/problem.hpp"
+#include "simd/kernels.hpp"
+
+namespace lrgp::simd {
+
+class BatchedVectorEngine {
+public:
+    /// Takes 1..kWidth problem instances; when fewer than kWidth are
+    /// given the spare lanes carry masked copies of instance 0.
+    explicit BatchedVectorEngine(std::vector<model::ProblemSpec> specs,
+                                 core::LrgpOptions options = {});
+
+    /// Number of real (unmasked) instances.
+    [[nodiscard]] std::size_t instanceCount() const noexcept { return instances_; }
+    [[nodiscard]] int iterationsRun() const noexcept { return iteration_; }
+    [[nodiscard]] const char* variant() const noexcept;
+
+    /// Advances every instance by one LRGP iteration.
+    void step();
+    void run(int iterations);
+    /// Steps until every instance's convergence detector fires (or
+    /// max_iterations); returns the 1-based iteration at which the last
+    /// instance converged, or nullopt.
+    std::optional<int> runUntilAllConverged(int max_iterations);
+
+    // -- per-instance observers (k < instanceCount()) -------------------
+    [[nodiscard]] double utility(std::size_t k) const;
+    [[nodiscard]] bool converged(std::size_t k) const;
+    [[nodiscard]] const model::Allocation& allocation(std::size_t k) const;
+    [[nodiscard]] const core::PriceVector& prices(std::size_t k) const;
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace(std::size_t k) const;
+    [[nodiscard]] const model::ProblemSpec& problem(std::size_t k) const;
+
+private:
+    struct Cand {
+        double ratio;
+        double unit_cost;
+        double value;
+        int max_consumers;
+        std::uint32_t cls;
+    };
+
+    void checkLane(std::size_t k) const;
+
+    const Kernels* kernels_;
+    core::LrgpOptions options_;
+    std::size_t instances_ = 0;
+    int iteration_ = 0;
+
+    std::vector<model::ProblemSpec> specs_;          ///< real instances
+    std::vector<core::CompiledProblem> compiled_;    ///< one per real instance
+    // Per-lane scalar state (kWidth entries; lanes >= instances_ mirror
+    // lane 0 and are never published).
+    std::vector<std::vector<core::NodePriceController>> node_prices_;
+    std::vector<std::vector<core::LinkPriceController>> link_prices_;
+    std::vector<core::ConvergenceDetector> detectors_;
+    std::vector<metrics::TimeSeries> traces_;
+    std::vector<double> utilities_;
+    std::vector<model::Allocation> allocations_;  ///< real instances only
+    std::vector<core::PriceVector> prices_;       ///< real instances only
+
+    // Lane-major numeric state ([entity * kWidth + lane]).
+    std::vector<double> flow_param8_;
+    std::vector<double> rate_min8_;
+    std::vector<double> rate_max8_;
+    std::vector<double> fc_weight8_;
+    std::vector<double> fc_dweight8_;
+    std::vector<double> nc_weight8_;
+    std::vector<double> node_price8_;
+    std::vector<double> link_price8_;
+    std::vector<double> pop8_;
+    std::vector<double> rates8_;
+    std::vector<double> trans8_;
+    std::vector<double> usage8_;
+    std::vector<double> term8_;
+    std::vector<double> out_unit8_;
+    std::vector<double> out_value8_;
+    std::vector<double> out_ratio8_;
+    std::vector<double> nc_gcost_entry_;         ///< G_{b,j} by node-class entry
+    std::vector<std::uint32_t> nc_flow_entry_;   ///< owning flow by node-class entry
+    std::vector<double> capacity8_node_;  ///< lane-major node capacities
+    std::vector<double> capacity8_link_;
+    std::vector<int> max_consumers8_;
+    std::vector<Cand> cands_;  ///< scalar scratch, one node span
+};
+
+}  // namespace lrgp::simd

@@ -1,0 +1,239 @@
+// Kernel table of the vectorized solver core.
+//
+// The three LRGP phase kernels (rate stationarity, node benefit-cost
+// scoring, link usage) plus the reduction helpers are free functions
+// over raw structure-of-arrays views, collected into a table of
+// function pointers.  kernels.inl defines them once; kernels_base.cpp
+// and kernels_v3.cpp compile that definition with different -march
+// flags, and simd.cpp dispatches to the widest variant the CPU
+// supports (or the scalar reference set when vectorization is forced
+// off).  All views use sentinel-padded arrays: CSR spans are padded to
+// a whole number of vector lanes with entries that contribute an exact
+// +0.0 (zero weight / zero cost) and index a sentinel slot holding a
+// zero rate/population, so the vector loops never read past a span and
+// never change a sum (docs/algorithm.md documents the argument).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace lrgp::simd {
+
+/// How cross-entity floating-point sums are ordered.
+enum class Reduction : std::uint8_t {
+    kSerial,  ///< serial left-to-right in entity order (bitwise mode)
+    kTree,    ///< 8-accumulator tree sums (tolerance mode)
+};
+
+/// Solve family mirror of core::SolveFamily (kept as raw uint8 so the
+/// kernel TUs do not pull engine headers).  Values must match.
+enum : std::uint8_t {
+    kFamGeneric = 0,
+    kFamLog = 1,
+    kFamPower = 2,
+    kFamShiftedLog = 3,
+};
+
+/// Per-iteration tallies the kernels accumulate (vector occupancy and
+/// obs counters); the engine folds them into VectorStats / lrgp_vec_*.
+struct KernelTallies {
+    std::uint64_t lanes_occupied = 0;  ///< real elements processed in vector lanes
+    std::uint64_t lanes_masked = 0;    ///< padded lanes carried along (waste)
+    std::uint64_t bound_solves = 0;    ///< flows resolved at a rate bound
+    std::uint64_t closed_solves = 0;   ///< flows resolved by the closed form
+};
+
+/// Structure-of-arrays view of the rate phase (one LRGP flow solve per
+/// active closed-form flow; kGeneric flows are skipped — the engine
+/// routes them through the reference solver / the vectorized scan).
+struct RateView {
+    std::size_t flow_count = 0;
+    const std::uint8_t* flow_active = nullptr;
+    const std::uint8_t* flow_family = nullptr;  ///< kFam* values
+    /// Combined shift of the log family: 1.0 for kFamLog, the scale for
+    /// kFamShiftedLog, the exponent for kFamPower.
+    const double* flow_param = nullptr;
+    const double* rate_min = nullptr;
+    const double* rate_max = nullptr;
+
+    // Padded per-flow link hops (PL_i).
+    const std::size_t* fl_begin = nullptr;
+    const std::uint32_t* fl_link = nullptr;  ///< sentinel link for pads
+    const double* fl_cost = nullptr;         ///< 0.0 for pads
+
+    // Per-flow node hops with padded nested class sub-spans (PB_i).
+    const std::size_t* fn_begin = nullptr;
+    const std::uint32_t* fn_node = nullptr;
+    const double* fn_fcost = nullptr;
+    const std::size_t* hc_begin = nullptr;
+    const double* hc_gcost = nullptr;  ///< 0.0 for pads
+
+    // Padded per-flow class spans (Eq. 7 terms).
+    const std::size_t* fc_begin = nullptr;
+    const double* fc_weight = nullptr;   ///< w_j, 0.0 for pads
+    const double* fc_dweight = nullptr;  ///< w_j * k, 0.0 for pads
+
+    // Span-ordered population mirrors (int32 counts, pads hold 0),
+    // maintained at admission-write time so the exact-mode derivative
+    // walks stream populations with contiguous loads instead of
+    // gathering them per class index.
+    const std::int32_t* hc_pop = nullptr;  ///< hop-class span order
+    const std::int32_t* fc_pop = nullptr;  ///< flow-class span order
+
+    // Per-flow Eq. 7 aggregates the engine's admission pass maintains
+    // for tolerance mode (the node phase owns every population write
+    // and every node price move, so it folds the PB price term and the
+    // stationarity sums into per-flow accumulators as it goes; the
+    // rate solve then reads O(1) scalars per flow instead of walking
+    // the class spans).  Unused in exact mode.
+    const double* flow_pb = nullptr;      ///< sum_b price_b (fcost + sum gcost n)
+    const double* flow_w = nullptr;       ///< sum n_j w_j over admitted classes
+    const double* flow_d = nullptr;       ///< sum n_j w_j k (power derivative)
+    const std::int64_t* flow_n = nullptr; ///< sum n_j (integer, exact)
+
+    // Price state (gathered per hop; hop spans are short).
+    const double* node_price = nullptr;
+    const double* link_price = nullptr;
+
+    double* rates = nullptr;  ///< out: flow_count + 1 (sentinel stays 0)
+    double* trans = nullptr;  ///< out: per-flow transcendental of the new rate
+
+    // Engine-owned scratch, each >= the widest padded span.
+    double* scratch_a = nullptr;
+    double* scratch_b = nullptr;
+
+    Reduction reduction = Reduction::kSerial;
+    bool allow_closed_form = true;
+};
+
+/// Structure-of-arrays view of the node phase's elementwise candidate
+/// scoring (unit cost, value, benefit-cost ratio per node-class entry).
+/// Ranking, admission and Eq. 12 stay scalar in the engine.
+struct NodeView {
+    const std::size_t* nc_begin = nullptr;   ///< padded CSR by node
+    const std::uint32_t* nc_cls = nullptr;   ///< sentinel class for pads
+    const double* nc_gcost = nullptr;        ///< G_{b,j}, 0.0 for pads
+    const double* nc_weight = nullptr;       ///< w_j, 0.0 for pads
+    const std::uint32_t* nc_flow = nullptr;  ///< sentinel flow for pads
+    const double* rates = nullptr;           ///< flow_count + 1, sentinel 0.0
+    const double* trans = nullptr;           ///< flow_count + 1, sentinel 0.0
+    /// Outputs, indexed by (position - nc_begin[b]); sized to the widest
+    /// padded node span.
+    double* out_unit = nullptr;
+    double* out_value = nullptr;
+    double* out_ratio = nullptr;
+};
+
+/// Structure-of-arrays view of the link phase usage sums (Eq. 13 input).
+struct LinkView {
+    const std::size_t* lf_begin = nullptr;   ///< padded CSR by link
+    const std::uint32_t* lf_flow = nullptr;  ///< sentinel flow for pads
+    const double* lf_cost = nullptr;         ///< L_{l,i}, 0.0 for pads
+    const double* rates = nullptr;           ///< flow_count + 1, sentinel 0.0
+    double* scratch = nullptr;               ///< >= widest padded link span
+    double* usage = nullptr;                 ///< out, by link
+    Reduction reduction = Reduction::kSerial;
+};
+
+// ---------------------------------------------------------------------------
+// Batched multi-instance views: kWidth independent problem instances
+// sharing one topology, one instance per SIMD lane.  All per-entity
+// state is lane-major (entry e of instance k lives at [e * kWidth + k]),
+// and every reduction runs per lane in serial entity order — each
+// lane's accumulation order is exactly the serial optimizer's, so a
+// batched lane reproduces its solo serial run bitwise.
+// ---------------------------------------------------------------------------
+
+struct BatchRateView {
+    std::size_t flow_count = 0;
+    const std::uint8_t* flow_family = nullptr;
+    const double* flow_param8 = nullptr;  ///< lane-major family param/shift
+    const double* rate_min8 = nullptr;
+    const double* rate_max8 = nullptr;
+
+    // Shared (unpadded) CSR topology.
+    const std::size_t* fl_begin = nullptr;
+    const std::uint32_t* fl_link = nullptr;
+    const double* fl_cost = nullptr;
+    const std::size_t* fn_begin = nullptr;
+    const std::uint32_t* fn_node = nullptr;
+    const double* fn_fcost = nullptr;
+    const std::size_t* hc_begin = nullptr;
+    const std::uint32_t* hc_cls = nullptr;
+    const double* hc_gcost = nullptr;
+    const std::size_t* fc_begin = nullptr;
+    const std::uint32_t* fc_cls = nullptr;
+    const double* fc_weight8 = nullptr;   ///< lane-major w_j
+    const double* fc_dweight8 = nullptr;  ///< lane-major w_j * k
+
+    const double* node_price8 = nullptr;
+    const double* link_price8 = nullptr;
+    const double* pop8 = nullptr;  ///< lane-major populations as doubles
+
+    double* rates8 = nullptr;  ///< out, lane-major
+};
+
+struct BatchNodeView {
+    const std::size_t* nc_begin = nullptr;  ///< unpadded CSR by node
+    const std::uint32_t* nc_cls = nullptr;
+    const double* nc_gcost = nullptr;
+    const double* nc_weight8 = nullptr;  ///< lane-major w_j
+    const std::uint32_t* nc_flow = nullptr;
+    const double* rates8 = nullptr;
+    const double* trans8 = nullptr;
+    /// Lane-major outputs indexed by (position - nc_begin[b]) * kWidth.
+    double* out_unit8 = nullptr;
+    double* out_value8 = nullptr;
+    double* out_ratio8 = nullptr;
+};
+
+struct BatchLinkView {
+    const std::size_t* lf_begin = nullptr;
+    const std::uint32_t* lf_flow = nullptr;
+    const double* lf_cost = nullptr;
+    const double* rates8 = nullptr;
+    double* usage8 = nullptr;  ///< out, lane-major by link
+};
+
+/// The dispatchable kernel set.  One instance per compiled variant
+/// (scalar reference, baseline vector, x86-64-v3 vector).
+struct Kernels {
+    const char* name;  ///< "scalar", "base", "x86-64-v3"
+
+    /// Phase 1 over [begin, end): solves every active non-generic flow
+    /// (closed-form families) and writes rates + transcendentals.
+    void (*rate_phase)(const RateView&, std::size_t begin, std::size_t end, KernelTallies&);
+    /// Elementwise candidate scoring for one node's class span.
+    void (*node_cands)(const NodeView&, std::size_t nc_pad_begin, std::size_t nc_pad_end,
+                       KernelTallies&);
+    /// Phase 3 usage sums over links [begin, end).
+    void (*link_usage)(const LinkView&, std::size_t begin, std::size_t end, KernelTallies&);
+    /// Serial left-to-right sum (bitwise the scalar engines' epilogue).
+    double (*sum_serial)(const double*, std::size_t);
+    /// 8-accumulator tree sum (tolerance mode).
+    double (*sum_tree)(const double*, std::size_t);
+    /// int -> double population mirror (values exact, n < 2^53).
+    void (*pops_to_f64)(const int*, double*, std::size_t);
+
+    /// Batched lockstep solve of the closed-form flows of all lanes.
+    void (*batch_rate_phase)(const BatchRateView&, std::size_t begin, std::size_t end,
+                             KernelTallies&);
+    void (*batch_node_cands)(const BatchNodeView&, std::size_t span_begin, std::size_t span_end);
+    void (*batch_link_usage)(const BatchLinkView&, std::size_t begin, std::size_t end);
+    /// Per-lane serial class-order sum of lane-major terms into out[8].
+    void (*batch_sum_serial)(const double* terms8, std::size_t count, double* out8);
+};
+
+/// The table selected by LRGP_SIMD / CPU detection (simd.cpp).
+[[nodiscard]] const Kernels& active_kernels() noexcept;
+
+/// Variant tables (for tests that pin a specific implementation).
+[[nodiscard]] const Kernels& scalar_kernels() noexcept;
+[[nodiscard]] const Kernels& base_kernels() noexcept;
+#if defined(LRGP_SIMD_HAVE_V3)
+[[nodiscard]] const Kernels& v3_kernels() noexcept;
+#endif
+
+}  // namespace lrgp::simd

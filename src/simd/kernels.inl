@@ -1,0 +1,557 @@
+// Vector kernel implementations — included by kernels_scalar.cpp,
+// kernels_base.cpp and kernels_v3.cpp with LRGP_SIMD_NS set to the
+// variant namespace (and LRGP_SIMD_SCALAR defined for the reference
+// loops).  Every translation unit including this file must be compiled
+// with -ffp-contract=off: the bitwise contract of the exact mode (and
+// the batched engine) relies on each elementwise multiply and add
+// rounding separately, exactly like the scalar engines.
+//
+// Bitwise argument used throughout (docs/algorithm.md has the full
+// version): elementwise IEEE-754 lane operations are identical to their
+// scalar counterparts on every ISA; padded span entries are constructed
+// to contribute an exact +0.0 product, and adding +0.0 to a
+// non-negative running sum is the identity, so full-padded-span serial
+// sums equal the scalar engines' skip-on-inactive sums bit for bit.
+// Sums whose running value can be -0.0 (the rate derivative, seeded
+// with -price) are only ever *compared* against zero, where -0.0 and
+// +0.0 agree.  Cross-entity tree reductions (Reduction::kTree) are the
+// one place results may differ from the serial order — that is the
+// documented tolerance mode.
+
+#include <cmath>
+#include <cstring>
+
+#include "simd/kernels.hpp"
+
+namespace lrgp::simd {
+namespace LRGP_SIMD_NS {
+
+#if defined(LRGP_SIMD_SCALAR)
+
+/// Reference lane group: plain arrays, scalar loops.  Compiled with
+/// vectorization disabled so the "scalar fallback" dispatch target is
+/// honestly scalar.
+struct vd {
+    double l[kWidth];
+};
+struct vmask {
+    bool l[kWidth];
+};
+
+static inline vd vbroadcast(double x) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = x;
+    return r;
+}
+static inline vd vzero() { return vbroadcast(0.0); }
+static inline vd vload(const double* p) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = p[i];
+    return r;
+}
+static inline void vstore(double* p, vd v) {
+    for (std::size_t i = 0; i < kWidth; ++i) p[i] = v.l[i];
+}
+static inline vd vadd(vd a, vd b) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = a.l[i] + b.l[i];
+    return r;
+}
+static inline vd vsub(vd a, vd b) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = a.l[i] - b.l[i];
+    return r;
+}
+static inline vd vmul(vd a, vd b) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = a.l[i] * b.l[i];
+    return r;
+}
+static inline vd vdiv(vd a, vd b) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = a.l[i] / b.l[i];
+    return r;
+}
+static inline vd vgather(const double* base, const std::uint32_t* idx) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = base[idx[i]];
+    return r;
+}
+static inline vmask vgt0(vd a) {
+    vmask m;
+    for (std::size_t i = 0; i < kWidth; ++i) m.l[i] = a.l[i] > 0.0;
+    return m;
+}
+static inline vmask vlt(vd a, vd b) {
+    vmask m;
+    for (std::size_t i = 0; i < kWidth; ++i) m.l[i] = a.l[i] < b.l[i];
+    return m;
+}
+static inline vmask vge(vd a, vd b) {
+    vmask m;
+    for (std::size_t i = 0; i < kWidth; ++i) m.l[i] = a.l[i] >= b.l[i];
+    return m;
+}
+static inline vmask vle(vd a, vd b) {
+    vmask m;
+    for (std::size_t i = 0; i < kWidth; ++i) m.l[i] = a.l[i] <= b.l[i];
+    return m;
+}
+static inline vd vselect(vmask m, vd a, vd b) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = m.l[i] ? a.l[i] : b.l[i];
+    return r;
+}
+static inline bool vany(vmask m) {
+    bool any = false;
+    for (std::size_t i = 0; i < kWidth; ++i) any = any || m.l[i];
+    return any;
+}
+static inline bool vall(vmask m) {
+    bool all = true;
+    for (std::size_t i = 0; i < kWidth; ++i) all = all && m.l[i];
+    return all;
+}
+static inline double vlane(vd a, std::size_t i) { return a.l[i]; }
+static inline void vsetlane(vd& a, std::size_t i, double x) { a.l[i] = x; }
+static inline bool mlane(vmask m, std::size_t i) { return m.l[i]; }
+static inline vd vload_pop(const std::int32_t* p) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r.l[i] = static_cast<double>(p[i]);
+    return r;
+}
+
+#else  // !LRGP_SIMD_SCALAR
+
+/// 8 x double via the GCC/Clang vector extensions; the compiler lowers
+/// to the widest instructions the TU's -march allows.
+typedef double vd __attribute__((vector_size(kWidth * sizeof(double))));
+typedef long long vmask __attribute__((vector_size(kWidth * sizeof(long long))));
+
+static inline vd vbroadcast(double x) { return vd{x, x, x, x, x, x, x, x}; }
+static inline vd vzero() { return vbroadcast(0.0); }
+static inline vd vload(const double* p) {
+    vd r;
+    __builtin_memcpy(&r, p, sizeof(vd));
+    return r;
+}
+static inline void vstore(double* p, vd v) { __builtin_memcpy(p, &v, sizeof(vd)); }
+static inline vd vadd(vd a, vd b) { return a + b; }
+static inline vd vsub(vd a, vd b) { return a - b; }
+static inline vd vmul(vd a, vd b) { return a * b; }
+static inline vd vdiv(vd a, vd b) { return a / b; }
+static inline vd vgather(const double* base, const std::uint32_t* idx) {
+    vd r;
+    for (std::size_t i = 0; i < kWidth; ++i) r[i] = base[idx[i]];
+    return r;
+}
+static inline vmask vgt0(vd a) { return a > vzero(); }
+static inline vmask vlt(vd a, vd b) { return a < b; }
+static inline vmask vge(vd a, vd b) { return a >= b; }
+static inline vmask vle(vd a, vd b) { return a <= b; }
+static inline vd vselect(vmask m, vd a, vd b) { return m ? a : b; }
+static inline bool vany(vmask m) {
+    bool any = false;
+    for (std::size_t i = 0; i < kWidth; ++i) any = any || (m[i] != 0);
+    return any;
+}
+static inline bool vall(vmask m) {
+    bool all = true;
+    for (std::size_t i = 0; i < kWidth; ++i) all = all && (m[i] != 0);
+    return all;
+}
+static inline double vlane(vd a, std::size_t i) { return a[i]; }
+static inline void vsetlane(vd& a, std::size_t i, double x) { a[i] = x; }
+static inline bool mlane(vmask m, std::size_t i) { return m[i] != 0; }
+
+/// int32 population chunk widened to doubles (exact: counts < 2^31).
+typedef std::int32_t vi32 __attribute__((vector_size(kWidth * sizeof(std::int32_t))));
+static inline vd vload_pop(const std::int32_t* p) {
+    vi32 t;
+    __builtin_memcpy(&t, p, sizeof(t));
+    return __builtin_convertvector(t, vd);
+}
+
+#endif  // LRGP_SIMD_SCALAR
+
+/// Serial left-to-right sum — bitwise the scalar engines' accumulation
+/// order (the count here is a padded span length; pads hold +0.0).
+static double sum_serial(const double* p, std::size_t n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += p[i];
+    return acc;
+}
+
+/// Fixed-order horizontal combine of one vector accumulator: pairwise
+/// (l0+l1)+(l2+l3) then ((..)+(..)).  Deterministic for any ISA.
+static inline double hsum_tree(vd a) {
+    const double s01 = vlane(a, 0) + vlane(a, 1);
+    const double s23 = vlane(a, 2) + vlane(a, 3);
+    const double s45 = vlane(a, 4) + vlane(a, 5);
+    const double s67 = vlane(a, 6) + vlane(a, 7);
+    return (s01 + s23) + (s45 + s67);
+}
+
+/// Tree sum over an arbitrary array: one vector accumulator over the
+/// whole chunks (element i lands in lane i % 8), fixed-order horizontal
+/// combine, then the scalar tail appended serially.  Deterministic.
+static double sum_tree(const double* p, std::size_t n) {
+    vd acc = vzero();
+    std::size_t i = 0;
+    for (; i + kWidth <= n; i += kWidth) acc = vadd(acc, vload(p + i));
+    double r = hsum_tree(acc);
+    for (; i < n; ++i) r += p[i];
+    return r;
+}
+
+static void pops_to_f64(const int* in, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(in[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: rate stationarity (Eq. 7) over the closed-form families.
+// ---------------------------------------------------------------------------
+
+/// PL_i link-price accumulation for one flow (link spans are short).
+static inline double flow_price_links(const RateView& v, std::size_t f) {
+    const std::size_t b = v.fl_begin[f], e = v.fl_begin[f + 1];
+    if (v.reduction == Reduction::kTree) {
+        vd acc = vzero();
+        for (std::size_t p = b; p < e; p += kWidth)
+            acc = vadd(acc, vmul(vload(v.fl_cost + p), vgather(v.link_price, v.fl_link + p)));
+        return hsum_tree(acc);
+    }
+    for (std::size_t p = b; p < e; p += kWidth)
+        vstore(v.scratch_a + (p - b),
+               vmul(vload(v.fl_cost + p), vgather(v.link_price, v.fl_link + p)));
+    return sum_serial(v.scratch_a, e - b);
+}
+
+/// PB_i node-price accumulation for one flow (exact mode: populations
+/// stream from the hop-class-ordered mirror, hop products are stored
+/// and summed serially in span order — bitwise the serial engine).
+/// Tolerance mode never calls this: its PB is the admission-maintained
+/// v.flow_pb aggregate.
+static inline double flow_price_hops(const RateView& v, std::size_t f) {
+    double pb = 0.0;
+    for (std::size_t h = v.fn_begin[f]; h < v.fn_begin[f + 1]; ++h) {
+        const std::size_t cb = v.hc_begin[h], ce = v.hc_begin[h + 1];
+        double per_rate_cost = v.fn_fcost[h];
+        for (std::size_t p = cb; p < ce; p += kWidth)
+            vstore(v.scratch_a + (p - cb),
+                   vmul(vload(v.hc_gcost + p), vload_pop(v.hc_pop + p)));
+        for (std::size_t i = 0; i < ce - cb; ++i) per_rate_cost += v.scratch_a[i];
+        pb += per_rate_cost * v.node_price[v.fn_node[h]];
+    }
+    return pb;
+}
+
+static void rate_phase(const RateView& v, std::size_t begin, std::size_t end, KernelTallies& t) {
+    for (std::size_t f = begin; f < end; ++f) {
+        if (!v.flow_active[f]) continue;
+        const std::uint8_t fam = v.flow_family[f];
+        if (fam == kFamGeneric || !v.allow_closed_form) continue;
+
+        const double lo = v.rate_min[f];
+        const double hi = v.rate_max[f];
+        const double param = v.flow_param[f];
+        const std::size_t cb = v.fc_begin[f], ce = v.fc_begin[f + 1];
+
+        double rate;
+        if (v.reduction == Reduction::kTree) {
+            // Tolerance mode: the admission pass already folded the PB
+            // price term and the stationarity sums N = sum n_j,
+            // W = sum n_j w_j (and D = sum n_j w_j k for the power
+            // family) into per-flow accumulators, so the solve is O(1)
+            // scalars per flow — only the link-price hops are walked.
+            const double price = flow_price_links(v, f) + v.flow_pb[f];
+            const bool pw = fam == kFamPower;
+            const double W = v.flow_w[f];
+            if (!(v.flow_n[f] > 0)) {
+                rate = price > 0.0 ? lo : hi;
+                ++t.bound_solves;
+            } else if (pw) {
+                const double D = v.flow_d[f];
+                if (-price + D * std::pow(hi, param - 1.0) >= 0.0) {
+                    rate = hi;
+                    ++t.bound_solves;
+                } else if (-price + D * std::pow(lo, param - 1.0) <= 0.0) {
+                    rate = lo;
+                    ++t.bound_solves;
+                } else {
+                    rate = std::pow(price / (W * param), 1.0 / (param - 1.0));
+                    rate = rate < lo ? lo : (hi < rate ? hi : rate);
+                    ++t.closed_solves;
+                }
+            } else {
+                // kFamLog is kFamShiftedLog with shift 1.0 (U' = W/(s+r)).
+                if (-price + W / (param + hi) >= 0.0) {
+                    rate = hi;
+                    ++t.bound_solves;
+                } else if (-price + W / (param + lo) <= 0.0) {
+                    rate = lo;
+                    ++t.bound_solves;
+                } else {
+                    rate = W / price - param;
+                    rate = rate < lo ? lo : (hi < rate ? hi : rate);
+                    ++t.closed_solves;
+                }
+            }
+        } else {
+            // Exact mode: the serial derivative walks with the per-class
+            // division batched 8 wide over the contiguous population
+            // mirror.  Contributions are stored in span order and summed
+            // serially; n <= 0 classes are masked to an exact +0.0 (the
+            // serial engine skips them — identical sums, and NaN-safe
+            // when the power derivative is infinite at 0).
+            const double price = flow_price_links(v, f) + flow_price_hops(v, f);
+            bool any_pop = false;
+            for (std::size_t p = cb; p < ce && !any_pop; p += kWidth)
+                any_pop = vany(vgt0(vload_pop(v.fc_pop + p)));
+            if (!any_pop) {
+                rate = price > 0.0 ? lo : hi;
+                ++t.bound_solves;
+                v.rates[f] = rate;
+                v.trans[f] =
+                    fam == kFamPower ? std::pow(rate, param) : std::log1p(rate / param);
+                continue;
+            }
+
+            const auto derivative_at = [&](double r) {
+                if (fam == kFamPower) {
+                    const vd pt = vbroadcast(std::pow(r, param - 1.0));
+                    for (std::size_t p = cb; p < ce; p += kWidth) {
+                        const vd n = vload_pop(v.fc_pop + p);
+                        const vd du = vmul(vload(v.fc_dweight + p), pt);
+                        vstore(v.scratch_a + (p - cb), vselect(vgt0(n), vmul(n, du), vzero()));
+                    }
+                } else {
+                    const vd den = vbroadcast(param + r);
+                    for (std::size_t p = cb; p < ce; p += kWidth) {
+                        const vd n = vload_pop(v.fc_pop + p);
+                        const vd du = vdiv(vload(v.fc_weight + p), den);
+                        vstore(v.scratch_a + (p - cb), vselect(vgt0(n), vmul(n, du), vzero()));
+                    }
+                }
+                double d = -price;
+                const std::size_t count = ce - cb;
+                for (std::size_t i = 0; i < count; ++i) d += v.scratch_a[i];
+                return d;
+            };
+
+            if (derivative_at(hi) >= 0.0) {
+                rate = hi;
+                ++t.bound_solves;
+            } else if (derivative_at(lo) <= 0.0) {
+                rate = lo;
+                ++t.bound_solves;
+            } else {
+                for (std::size_t p = cb; p < ce; p += kWidth) {
+                    const vd n = vload_pop(v.fc_pop + p);
+                    vstore(v.scratch_a + (p - cb),
+                           vselect(vgt0(n), vmul(n, vload(v.fc_weight + p)), vzero()));
+                }
+                double W = 0.0;
+                for (std::size_t i = 0; i < ce - cb; ++i) W += v.scratch_a[i];
+                double r;
+                if (fam == kFamPower)
+                    r = std::pow(price / (W * param), 1.0 / (param - 1.0));
+                else
+                    r = W / price - param;
+                rate = r < lo ? lo : (hi < r ? hi : r);
+                ++t.closed_solves;
+            }
+        }
+
+        v.rates[f] = rate;
+        // One transcendental per flow (phase 2's U_j(r) = w_j * trans).
+        // kFamLog uses param == 1.0: rate / 1.0 is bitwise rate, so
+        // log1p matches the serial engine's log1p(rate) exactly.
+        v.trans[f] = fam == kFamPower ? std::pow(rate, param) : std::log1p(rate / param);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: elementwise benefit-cost scoring for one node span.
+// ---------------------------------------------------------------------------
+
+static void node_cands(const NodeView& v, std::size_t pad_begin, std::size_t pad_end,
+                       KernelTallies& t) {
+    (void)t;
+    for (std::size_t p = pad_begin; p < pad_end; p += kWidth) {
+        const vd rate = vgather(v.rates, v.nc_flow + p);
+        const vd unit = vmul(vload(v.nc_gcost + p), rate);
+        const vd value = vmul(vload(v.nc_weight + p), vgather(v.trans, v.nc_flow + p));
+        const std::size_t o = p - pad_begin;
+        vstore(v.out_unit + o, unit);
+        vstore(v.out_value + o, value);
+        vstore(v.out_ratio + o, vdiv(value, unit));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: link usage sums (Eq. 13 input).
+// ---------------------------------------------------------------------------
+
+static void link_usage(const LinkView& v, std::size_t begin, std::size_t end, KernelTallies& t) {
+    (void)t;
+    for (std::size_t l = begin; l < end; ++l) {
+        const std::size_t b = v.lf_begin[l], e = v.lf_begin[l + 1];
+        if (v.reduction == Reduction::kTree) {
+            vd acc = vzero();
+            for (std::size_t p = b; p < e; p += kWidth)
+                acc = vadd(acc, vmul(vload(v.lf_cost + p), vgather(v.rates, v.lf_flow + p)));
+            v.usage[l] = hsum_tree(acc);
+        } else {
+            // Inactive flows hold an exact 0.0 rate (removeFlow zeroes
+            // it), so their cost * 0.0 products — like the pads — add
+            // +0.0 to a non-negative sum: bitwise the serial skip-scan.
+            for (std::size_t p = b; p < e; p += kWidth)
+                vstore(v.scratch + (p - b),
+                       vmul(vload(v.lf_cost + p), vgather(v.rates, v.lf_flow + p)));
+            v.usage[l] = sum_serial(v.scratch, e - b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched lockstep kernels: one problem instance per lane, lane-major
+// state, every reduction serial in entity order per lane (bitwise the
+// solo serial run of each instance).
+// ---------------------------------------------------------------------------
+
+static void batch_rate_phase(const BatchRateView& v, std::size_t begin, std::size_t end,
+                             KernelTallies& t) {
+    (void)t;
+    for (std::size_t f = begin; f < end; ++f) {
+        const std::uint8_t fam = v.flow_family[f];
+        if (fam == kFamGeneric) continue;
+
+        // PL_i: hop order, per-lane serial accumulation.
+        vd pl = vzero();
+        for (std::size_t h = v.fl_begin[f]; h < v.fl_begin[f + 1]; ++h)
+            pl = vadd(pl, vmul(vbroadcast(v.fl_cost[h]),
+                               vload(v.link_price8 + v.fl_link[h] * kWidth)));
+        // PB_i: route order, nested class sub-span order per lane.
+        vd pb = vzero();
+        for (std::size_t h = v.fn_begin[f]; h < v.fn_begin[f + 1]; ++h) {
+            vd per_rate_cost = vbroadcast(v.fn_fcost[h]);
+            for (std::size_t e = v.hc_begin[h]; e < v.hc_begin[h + 1]; ++e)
+                per_rate_cost = vadd(per_rate_cost, vmul(vbroadcast(v.hc_gcost[e]),
+                                                         vload(v.pop8 + v.hc_cls[e] * kWidth)));
+            pb = vadd(pb, vmul(per_rate_cost, vload(v.node_price8 + v.fn_node[h] * kWidth)));
+        }
+        const vd price = vadd(pl, pb);
+
+        const vd lo = vload(v.rate_min8 + f * kWidth);
+        const vd hi = vload(v.rate_max8 + f * kWidth);
+        const vd param = vload(v.flow_param8 + f * kWidth);
+        const std::size_t cb = v.fc_begin[f], ce = v.fc_begin[f + 1];
+        const bool pw = fam == kFamPower;
+
+        // any_population per lane, plus the derivative walks at both
+        // bounds and the combined weight — all in serial class order per
+        // lane; n <= 0 lanes contribute a masked exact +0.0 (the serial
+        // engine skips them; sums agree bitwise, comparisons always do).
+        vd npop = vzero();
+        vd d_hi = vsub(vzero(), price);
+        vd d_lo = d_hi;
+        vd W = vzero();
+        vd pt_hi = vzero(), pt_lo = vzero();
+        if (pw) {
+            for (std::size_t i = 0; i < kWidth; ++i) {
+                vsetlane(pt_hi, i, std::pow(vlane(hi, i), vlane(param, i) - 1.0));
+                vsetlane(pt_lo, i, std::pow(vlane(lo, i), vlane(param, i) - 1.0));
+            }
+        }
+        for (std::size_t e = cb; e < ce; ++e) {
+            const vd n = vload(v.pop8 + v.fc_cls[e] * kWidth);
+            const vmask has = vgt0(n);
+            npop = vadd(npop, n);
+            const vd w = vload(v.fc_weight8 + e * kWidth);
+            vd du_hi, du_lo;
+            if (pw) {
+                const vd dw = vload(v.fc_dweight8 + e * kWidth);
+                du_hi = vmul(dw, pt_hi);
+                du_lo = vmul(dw, pt_lo);
+            } else {
+                du_hi = vdiv(w, vadd(param, hi));
+                du_lo = vdiv(w, vadd(param, lo));
+            }
+            d_hi = vadd(d_hi, vselect(has, vmul(n, du_hi), vzero()));
+            d_lo = vadd(d_lo, vselect(has, vmul(n, du_lo), vzero()));
+            W = vadd(W, vselect(has, vmul(n, w), vzero()));
+        }
+
+        // Closed form per lane (value irrelevant on bound lanes).
+        vd r_closed;
+        if (pw) {
+            for (std::size_t i = 0; i < kWidth; ++i) {
+                const double k = vlane(param, i);
+                vsetlane(r_closed, i,
+                         std::pow(vlane(price, i) / (vlane(W, i) * k), 1.0 / (k - 1.0)));
+            }
+        } else {
+            r_closed = vsub(vdiv(W, price), param);
+        }
+        // std::clamp mirror: (v < lo) -> lo, then (hi < v) -> hi.
+        r_closed = vselect(vlt(r_closed, lo), lo, r_closed);
+        r_closed = vselect(vlt(hi, r_closed), hi, r_closed);
+
+        // Lane blend in the serial engine's branch order.
+        vd rate = vselect(vge(d_hi, vzero()), hi, vselect(vle(d_lo, vzero()), lo, r_closed));
+        const vd no_pop_rate = vselect(vgt0(price), lo, hi);
+        rate = vselect(vgt0(npop), rate, no_pop_rate);
+        vstore(v.rates8 + f * kWidth, rate);
+    }
+}
+
+static void batch_node_cands(const BatchNodeView& v, std::size_t span_begin,
+                             std::size_t span_end) {
+    for (std::size_t e = span_begin; e < span_end; ++e) {
+        const std::uint32_t f = v.nc_flow[e];
+        const vd rate = vload(v.rates8 + f * kWidth);
+        const vd unit = vmul(vbroadcast(v.nc_gcost[e]), rate);
+        const vd value = vmul(vload(v.nc_weight8 + e * kWidth), vload(v.trans8 + f * kWidth));
+        const std::size_t o = (e - span_begin) * kWidth;
+        vstore(v.out_unit8 + o, unit);
+        vstore(v.out_value8 + o, value);
+        vstore(v.out_ratio8 + o, vdiv(value, unit));
+    }
+}
+
+static void batch_link_usage(const BatchLinkView& v, std::size_t begin, std::size_t end) {
+    for (std::size_t l = begin; l < end; ++l) {
+        vd acc = vzero();
+        for (std::size_t e = v.lf_begin[l]; e < v.lf_begin[l + 1]; ++e)
+            acc = vadd(acc, vmul(vbroadcast(v.lf_cost[e]), vload(v.rates8 + v.lf_flow[e] * kWidth)));
+        vstore(v.usage8 + l * kWidth, acc);
+    }
+}
+
+static void batch_sum_serial(const double* terms8, std::size_t count, double* out8) {
+    vd acc = vzero();
+    for (std::size_t e = 0; e < count; ++e) acc = vadd(acc, vload(terms8 + e * kWidth));
+    vstore(out8, acc);
+}
+
+}  // namespace LRGP_SIMD_NS
+
+const Kernels& LRGP_SIMD_KERNELS() noexcept {
+    static const Kernels k{
+        LRGP_SIMD_NAME,
+        &LRGP_SIMD_NS::rate_phase,
+        &LRGP_SIMD_NS::node_cands,
+        &LRGP_SIMD_NS::link_usage,
+        &LRGP_SIMD_NS::sum_serial,
+        &LRGP_SIMD_NS::sum_tree,
+        &LRGP_SIMD_NS::pops_to_f64,
+        &LRGP_SIMD_NS::batch_rate_phase,
+        &LRGP_SIMD_NS::batch_node_cands,
+        &LRGP_SIMD_NS::batch_link_usage,
+        &LRGP_SIMD_NS::batch_sum_serial,
+    };
+    return k;
+}
+
+}  // namespace lrgp::simd

@@ -1,0 +1,6 @@
+// Baseline-ISA vector variant: kernels.inl lowered with the build's
+// default architecture flags (SSE2 on stock x86-64).
+#define LRGP_SIMD_NS base_impl
+#define LRGP_SIMD_NAME "base"
+#define LRGP_SIMD_KERNELS base_kernels
+#include "simd/kernels.inl"

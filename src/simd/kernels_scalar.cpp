@@ -1,0 +1,8 @@
+// Scalar reference variant of the kernel table.  Compiled with
+// -fno-tree-vectorize (see CMakeLists.txt) so the fallback dispatch
+// target is honestly scalar, not auto-vectorized.
+#define LRGP_SIMD_SCALAR 1
+#define LRGP_SIMD_NS scalar_impl
+#define LRGP_SIMD_NAME "scalar"
+#define LRGP_SIMD_KERNELS scalar_kernels
+#include "simd/kernels.inl"

@@ -1,0 +1,8 @@
+// x86-64-v3 vector variant: the same kernels.inl lowered with
+// -march=x86-64-v3 (AVX2 class).  Only added to the build when the
+// compiler accepts the flag; selected at runtime when the CPU supports
+// it.  Still -ffp-contract=off: identical lane arithmetic, wider lanes.
+#define LRGP_SIMD_NS v3_impl
+#define LRGP_SIMD_NAME "x86-64-v3"
+#define LRGP_SIMD_KERNELS v3_kernels
+#include "simd/kernels.inl"

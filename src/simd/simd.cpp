@@ -1,0 +1,104 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels.hpp"
+
+namespace lrgp::simd {
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+enum class EnvPin : std::uint8_t { kAuto, kBase, kScalar };
+
+EnvPin env_pin() {
+    const char* e = std::getenv("LRGP_SIMD");
+    if (e == nullptr || *e == '\0' || std::strcmp(e, "auto") == 0) return EnvPin::kAuto;
+    if (std::strcmp(e, "base") == 0) return EnvPin::kBase;
+    if (std::strcmp(e, "off") == 0 || std::strcmp(e, "scalar") == 0) return EnvPin::kScalar;
+    return EnvPin::kAuto;
+}
+
+bool cpu_has_v3() {
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+const char* detected_isa() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f")) return "avx512";
+    if (__builtin_cpu_supports("avx2")) return "avx2";
+    if (__builtin_cpu_supports("sse2")) return "sse2";
+    return "scalar";
+#else
+    return "unknown";
+#endif
+}
+
+const char* compiled_isa() noexcept {
+#if defined(__AVX512F__)
+    return "avx512";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+    return "sse2";
+#else
+    return "portable";
+#endif
+}
+
+Variant active_variant() noexcept {
+    if (g_force_scalar.load(std::memory_order_relaxed)) return Variant::kScalar;
+    switch (env_pin()) {
+        case EnvPin::kScalar:
+            return Variant::kScalar;
+        case EnvPin::kBase:
+            return Variant::kBase;
+        case EnvPin::kAuto:
+            break;
+    }
+#if defined(LRGP_SIMD_HAVE_V3)
+    if (cpu_has_v3()) return Variant::kV3;
+#endif
+    return Variant::kBase;
+}
+
+const char* active_variant_name() noexcept {
+    switch (active_variant()) {
+        case Variant::kScalar:
+            return "scalar";
+        case Variant::kV3:
+            return "x86-64-v3";
+        case Variant::kBase:
+            break;
+    }
+    return "base";
+}
+
+void force_scalar(bool on) noexcept { g_force_scalar.store(on, std::memory_order_relaxed); }
+
+bool scalar_forced() noexcept {
+    return g_force_scalar.load(std::memory_order_relaxed) || env_pin() == EnvPin::kScalar;
+}
+
+const Kernels& active_kernels() noexcept {
+    switch (active_variant()) {
+        case Variant::kScalar:
+            return scalar_kernels();
+#if defined(LRGP_SIMD_HAVE_V3)
+        case Variant::kV3:
+            return v3_kernels();
+#endif
+        default:
+            return base_kernels();
+    }
+}
+
+}  // namespace lrgp::simd

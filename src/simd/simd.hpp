@@ -1,0 +1,70 @@
+// Portable explicit-SIMD layer for the vectorized solver core.
+//
+// The vector kernels are written once (kernels.inl) against a fixed
+// 8-lane double vector type built on the GCC/Clang vector extensions,
+// and compiled twice: a baseline translation unit with the build's
+// default architecture flags, and — when the compiler supports it — a
+// second translation unit with -march=x86-64-v3 (AVX2+FMA class
+// hardware).  `active_kernels()` picks the widest variant the running
+// CPU supports at first use; the LRGP_SIMD environment variable (or
+// `force_scalar()` from tests) can pin the choice:
+//
+//     LRGP_SIMD=auto    best available variant (default)
+//     LRGP_SIMD=base    baseline-ISA vector variant
+//     LRGP_SIMD=off     scalar reference loops (vectorization disabled)
+//     LRGP_SIMD=scalar  same as off
+//
+// Both variants are compiled with -ffp-contract=off, so no mul+add is
+// fused into an FMA: every elementwise lane operation is the exact
+// IEEE-754 operation the scalar engines perform, which is what makes
+// the vector_exact mode bitwise-identical to the serial optimizer (see
+// docs/algorithm.md, "Vectorized solver core").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lrgp::simd {
+
+/// Fixed logical vector width (doubles per vector, and instances per
+/// batch lane group).  On AVX2 hardware an 8-wide vector lowers to two
+/// 256-bit operations; on SSE2 to four 128-bit ones — lane semantics
+/// (and results) are identical, only throughput changes.
+inline constexpr std::size_t kWidth = 8;
+
+/// Rounds a span length up to a whole number of vector lanes.
+[[nodiscard]] constexpr std::size_t padded(std::size_t n) noexcept {
+    return (n + kWidth - 1) / kWidth * kWidth;
+}
+
+/// Which kernel implementation the dispatcher selected.
+enum class Variant : std::uint8_t {
+    kScalar,  ///< reference scalar loops (forced, or vector code disabled)
+    kBase,    ///< vector kernels, build-default architecture
+    kV3,      ///< vector kernels, -march=x86-64-v3 translation unit
+};
+
+/// Runtime-detected SIMD capability of the host CPU (independent of
+/// which variant is active); stamped into bench machine blocks.
+[[nodiscard]] const char* detected_isa() noexcept;
+
+/// Compile-time ISA of the *baseline* translation units ("sse2",
+/// "avx2", "avx512" depending on the build's -march flags).
+[[nodiscard]] const char* compiled_isa() noexcept;
+
+/// The variant active_kernels() resolved (after env overrides).
+[[nodiscard]] Variant active_variant() noexcept;
+
+/// Short name of the active variant for logs and bench rows:
+/// "scalar", "base" or "x86-64-v3".
+[[nodiscard]] const char* active_variant_name() noexcept;
+
+/// Test hook: force (or release) the scalar reference kernels for the
+/// rest of the process.  Overrides LRGP_SIMD.  Thread-compatible with
+/// engine construction only — call before building engines.
+void force_scalar(bool on) noexcept;
+
+/// Whether the scalar reference path is active (env or force_scalar).
+[[nodiscard]] bool scalar_forced() noexcept;
+
+}  // namespace lrgp::simd

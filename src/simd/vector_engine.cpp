@@ -1,0 +1,803 @@
+#include "simd/vector_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "lrgp/greedy_allocator.hpp"
+#include "model/allocation.hpp"
+
+namespace lrgp::simd {
+
+// The kernel TUs mirror core::SolveFamily as raw bytes; keep them locked.
+static_assert(static_cast<std::uint8_t>(core::SolveFamily::kGeneric) == kFamGeneric);
+static_assert(static_cast<std::uint8_t>(core::SolveFamily::kLog) == kFamLog);
+static_assert(static_cast<std::uint8_t>(core::SolveFamily::kPower) == kFamPower);
+static_assert(static_cast<std::uint8_t>(core::SolveFamily::kShiftedLog) == kFamShiftedLog);
+
+namespace {
+
+inline std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+VectorLrgpEngine::VectorLrgpEngine(model::ProblemSpec spec, core::LrgpOptions options,
+                                   VectorEngineConfig config)
+    : mode_(config.mode),
+      collect_phase_times_(config.collect_phase_times),
+      kernels_(&active_kernels()),
+      spec_(std::move(spec)),
+      options_(options),
+      compiled_(spec_),
+      allocation_(model::Allocation::minimal(spec_)),
+      prices_(core::PriceVector::zeros(spec_.nodeCount(), spec_.linkCount())),
+      detector_(options.convergence) {
+    node_prices_.reserve(spec_.nodeCount());
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        node_prices_.emplace_back(options_.gamma, options_.initial_node_price,
+                                  options_.node_price_rule);
+    link_prices_.reserve(spec_.linkCount());
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        link_prices_.emplace_back(options_.link_gamma, options_.initial_link_price);
+    for (std::size_t b = 0; b < spec_.nodeCount(); ++b)
+        prices_.node[b] = options_.initial_node_price;
+    for (std::size_t l = 0; l < spec_.linkCount(); ++l)
+        prices_.link[l] = options_.initial_link_price;
+
+    // Eq. 7 terms for the reference-solver path (generic flows, or all
+    // flows when closed forms are disabled).
+    flow_terms_.resize(spec_.flowCount());
+    for (const model::FlowSpec& f : spec_.flows()) {
+        auto& terms = flow_terms_[f.id.index()];
+        const auto& classes = spec_.classesOfFlow(f.id);
+        terms.reserve(classes.size());
+        for (model::ClassId j : classes)
+            terms.push_back({0.0, spec_.consumerClass(j).utility});
+    }
+    class_utility_term_.assign(spec_.classCount(), 0.0);
+    cands_.resize(compiled_.max_classes_at_node);
+
+    buildSoA();
+}
+
+VectorLrgpEngine::~VectorLrgpEngine() = default;
+
+void VectorLrgpEngine::buildSoA() {
+    const core::CompiledProblem& cp = compiled_;
+    const std::size_t F = cp.flowCount();
+    const std::size_t C = cp.classCount();
+    const std::size_t N = cp.nodeCount();
+    const std::size_t L = cp.linkCount();
+    const std::uint32_t cls_sentinel = static_cast<std::uint32_t>(C);
+    const std::uint32_t flow_sentinel = static_cast<std::uint32_t>(F);
+
+    flow_family_.resize(F);
+    flow_param_.resize(F);
+    for (std::size_t f = 0; f < F; ++f) {
+        flow_family_[f] = static_cast<std::uint8_t>(cp.flow_family[f]);
+        // kLog is the shifted-log family with shift exactly 1.0: the
+        // kernels then reproduce the serial kLog arithmetic bitwise
+        // (1.0 + r; W/price - 1.0; log1p(rate / 1.0) == log1p(rate)).
+        flow_param_[f] = cp.flow_family[f] == core::SolveFamily::kLog
+                             ? 1.0
+                             : cp.flow_family_param[f];
+    }
+
+    std::size_t max_span = 0;
+    std::uint64_t real = 0, pad_total = 0;
+    // Pads carry a zero cost/weight so their lane products are an exact
+    // +0.0; gathers through pads hit either slot 0 of a live price array
+    // (harmless: the product is zero) or the dedicated sentinel slot of
+    // the engine-owned state mirrors (rates/trans/populations).
+    const auto pad_csr = [&](const std::vector<std::size_t>& begin, auto&& emit_real,
+                             auto&& emit_pad, std::vector<std::size_t>& out_begin) {
+        const std::size_t n = begin.size() - 1;
+        out_begin.assign(n + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t len = begin[i + 1] - begin[i];
+            const std::size_t plen = padded(len);
+            out_begin[i + 1] = out_begin[i] + plen;
+            max_span = std::max(max_span, plen);
+            real += len;
+            pad_total += plen - len;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t e = begin[i]; e < begin[i + 1]; ++e) emit_real(e);
+            const std::size_t len = begin[i + 1] - begin[i];
+            for (std::size_t p = len; p < padded(len); ++p) emit_pad();
+        }
+    };
+
+    pad_csr(
+        cp.flow_link_begin,
+        [&](std::size_t e) {
+            fl_link_.push_back(cp.link_hop_link[e]);
+            fl_cost_.push_back(cp.link_hop_cost[e]);
+        },
+        [&] {
+            fl_link_.push_back(0);
+            fl_cost_.push_back(0.0);
+        },
+        fl_begin_);
+    pad_csr(
+        cp.hop_class_begin,
+        [&](std::size_t e) {
+            hc_cls_.push_back(cp.hop_class_class[e]);
+            hc_gcost_.push_back(cp.hop_class_gcost[e]);
+        },
+        [&] {
+            hc_cls_.push_back(cls_sentinel);
+            hc_gcost_.push_back(0.0);
+        },
+        hc_begin_);
+    pad_csr(
+        cp.flow_class_begin,
+        [&](std::size_t e) {
+            const std::uint32_t cls = cp.flow_class_class[e];
+            fc_cls_.push_back(cls);
+            fc_weight_.push_back(cp.class_weight[cls]);
+            fc_dweight_.push_back(cp.class_dweight[cls]);
+        },
+        [&] {
+            fc_cls_.push_back(cls_sentinel);
+            fc_weight_.push_back(0.0);
+            fc_dweight_.push_back(0.0);
+        },
+        fc_begin_);
+
+    std::size_t max_node_span = 0;
+    {
+        std::size_t save = max_span;
+        max_span = 0;
+        pad_csr(
+            cp.node_class_begin,
+            [&](std::size_t e) {
+                const std::uint32_t cls = cp.node_class_class[e];
+                nc_cls_.push_back(cls);
+                nc_flow_.push_back(cp.class_flow[cls]);
+                nc_gcost_.push_back(cp.class_gcost[cls]);
+                nc_weight_.push_back(cp.class_weight[cls]);
+            },
+            [&] {
+                nc_cls_.push_back(cls_sentinel);
+                nc_flow_.push_back(flow_sentinel);
+                nc_gcost_.push_back(0.0);
+                nc_weight_.push_back(0.0);
+            },
+            nc_begin_);
+        max_node_span = max_span;
+        max_span = save;
+    }
+    std::size_t max_link_span = 0;
+    {
+        std::size_t save = max_span;
+        max_span = 0;
+        pad_csr(
+            cp.link_flow_begin,
+            [&](std::size_t e) {
+                lf_flow_.push_back(cp.link_flow_flow[e]);
+                lf_cost_.push_back(cp.link_flow_cost[e]);
+            },
+            [&] {
+                lf_flow_.push_back(flow_sentinel);
+                lf_cost_.push_back(0.0);
+            },
+            lf_begin_);
+        max_link_span = max_span;
+        max_span = save;
+    }
+
+    lanes_real_per_iter_ = real;
+    lanes_pad_per_iter_ = pad_total;
+
+    // Population mirror slots: each class owns (at most) one slot per
+    // span permutation — a class lives at one node and subscribes to one
+    // flow, so the hop-class and flow-class spans both partition the
+    // classes.  The position maps let nodePhase refresh exactly the
+    // slots whose populations it rewrites; classes absent from a span
+    // (or duplicated by a route revisiting a node) fall back to the
+    // spare sink slot / full per-step rebuilds.
+    constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    hc_pop_.assign(hc_cls_.size() + 1, 0);
+    fc_pop_.assign(fc_cls_.size() + 1, 0);
+    mirrors_unique_ =
+        hc_cls_.size() < kNoSlot && fc_cls_.size() < kNoSlot;
+    std::vector<std::uint32_t> hc_slot(C, kNoSlot), fc_slot(C, kNoSlot);
+    if (mirrors_unique_) {
+        for (std::size_t p = 0; p < hc_cls_.size(); ++p) {
+            const std::uint32_t cls = hc_cls_[p];
+            if (cls >= C) continue;
+            if (hc_slot[cls] != kNoSlot) mirrors_unique_ = false;
+            hc_slot[cls] = static_cast<std::uint32_t>(p);
+        }
+        for (std::size_t p = 0; p < fc_cls_.size(); ++p) {
+            const std::uint32_t cls = fc_cls_[p];
+            if (cls >= C) continue;
+            if (fc_slot[cls] != kNoSlot) mirrors_unique_ = false;
+            fc_slot[cls] = static_cast<std::uint32_t>(p);
+        }
+    }
+    const std::size_t nc_entries = cp.node_class_begin[N];
+    ncu_hcpos_.resize(nc_entries);
+    ncu_fcpos_.resize(nc_entries);
+    const std::uint32_t hc_spare = static_cast<std::uint32_t>(hc_pop_.size() - 1);
+    const std::uint32_t fc_spare = static_cast<std::uint32_t>(fc_pop_.size() - 1);
+    for (std::size_t e = 0; e < nc_entries; ++e) {
+        const std::uint32_t cls = cp.node_class_class[e];
+        ncu_hcpos_[e] = hc_slot[cls] != kNoSlot ? hc_slot[cls] : hc_spare;
+        ncu_fcpos_[e] = fc_slot[cls] != kNoSlot ? fc_slot[cls] : fc_spare;
+    }
+    rebuildPopMirrors();
+
+    flow_pb_.assign(F, 0.0);
+    flow_w_.assign(F, 0.0);
+    flow_d_.assign(F, 0.0);
+    flow_n_.assign(F, 0);
+    rebuildFlowAccumulators();
+
+    rates_vec_.assign(F + 1, 0.0);
+    trans_vec_.assign(F + 1, 0.0);
+    scratch_a_.assign(std::max<std::size_t>(max_span, kWidth), 0.0);
+    scratch_b_.assign(scratch_a_.size(), 0.0);
+    out_unit_.assign(std::max<std::size_t>(max_node_span, kWidth), 0.0);
+    out_value_.assign(out_unit_.size(), 0.0);
+    out_ratio_.assign(out_unit_.size(), 0.0);
+    link_scratch_.assign(std::max<std::size_t>(max_link_span, kWidth), 0.0);
+    usage_.assign(L, 0.0);
+}
+
+void VectorLrgpEngine::rebuildPopMirrors() {
+    const std::size_t C = compiled_.classCount();
+    const std::vector<int>& pops = allocation_.populations;
+    for (std::size_t p = 0; p < hc_cls_.size(); ++p) {
+        const std::uint32_t cls = hc_cls_[p];
+        hc_pop_[p] = cls < C ? pops[cls] : 0;
+    }
+    for (std::size_t p = 0; p < fc_cls_.size(); ++p) {
+        const std::uint32_t cls = fc_cls_[p];
+        fc_pop_[p] = cls < C ? pops[cls] : 0;
+    }
+    // Duplicate-slot layouts cannot be kept fresh by nodePhase's
+    // one-slot-per-class refresh; stay dirty and rebuild every step.
+    pop_mirror_dirty_ = !mirrors_unique_;
+}
+
+// Full recompute of the tolerance-mode per-flow aggregates, in exactly
+// the order nodePhase accumulates them (node-ascending; per node the
+// hop fcost entries, then the class entries in span order) so a value
+// is bitwise the same whether it came from the rebuild or the
+// admission pass.
+void VectorLrgpEngine::rebuildFlowAccumulators() {
+    const core::CompiledProblem& cp = compiled_;
+    const std::vector<int>& pops = allocation_.populations;
+    std::fill(flow_pb_.begin(), flow_pb_.end(), 0.0);
+    std::fill(flow_w_.begin(), flow_w_.end(), 0.0);
+    std::fill(flow_d_.begin(), flow_d_.end(), 0.0);
+    std::fill(flow_n_.begin(), flow_n_.end(), 0);
+    for (std::size_t b = 0; b < cp.nodeCount(); ++b) {
+        const double price = prices_.node[b];
+        for (std::size_t e = cp.node_flow_begin[b]; e < cp.node_flow_begin[b + 1]; ++e) {
+            const std::uint32_t f = cp.node_flow_flow[e];
+            if (!cp.flow_active[f]) continue;
+            flow_pb_[f] += cp.node_flow_fcost[e] * price;
+        }
+        for (std::size_t e = cp.node_class_begin[b]; e < cp.node_class_begin[b + 1]; ++e) {
+            const std::uint32_t cls = cp.node_class_class[e];
+            const int n = pops[cls];
+            if (n == 0) continue;
+            const std::uint32_t f = cp.class_flow[cls];
+            const double nd = static_cast<double>(n);
+            flow_pb_[f] += cp.class_gcost[cls] * nd * price;
+            flow_w_[f] += nd * cp.class_weight[cls];
+            flow_d_[f] += nd * cp.class_dweight[cls];
+            flow_n_[f] += n;
+        }
+    }
+    flow_acc_dirty_ = false;
+}
+
+const char* VectorLrgpEngine::name() const noexcept {
+    return mode_ == VectorMode::kExact ? "vector_exact" : "vector";
+}
+
+const char* VectorLrgpEngine::variant() const noexcept { return kernels_->name; }
+
+void VectorLrgpEngine::scalarSolveFlow(std::size_t f) {
+    const core::CompiledProblem& cp = compiled_;
+    const std::vector<int>& pops = allocation_.populations;
+
+    double pl = 0.0;
+    for (std::size_t h = cp.flow_link_begin[f]; h < cp.flow_link_begin[f + 1]; ++h)
+        pl += cp.link_hop_cost[h] * prices_.link[cp.link_hop_link[h]];
+    double pb = 0.0;
+    for (std::size_t h = cp.flow_node_begin[f]; h < cp.flow_node_begin[f + 1]; ++h) {
+        double per_rate_cost = cp.node_hop_fcost[h];
+        for (std::size_t e = cp.hop_class_begin[h]; e < cp.hop_class_begin[h + 1]; ++e)
+            per_rate_cost += cp.hop_class_gcost[e] * pops[cp.hop_class_class[e]];
+        pb += per_rate_cost * prices_.node[cp.node_hop_node[h]];
+    }
+    const double price = pl + pb;
+
+    auto& terms = flow_terms_[f];
+    const std::size_t begin = cp.flow_class_begin[f];
+    for (std::size_t e = begin; e < cp.flow_class_begin[f + 1]; ++e)
+        terms[e - begin].population = static_cast<double>(pops[cp.flow_class_class[e]]);
+    const utility::RateSolveResult result = utility::solve_rate_objective(
+        terms, price, cp.flow_rate_min[f], cp.flow_rate_max[f], options_.rate_solve);
+    rates_vec_[f] = result.rate;
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) {
+            switch (result.method) {
+                case utility::RateSolveMethod::kClosedForm:
+                    alloc_instr_.rate_closed_form->add(1);
+                    break;
+                case utility::RateSolveMethod::kNumeric:
+                    alloc_instr_.rate_numeric->add(1);
+                    break;
+                default: alloc_instr_.rate_bound->add(1); break;
+            }
+        }
+    }
+
+    switch (cp.flow_family[f]) {
+        case core::SolveFamily::kLog: trans_vec_[f] = std::log1p(result.rate); break;
+        case core::SolveFamily::kPower:
+            trans_vec_[f] = std::pow(result.rate, cp.flow_family_param[f]);
+            break;
+        case core::SolveFamily::kShiftedLog:
+            trans_vec_[f] = std::log1p(result.rate / cp.flow_family_param[f]);
+            break;
+        case core::SolveFamily::kGeneric: break;
+    }
+}
+
+void VectorLrgpEngine::nodePhase() {
+    const core::CompiledProblem& cp = compiled_;
+    NodeView view;
+    view.nc_begin = nc_begin_.data();
+    view.nc_cls = nc_cls_.data();
+    view.nc_gcost = nc_gcost_.data();
+    view.nc_weight = nc_weight_.data();
+    view.nc_flow = nc_flow_.data();
+    view.rates = rates_vec_.data();
+    view.trans = trans_vec_.data();
+    view.out_unit = out_unit_.data();
+    view.out_value = out_value_.data();
+    view.out_ratio = out_ratio_.data();
+    KernelTallies node_tallies;
+
+    // Tolerance mode folds the Eq. 7 aggregates into this pass: the
+    // admission loop is the only writer of populations and the price
+    // controller runs right here, so each node contributes its terms
+    // while they are still in registers (see rebuildFlowAccumulators
+    // for the matching cold-start order).
+    const bool fold_accumulators = mode_ == VectorMode::kTolerance;
+    if (fold_accumulators) {
+        std::fill(flow_pb_.begin(), flow_pb_.end(), 0.0);
+        std::fill(flow_w_.begin(), flow_w_.end(), 0.0);
+        std::fill(flow_d_.begin(), flow_d_.end(), 0.0);
+        std::fill(flow_n_.begin(), flow_n_.end(), 0);
+    }
+
+    [[maybe_unused]] std::uint64_t candidates = 0, price_moves = 0;
+    for (std::size_t b = 0; b < cp.nodeCount(); ++b) {
+        // F_{b,i} * r_i base usage, scalar in span order with the serial
+        // engine's active-flow skip.
+        double base_usage = 0.0;
+        for (std::size_t e = cp.node_flow_begin[b]; e < cp.node_flow_begin[b + 1]; ++e) {
+            const std::uint32_t f = cp.node_flow_flow[e];
+            if (!cp.flow_active[f]) continue;
+            base_usage += cp.node_flow_fcost[e] * allocation_.rates[f];
+        }
+
+        // Elementwise unit/value/ratio for the whole padded span, then a
+        // scalar compaction replaying buildNodeCands' skip rules.
+        kernels_->node_cands(view, nc_begin_[b], nc_begin_[b + 1], node_tallies);
+        std::uint32_t count = 0;
+        const std::size_t rb = cp.node_class_begin[b];
+        const std::size_t re = cp.node_class_begin[b + 1];
+        for (std::size_t j = 0; j < re - rb; ++j) {
+            const std::uint32_t cls = cp.node_class_class[rb + j];
+            allocation_.populations[cls] = 0;
+            class_utility_term_[cls] = 0.0;
+            const std::uint32_t f = cp.class_flow[cls];
+            if (!cp.flow_active[f] || cp.class_max_consumers[cls] == 0) continue;
+            const double unit_cost = out_unit_[j];
+            if (!(unit_cost > 0.0)) continue;
+            double value, ratio;
+            if (cp.flow_family[f] == core::SolveFamily::kGeneric) {
+                value = cp.class_utility[cls]->value(allocation_.rates[f]);
+                ratio = value / unit_cost;
+            } else {
+                value = out_value_[j];
+                ratio = out_ratio_[j];
+            }
+            cands_[count++] = {ratio, unit_cost, value, cp.class_max_consumers[cls], cls};
+        }
+        std::sort(cands_.begin(), cands_.begin() + count, core::BenefitCostOrder{});
+
+        // Greedy admission (Algorithm 2), identical to the other engines.
+        const double capacity = cp.node_capacity[b];
+        double remaining = capacity - base_usage;
+        std::optional<double> best_unmet_bc;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const Cand& cand = cands_[i];
+            int admitted = 0;
+            if (remaining > 0.0) {
+                admitted = static_cast<int>(std::min(std::floor(remaining / cand.unit_cost),
+                                                     static_cast<double>(cand.max_consumers)));
+            }
+            remaining -= admitted * cand.unit_cost;
+            allocation_.populations[cand.cls] = admitted;
+            class_utility_term_[cand.cls] = admitted > 0 ? admitted * cand.value : 0.0;
+            if (admitted < cand.max_consumers && !best_unmet_bc) best_unmet_bc = cand.ratio;
+        }
+        if (!fold_accumulators) {
+            // Exact mode streams populations through the span-ordered
+            // mirrors; refresh the slots this node just rewrote (data
+            // is still hot).
+            for (std::size_t j = 0; j < re - rb; ++j) {
+                const std::int32_t n = allocation_.populations[cp.node_class_class[rb + j]];
+                hc_pop_[ncu_hcpos_[rb + j]] = n;
+                fc_pop_[ncu_fcpos_[rb + j]] = n;
+            }
+        }
+
+        prices_.node[b] = node_prices_[b].update(best_unmet_bc, capacity - remaining, capacity);
+        if (fold_accumulators) {
+            const double price = prices_.node[b];
+            for (std::size_t e = cp.node_flow_begin[b]; e < cp.node_flow_begin[b + 1]; ++e) {
+                const std::uint32_t f = cp.node_flow_flow[e];
+                if (!cp.flow_active[f]) continue;
+                flow_pb_[f] += cp.node_flow_fcost[e] * price;
+            }
+            for (std::size_t e = rb; e < re; ++e) {
+                const std::uint32_t cls = cp.node_class_class[e];
+                const int n = allocation_.populations[cls];
+                if (n == 0) continue;
+                const std::uint32_t f = cp.class_flow[cls];
+                const double nd = static_cast<double>(n);
+                flow_pb_[f] += cp.class_gcost[cls] * nd * price;
+                flow_w_[f] += nd * cp.class_weight[cls];
+                flow_d_[f] += nd * cp.class_dweight[cls];
+                flow_n_[f] += n;
+            }
+        }
+        if constexpr (obs::kEnabled) {
+            candidates += count;
+            if (node_prices_[b].lastMoved()) ++price_moves;
+        }
+    }
+
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_ && cp.nodeCount() > 0) {
+            alloc_instr_.greedy_allocations->add(cp.nodeCount());
+            alloc_instr_.greedy_candidates->add(candidates);
+            instr_.node_price_moves->add(price_moves);
+        }
+    }
+}
+
+const core::IterationRecord& VectorLrgpEngine::step() {
+    const core::CompiledProblem& cp = compiled_;
+    const std::size_t F = cp.flowCount();
+    const std::size_t C = cp.classCount();
+    const Reduction reduction =
+        mode_ == VectorMode::kExact ? Reduction::kSerial : Reduction::kTree;
+
+    [[maybe_unused]] bool obs_on = false;
+    bool timed = collect_phase_times_;
+    if constexpr (obs::kEnabled) {
+        obs_on = obs_attached_;
+        if (tracer_) tracer_->beginIteration(static_cast<std::uint64_t>(iteration_) + 1);
+        timed = timed || obs_on || (tracer_ && tracer_->sampling());
+    }
+    std::uint64_t t0 = timed ? now_ns() : 0;
+
+    // Refresh the state mirrors (dynamic ops edit the model arrays in
+    // place between iterations; nodePhase keeps the population mirrors
+    // fresh on the steady path).
+    if (mode_ == VectorMode::kExact) {
+        if (pop_mirror_dirty_) rebuildPopMirrors();
+    } else if (flow_acc_dirty_) {
+        rebuildFlowAccumulators();
+    }
+    std::copy(allocation_.rates.begin(), allocation_.rates.end(), rates_vec_.begin());
+
+    // Phase 1: closed-form families through the vector kernel, the rest
+    // through the reference solver.
+    RateView rv;
+    rv.flow_count = F;
+    rv.flow_active = cp.flow_active.data();
+    rv.flow_family = flow_family_.data();
+    rv.flow_param = flow_param_.data();
+    rv.rate_min = cp.flow_rate_min.data();
+    rv.rate_max = cp.flow_rate_max.data();
+    rv.fl_begin = fl_begin_.data();
+    rv.fl_link = fl_link_.data();
+    rv.fl_cost = fl_cost_.data();
+    rv.fn_begin = cp.flow_node_begin.data();
+    rv.fn_node = cp.node_hop_node.data();
+    rv.fn_fcost = cp.node_hop_fcost.data();
+    rv.hc_begin = hc_begin_.data();
+    rv.hc_gcost = hc_gcost_.data();
+    rv.fc_begin = fc_begin_.data();
+    rv.fc_weight = fc_weight_.data();
+    rv.fc_dweight = fc_dweight_.data();
+    rv.hc_pop = hc_pop_.data();
+    rv.fc_pop = fc_pop_.data();
+    rv.flow_pb = flow_pb_.data();
+    rv.flow_w = flow_w_.data();
+    rv.flow_d = flow_d_.data();
+    rv.flow_n = flow_n_.data();
+    rv.node_price = prices_.node.data();
+    rv.link_price = prices_.link.data();
+    rv.rates = rates_vec_.data();
+    rv.trans = trans_vec_.data();
+    rv.scratch_a = scratch_a_.data();
+    rv.scratch_b = scratch_b_.data();
+    rv.reduction = reduction;
+    rv.allow_closed_form = options_.rate_solve.allow_closed_form;
+
+    KernelTallies tallies;
+    kernels_->rate_phase(rv, 0, F, tallies);
+    [[maybe_unused]] std::uint64_t reference_solves = 0;
+    for (std::size_t f = 0; f < F; ++f) {
+        if (!cp.flow_active[f]) continue;
+        if (cp.flow_family[f] != core::SolveFamily::kGeneric &&
+            options_.rate_solve.allow_closed_form)
+            continue;
+        scalarSolveFlow(f);
+        ++reference_solves;
+    }
+    std::copy(rates_vec_.begin(), rates_vec_.begin() + static_cast<std::ptrdiff_t>(F),
+              allocation_.rates.begin());
+    std::uint64_t t1 = timed ? now_ns() : 0;
+
+    // Phase 2: vector scoring + scalar rank/admit/price per node.
+    nodePhase();
+    std::uint64_t t2 = timed ? now_ns() : 0;
+
+    // Phase 3: vector usage sums + scalar price controllers.
+    {
+        LinkView lv;
+        lv.lf_begin = lf_begin_.data();
+        lv.lf_flow = lf_flow_.data();
+        lv.lf_cost = lf_cost_.data();
+        lv.rates = rates_vec_.data();
+        lv.scratch = link_scratch_.data();
+        lv.usage = usage_.data();
+        lv.reduction = reduction;
+        kernels_->link_usage(lv, 0, cp.linkCount(), tallies);
+        [[maybe_unused]] std::uint64_t price_moves = 0;
+        for (std::size_t l = 0; l < cp.linkCount(); ++l) {
+            prices_.link[l] = link_prices_[l].update(usage_[l], cp.link_capacity[l]);
+            if constexpr (obs::kEnabled)
+                if (link_prices_[l].lastMoved()) ++price_moves;
+        }
+        if constexpr (obs::kEnabled)
+            if (obs_attached_ && price_moves > 0) instr_.link_price_moves->add(price_moves);
+    }
+    std::uint64_t t3 = timed ? now_ns() : 0;
+
+    // Eq. 1 epilogue: serial class order in exact mode (bitwise the
+    // scalar engines' sum), fixed-order tree in tolerance mode.
+    const double utility = mode_ == VectorMode::kExact
+                               ? kernels_->sum_serial(class_utility_term_.data(), C)
+                               : kernels_->sum_tree(class_utility_term_.data(), C);
+
+    ++iteration_;
+    last_record_.iteration = iteration_;
+    last_record_.utility = utility;
+    last_record_.allocation = allocation_;
+    last_record_.prices = prices_;
+    trace_.append(utility);
+    detector_.addSample(utility);
+
+    std::uint64_t t4 = 0;
+    if (timed) {
+        t4 = now_ns();
+        if (collect_phase_times_) {
+            stats_.rate_ns += t1 - t0;
+            stats_.node_ns += t2 - t1;
+            stats_.link_ns += t3 - t2;
+            stats_.reduce_ns += t4 - t3;
+        }
+    }
+    ++stats_.iterations;
+    stats_.lanes_occupied += lanes_real_per_iter_;
+    stats_.lanes_masked += lanes_pad_per_iter_;
+    stats_.bound_solves += tallies.bound_solves;
+    stats_.closed_solves += tallies.closed_solves;
+
+    if constexpr (obs::kEnabled) {
+        [[maybe_unused]] long long admitted_total = 0;
+        if (obs_on || (tracer_ && tracer_->sampling()))
+            for (int n : allocation_.populations) admitted_total += n;
+        if (obs_on) {
+            instr_.iterations->add(1);
+            instr_.rate_solves->add(tallies.bound_solves + tallies.closed_solves +
+                                    reference_solves);
+            if (tallies.bound_solves > 0) alloc_instr_.rate_bound->add(tallies.bound_solves);
+            if (tallies.closed_solves > 0)
+                alloc_instr_.rate_closed_form->add(tallies.closed_solves);
+            instr_.admissions->add(static_cast<std::uint64_t>(admitted_total));
+            alloc_instr_.greedy_admitted->add(static_cast<std::uint64_t>(admitted_total));
+            instr_.utility->set(utility);
+            instr_.admitted_consumers->set(static_cast<double>(admitted_total));
+            instr_.phase_rate->observe(static_cast<double>(t1 - t0) * 1e-9);
+            instr_.phase_node->observe(static_cast<double>(t2 - t1) * 1e-9);
+            instr_.phase_link->observe(static_cast<double>(t3 - t2) * 1e-9);
+            instr_.phase_reduce->observe(static_cast<double>(t4 - t3) * 1e-9);
+            instr_.iter_seconds->observe(static_cast<double>(t4 - t0) * 1e-9);
+            vec_instr_.lanes_occupied->add(lanes_real_per_iter_);
+            vec_instr_.lanes_masked->add(lanes_pad_per_iter_);
+            vec_instr_.rate_kernel_ns->add(t1 - t0);
+            vec_instr_.node_kernel_ns->add(t2 - t1);
+            vec_instr_.link_kernel_ns->add(t3 - t2);
+            vec_instr_.bound_solves->add(tallies.bound_solves);
+            vec_instr_.closed_solves->add(tallies.closed_solves);
+        }
+        if (tracer_ && tracer_->sampling()) {
+            const double origin = tracer_->nowMicros();
+            const auto us = [](std::uint64_t a, std::uint64_t b) {
+                return static_cast<double>(b - a) * 1e-3;
+            };
+            const double ts0 = timed ? origin - us(t0, t4) : origin;
+            tracer_->complete("rate_phase", "lrgp", 0, ts0, us(t0, t1));
+            tracer_->complete("node_phase", "lrgp", 0, ts0 + us(t0, t1), us(t1, t2));
+            tracer_->complete("link_phase", "lrgp", 0, ts0 + us(t0, t2), us(t2, t3));
+            tracer_->complete("iteration", "lrgp", 0, ts0, us(t0, t4),
+                              {{"iteration", static_cast<double>(iteration_)},
+                               {"utility", utility},
+                               {"admitted", static_cast<double>(admitted_total)}});
+            tracer_->counterSample("utility", 0, origin, utility);
+        }
+    }
+    return last_record_;
+}
+
+const core::IterationRecord& VectorLrgpEngine::run(int iterations) {
+    if (iterations <= 0)
+        throw std::invalid_argument("VectorLrgpEngine::run: iterations must be > 0");
+    for (int i = 0; i < iterations; ++i) step();
+    return last_record_;
+}
+
+std::optional<int> VectorLrgpEngine::runUntilConverged(int max_iterations) {
+    if (max_iterations <= 0)
+        throw std::invalid_argument("VectorLrgpEngine::runUntilConverged: bad max_iterations");
+    for (int i = 0; i < max_iterations; ++i) {
+        step();
+        if (detector_.converged()) return static_cast<int>(detector_.convergedAt());
+    }
+    return std::nullopt;
+}
+
+void VectorLrgpEngine::noteConvergenceReset() {
+    if constexpr (obs::kEnabled) {
+        if (obs_attached_) instr_.convergence_resets->add(1);
+        if (tracer_ && tracer_->sampling())
+            tracer_->instant("convergence_reset", "lrgp", 0, tracer_->nowMicros());
+    }
+}
+
+void VectorLrgpEngine::removeFlow(model::FlowId flow) {
+    if (!spec_.flowActive(flow)) throw std::logic_error("removeFlow: flow already inactive");
+    spec_.setFlowActive(flow, false);
+    compiled_.setFlowActive(flow, false);
+    allocation_.rates[flow.index()] = 0.0;
+    for (model::ClassId j : spec_.classesOfFlow(flow)) allocation_.populations[j.index()] = 0;
+    pop_mirror_dirty_ = true;
+    flow_acc_dirty_ = true;
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void VectorLrgpEngine::restoreFlow(model::FlowId flow) {
+    if (spec_.flowActive(flow)) throw std::logic_error("restoreFlow: flow already active");
+    spec_.setFlowActive(flow, true);
+    compiled_.setFlowActive(flow, true);
+    flow_acc_dirty_ = true;
+    allocation_.rates[flow.index()] = spec_.flow(flow).rate_min;
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void VectorLrgpEngine::setNodeCapacity(model::NodeId node, double capacity) {
+    spec_.setNodeCapacity(node, capacity);
+    compiled_.setNodeCapacity(node, capacity);
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void VectorLrgpEngine::setLinkCapacity(model::LinkId link, double capacity) {
+    spec_.setLinkCapacity(link, capacity);
+    compiled_.setLinkCapacity(link, capacity);
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void VectorLrgpEngine::setClassMaxConsumers(model::ClassId cls, int max_consumers) {
+    spec_.setClassMaxConsumers(cls, max_consumers);
+    compiled_.setClassMaxConsumers(cls, max_consumers);
+    auto& n = allocation_.populations.at(cls.index());
+    n = std::min(n, max_consumers);
+    pop_mirror_dirty_ = true;
+    flow_acc_dirty_ = true;
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void VectorLrgpEngine::warmStart(const core::PriceVector& prices,
+                                 const std::vector<int>* populations) {
+    if (prices.node.size() != spec_.nodeCount() || prices.link.size() != spec_.linkCount())
+        throw std::invalid_argument("warmStart: price vector sized for another problem");
+    prices_ = prices;
+    for (std::size_t b = 0; b < node_prices_.size(); ++b)
+        node_prices_[b].reset(prices.node[b]);
+    for (std::size_t l = 0; l < link_prices_.size(); ++l)
+        link_prices_[l].reset(prices.link[l]);
+    if (populations != nullptr) {
+        if (populations->size() != spec_.classCount())
+            throw std::invalid_argument("warmStart: populations sized for another problem");
+        for (const model::ClassSpec& c : spec_.classes())
+            allocation_.populations[c.id.index()] =
+                std::min((*populations)[c.id.index()], c.max_consumers);
+        pop_mirror_dirty_ = true;
+    }
+    // New node prices invalidate the PB aggregates even when the
+    // populations are kept.
+    flow_acc_dirty_ = true;
+    detector_.reset();
+    noteConvergenceReset();
+}
+
+void VectorLrgpEngine::attachObservability(obs::Registry* registry,
+                                           obs::IterationTracer* tracer) {
+    if constexpr (obs::kEnabled) {
+        if (registry != nullptr) {
+            instr_ = obs::SolverInstruments::resolve(*registry);
+            alloc_instr_ = obs::AllocatorInstruments::resolve(*registry);
+            vec_instr_ = obs::VectorInstruments::resolve(*registry);
+            obs_attached_ = true;
+        } else {
+            obs_attached_ = false;
+        }
+        tracer_ = tracer;
+    } else {
+        (void)registry;
+        (void)tracer;
+    }
+}
+
+double VectorLrgpEngine::currentUtility() const {
+    return model::total_utility(spec_, allocation_);
+}
+
+double VectorLrgpEngine::nodeGamma(model::NodeId node) const {
+    return node_prices_.at(node.index()).currentGamma();
+}
+
+std::unique_ptr<core::Engine> make_vector_engine(model::ProblemSpec spec,
+                                                 core::LrgpOptions options,
+                                                 VectorEngineConfig config) {
+    return std::make_unique<VectorLrgpEngine>(std::move(spec), options, config);
+}
+
+std::function<std::unique_ptr<core::Engine>(model::ProblemSpec, core::LrgpOptions)>
+vector_member_factory(VectorMode mode) {
+    return [mode](model::ProblemSpec spec, core::LrgpOptions options) {
+        VectorEngineConfig config;
+        config.mode = mode;
+        return std::make_unique<VectorLrgpEngine>(std::move(spec), options, config);
+    };
+}
+
+}  // namespace lrgp::simd

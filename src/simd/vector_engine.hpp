@@ -1,0 +1,235 @@
+// Vectorized structure-of-arrays LRGP engine.
+//
+// VectorLrgpEngine runs the same three-phase iteration as the compiled
+// engine, but over a padded structure-of-arrays mirror of the
+// CompiledProblem, with the hot inner loops (flow price accumulation,
+// closed-form rate stationarity, node benefit-cost scoring, link usage
+// sums) executed by the explicit-SIMD kernels of simd/kernels.hpp.
+// Ranking/admission, the price controllers and the generic-utility
+// flows stay scalar (they are control-flow- or libm-bound).
+//
+// Two reduction modes:
+//
+//   * VectorMode::kExact ("vector_exact"): every floating-point sum
+//     runs serially in the scalar engines' accumulation order; only the
+//     elementwise products are vectorized.  The trajectory is
+//     bitwise-identical to LrgpOptimizer / ParallelLrgpEngine.
+//   * VectorMode::kTolerance ("vector"): cross-entity sums use
+//     fixed-order 8-accumulator tree reductions and the closed-form
+//     solve is algebraically fused (one pass, O(1) divisions per flow).
+//     Results track the serial engine within the documented relative
+//     tolerance (docs/algorithm.md, "Vectorized solver core").
+//
+// The engine is single-threaded by design: the vector lanes are the
+// parallelism.  Shard it (simd::vector_member_factory) for more cores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lrgp/compiled_problem.hpp"
+#include "lrgp/engine.hpp"
+#include "obs/instruments.hpp"
+#include "simd/kernels.hpp"
+#include "utility/rate_objective.hpp"
+
+namespace lrgp::simd {
+
+/// Reduction contract of the engine (see file comment).
+enum class VectorMode : std::uint8_t {
+    kExact,      ///< bitwise-identical to the serial optimizer
+    kTolerance,  ///< tree reductions + fused closed form, within tolerance
+};
+
+struct VectorEngineConfig {
+    VectorMode mode = VectorMode::kTolerance;
+    /// Accumulate per-phase wall time into stats() (off by default).
+    bool collect_phase_times = false;
+};
+
+/// Cumulative kernel statistics (also exported as lrgp_vec_* metrics
+/// when observability is attached).  Lane occupancy counts are layout
+/// quantities: real CSR elements carried in vector lanes vs the padded
+/// lanes wasted per iteration.
+struct VectorEngineStats {
+    std::uint64_t iterations = 0;
+    std::uint64_t rate_ns = 0;    ///< phase 1 wall (kernel + generic flows)
+    std::uint64_t node_ns = 0;    ///< phase 2 wall (kernel + rank/admit)
+    std::uint64_t link_ns = 0;    ///< phase 3 wall (kernel + controllers)
+    std::uint64_t reduce_ns = 0;  ///< Eq. 1 reduction + record
+    std::uint64_t lanes_occupied = 0;
+    std::uint64_t lanes_masked = 0;
+    std::uint64_t bound_solves = 0;   ///< closed-form-family flows at a bound
+    std::uint64_t closed_solves = 0;  ///< closed-form-family interior solves
+};
+
+class VectorLrgpEngine : public core::Engine {
+public:
+    explicit VectorLrgpEngine(model::ProblemSpec spec, core::LrgpOptions options = {},
+                              VectorEngineConfig config = {});
+    ~VectorLrgpEngine() override;
+
+    [[nodiscard]] const char* name() const noexcept override;
+
+    const core::IterationRecord& step() override;
+    const core::IterationRecord& run(int iterations) override;
+    std::optional<int> runUntilConverged(int max_iterations) override;
+
+    // -- dynamic workload changes (same contracts as the other engines) --
+    void removeFlow(model::FlowId flow) override;
+    void restoreFlow(model::FlowId flow) override;
+    void setNodeCapacity(model::NodeId node, double capacity) override;
+    void setLinkCapacity(model::LinkId link, double capacity) override;
+    void setClassMaxConsumers(model::ClassId cls, int max_consumers) override;
+    void warmStart(const core::PriceVector& prices,
+                   const std::vector<int>* populations = nullptr) override;
+
+    void attachObservability(obs::Registry* registry,
+                             obs::IterationTracer* tracer = nullptr) override;
+
+    // -- observers --------------------------------------------------------
+    [[nodiscard]] const model::ProblemSpec& problem() const noexcept override { return spec_; }
+    [[nodiscard]] const model::Allocation& allocation() const noexcept override {
+        return allocation_;
+    }
+    [[nodiscard]] const core::PriceVector& prices() const noexcept override { return prices_; }
+    [[nodiscard]] double currentUtility() const override;
+    [[nodiscard]] int iterationsRun() const noexcept override { return iteration_; }
+    [[nodiscard]] const metrics::TimeSeries& utilityTrace() const noexcept override {
+        return trace_;
+    }
+    [[nodiscard]] const core::ConvergenceDetector& convergence() const noexcept override {
+        return detector_;
+    }
+    [[nodiscard]] double nodeGamma(model::NodeId node) const override;
+
+    [[nodiscard]] VectorMode mode() const noexcept { return mode_; }
+    /// Kernel variant the dispatcher bound at construction.
+    [[nodiscard]] const char* variant() const noexcept;
+    [[nodiscard]] const VectorEngineStats& stats() const noexcept { return stats_; }
+    void resetStats() noexcept { stats_ = {}; }
+
+private:
+    struct Cand {
+        double ratio;
+        double unit_cost;
+        double value;
+        int max_consumers;
+        std::uint32_t cls;
+    };
+
+    void buildSoA();
+    void rebuildPopMirrors();
+    void rebuildFlowAccumulators();
+    void scalarSolveFlow(std::size_t f);
+    void nodePhase();
+    void noteConvergenceReset();
+
+    VectorMode mode_;
+    bool collect_phase_times_;
+    const Kernels* kernels_;
+
+    model::ProblemSpec spec_;
+    core::LrgpOptions options_;
+    core::CompiledProblem compiled_;
+    model::Allocation allocation_;
+    core::PriceVector prices_;
+    std::vector<core::NodePriceController> node_prices_;
+    std::vector<core::LinkPriceController> link_prices_;
+    int iteration_ = 0;
+    core::IterationRecord last_record_;
+    metrics::TimeSeries trace_;
+    core::ConvergenceDetector detector_;
+    VectorEngineStats stats_;
+
+    // -- padded structure-of-arrays mirror (built once; pads carry zero
+    // weights/costs and index sentinel slots, see kernels.hpp) ----------
+    std::vector<std::uint8_t> flow_family_;
+    std::vector<double> flow_param_;  ///< 1.0 for kLog, else family param
+    std::vector<std::size_t> fl_begin_;
+    std::vector<std::uint32_t> fl_link_;
+    std::vector<double> fl_cost_;
+    std::vector<std::size_t> hc_begin_;
+    std::vector<std::uint32_t> hc_cls_;
+    std::vector<double> hc_gcost_;
+    std::vector<std::size_t> fc_begin_;
+    std::vector<std::uint32_t> fc_cls_;
+    std::vector<double> fc_weight_;
+    std::vector<double> fc_dweight_;
+    std::vector<std::size_t> nc_begin_;
+    std::vector<std::uint32_t> nc_cls_;
+    std::vector<std::uint32_t> nc_flow_;
+    std::vector<double> nc_gcost_;
+    std::vector<double> nc_weight_;
+    std::vector<std::size_t> lf_begin_;
+    std::vector<std::uint32_t> lf_flow_;
+    std::vector<double> lf_cost_;
+
+    // -- state mirrors with sentinel slots for padded gathers -----------
+    std::vector<double> rates_vec_;  ///< flowCount()+1, sentinel 0.0
+    std::vector<double> trans_vec_;  ///< flowCount()+1, sentinel 0.0
+
+    // -- per-flow Eq. 7 aggregates (tolerance mode) ---------------------
+    // The admission pass owns every population write and every node
+    // price move, so it folds the PB price term and the stationarity
+    // sums into these L1-resident accumulators as it walks the nodes
+    // (node-ascending, span order — a fixed, ISA-independent scalar
+    // order).  The rate solve then reads O(1) scalars per flow.
+    // Dynamic ops mark them dirty for a full rebuild (same order) at
+    // the next step.
+    std::vector<double> flow_pb_;       ///< sum_b price_b (fcost + sum gcost n)
+    std::vector<double> flow_w_;        ///< sum n_j w_j over admitted classes
+    std::vector<double> flow_d_;        ///< sum n_j w_j k (power derivative)
+    std::vector<std::int64_t> flow_n_;  ///< sum n_j (integer, exact)
+    bool flow_acc_dirty_ = true;
+
+    // -- span-ordered population mirrors (int32, pads 0) ----------------
+    // Exact mode streams populations contiguously from these instead of
+    // gathering per class.  nodePhase refreshes the slots it admits via
+    // the node-class-order position maps; dynamic ops mark them dirty
+    // for a full rebuild at the next step.  The one extra slot is a
+    // spare sink for classes absent from a span permutation.
+    std::vector<std::int32_t> hc_pop_;        ///< hop-class span order
+    std::vector<std::int32_t> fc_pop_;        ///< flow-class span order
+    std::vector<std::uint32_t> ncu_hcpos_;    ///< node-class order -> hc slot
+    std::vector<std::uint32_t> ncu_fcpos_;    ///< node-class order -> fc slot
+    bool mirrors_unique_ = true;  ///< every class owns exactly one slot per span
+    bool pop_mirror_dirty_ = true;
+
+    // -- preallocated scratch -------------------------------------------
+    std::vector<double> scratch_a_;
+    std::vector<double> scratch_b_;
+    std::vector<double> out_unit_;
+    std::vector<double> out_value_;
+    std::vector<double> out_ratio_;
+    std::vector<double> link_scratch_;
+    std::vector<double> usage_;
+    std::vector<Cand> cands_;
+    std::vector<double> class_utility_term_;
+    std::vector<std::vector<utility::WeightedUtility>> flow_terms_;
+
+    /// Layout occupancy totals per iteration (all padded spans).
+    std::uint64_t lanes_real_per_iter_ = 0;
+    std::uint64_t lanes_pad_per_iter_ = 0;
+
+    // -- observability ---------------------------------------------------
+    obs::SolverInstruments instr_;
+    obs::AllocatorInstruments alloc_instr_;
+    obs::VectorInstruments vec_instr_;
+    bool obs_attached_ = false;
+    obs::IterationTracer* tracer_ = nullptr;
+};
+
+/// Builds a vector engine (VectorMode picked by `config`).
+[[nodiscard]] std::unique_ptr<core::Engine> make_vector_engine(model::ProblemSpec spec,
+                                                               core::LrgpOptions options = {},
+                                                               VectorEngineConfig config = {});
+
+/// Member factory for shard::ShardedConfig::member_factory: every shard
+/// subproblem gets its own VectorLrgpEngine in the given mode.
+[[nodiscard]] std::function<std::unique_ptr<core::Engine>(model::ProblemSpec, core::LrgpOptions)>
+vector_member_factory(VectorMode mode = VectorMode::kTolerance);
+
+}  // namespace lrgp::simd

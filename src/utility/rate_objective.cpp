@@ -74,15 +74,32 @@ RateSolveResult scan_maximize(const std::vector<WeightedUtility>& terms, double 
     const double width = hi - lo;
     auto f = [&](double r) { return rate_objective_value(terms, price, r); };
 
-    double best_r = lo;
-    double best_v = f(lo);
+    // The grid is scored term-major: all 65 sample points go through one
+    // valueBatch call per class term (one virtual dispatch per term
+    // instead of one per term * point, and a loop the batched utilities
+    // vectorize).  Per point the accumulation order is exactly
+    // rate_objective_value's term order, so values[p] is bitwise f(pts[p]).
+    double pts[kSamples + 1];
+    double values[kSamples + 1];
+    double ubuf[kSamples + 1];
+    pts[0] = lo;
     for (int i = 1; i <= kSamples; ++i) {
-        const double r = (i == kSamples) ? hi : lo + width * static_cast<double>(i) /
-                                                        static_cast<double>(kSamples);
-        const double v = f(r);
-        if (v > best_v) {
-            best_v = v;
-            best_r = r;
+        pts[i] = (i == kSamples) ? hi : lo + width * static_cast<double>(i) /
+                                                 static_cast<double>(kSamples);
+    }
+    for (int p = 0; p <= kSamples; ++p) values[p] = -pts[p] * price;
+    for (const auto& t : terms) {
+        if (t.population <= 0.0) continue;
+        t.utility->valueBatch(pts, ubuf, kSamples + 1);
+        for (int p = 0; p <= kSamples; ++p) values[p] += t.population * ubuf[p];
+    }
+
+    double best_r = pts[0];
+    double best_v = values[0];
+    for (int i = 1; i <= kSamples; ++i) {
+        if (values[i] > best_v) {
+            best_v = values[i];
+            best_r = pts[i];
         }
     }
 

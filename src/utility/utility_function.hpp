@@ -10,6 +10,7 @@
 // allocator solve the stationarity condition analytically.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,6 +37,16 @@ public:
     [[nodiscard]] virtual std::optional<double> inverseDerivative(double marginal) const {
         (void)marginal;
         return std::nullopt;
+    }
+
+    /// Evaluates U at `count` rates in one call (out[i] = value(rates[i])).
+    /// The default delegates to value() per point; families with heavy
+    /// per-call overhead override it with a single tight loop.  Overrides
+    /// MUST stay bitwise-identical to per-point value() calls — the
+    /// non-concave grid scan batches its samples through this hook and
+    /// relies on reproducing the pointwise objective exactly.
+    virtual void valueBatch(const double* rates, double* out, std::size_t count) const {
+        for (std::size_t i = 0; i < count; ++i) out[i] = value(rates[i]);
     }
 
     /// Human-readable description, e.g. "20 * log(1+r)".
@@ -132,6 +143,7 @@ public:
 
     [[nodiscard]] double value(double rate) const override;
     [[nodiscard]] double derivative(double rate) const override;
+    void valueBatch(const double* rates, double* out, std::size_t count) const override;
     [[nodiscard]] std::string describe() const override;
     [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;
     [[nodiscard]] bool concave() const noexcept override { return false; }
@@ -156,6 +168,7 @@ public:
 
     [[nodiscard]] double value(double rate) const override;
     [[nodiscard]] double derivative(double rate) const override;
+    void valueBatch(const double* rates, double* out, std::size_t count) const override;
     [[nodiscard]] std::optional<double> inverseDerivative(double marginal) const override;
     [[nodiscard]] std::string describe() const override;
     [[nodiscard]] std::unique_ptr<UtilityFunction> clone() const override;

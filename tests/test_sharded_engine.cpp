@@ -327,7 +327,7 @@ TEST(ShardedEngine, InvariantsHoldPerShardAndGlobally) {
         // against its own sub-problem (budgeted capacities included).
         for (int s = 0; s < engine.shardCount(); ++s) {
             if (engine.summaries()[static_cast<std::size_t>(s)].flows == 0) continue;
-            const core::ParallelLrgpEngine& member = engine.shardEngine(s);
+            const core::Engine& member = engine.shardEngine(s);
             check_box_and_capacity(member.problem(), member.allocation(), 1e-9);
         }
 

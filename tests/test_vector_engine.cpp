@@ -1,0 +1,380 @@
+// Vectorized SoA engine suite (ctest label `vector`).
+//
+// The contracts under test, in order of strictness:
+//   * vector_exact (VectorMode::kExact) is BITWISE-identical to the
+//     serial LrgpOptimizer: utilities, rates, populations and prices,
+//     on every iteration, across a 100-seed random sweep, the pinned
+//     scenario catalog, dynamic ops and warm starts.
+//   * vector (VectorMode::kTolerance, tree reductions) stays within the
+//     documented relative bound of the serial trajectory
+//     (docs/algorithm.md, "Vectorized solver core").
+//   * BatchedVectorEngine advances up to kWidth independent instances
+//     in lockstep, and each lane lands bitwise on its solo serial run.
+//   * The kernel variants (scalar reference vs compiled vector TUs)
+//     agree bitwise, so runtime dispatch can never change results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "lrgp/optimizer.hpp"
+#include "lrgp/parallel_engine.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
+#include "shard/sharded_engine.hpp"
+#include "simd/batch_engine.hpp"
+#include "simd/simd.hpp"
+#include "simd/vector_engine.hpp"
+#include "test_helpers.hpp"
+#include "workload/random_workload.hpp"
+#include "workload/workloads.hpp"
+
+namespace lrgp {
+namespace {
+
+constexpr int kSweepSeeds = 100;  ///< random problems per trajectory sweep
+constexpr int kIterations = 40;   ///< LRGP iterations per problem
+/// Documented tolerance-mode bound (docs/algorithm.md): observed error
+/// is ~1e-16 relative; the bound leaves four orders of headroom.
+constexpr double kRelBound = 1e-12;
+
+/// Same knob coverage as the invariants harness: shapes, sizes, and a
+/// shared bottleneck link every fourth seed.
+workload::RandomWorkloadOptions options_for_seed(std::uint32_t seed) {
+    workload::RandomWorkloadOptions opt;
+    opt.seed = seed;
+    switch (seed % 4) {
+        case 0: opt.shape = workload::UtilityShape::kLog; break;
+        case 1: opt.shape = workload::UtilityShape::kPow025; break;
+        case 2: opt.shape = workload::UtilityShape::kPow05; break;
+        default: opt.shape = workload::UtilityShape::kPow075; break;
+    }
+    opt.max_flows = 3 + static_cast<int>(seed % 6);
+    opt.max_cnodes = 2 + static_cast<int>(seed % 5);
+    opt.link_bottleneck_probability = (seed % 4 == 0) ? 1.0 : 0.0;
+    return opt;
+}
+
+/// Bitwise comparison of the full visible state of two engines.
+void expect_bitwise_state(const core::Engine& oracle, const core::Engine& vec,
+                          const std::string& where) {
+    SCOPED_TRACE(where);
+    ASSERT_EQ(oracle.currentUtility(), vec.currentUtility());
+    ASSERT_EQ(oracle.allocation().rates, vec.allocation().rates);
+    ASSERT_EQ(oracle.allocation().populations, vec.allocation().populations);
+    ASSERT_EQ(oracle.prices().node, vec.prices().node);
+    ASSERT_EQ(oracle.prices().link, vec.prices().link);
+}
+
+double rel_err(double a, double b) {
+    const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+    return std::abs(a - b) / scale;
+}
+
+// ---------------------------------------------------------------------------
+// vector_exact: bitwise parity with the serial optimizer.
+
+TEST(VectorExact, BitwiseTrajectorySweep) {
+    for (std::uint32_t seed = 1; seed <= kSweepSeeds; ++seed) {
+        const model::ProblemSpec spec =
+            workload::make_random_workload(options_for_seed(seed));
+        core::LrgpOptimizer serial(spec);
+        simd::VectorLrgpEngine vec(spec, {}, {.mode = simd::VectorMode::kExact});
+        for (int i = 0; i < kIterations; ++i) {
+            const core::IterationRecord& rs = serial.step();
+            const core::IterationRecord& rv = vec.step();
+            ASSERT_EQ(rs.utility, rv.utility)
+                << "seed " << seed << " iteration " << i;
+        }
+        expect_bitwise_state(serial, vec, "seed " + std::to_string(seed));
+    }
+}
+
+TEST(VectorExact, MatchesCompiledEngineToo) {
+    // The compiled engine shares the serial trajectory bitwise; the
+    // vector engine must slot into the same equivalence class.
+    const model::ProblemSpec spec = workload::make_random_workload(options_for_seed(7));
+    core::ParallelLrgpEngine compiled(spec, {}, {.threads = 1});
+    simd::VectorLrgpEngine vec(spec, {}, {.mode = simd::VectorMode::kExact});
+    compiled.run(kIterations);
+    vec.run(kIterations);
+    expect_bitwise_state(compiled, vec, "compiled vs vector_exact");
+}
+
+TEST(VectorExact, DynamicOpsAndWarmStartStayBitwise) {
+    const model::ProblemSpec spec = workload::make_random_workload(options_for_seed(3));
+    core::LrgpOptimizer serial(spec);
+    simd::VectorLrgpEngine vec(spec, {}, {.mode = simd::VectorMode::kExact});
+
+    const auto both = [&](auto&& op) {
+        op(static_cast<core::Engine&>(serial));
+        op(static_cast<core::Engine&>(vec));
+    };
+
+    both([](core::Engine& e) { e.run(10); });
+    const model::FlowId victim = spec.flows().front().id;
+    both([&](core::Engine& e) { e.removeFlow(victim); });
+    both([](core::Engine& e) { e.run(6); });
+    expect_bitwise_state(serial, vec, "after removeFlow");
+
+    both([&](core::Engine& e) { e.restoreFlow(victim); });
+    const model::NodeSpec& node = spec.nodes().back();
+    both([&](core::Engine& e) { e.setNodeCapacity(node.id, node.capacity * 0.5); });
+    const model::ClassSpec& cls = spec.classes().front();
+    both([&](core::Engine& e) { e.setClassMaxConsumers(cls.id, cls.max_consumers / 2); });
+    both([](core::Engine& e) { e.run(8); });
+    expect_bitwise_state(serial, vec, "after capacity/class ops");
+
+    // Warm-starting both engines from the serial engine's state must
+    // keep them locked together.
+    const core::PriceVector warm_prices = serial.prices();
+    const std::vector<int> warm_pops = serial.allocation().populations;
+    both([&](core::Engine& e) { e.warmStart(warm_prices, &warm_pops); });
+    both([](core::Engine& e) { e.run(5); });
+    expect_bitwise_state(serial, vec, "after warmStart");
+}
+
+TEST(VectorExact, ScenarioCatalogCells) {
+    // Every pinned catalog cell (fat-tree/scale-free/small-world x
+    // traffic x shifted-log/sigmoid/step).  Sigmoid and step classes are
+    // non-concave, so this also covers the batched grid-scan path.
+    for (const scenario::ScenarioOptions& cell : scenario::scenario_catalog()) {
+        const scenario::ScenarioSpec sc = scenario::build_scenario(cell);
+        core::LrgpOptimizer serial(sc.problem);
+        simd::VectorLrgpEngine vec(sc.problem, {}, {.mode = simd::VectorMode::kExact});
+        serial.run(30);
+        vec.run(30);
+        expect_bitwise_state(serial, vec, "cell " + cell.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vector (tolerance mode): documented relative bound.
+
+TEST(VectorTolerance, TrajectorySweepWithinDocumentedBound) {
+    double worst = 0.0;
+    for (std::uint32_t seed = 1; seed <= kSweepSeeds; ++seed) {
+        const model::ProblemSpec spec =
+            workload::make_random_workload(options_for_seed(seed));
+        core::LrgpOptimizer serial(spec);
+        simd::VectorLrgpEngine vec(spec, {}, {.mode = simd::VectorMode::kTolerance});
+        for (int i = 0; i < kIterations; ++i) {
+            const core::IterationRecord& rs = serial.step();
+            const core::IterationRecord& rv = vec.step();
+            const double err = rel_err(rs.utility, rv.utility);
+            ASSERT_LE(err, kRelBound) << "seed " << seed << " iteration " << i;
+            worst = std::max(worst, err);
+        }
+        for (std::size_t f = 0; f < spec.flowCount(); ++f) {
+            ASSERT_LE(rel_err(serial.allocation().rates[f], vec.allocation().rates[f]),
+                      kRelBound)
+                << "seed " << seed << " flow " << f;
+        }
+        ASSERT_EQ(serial.allocation().populations, vec.allocation().populations)
+            << "seed " << seed;
+    }
+    RecordProperty("worst_rel_err", testing::PrintToString(worst));
+}
+
+TEST(VectorTolerance, ScenarioCatalogCellsWithinBound) {
+    for (const scenario::ScenarioOptions& cell : scenario::scenario_catalog()) {
+        const scenario::ScenarioSpec sc = scenario::build_scenario(cell);
+        core::LrgpOptimizer serial(sc.problem);
+        simd::VectorLrgpEngine vec(sc.problem, {}, {.mode = simd::VectorMode::kTolerance});
+        for (int i = 0; i < 30; ++i) {
+            const core::IterationRecord& rs = serial.step();
+            const core::IterationRecord& rv = vec.step();
+            ASSERT_LE(rel_err(rs.utility, rv.utility), kRelBound)
+                << "cell " << cell.name << " iteration " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-variant cross-parity: dispatch must never change results.
+
+TEST(VectorVariants, ScalarReferenceMatchesVectorKernelsBitwise) {
+    const model::ProblemSpec spec = workload::make_random_workload(options_for_seed(11));
+
+    simd::force_scalar(true);
+    simd::VectorLrgpEngine scalar_exact(spec, {}, {.mode = simd::VectorMode::kExact});
+    simd::VectorLrgpEngine scalar_tol(spec, {}, {.mode = simd::VectorMode::kTolerance});
+    scalar_exact.run(kIterations);
+    scalar_tol.run(kIterations);
+    const double u_scalar_exact = scalar_exact.currentUtility();
+    const double u_scalar_tol = scalar_tol.currentUtility();
+    EXPECT_STREQ(scalar_exact.variant(), "scalar");
+    simd::force_scalar(false);
+
+    simd::VectorLrgpEngine vec_exact(spec, {}, {.mode = simd::VectorMode::kExact});
+    simd::VectorLrgpEngine vec_tol(spec, {}, {.mode = simd::VectorMode::kTolerance});
+    vec_exact.run(kIterations);
+    vec_tol.run(kIterations);
+
+    // Exact mode: identical accumulation order everywhere — bitwise
+    // across variants.  Tolerance mode: the tree reduction's shape is
+    // fixed (8 accumulators, pairwise hsum) independent of the variant,
+    // so it is bitwise across variants too.
+    EXPECT_EQ(u_scalar_exact, vec_exact.currentUtility());
+    EXPECT_EQ(u_scalar_tol, vec_tol.currentUtility());
+}
+
+// ---------------------------------------------------------------------------
+// Batched lockstep mode.
+
+std::vector<model::ProblemSpec> capacity_scaled_copies(const model::ProblemSpec& spec,
+                                                       std::size_t n) {
+    std::vector<model::ProblemSpec> specs;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double scale =
+            0.7 + 0.6 * static_cast<double>(k) / static_cast<double>(n > 1 ? n - 1 : 1);
+        model::ProblemSpec copy = spec;
+        for (const model::NodeSpec& node : spec.nodes())
+            copy.setNodeCapacity(node.id, node.capacity * scale);
+        specs.push_back(std::move(copy));
+    }
+    return specs;
+}
+
+TEST(VectorBatch, FullWidthLanesMatchSoloSerialBitwise) {
+    const model::ProblemSpec spec = workload::make_random_workload(options_for_seed(5));
+    std::vector<model::ProblemSpec> specs = capacity_scaled_copies(spec, simd::kWidth);
+
+    std::vector<std::unique_ptr<core::LrgpOptimizer>> solos;
+    for (const auto& s : specs) solos.push_back(std::make_unique<core::LrgpOptimizer>(s));
+
+    simd::BatchedVectorEngine batch(specs);
+    ASSERT_EQ(batch.instanceCount(), simd::kWidth);
+
+    // Checkpoint parity mid-run and at the end, not just at the end.
+    for (const int upto : {10, 25, kIterations}) {
+        while (batch.iterationsRun() < upto) {
+            batch.step();
+            for (auto& solo : solos) solo->step();
+        }
+        for (std::size_t k = 0; k < simd::kWidth; ++k) {
+            SCOPED_TRACE("iteration " + std::to_string(upto) + " lane " +
+                         std::to_string(k));
+            ASSERT_EQ(solos[k]->currentUtility(), batch.utility(k));
+            ASSERT_EQ(solos[k]->allocation().rates, batch.allocation(k).rates);
+            ASSERT_EQ(solos[k]->allocation().populations,
+                      batch.allocation(k).populations);
+            ASSERT_EQ(solos[k]->prices().node, batch.prices(k).node);
+            ASSERT_EQ(solos[k]->prices().link, batch.prices(k).link);
+        }
+    }
+}
+
+TEST(VectorBatch, PartialWidthMasksSpareLanes) {
+    const model::ProblemSpec spec = workload::make_random_workload(options_for_seed(9));
+    std::vector<model::ProblemSpec> specs = capacity_scaled_copies(spec, 3);
+
+    std::vector<std::unique_ptr<core::LrgpOptimizer>> solos;
+    for (const auto& s : specs) solos.push_back(std::make_unique<core::LrgpOptimizer>(s));
+
+    simd::BatchedVectorEngine batch(specs);
+    ASSERT_EQ(batch.instanceCount(), 3u);
+    batch.run(kIterations);
+    for (auto& solo : solos) solo->run(kIterations);
+    for (std::size_t k = 0; k < 3; ++k) {
+        SCOPED_TRACE("lane " + std::to_string(k));
+        ASSERT_EQ(solos[k]->currentUtility(), batch.utility(k));
+        ASSERT_EQ(solos[k]->allocation().populations, batch.allocation(k).populations);
+    }
+    EXPECT_THROW(static_cast<void>(batch.utility(3)), std::out_of_range);
+}
+
+TEST(VectorBatch, ValidationRejectsBadBatches) {
+    const auto t = test::make_tiny_problem();
+    // Empty and over-wide batches.
+    EXPECT_THROW(simd::BatchedVectorEngine({}), std::invalid_argument);
+    EXPECT_THROW(
+        simd::BatchedVectorEngine(
+            std::vector<model::ProblemSpec>(simd::kWidth + 1, t.spec)),
+        std::invalid_argument);
+    // Mismatched topology across lanes.
+    const model::ProblemSpec other =
+        workload::make_random_workload(options_for_seed(2));
+    EXPECT_THROW(simd::BatchedVectorEngine({t.spec, other}), std::invalid_argument);
+    // Same topology with per-lane capacity variation is fine.
+    EXPECT_NO_THROW(simd::BatchedVectorEngine(capacity_scaled_copies(t.spec, 2)));
+}
+
+TEST(VectorBatch, RunUntilAllConverged) {
+    // A headroom workload (huge node capacity, low rate cap) quiesces
+    // within ~50 iterations; the contended workloads never reach an
+    // exact fixpoint (adaptive-gamma limit cycles), so they are not
+    // usable here.
+    workload::WorkloadOptions headroom;
+    headroom.node_capacity = 3.0e7;
+    headroom.rate_max = 60.0;
+    const model::ProblemSpec spec = workload::make_scaled_workload(headroom);
+    std::vector<model::ProblemSpec> specs = capacity_scaled_copies(spec, 4);
+    simd::BatchedVectorEngine batch(specs);
+    const std::optional<int> at = batch.runUntilAllConverged(4000);
+    ASSERT_TRUE(at.has_value());
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_TRUE(batch.converged(k));
+
+    core::LrgpOptimizer solo(specs[1]);
+    solo.run(batch.iterationsRun());
+    EXPECT_EQ(solo.currentUtility(), batch.utility(1));
+}
+
+// ---------------------------------------------------------------------------
+// Composition: vector members under the sharded control plane.
+
+TEST(VectorShard, ShardedEngineWithVectorMembers) {
+    const model::ProblemSpec spec = workload::make_random_workload(options_for_seed(13));
+
+    shard::ShardedConfig config;
+    config.shards = 2;
+    config.threads = 1;
+    config.member_factory = simd::vector_member_factory(simd::VectorMode::kExact);
+    shard::ShardedLrgpEngine engine(spec, {}, config);
+    engine.run(kIterations);
+    EXPECT_GT(engine.currentUtility(), 0.0);
+    for (int s = 0; s < engine.shardCount(); ++s)
+        EXPECT_STREQ(engine.shardEngine(s).name(), "vector_exact");
+
+    // K=1 with exact members reproduces the monolithic serial trajectory
+    // bitwise, like the default member engine does.
+    shard::ShardedConfig solo_config;
+    solo_config.shards = 1;
+    solo_config.threads = 1;
+    solo_config.member_factory = simd::vector_member_factory(simd::VectorMode::kExact);
+    shard::ShardedLrgpEngine one(spec, {}, solo_config);
+    core::LrgpOptimizer serial(spec);
+    one.run(kIterations);
+    serial.run(kIterations);
+    EXPECT_EQ(serial.currentUtility(), one.currentUtility());
+}
+
+// ---------------------------------------------------------------------------
+// Observability: lrgp_vec_* instruments.
+
+TEST(VectorObs, InstrumentsCountKernelWork) {
+    if constexpr (!obs::kEnabled) GTEST_SKIP() << "built without LRGP_OBS";
+    const auto t = test::make_tiny_problem();
+    obs::Registry registry;
+    simd::VectorLrgpEngine vec(t.spec, {}, {.mode = simd::VectorMode::kExact});
+    vec.attachObservability(&registry, nullptr);
+    vec.run(12);
+
+    EXPECT_GT(registry.counterValue("lrgp_vec_lanes_occupied_total"), 0u);
+    EXPECT_GT(registry.counterValue("lrgp_vec_kernel_ns_total", {{"phase", "rate"}}), 0u);
+    // Every flow solve on the tiny problem is closed-form or at a bound.
+    const std::uint64_t solves =
+        registry.counterValue("lrgp_vec_closed_solves_total") +
+        registry.counterValue("lrgp_vec_bound_solves_total");
+    EXPECT_EQ(solves, 12u * t.spec.flowCount());
+    // The instrumented run must not perturb the trajectory.
+    core::LrgpOptimizer serial(t.spec);
+    serial.run(12);
+    EXPECT_EQ(serial.currentUtility(), vec.currentUtility());
+}
+
+}  // namespace
+}  // namespace lrgp
